@@ -1,0 +1,59 @@
+//! E14 — the quadratic disk baseline: page I/O of disk block nested loops
+//! vs MSJ on the same storage engine, as the buffer block shrinks.
+//!
+//! BNL reads pages(inner) once per outer block — the O(P²/B) disk cost the
+//! filter algorithms exist to avoid; MSJ's sort-based pipeline reads each
+//! page a small constant number of times.
+
+use hdsj_bench::{measure_self_join, scaled, Table};
+use hdsj_core::{CountSink, JoinKind, JoinSpec, Metric};
+use hdsj_msj::Msj;
+use hdsj_storage::{disk_block_nested_loops, PointFile, StorageEngine};
+
+fn main() {
+    let d = 8;
+    let n = scaled(20_000);
+    let ds = hdsj_data::uniform(d, n, 41);
+    let spec = JoinSpec::new(0.1, Metric::L2);
+
+    let mut table = Table::new(
+        "E14_disk_baseline",
+        &[
+            "variant",
+            "block_points",
+            "io_reads",
+            "io_writes",
+            "results",
+        ],
+    );
+
+    for block in [500usize, 2_000, 8_000] {
+        let engine = StorageEngine::in_memory(16);
+        let pf = PointFile::from_dataset(&engine, &ds).expect("point file");
+        engine.reset_counters();
+        let mut sink = CountSink::default();
+        let stats =
+            disk_block_nested_loops(&pf, &pf, JoinKind::SelfJoin, &spec, block, &mut sink)
+                .expect("bnl");
+        table.row(vec![
+            "BNL".into(),
+            block.to_string(),
+            stats.io.reads.to_string(),
+            stats.io.writes.to_string(),
+            stats.results.to_string(),
+        ]);
+    }
+
+    let engine = StorageEngine::in_memory(16);
+    let mut msj = Msj::with_engine(engine);
+    let m = measure_self_join(&mut msj, &ds, &spec).expect("msj");
+    table.row(vec![
+        "MSJ".into(),
+        "-".into(),
+        m.stats.io.reads.to_string(),
+        m.stats.io.writes.to_string(),
+        m.stats.results.to_string(),
+    ]);
+
+    table.emit().expect("write csv");
+}

@@ -1,0 +1,37 @@
+//! E4 — page I/O vs dataset size (d = 8, fixed ε, fixed 128-frame pool).
+//!
+//! MSJ's I/O is the sequential write/sort/scan of its level files; RSJ adds
+//! the random node accesses of the synchronized traversal. Both run on the
+//! same storage engine so the page counts are directly comparable.
+
+use hdsj_bench::{measure_self_join, scaled, Table};
+use hdsj_core::{JoinSpec, Metric};
+use hdsj_msj::Msj;
+use hdsj_rtree::RsjJoin;
+use hdsj_storage::StorageEngine;
+
+fn main() {
+    let d = 8;
+    let spec = JoinSpec::new(0.15, Metric::L2);
+    let pool = 128;
+    let mut table = Table::new(
+        "E4_io_vs_n",
+        &["n", "RSJ_reads", "RSJ_writes", "MSJ_reads", "MSJ_writes"],
+    );
+    for base in [10_000usize, 20_000, 40_000, 80_000] {
+        let n = scaled(base);
+        let ds = hdsj_data::uniform(d, n, 11);
+        let mut rsj = RsjJoin::with_engine(StorageEngine::in_memory(pool));
+        let rsj_m = measure_self_join(&mut rsj, &ds, &spec).expect("rsj");
+        let mut msj = Msj::with_engine(StorageEngine::in_memory(pool));
+        let msj_m = measure_self_join(&mut msj, &ds, &spec).expect("msj");
+        table.row(vec![
+            n.to_string(),
+            rsj_m.stats.io.reads.to_string(),
+            rsj_m.stats.io.writes.to_string(),
+            msj_m.stats.io.reads.to_string(),
+            msj_m.stats.io.writes.to_string(),
+        ]);
+    }
+    table.emit().expect("write csv");
+}

@@ -1,0 +1,62 @@
+//! E6 — skewed (clustered) data: response time as clustering tightens.
+//!
+//! Gaussian clusters with Zipf-skewed sizes; ε is sampled per workload so
+//! the result size stays comparable. Skew concentrates work in few cells /
+//! nodes, which helps space-partitioning methods until hot cells saturate.
+
+use hdsj_bench::{eps_for_sample_quantile, fmt_ms, measure_self_join, scaled, Algo, Table};
+use hdsj_core::{JoinSpec, Metric};
+use hdsj_data::ClusterSpec;
+
+fn main() {
+    let d = 8;
+    let n = scaled(10_000);
+    let mut table = Table::new(
+        "E6_skew",
+        &[
+            "clusters", "sigma", "zipf", "eps", "results", "BF", "SM1D", "GRID", "EKDB", "RSJ",
+            "MSJ",
+        ],
+    );
+    let configs = [
+        (64usize, 0.05f64, 0.0f64),
+        (64, 0.05, 1.0),
+        (16, 0.05, 1.0),
+        (16, 0.02, 1.0),
+        (4, 0.02, 1.0),
+    ];
+    for (clusters, sigma, zipf) in configs {
+        let spec_ds = ClusterSpec {
+            clusters,
+            sigma,
+            zipf_theta: zipf,
+            noise_fraction: 0.1,
+        };
+        let ds = hdsj_data::gaussian_clusters(d, n, spec_ds, 99);
+        let frac = 4.0 * n as f64 / (n as f64 * (n as f64 - 1.0) / 2.0);
+        let eps = eps_for_sample_quantile(&ds, Metric::L2, frac, 20_000);
+        let spec = JoinSpec::new(eps, Metric::L2);
+        let mut cells = vec![
+            clusters.to_string(),
+            format!("{sigma}"),
+            format!("{zipf}"),
+            format!("{eps:.3}"),
+        ];
+        let mut results = String::from("-");
+        let mut times = Vec::new();
+        for algo in Algo::all() {
+            let mut a = algo.make();
+            match measure_self_join(a.as_mut(), &ds, &spec) {
+                Ok(m) => {
+                    results = m.stats.results.to_string();
+                    times.push(fmt_ms(m.elapsed_ms));
+                }
+                Err(_) => times.push("n/a".into()),
+            }
+        }
+        cells.push(results);
+        cells.extend(times);
+        table.row(cells);
+    }
+    table.emit().expect("write csv");
+}

@@ -1,0 +1,43 @@
+//! E1 — response time vs dimensionality (uniform data, ε calibrated for a
+//! roughly constant expected result size across d).
+//!
+//! Reproduces the paper's headline dimensionality figure: BF is flat-ish and
+//! quadratic, GRID drops out past its 3^d cap, EKDB and RSJ degrade with d,
+//! MSJ degrades most gracefully.
+
+use hdsj_bench::{fmt_ms, measure_self_join, scaled, Algo, Table};
+use hdsj_core::{JoinSpec, Metric};
+use hdsj_data::analytic::eps_for_expected_pairs;
+
+fn main() {
+    let n = scaled(10_000);
+    let target_pairs = n as f64 * 2.0;
+    let mut table = Table::new(
+        "E1_time_vs_dim",
+        &[
+            "d", "eps", "results", "BF", "SM1D", "GRID", "EKDB", "RSJ", "MSJ",
+        ],
+    );
+    for d in [2usize, 4, 8, 16, 32, 64] {
+        let eps = eps_for_expected_pairs(Metric::L2, d, n, target_pairs).min(0.95);
+        let ds = hdsj_data::uniform(d, n, d as u64);
+        let spec = JoinSpec::new(eps, Metric::L2);
+        let mut cells = vec![d.to_string(), format!("{eps:.3}")];
+        let mut results = String::from("-");
+        let mut times = Vec::new();
+        for algo in Algo::all() {
+            let mut a = algo.make();
+            match measure_self_join(a.as_mut(), &ds, &spec) {
+                Ok(m) => {
+                    results = m.stats.results.to_string();
+                    times.push(fmt_ms(m.elapsed_ms));
+                }
+                Err(_) => times.push("n/a".into()),
+            }
+        }
+        cells.push(results);
+        cells.extend(times);
+        table.row(cells);
+    }
+    table.emit().expect("write csv");
+}

@@ -1,0 +1,37 @@
+//! E2 — response time vs ε (uniform data, d = 8).
+//!
+//! As ε grows the result size explodes; the filter structures converge
+//! toward brute force while their overheads stay, so the curves cross.
+
+use hdsj_bench::{fmt_ms, measure_self_join, scaled, Algo, Table};
+use hdsj_core::{JoinSpec, Metric};
+
+fn main() {
+    let n = scaled(10_000);
+    let d = 8;
+    let ds = hdsj_data::uniform(d, n, 42);
+    let mut table = Table::new(
+        "E2_time_vs_eps",
+        &["eps", "results", "BF", "SM1D", "GRID", "EKDB", "RSJ", "MSJ"],
+    );
+    for eps in [0.05, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let spec = JoinSpec::new(eps, Metric::L2);
+        let mut cells = vec![format!("{eps:.2}")];
+        let mut results = String::from("-");
+        let mut times = Vec::new();
+        for algo in Algo::all() {
+            let mut a = algo.make();
+            match measure_self_join(a.as_mut(), &ds, &spec) {
+                Ok(m) => {
+                    results = m.stats.results.to_string();
+                    times.push(fmt_ms(m.elapsed_ms));
+                }
+                Err(_) => times.push("n/a".into()),
+            }
+        }
+        cells.push(results);
+        cells.extend(times);
+        table.row(cells);
+    }
+    table.emit().expect("write csv");
+}

@@ -1,0 +1,38 @@
+//! E3 — response time vs dataset size (uniform data, d = 8, fixed ε).
+//!
+//! BF grows quadratically; the filter algorithms grow near-linearly until
+//! the output itself dominates.
+
+use hdsj_bench::{fmt_ms, measure_self_join, scaled, Algo, Table};
+use hdsj_core::{JoinSpec, Metric};
+
+fn main() {
+    let d = 8;
+    let eps = 0.2;
+    let spec = JoinSpec::new(eps, Metric::L2);
+    let mut table = Table::new(
+        "E3_time_vs_n",
+        &["n", "results", "BF", "SM1D", "GRID", "EKDB", "RSJ", "MSJ"],
+    );
+    for base in [5_000usize, 10_000, 20_000, 40_000] {
+        let n = scaled(base);
+        let ds = hdsj_data::uniform(d, n, 7);
+        let mut cells = vec![n.to_string()];
+        let mut results = String::from("-");
+        let mut times = Vec::new();
+        for algo in Algo::all() {
+            let mut a = algo.make();
+            match measure_self_join(a.as_mut(), &ds, &spec) {
+                Ok(m) => {
+                    results = m.stats.results.to_string();
+                    times.push(fmt_ms(m.elapsed_ms));
+                }
+                Err(_) => times.push("n/a".into()),
+            }
+        }
+        cells.push(results);
+        cells.extend(times);
+        table.row(cells);
+    }
+    table.emit().expect("write csv");
+}

@@ -1,0 +1,53 @@
+//! Runs every experiment binary's logic in sequence — the one-command
+//! regeneration of the paper's full evaluation. Equivalent to invoking each
+//! `fig_*` / `tbl_*` target; respects `HDSJ_QUICK` / `HDSJ_SCALE`.
+
+use std::process::Command;
+
+const TARGETS: [&str; 14] = [
+    "fig_time_vs_dim",
+    "fig_time_vs_eps",
+    "fig_time_vs_n",
+    "fig_io_vs_n",
+    "tbl_memory_vs_dim",
+    "fig_skew",
+    "fig_real_data",
+    "tbl_msj_phases",
+    "tbl_level_occupancy",
+    "tbl_filter_quality",
+    "fig_buffer_sweep",
+    "tbl_ablation",
+    "fig_histograms",
+    "fig_disk_baseline",
+];
+
+fn main() {
+    // The sibling binaries sit next to this one.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for target in TARGETS {
+        println!("\n########## {target} ##########");
+        let status = Command::new(dir.join(target)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{target} exited with {s}");
+                failed.push(target);
+            }
+            Err(e) => {
+                eprintln!("{target} failed to start: {e}");
+                failed.push(target);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!(
+            "\nall {} experiments completed; CSVs in target/experiments/",
+            TARGETS.len()
+        );
+    } else {
+        eprintln!("\nfailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

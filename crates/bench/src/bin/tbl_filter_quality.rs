@@ -1,0 +1,38 @@
+//! E10 — filter quality: candidate pairs vs verified results per algorithm.
+//!
+//! BF tests every pair; the structures prune. Precision = results /
+//! candidates measures how much exact-distance work the filter wastes.
+
+use hdsj_bench::{measure_self_join, scaled, Algo, Table};
+use hdsj_core::{JoinSpec, Metric};
+
+fn main() {
+    let d = 8;
+    let n = scaled(10_000);
+    let ds = hdsj_data::uniform(d, n, 17);
+    let spec = JoinSpec::new(0.2, Metric::L2);
+    let mut table = Table::new(
+        "E10_filter_quality",
+        &["algo", "candidates", "results", "precision", "dist_evals"],
+    );
+    for algo in Algo::all() {
+        let mut a = algo.make();
+        match measure_self_join(a.as_mut(), &ds, &spec) {
+            Ok(m) => table.row(vec![
+                algo.name().to_string(),
+                m.stats.candidates.to_string(),
+                m.stats.results.to_string(),
+                format!("{:.4}", m.stats.filter_precision()),
+                m.stats.dist_evals.to_string(),
+            ]),
+            Err(_) => table.row(vec![
+                algo.name().to_string(),
+                "n/a".into(),
+                "n/a".into(),
+                "n/a".into(),
+                "n/a".into(),
+            ]),
+        }
+    }
+    table.emit().expect("write csv");
+}

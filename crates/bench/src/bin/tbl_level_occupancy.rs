@@ -1,0 +1,32 @@
+//! E9 — MSJ level-file occupancy: how many points land in each hierarchy
+//! level as ε and d vary.
+//!
+//! Small ε pushes cubes into deep (fine) levels; large ε and high d push
+//! mass toward level 0 — the size-separation behaviour that drives MSJ's
+//! costs.
+
+use hdsj_bench::{scaled, Table};
+use hdsj_msj::Msj;
+
+fn main() {
+    let n = scaled(20_000);
+    let mut table = Table::new(
+        "E9_level_occupancy",
+        &["d", "eps", "depth", "level_counts (0..depth)"],
+    );
+    for (d, eps) in [(2usize, 0.01f64), (2, 0.1), (8, 0.05), (8, 0.2), (32, 0.5)] {
+        let ds = hdsj_data::uniform(d, n, d as u64);
+        let msj = Msj::default();
+        let hist = msj.level_histogram(&ds, eps).expect("histogram");
+        table.row(vec![
+            d.to_string(),
+            format!("{eps}"),
+            (hist.len() - 1).to_string(),
+            hist.iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    table.emit().expect("write csv");
+}

@@ -1,0 +1,32 @@
+//! E5 — structure-resident memory vs dimensionality.
+//!
+//! The ε-KDB directory and the R-tree pages grow with d (and with 1/ε),
+//! while MSJ's sweep memory is the stack of open cells — the paper's memory
+//! argument, measured.
+
+use hdsj_bench::{fmt_bytes, measure_self_join, scaled, Algo, Table};
+use hdsj_core::{JoinSpec, Metric};
+use hdsj_data::analytic::eps_for_expected_pairs;
+
+fn main() {
+    let n = scaled(10_000);
+    let mut table = Table::new(
+        "E5_memory_vs_dim",
+        &["d", "eps", "GRID", "EKDB", "RSJ", "MSJ"],
+    );
+    for d in [2usize, 4, 8, 16, 32] {
+        let eps = eps_for_expected_pairs(Metric::L2, d, n, n as f64 * 2.0).min(0.95);
+        let ds = hdsj_data::uniform(d, n, d as u64 + 5);
+        let spec = JoinSpec::new(eps, Metric::L2);
+        let mut cells = vec![d.to_string(), format!("{eps:.3}")];
+        for algo in [Algo::Grid, Algo::Ekdb, Algo::Rsj, Algo::Msj] {
+            let mut a = algo.make();
+            match measure_self_join(a.as_mut(), &ds, &spec) {
+                Ok(m) => cells.push(fmt_bytes(m.stats.structure_bytes)),
+                Err(_) => cells.push("n/a".into()),
+            }
+        }
+        table.row(cells);
+    }
+    table.emit().expect("write csv");
+}

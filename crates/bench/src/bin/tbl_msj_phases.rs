@@ -1,0 +1,47 @@
+//! E8 — MSJ phase breakdown: level assignment, external sort, sweep.
+//!
+//! Shows where MSJ spends its time as N grows; the sort dominates, and all
+//! phases are sequential I/O.
+
+use hdsj_bench::{fmt_ms, measure_self_join, scaled, Table};
+use hdsj_core::{JoinSpec, Metric};
+use hdsj_msj::Msj;
+
+fn main() {
+    let d = 8;
+    let spec = JoinSpec::new(0.15, Metric::L2);
+    let mut table = Table::new(
+        "E8_msj_phases",
+        &[
+            "n",
+            "assign",
+            "sort",
+            "sweep",
+            "total",
+            "io_reads",
+            "io_writes",
+        ],
+    );
+    for base in [25_000usize, 50_000, 100_000] {
+        let n = scaled(base);
+        let ds = hdsj_data::uniform(d, n, 3);
+        let mut msj = Msj::default();
+        let m = measure_self_join(&mut msj, &ds, &spec).expect("msj");
+        let phase = |name: &str| {
+            m.stats
+                .phase(name)
+                .map(|d| fmt_ms(d.as_secs_f64() * 1e3))
+                .unwrap_or_default()
+        };
+        table.row(vec![
+            n.to_string(),
+            phase("assign"),
+            phase("sort"),
+            phase("sweep"),
+            fmt_ms(m.elapsed_ms),
+            m.stats.io.reads.to_string(),
+            m.stats.io.writes.to_string(),
+        ]);
+    }
+    table.emit().expect("write csv");
+}

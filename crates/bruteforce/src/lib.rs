@@ -1,0 +1,318 @@
+//! # hdsj-bruteforce — block nested-loop similarity join
+//!
+//! The quadratic baseline of the paper's evaluation and the **ground truth**
+//! for every correctness test in the workspace: it evaluates the exact
+//! metric on all `N·M` (or `N(N−1)/2`) pairs with no filter structure at
+//! all, so its result set is correct by construction.
+//!
+//! The loops are tiled ([`BruteForce::block`]) so both operands of the inner
+//! loop stay cache-resident, and an optional thread count fans the outer
+//! tiles out over `crossbeam::scope` workers.
+
+use crossbeam::thread;
+use hdsj_core::{
+    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, PairSink, PhaseTimer,
+    Refiner, Result, SimilarityJoin,
+};
+
+/// Block nested-loop join.
+#[derive(Clone, Debug)]
+pub struct BruteForce {
+    /// Points per tile of the blocked loops.
+    pub block: usize,
+    /// Worker threads; `1` runs single-threaded on the calling thread.
+    pub threads: usize,
+}
+
+impl Default for BruteForce {
+    fn default() -> BruteForce {
+        BruteForce {
+            block: 256,
+            threads: 1,
+        }
+    }
+}
+
+impl BruteForce {
+    /// A parallel instance with `threads` workers.
+    pub fn parallel(threads: usize) -> BruteForce {
+        BruteForce {
+            block: 256,
+            threads: threads.max(1),
+        }
+    }
+
+    fn run(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        kind: JoinKind,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        validate_inputs(a, b, spec)?;
+        let mut phases = Vec::new();
+        let timer = PhaseTimer::start("join");
+        let stats = if self.threads <= 1 {
+            let mut refiner = Refiner::new(a, b, kind, spec, sink);
+            serial_pairs(a, b, kind, self.block, &mut |i, j| refiner.offer(i, j));
+            refiner.finish(JoinStats::default())
+        } else {
+            self.run_parallel(a, b, kind, spec, sink)?
+        };
+        timer.finish(&mut phases);
+        Ok(JoinStats { phases, ..stats })
+    }
+
+    fn run_parallel(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        kind: JoinKind,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        let n = a.len();
+        let chunk = n.div_ceil(self.threads).max(1);
+        // Each worker refines its slice of outer rows independently and
+        // materializes survivors; the caller's sink then sees them in one
+        // deterministic pass per worker.
+        let results: Vec<(Vec<(u32, u32)>, u64)> = thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..self.threads {
+                let lo = t * chunk;
+                if lo >= n {
+                    break;
+                }
+                let hi = (lo + chunk).min(n);
+                let block = self.block;
+                handles.push(scope.spawn(move |_| {
+                    let mut pairs = Vec::new();
+                    let mut candidates = 0u64;
+                    for i in lo as u32..hi as u32 {
+                        let start_j = match kind {
+                            JoinKind::TwoSets => 0,
+                            JoinKind::SelfJoin => i + 1,
+                        };
+                        let pi = a.point(i);
+                        let m = b.len() as u32;
+                        let mut j = start_j;
+                        while j < m {
+                            let end = (j + block as u32).min(m);
+                            for jj in j..end {
+                                candidates += 1;
+                                if spec.metric.within(pi, b.point(jj), spec.eps) {
+                                    pairs.push((i, jj));
+                                }
+                            }
+                            j = end;
+                        }
+                    }
+                    (pairs, candidates)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        })
+        .expect("scope");
+
+        let mut stats = JoinStats::default();
+        for (pairs, candidates) in results {
+            stats.candidates += candidates;
+            stats.dist_evals += candidates;
+            stats.results += pairs.len() as u64;
+            for (i, j) in pairs {
+                sink.push(i, j);
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Tiled pair enumeration shared by the serial path.
+fn serial_pairs(
+    a: &Dataset,
+    b: &Dataset,
+    kind: JoinKind,
+    block: usize,
+    offer: &mut impl FnMut(u32, u32),
+) {
+    let n = a.len() as u32;
+    let m = b.len() as u32;
+    let block = block.max(1) as u32;
+    let mut bi = 0;
+    while bi < n {
+        let bi_end = (bi + block).min(n);
+        let mut bj = match kind {
+            JoinKind::TwoSets => 0,
+            JoinKind::SelfJoin => bi,
+        };
+        while bj < m {
+            let bj_end = (bj + block).min(m);
+            for i in bi..bi_end {
+                let j_start = match kind {
+                    JoinKind::TwoSets => bj,
+                    JoinKind::SelfJoin => bj.max(i + 1),
+                };
+                for j in j_start..bj_end {
+                    offer(i, j);
+                }
+            }
+            bj = bj_end;
+        }
+        bi = bi_end;
+    }
+}
+
+impl SimilarityJoin for BruteForce {
+    fn name(&self) -> &'static str {
+        "BF"
+    }
+
+    fn join(
+        &mut self,
+        a: &Dataset,
+        b: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        self.run(a, b, JoinKind::TwoSets, spec, sink)
+    }
+
+    fn self_join(
+        &mut self,
+        a: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        self.run(a, a, JoinKind::SelfJoin, spec, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsj_core::{verify, Metric, VecSink};
+
+    fn grid_points() -> Dataset {
+        // 4x4 grid with spacing 0.2.
+        let mut ds = Dataset::new(2).unwrap();
+        for x in 0..4 {
+            for y in 0..4 {
+                ds.push(&[x as f64 * 0.2, y as f64 * 0.2]).unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn self_join_counts_grid_neighbours() {
+        let ds = grid_points();
+        let spec = JoinSpec::new(0.21, Metric::L2);
+        let mut sink = VecSink::default();
+        let stats = BruteForce::default()
+            .self_join(&ds, &spec, &mut sink)
+            .unwrap();
+        // 4x4 grid: 24 horizontal/vertical adjacent pairs within 0.21.
+        assert_eq!(stats.results, 24);
+        assert_eq!(stats.candidates, 16 * 15 / 2);
+        assert!(sink.pairs.iter().all(|&(i, j)| i < j));
+    }
+
+    #[test]
+    fn two_set_join_is_cross_product_filtered() {
+        let a = Dataset::from_rows(&[vec![0.0, 0.0], vec![0.5, 0.5]]).unwrap();
+        let b = Dataset::from_rows(&[vec![0.05, 0.0], vec![0.9, 0.9]]).unwrap();
+        let spec = JoinSpec::new(0.1, Metric::L2);
+        let mut sink = VecSink::default();
+        let stats = BruteForce::default()
+            .join(&a, &b, &spec, &mut sink)
+            .unwrap();
+        assert_eq!(sink.pairs, vec![(0, 0)]);
+        assert_eq!(stats.candidates, 4);
+    }
+
+    #[test]
+    fn tiny_blocks_do_not_change_results() {
+        let ds = grid_points();
+        let spec = JoinSpec::new(0.29, Metric::Linf);
+        let mut want = VecSink::default();
+        BruteForce::default()
+            .self_join(&ds, &spec, &mut want)
+            .unwrap();
+        let mut got = VecSink::default();
+        BruteForce {
+            block: 3,
+            threads: 1,
+        }
+        .self_join(&ds, &spec, &mut got)
+        .unwrap();
+        verify::assert_same_results("BF(block=3)", &want.pairs, &got.pairs);
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_random_data() {
+        let ds = hdsj_data::uniform(6, 300, 7);
+        for kind in ["self", "two"] {
+            let spec = JoinSpec::new(0.35, Metric::L2);
+            let mut want = VecSink::default();
+            let mut got = VecSink::default();
+            if kind == "self" {
+                BruteForce::default()
+                    .self_join(&ds, &spec, &mut want)
+                    .unwrap();
+                BruteForce::parallel(4)
+                    .self_join(&ds, &spec, &mut got)
+                    .unwrap();
+            } else {
+                let other = hdsj_data::uniform(6, 200, 8);
+                BruteForce::default()
+                    .join(&ds, &other, &spec, &mut want)
+                    .unwrap();
+                BruteForce::parallel(4)
+                    .join(&ds, &other, &spec, &mut got)
+                    .unwrap();
+            }
+            verify::assert_same_results("BF parallel", &want.pairs, &got.pairs);
+        }
+    }
+
+    #[test]
+    fn parallel_counters_match_serial() {
+        let ds = hdsj_data::uniform(4, 101, 3);
+        let spec = JoinSpec::new(0.2, Metric::L2);
+        let mut s1 = VecSink::default();
+        let a = BruteForce::default()
+            .self_join(&ds, &spec, &mut s1)
+            .unwrap();
+        let mut s2 = VecSink::default();
+        let b = BruteForce::parallel(3)
+            .self_join(&ds, &spec, &mut s2)
+            .unwrap();
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_results() {
+        let empty = Dataset::new(3).unwrap();
+        let spec = JoinSpec::l2(0.1);
+        let mut sink = VecSink::default();
+        let stats = BruteForce::default()
+            .self_join(&empty, &spec, &mut sink)
+            .unwrap();
+        assert_eq!(stats.results, 0);
+        assert!(sink.pairs.is_empty());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let ds = grid_points();
+        let mut sink = VecSink::default();
+        assert!(BruteForce::default()
+            .self_join(&ds, &JoinSpec::l2(0.0), &mut sink)
+            .is_err());
+    }
+}

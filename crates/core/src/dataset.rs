@@ -1,0 +1,316 @@
+//! Dense row-major storage for collections of `d`-dimensional points.
+
+use crate::error::{Error, Result};
+
+/// A set of `d`-dimensional points stored contiguously in row-major order.
+///
+/// ```
+/// use hdsj_core::Dataset;
+/// let mut points = Dataset::new(2)?;
+/// points.push(&[0.25, 0.75])?;
+/// points.push(&[0.5, 0.5])?;
+/// assert_eq!(points.len(), 2);
+/// assert_eq!(points.point(1), &[0.5, 0.5]);
+/// # Ok::<(), hdsj_core::Error>(())
+/// ```
+///
+/// Points are addressed by their `u32` index; every join algorithm reports
+/// result pairs as `(u32, u32)` indexes into the participating datasets.
+/// Coordinates are `f64` and must be finite. The join algorithms additionally
+/// assume the *unit-domain convention*: coordinates lie in `[0, 1)`. That is
+/// not enforced on construction (tests and metrics work on any finite data)
+/// but [`Dataset::check_unit_domain`] validates it and
+/// [`Dataset::normalized`] rescales arbitrary data into the unit cube.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of `dims`-dimensional points.
+    pub fn new(dims: usize) -> Result<Self> {
+        if dims == 0 {
+            return Err(Error::InvalidInput("dimensionality must be >= 1".into()));
+        }
+        Ok(Dataset {
+            dims,
+            data: Vec::new(),
+        })
+    }
+
+    /// Creates an empty dataset with room for `cap` points.
+    pub fn with_capacity(dims: usize, cap: usize) -> Result<Self> {
+        let mut ds = Self::new(dims)?;
+        ds.data.reserve(cap.saturating_mul(dims));
+        Ok(ds)
+    }
+
+    /// Builds a dataset from a flat row-major coordinate buffer.
+    ///
+    /// `flat.len()` must be a multiple of `dims` and every value finite.
+    pub fn from_flat(dims: usize, flat: Vec<f64>) -> Result<Self> {
+        let mut ds = Self::new(dims)?;
+        if !flat.len().is_multiple_of(dims) {
+            return Err(Error::InvalidInput(format!(
+                "flat buffer of {} values is not a multiple of dims {}",
+                flat.len(),
+                dims
+            )));
+        }
+        if let Some(bad) = flat.iter().find(|v| !v.is_finite()) {
+            return Err(Error::InvalidInput(format!("non-finite coordinate {bad}")));
+        }
+        if flat.len() / dims > u32::MAX as usize {
+            return Err(Error::InvalidInput("more than u32::MAX points".into()));
+        }
+        ds.data = flat;
+        Ok(ds)
+    }
+
+    /// Builds a dataset from per-point rows. Every row must have the same
+    /// length as the first.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let dims = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut ds = Self::new(dims.max(1))?;
+        for row in rows {
+            ds.push(row)?;
+        }
+        Ok(ds)
+    }
+
+    /// Appends one point; returns its index.
+    pub fn push(&mut self, point: &[f64]) -> Result<u32> {
+        if point.len() != self.dims {
+            return Err(Error::InvalidInput(format!(
+                "point has {} dims, dataset has {}",
+                point.len(),
+                self.dims
+            )));
+        }
+        if let Some(bad) = point.iter().find(|v| !v.is_finite()) {
+            return Err(Error::InvalidInput(format!("non-finite coordinate {bad}")));
+        }
+        let idx = self.len();
+        if idx > u32::MAX as usize {
+            return Err(Error::InvalidInput("more than u32::MAX points".into()));
+        }
+        self.data.extend_from_slice(point);
+        Ok(idx as u32)
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// True when the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality `d` of every point.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Borrow point `i` as a coordinate slice. Panics when out of range.
+    #[inline]
+    pub fn point(&self, i: u32) -> &[f64] {
+        let i = i as usize;
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// The whole row-major coordinate buffer.
+    #[inline]
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterator over `(index, point)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (u32, &[f64])> {
+        self.data
+            .chunks_exact(self.dims)
+            .enumerate()
+            .map(|(i, p)| (i as u32, p))
+    }
+
+    /// Validates the unit-domain convention used by the multidimensional
+    /// filter structures: every coordinate in `[0, 1)`.
+    pub fn check_unit_domain(&self) -> Result<()> {
+        for (i, p) in self.iter() {
+            if let Some(v) = p.iter().find(|v| !(0.0..1.0).contains(*v)) {
+                return Err(Error::InvalidInput(format!(
+                    "point {i} coordinate {v} outside [0,1)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a copy rescaled so that every coordinate lies in `[0, 1)`.
+    ///
+    /// The same affine transform (global min/extent over *all* dimensions of
+    /// *this* dataset) is applied to every coordinate, so relative distances
+    /// are preserved up to one uniform scale factor. To join two datasets,
+    /// normalize them together via [`Dataset::normalize_pair`], otherwise the
+    /// two transforms (and hence ε) would disagree.
+    pub fn normalized(&self) -> Dataset {
+        let (lo, hi) = self.global_bounds();
+        self.apply_affine(lo, hi)
+    }
+
+    /// Normalizes two datasets with a *shared* transform into `[0, 1)` so
+    /// that one ε threshold is meaningful for both. Returns the rescaled
+    /// datasets and the scale factor that maps original distances to
+    /// normalized distances (`normalized_dist = scale * original_dist`).
+    pub fn normalize_pair(a: &Dataset, b: &Dataset) -> Result<(Dataset, Dataset, f64)> {
+        if a.dims != b.dims {
+            return Err(Error::InvalidInput(format!(
+                "dimensionality mismatch: {} vs {}",
+                a.dims, b.dims
+            )));
+        }
+        let (alo, ahi) = a.global_bounds();
+        let (blo, bhi) = b.global_bounds();
+        let lo = alo.min(blo);
+        let hi = ahi.max(bhi);
+        let extent = (hi - lo).max(f64::MIN_POSITIVE);
+        // Shrink slightly so the maximum lands strictly below 1.0.
+        let scale = (1.0 - 1e-9) / extent;
+        Ok((a.apply_affine(lo, hi), b.apply_affine(lo, hi), scale))
+    }
+
+    fn global_bounds(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if !lo.is_finite() {
+            // Empty dataset: identity transform domain.
+            (0.0, 1.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    fn apply_affine(&self, lo: f64, hi: f64) -> Dataset {
+        let extent = (hi - lo).max(f64::MIN_POSITIVE);
+        let scale = (1.0 - 1e-9) / extent;
+        let data = self
+            .data
+            .iter()
+            .map(|&v| ((v - lo) * scale).clamp(0.0, 1.0 - 1e-12))
+            .collect();
+        Dataset {
+            dims: self.dims,
+            data,
+        }
+    }
+
+    /// Resident size in bytes of the coordinate buffer (used by the memory
+    /// experiments).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_dims() {
+        assert!(Dataset::new(0).is_err());
+    }
+
+    #[test]
+    fn push_and_access_round_trip() {
+        let mut ds = Dataset::new(3).unwrap();
+        assert!(ds.is_empty());
+        let i = ds.push(&[0.1, 0.2, 0.3]).unwrap();
+        let j = ds.push(&[0.4, 0.5, 0.6]).unwrap();
+        assert_eq!((i, j), (0, 1));
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(1), &[0.4, 0.5, 0.6]);
+        let collected: Vec<u32> = ds.iter().map(|(i, _)| i).collect();
+        assert_eq!(collected, vec![0, 1]);
+    }
+
+    #[test]
+    fn push_rejects_wrong_arity_and_nan() {
+        let mut ds = Dataset::new(2).unwrap();
+        assert!(ds.push(&[0.0]).is_err());
+        assert!(ds.push(&[0.0, f64::NAN]).is_err());
+        assert!(ds.push(&[0.0, f64::INFINITY]).is_err());
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn from_flat_validates_multiple() {
+        assert!(Dataset::from_flat(3, vec![1.0, 2.0]).is_err());
+        let ds = Dataset::from_flat(2, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_pushes() {
+        let rows = vec![vec![0.25, 0.5], vec![0.75, 0.125]];
+        let ds = Dataset::from_rows(&rows).unwrap();
+        assert_eq!(ds.dims(), 2);
+        assert_eq!(ds.point(0), rows[0].as_slice());
+    }
+
+    #[test]
+    fn unit_domain_check() {
+        let ok = Dataset::from_flat(2, vec![0.0, 0.999]).unwrap();
+        ok.check_unit_domain().unwrap();
+        let bad = Dataset::from_flat(2, vec![0.0, 1.0]).unwrap();
+        assert!(bad.check_unit_domain().is_err());
+        let neg = Dataset::from_flat(2, vec![-0.1, 0.5]).unwrap();
+        assert!(neg.check_unit_domain().is_err());
+    }
+
+    #[test]
+    fn normalized_lands_in_unit_domain_and_preserves_order() {
+        let ds = Dataset::from_flat(1, vec![-10.0, 0.0, 42.0]).unwrap();
+        let n = ds.normalized();
+        n.check_unit_domain().unwrap();
+        assert!(n.point(0)[0] < n.point(1)[0] && n.point(1)[0] < n.point(2)[0]);
+    }
+
+    #[test]
+    fn normalize_pair_shares_transform() {
+        let a = Dataset::from_flat(1, vec![0.0, 10.0]).unwrap();
+        let b = Dataset::from_flat(1, vec![5.0]).unwrap();
+        let (na, nb, scale) = Dataset::normalize_pair(&a, &b).unwrap();
+        na.check_unit_domain().unwrap();
+        nb.check_unit_domain().unwrap();
+        // b's point sits midway between a's two points after rescaling.
+        let mid = (na.point(0)[0] + na.point(1)[0]) / 2.0;
+        assert!((nb.point(0)[0] - mid).abs() < 1e-9);
+        // Distances scale uniformly.
+        let orig = 10.0;
+        let new = na.point(1)[0] - na.point(0)[0];
+        assert!((new - scale * orig).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_pair_rejects_dim_mismatch() {
+        let a = Dataset::new(2).unwrap();
+        let b = Dataset::new(3).unwrap();
+        assert!(Dataset::normalize_pair(&a, &b).is_err());
+    }
+
+    #[test]
+    fn bytes_reports_buffer_size() {
+        let ds = Dataset::from_flat(2, vec![0.0; 8]).unwrap();
+        assert_eq!(ds.bytes(), 8 * 8);
+    }
+}

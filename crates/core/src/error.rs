@@ -1,0 +1,78 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by dataset construction, storage, and the join algorithms.
+#[derive(Debug)]
+pub enum Error {
+    /// Caller supplied inconsistent or out-of-domain input (mismatched
+    /// dimensionality, non-finite coordinate, ε ≤ 0, …).
+    InvalidInput(String),
+    /// The algorithm cannot run with the given parameters (e.g. the ε-grid
+    /// join refuses dimensionalities whose 3^d neighbourhood would explode).
+    Unsupported(String),
+    /// An error bubbled up from the paged storage engine.
+    Storage(String),
+    /// Operating-system I/O error (spill files, dataset persistence).
+    Io(std::io::Error),
+}
+
+/// Convenience alias used by every fallible API in the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_every_variant() {
+        let cases = [
+            (Error::InvalidInput("dims".into()), "invalid input: dims"),
+            (
+                Error::Unsupported("d too large".into()),
+                "unsupported: d too large",
+            ),
+            (
+                Error::Storage("page fault".into()),
+                "storage error: page fault",
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::other("boom");
+        let err: Error = io.into();
+        assert!(err.to_string().contains("boom"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,180 @@
+//! The public join API: specifications, result sinks, and the trait every
+//! algorithm implements.
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::metric::Metric;
+use crate::stats::JoinStats;
+
+/// Whether the join runs over two datasets or one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `A ⋈_ε B`: every `(a, b) ∈ A × B` with `D(a, b) ≤ ε`, reported as
+    /// `(index in A, index in B)`.
+    TwoSets,
+    /// `A ⋈_ε A` without self pairs: every unordered pair `{i, j}`, `i ≠ j`,
+    /// reported exactly once as `(min(i, j), max(i, j))`.
+    SelfJoin,
+}
+
+/// Parameters of an ε-similarity join.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinSpec {
+    /// Distance threshold (must be `> 0` and finite).
+    pub eps: f64,
+    /// Distance function used for the exact refinement test.
+    pub metric: Metric,
+}
+
+impl JoinSpec {
+    /// A spec with the given threshold and the Euclidean metric.
+    pub fn l2(eps: f64) -> JoinSpec {
+        JoinSpec {
+            eps,
+            metric: Metric::L2,
+        }
+    }
+
+    /// A spec with the given threshold and metric.
+    pub fn new(eps: f64, metric: Metric) -> JoinSpec {
+        JoinSpec { eps, metric }
+    }
+
+    /// Validates `eps` and the metric.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.eps.is_finite() && self.eps > 0.0) {
+            return Err(Error::InvalidInput(format!(
+                "eps must be finite and > 0, got {}",
+                self.eps
+            )));
+        }
+        self.metric.validate()
+    }
+}
+
+/// Receives the result pairs of a join, one at a time, in whatever order the
+/// algorithm produces them.
+pub trait PairSink {
+    /// Called once per result pair.
+    fn push(&mut self, i: u32, j: u32);
+}
+
+/// A sink that only counts results — the cheapest way to measure a join.
+#[derive(Debug, Default)]
+pub struct CountSink {
+    /// Number of pairs received.
+    pub count: u64,
+}
+
+impl PairSink for CountSink {
+    fn push(&mut self, _i: u32, _j: u32) {
+        self.count += 1;
+    }
+}
+
+/// A sink that materializes all result pairs.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The collected pairs, in production order.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl PairSink for VecSink {
+    fn push(&mut self, i: u32, j: u32) {
+        self.pairs.push((i, j));
+    }
+}
+
+/// Adapts any closure into a sink.
+pub struct CallbackSink<F: FnMut(u32, u32)>(pub F);
+
+impl<F: FnMut(u32, u32)> PairSink for CallbackSink<F> {
+    fn push(&mut self, i: u32, j: u32) {
+        (self.0)(i, j);
+    }
+}
+
+/// An ε-similarity join algorithm.
+///
+/// Implementations must be exact (identical result sets across algorithms)
+/// and must respect the pair-reporting conventions of [`JoinKind`]. The
+/// `&mut self` receiver lets algorithms keep reusable scratch space and
+/// storage handles between runs.
+pub trait SimilarityJoin {
+    /// Short identifier used in experiment output (`"MSJ"`, `"RSJ"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Joins two datasets. `a.dims() == b.dims()` is required.
+    fn join(
+        &mut self,
+        a: &Dataset,
+        b: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats>;
+
+    /// Self-joins one dataset.
+    fn self_join(
+        &mut self,
+        a: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats>;
+}
+
+/// Validates the common preconditions shared by all algorithms; returns the
+/// dimensionality.
+pub fn validate_inputs(a: &Dataset, b: &Dataset, spec: &JoinSpec) -> Result<usize> {
+    spec.validate()?;
+    if a.dims() != b.dims() {
+        return Err(Error::InvalidInput(format!(
+            "dimensionality mismatch: {} vs {}",
+            a.dims(),
+            b.dims()
+        )));
+    }
+    Ok(a.dims())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        assert!(JoinSpec::l2(0.1).validate().is_ok());
+        assert!(JoinSpec::l2(0.0).validate().is_err());
+        assert!(JoinSpec::l2(-1.0).validate().is_err());
+        assert!(JoinSpec::l2(f64::NAN).validate().is_err());
+        assert!(JoinSpec::new(0.1, Metric::Lp(0.2)).validate().is_err());
+    }
+
+    #[test]
+    fn sinks_collect() {
+        let mut c = CountSink::default();
+        c.push(0, 1);
+        c.push(2, 3);
+        assert_eq!(c.count, 2);
+
+        let mut v = VecSink::default();
+        v.push(4, 5);
+        assert_eq!(v.pairs, vec![(4, 5)]);
+
+        let mut seen = Vec::new();
+        {
+            let mut cb = CallbackSink(|i, j| seen.push(i + j));
+            cb.push(1, 2);
+        }
+        assert_eq!(seen, vec![3]);
+    }
+
+    #[test]
+    fn input_validation_checks_dims() {
+        let a = Dataset::new(2).unwrap();
+        let b = Dataset::new(3).unwrap();
+        let spec = JoinSpec::l2(0.1);
+        assert!(validate_inputs(&a, &b, &spec).is_err());
+        let b2 = Dataset::new(2).unwrap();
+        assert_eq!(validate_inputs(&a, &b2, &spec).unwrap(), 2);
+    }
+}

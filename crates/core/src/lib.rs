@@ -1,0 +1,48 @@
+//! # hdsj-core — shared substrate for high dimensional similarity joins
+//!
+//! This crate defines everything the join algorithms in the `hdsj` workspace
+//! have in common:
+//!
+//! * [`Dataset`] — a dense, row-major container of `d`-dimensional points;
+//! * [`Metric`] — the distance functions (`L1`, `L2`, `L∞`, general `Lp`)
+//!   with early-exit threshold tests;
+//! * [`Rect`] — axis-aligned rectangles (MBRs) used by the tree-based
+//!   algorithms;
+//! * [`JoinSpec`] / [`SimilarityJoin`] — the public join API implemented by
+//!   every algorithm crate (`hdsj-msj`, `hdsj-rtree`, `hdsj-ekdb`,
+//!   `hdsj-grid`, `hdsj-bruteforce`);
+//! * [`PairSink`] and ready-made collectors;
+//! * [`JoinStats`] — uniform instrumentation (candidates, exact distance
+//!   evaluations, I/O counters, per-phase wall-clock) that the experiment
+//!   harness reports;
+//! * [`verify`] — helpers that canonicalize and compare result sets, used by
+//!   the test suites to check every algorithm against brute force.
+//!
+//! ## The join contract
+//!
+//! An ε-similarity join of datasets `A` and `B` under metric `D` returns
+//! every pair `(a, b)` with `D(a, b) ≤ ε`. A *self-join* of `A` returns every
+//! unordered pair `{a₁, a₂}`, `a₁ ≠ a₂`, exactly once, canonically ordered
+//! `(min index, max index)`. All algorithms are **exact**: multidimensional
+//! filtering happens on the L∞ ε-cube (which contains the ε-ball of every
+//! `Lp` metric) and every candidate is refined with the exact metric through
+//! [`Refiner`], so results are identical across algorithms.
+
+pub mod dataset;
+pub mod error;
+pub mod join;
+pub mod metric;
+pub mod rect;
+pub mod refine;
+pub mod stats;
+pub mod verify;
+
+pub use dataset::Dataset;
+pub use error::{Error, Result};
+pub use join::{
+    CallbackSink, CountSink, JoinKind, JoinSpec, PairSink, SimilarityJoin, VecSink,
+};
+pub use metric::Metric;
+pub use rect::Rect;
+pub use refine::Refiner;
+pub use stats::{IoCounters, JoinStats, Phase, PhaseTimer};

@@ -1,0 +1,156 @@
+//! The shared filter-and-refine back end.
+//!
+//! Every multidimensional filter structure (MSJ level files, R-tree node
+//! pairs, ε-KDB neighbouring leaves, grid cells) produces *candidate* pairs
+//! that are guaranteed to contain all true results but may contain false
+//! positives. [`Refiner`] centralizes the refinement step: it evaluates the
+//! exact metric, enforces the self-join reporting conventions, and keeps the
+//! candidate/result/distance-evaluation counters consistent across
+//! algorithms.
+
+use crate::dataset::Dataset;
+use crate::join::{JoinKind, JoinSpec, PairSink};
+use crate::stats::JoinStats;
+
+/// Verifies candidate pairs against the exact metric and forwards survivors
+/// to the caller's sink.
+///
+/// Contract for algorithms: offer each candidate pair **at most once**
+/// (`(i, j)` for two-set joins; any orientation of an unordered pair for
+/// self-joins). The refiner canonicalizes self-join pairs to
+/// `(min, max)` and drops identical indices, so algorithms that naturally
+/// discover `(j, i)` need no special casing — but they must not discover a
+/// pair twice.
+pub struct Refiner<'a> {
+    a: &'a Dataset,
+    b: &'a Dataset,
+    kind: JoinKind,
+    eps: f64,
+    metric: crate::metric::Metric,
+    sink: &'a mut dyn PairSink,
+    candidates: u64,
+    results: u64,
+    dist_evals: u64,
+}
+
+impl<'a> Refiner<'a> {
+    /// Creates a refiner for `a ⋈ b` (two-set) or `a ⋈ a` (self-join, pass
+    /// the same dataset twice).
+    pub fn new(
+        a: &'a Dataset,
+        b: &'a Dataset,
+        kind: JoinKind,
+        spec: &JoinSpec,
+        sink: &'a mut dyn PairSink,
+    ) -> Refiner<'a> {
+        Refiner {
+            a,
+            b,
+            kind,
+            eps: spec.eps,
+            metric: spec.metric,
+            sink,
+            candidates: 0,
+            results: 0,
+            dist_evals: 0,
+        }
+    }
+
+    /// Offers a candidate pair; evaluates the exact metric and forwards the
+    /// pair to the sink when it qualifies.
+    #[inline]
+    pub fn offer(&mut self, i: u32, j: u32) {
+        let (i, j) = match self.kind {
+            JoinKind::TwoSets => (i, j),
+            JoinKind::SelfJoin => {
+                if i == j {
+                    return;
+                }
+                (i.min(j), i.max(j))
+            }
+        };
+        self.candidates += 1;
+        self.dist_evals += 1;
+        if self
+            .metric
+            .within(self.a.point(i), self.b.point(j), self.eps)
+        {
+            self.results += 1;
+            self.sink.push(i, j);
+        }
+    }
+
+    /// Counters accumulated so far, for merging into a [`JoinStats`].
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.candidates, self.results, self.dist_evals)
+    }
+
+    /// Folds the refiner's counters into `stats` and returns it (consuming
+    /// the refiner, which releases the sink borrow).
+    pub fn finish(self, mut stats: JoinStats) -> JoinStats {
+        stats.candidates += self.candidates;
+        stats.results += self.results;
+        stats.dist_evals += self.dist_evals;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::VecSink;
+    use crate::metric::Metric;
+
+    fn square() -> Dataset {
+        Dataset::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.0], vec![0.9, 0.9]]).unwrap()
+    }
+
+    #[test]
+    fn two_set_offer_filters_by_metric() {
+        let a = square();
+        let b = square();
+        let spec = JoinSpec::new(0.15, Metric::L2);
+        let mut sink = VecSink::default();
+        let mut r = Refiner::new(&a, &b, JoinKind::TwoSets, &spec, &mut sink);
+        r.offer(0, 1); // dist 0.1 -> pass
+        r.offer(0, 2); // far -> fail
+        r.offer(1, 0); // two-set joins keep orientation
+        let stats = r.finish(JoinStats::default());
+        assert_eq!(stats.candidates, 3);
+        assert_eq!(stats.results, 2);
+        assert_eq!(stats.dist_evals, 3);
+        assert_eq!(sink.pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn self_join_canonicalizes_and_drops_diagonal() {
+        let a = square();
+        let spec = JoinSpec::new(0.15, Metric::L2);
+        let mut sink = VecSink::default();
+        let mut r = Refiner::new(&a, &a, JoinKind::SelfJoin, &spec, &mut sink);
+        r.offer(1, 0); // reversed orientation
+        r.offer(2, 2); // diagonal: ignored entirely (not even a candidate)
+        let stats = r.finish(JoinStats::default());
+        assert_eq!(stats.candidates, 1);
+        assert_eq!(sink.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn finish_accumulates_into_existing_stats() {
+        let a = square();
+        let spec = JoinSpec::new(1.0, Metric::Linf);
+        let mut sink = VecSink::default();
+        let mut r = Refiner::new(&a, &a, JoinKind::TwoSets, &spec, &mut sink);
+        r.offer(0, 0);
+        let base = JoinStats {
+            candidates: 10,
+            results: 5,
+            dist_evals: 7,
+            ..Default::default()
+        };
+        let stats = r.finish(base);
+        assert_eq!(stats.candidates, 11);
+        assert_eq!(stats.results, 6);
+        assert_eq!(stats.dist_evals, 8);
+    }
+}

@@ -1,0 +1,195 @@
+//! Uniform instrumentation for the experiment harness.
+//!
+//! Every join reports a [`JoinStats`]: how many candidate pairs the filter
+//! structure produced, how many survived exact-metric refinement, how many
+//! exact distance evaluations were spent, the paged-storage I/O counters,
+//! the peak structure-resident memory, and a list of named phases with
+//! wall-clock durations. The experiment binaries print these fields as the
+//! columns of the reproduced tables and figures.
+
+use std::time::{Duration, Instant};
+
+/// Page-level I/O counters filled in by the `hdsj-storage` buffer pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Pages fetched from the backing store (buffer-pool misses).
+    pub reads: u64,
+    /// Pages written back to the backing store.
+    pub writes: u64,
+    /// Pages newly allocated in the backing store.
+    pub allocs: u64,
+}
+
+impl IoCounters {
+    /// Total page transfers (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Accumulates another counter set (e.g. across join phases).
+    pub fn add(&mut self, other: &IoCounters) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.allocs += other.allocs;
+    }
+}
+
+/// One named, timed phase of a join (e.g. MSJ's "level assignment", "sort",
+/// "sweep"). The phase-breakdown table (experiment E8) is produced directly
+/// from these.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// Phase label.
+    pub name: &'static str,
+    /// Wall-clock time spent in the phase.
+    pub elapsed: Duration,
+}
+
+/// Everything a join run reports back to the caller.
+#[derive(Clone, Debug, Default)]
+pub struct JoinStats {
+    /// Candidate pairs emitted by the filter structure (before refinement).
+    pub candidates: u64,
+    /// Pairs that passed the exact metric test — the join result size.
+    pub results: u64,
+    /// Exact distance evaluations performed (== candidates for all the
+    /// filter-and-refine algorithms; may be larger for plane-sweep variants
+    /// that test the metric during sweeping).
+    pub dist_evals: u64,
+    /// Paged-storage I/O, when the algorithm ran on the storage engine.
+    pub io: IoCounters,
+    /// Peak bytes resident in the algorithm's own data structures (trees,
+    /// level files' in-memory portions, hash directories). Input datasets
+    /// are excluded: they are common to all algorithms.
+    pub structure_bytes: u64,
+    /// Named, ordered phases with wall-clock durations.
+    pub phases: Vec<Phase>,
+}
+
+impl JoinStats {
+    /// Total wall-clock across all recorded phases.
+    pub fn total_time(&self) -> Duration {
+        self.phases.iter().map(|p| p.elapsed).sum()
+    }
+
+    /// Wall-clock of a named phase, if recorded.
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.elapsed)
+    }
+
+    /// Filter selectivity: results / candidates (1.0 when no candidates,
+    /// since a filter that emits nothing is vacuously exact).
+    pub fn filter_precision(&self) -> f64 {
+        if self.candidates == 0 {
+            1.0
+        } else {
+            self.results as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Scoped stopwatch that appends a [`Phase`] to a `Vec` when finished.
+///
+/// ```
+/// use hdsj_core::stats::{Phase, PhaseTimer};
+/// let mut phases: Vec<Phase> = Vec::new();
+/// {
+///     let t = PhaseTimer::start("sort");
+///     // ... work ...
+///     t.finish(&mut phases);
+/// }
+/// assert_eq!(phases[0].name, "sort");
+/// ```
+#[derive(Debug)]
+pub struct PhaseTimer {
+    name: &'static str,
+    started: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts timing a phase.
+    pub fn start(name: &'static str) -> PhaseTimer {
+        PhaseTimer {
+            name,
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops the clock and records the phase.
+    pub fn finish(self, phases: &mut Vec<Phase>) {
+        phases.push(Phase {
+            name: self.name,
+            elapsed: self.started.elapsed(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_counters_accumulate() {
+        let mut a = IoCounters {
+            reads: 1,
+            writes: 2,
+            allocs: 3,
+        };
+        a.add(&IoCounters {
+            reads: 10,
+            writes: 20,
+            allocs: 30,
+        });
+        assert_eq!(
+            a,
+            IoCounters {
+                reads: 11,
+                writes: 22,
+                allocs: 33
+            }
+        );
+        assert_eq!(a.total(), 33);
+    }
+
+    #[test]
+    fn phase_timer_records_named_phase() {
+        let mut phases = Vec::new();
+        let t = PhaseTimer::start("assign");
+        std::thread::sleep(Duration::from_millis(1));
+        t.finish(&mut phases);
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].name, "assign");
+        assert!(phases[0].elapsed >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn stats_lookup_and_totals() {
+        let stats = JoinStats {
+            candidates: 10,
+            results: 4,
+            phases: vec![
+                Phase {
+                    name: "a",
+                    elapsed: Duration::from_millis(2),
+                },
+                Phase {
+                    name: "b",
+                    elapsed: Duration::from_millis(3),
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.total_time(), Duration::from_millis(5));
+        assert_eq!(stats.phase("b"), Some(Duration::from_millis(3)));
+        assert_eq!(stats.phase("missing"), None);
+        assert!((stats.filter_precision() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_filter_is_vacuously_precise() {
+        assert_eq!(JoinStats::default().filter_precision(), 1.0);
+    }
+}

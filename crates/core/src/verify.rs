@@ -1,0 +1,124 @@
+//! Result-set comparison helpers used throughout the test suites.
+//!
+//! Different algorithms discover result pairs in different orders; these
+//! helpers canonicalize the pair lists so equality checks are meaningful,
+//! and produce readable diffs when an algorithm disagrees with the brute
+//! force ground truth.
+
+/// Sorts a pair list in place and asserts it contains no duplicates.
+/// Returns the canonicalized list for chaining.
+pub fn canonicalize(mut pairs: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    pairs.sort_unstable();
+    pairs
+}
+
+/// True when two result sets are equal after canonicalization.
+pub fn same_results(a: Vec<(u32, u32)>, b: Vec<(u32, u32)>) -> bool {
+    canonicalize(a) == canonicalize(b)
+}
+
+/// The `(missing, extra, duplicated)` triple produced by [`diff`].
+pub type Diff = (Vec<(u32, u32)>, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// Returns `(missing, extra, duplicated)` of `got` relative to `expected`:
+/// pairs the algorithm failed to report, pairs it invented, and pairs it
+/// reported more than once. All three empty means the result is correct.
+pub fn diff(expected: &[(u32, u32)], got: &[(u32, u32)]) -> Diff {
+    let want = canonicalize(expected.to_vec());
+    let have = canonicalize(got.to_vec());
+
+    let mut duplicated = Vec::new();
+    for w in have.windows(2) {
+        if w[0] == w[1] {
+            duplicated.push(w[0]);
+        }
+    }
+    duplicated.dedup();
+
+    let mut missing = Vec::new();
+    let mut extra = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < want.len() || j < have.len() {
+        match (want.get(i), have.get(j)) {
+            (Some(w), Some(h)) if w == h => {
+                i += 1;
+                // Skip duplicates of the matched pair on the `have` side.
+                while have.get(j) == Some(w) {
+                    j += 1;
+                }
+            }
+            (Some(w), Some(h)) if w < h => {
+                missing.push(*w);
+                i += 1;
+            }
+            (Some(_), Some(h)) => {
+                extra.push(*h);
+                j += 1;
+            }
+            (Some(w), None) => {
+                missing.push(*w);
+                i += 1;
+            }
+            (None, Some(h)) => {
+                extra.push(*h);
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    extra.dedup();
+    (missing, extra, duplicated)
+}
+
+/// Panics with a readable message when `got` differs from `expected`.
+/// `label` names the algorithm under test.
+pub fn assert_same_results(label: &str, expected: &[(u32, u32)], got: &[(u32, u32)]) {
+    let (missing, extra, duplicated) = diff(expected, got);
+    assert!(
+        missing.is_empty() && extra.is_empty() && duplicated.is_empty(),
+        "{label}: result mismatch\n  expected {} pairs, got {}\n  missing (first 10): {:?}\n  extra (first 10): {:?}\n  duplicated (first 10): {:?}",
+        expected.len(),
+        got.len(),
+        &missing[..missing.len().min(10)],
+        &extra[..extra.len().min(10)],
+        &duplicated[..duplicated.len().min(10)],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_results_ignores_order() {
+        assert!(same_results(vec![(1, 2), (0, 3)], vec![(0, 3), (1, 2)]));
+        assert!(!same_results(vec![(1, 2)], vec![(1, 2), (1, 2)]));
+    }
+
+    #[test]
+    fn diff_reports_missing_extra_duplicated() {
+        let expected = [(0, 1), (2, 3), (4, 5)];
+        let got = [(2, 3), (2, 3), (6, 7)];
+        let (missing, extra, duplicated) = diff(&expected, &got);
+        assert_eq!(missing, vec![(0, 1), (4, 5)]);
+        assert_eq!(extra, vec![(6, 7)]);
+        assert_eq!(duplicated, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn diff_empty_inputs() {
+        let (m, e, d) = diff(&[], &[]);
+        assert!(m.is_empty() && e.is_empty() && d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ALG: result mismatch")]
+    fn assert_panics_with_label() {
+        assert_same_results("ALG", &[(0, 1)], &[]);
+    }
+
+    #[test]
+    fn assert_passes_on_equal_sets() {
+        assert_same_results("ALG", &[(0, 1), (1, 2)], &[(1, 2), (0, 1)]);
+    }
+}

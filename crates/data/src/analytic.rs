@@ -1,0 +1,161 @@
+//! Closed-form selectivity helpers.
+//!
+//! The dimensionality sweep (experiment E1) follows the paper in keeping the
+//! *expected result size* roughly constant while `d` grows — otherwise the
+//! join output itself would dominate the comparison. For uniform data the
+//! expected number of self-join result pairs is approximately
+//! `C(n,2) · V_d(ε)` where `V_d` is the volume of the metric ball (boundary
+//! effects ignored), so inverting `V_d` gives the ε for a target
+//! selectivity.
+
+use hdsj_core::Metric;
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+/// Accurate to ~1e-13 over the range used here.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Volume of the `d`-dimensional ball of radius `r` under `metric`.
+///
+/// * L2: `π^(d/2) / Γ(d/2 + 1) · r^d`
+/// * L1: `(2r)^d / d!`
+/// * L∞: `(2r)^d`
+/// * Lp: `(2Γ(1/p + 1))^d / Γ(d/p + 1) · r^d`
+pub fn ball_volume(metric: Metric, d: usize, r: f64) -> f64 {
+    let d_f = d as f64;
+    let ln_vol = match metric {
+        Metric::L2 => {
+            d_f / 2.0 * std::f64::consts::PI.ln() - ln_gamma(d_f / 2.0 + 1.0) + d_f * r.ln()
+        }
+        Metric::L1 => d_f * (2.0 * r).ln() - ln_gamma(d_f + 1.0),
+        Metric::Linf => d_f * (2.0 * r).ln(),
+        Metric::Lp(p) => {
+            d_f * ((2.0 * r).ln() + ln_gamma(1.0 / p + 1.0)) - ln_gamma(d_f / p + 1.0)
+        }
+    };
+    ln_vol.exp()
+}
+
+/// The ε whose metric ball has the given volume — the inverse of
+/// [`ball_volume`] in `r`.
+pub fn eps_for_ball_volume(metric: Metric, d: usize, volume: f64) -> f64 {
+    let d_f = d as f64;
+    let ln_v = volume.ln();
+    let ln_r = match metric {
+        Metric::L2 => {
+            (ln_v - d_f / 2.0 * std::f64::consts::PI.ln() + ln_gamma(d_f / 2.0 + 1.0)) / d_f
+        }
+        Metric::L1 => (ln_v + ln_gamma(d_f + 1.0)) / d_f - 2.0f64.ln(),
+        Metric::Linf => ln_v / d_f - 2.0f64.ln(),
+        Metric::Lp(p) => {
+            (ln_v + ln_gamma(d_f / p + 1.0)) / d_f - 2.0f64.ln() - ln_gamma(1.0 / p + 1.0)
+        }
+    };
+    ln_r.exp()
+}
+
+/// ε such that a uniform self-join of `n` points in `[0,1)^d` is expected to
+/// return about `target_pairs` result pairs (boundary effects ignored, so
+/// treat it as a calibration, not a promise).
+pub fn eps_for_expected_pairs(metric: Metric, d: usize, n: usize, target_pairs: f64) -> f64 {
+    let pairs = (n as f64) * (n as f64 - 1.0) / 2.0;
+    let volume = (target_pairs / pairs).min(1.0);
+    eps_for_ball_volume(metric, d, volume)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=sqrt(pi)
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ball_volumes_match_low_dim_formulas() {
+        // d=2 L2: πr²; d=3 L2: 4/3 πr³; d=2 L1: 2r²·... (2r)²/2! = 2r².
+        let r = 0.3;
+        assert!((ball_volume(Metric::L2, 2, r) - std::f64::consts::PI * r * r).abs() < 1e-12);
+        assert!(
+            (ball_volume(Metric::L2, 3, r) - 4.0 / 3.0 * std::f64::consts::PI * r.powi(3))
+                .abs()
+                < 1e-12
+        );
+        assert!((ball_volume(Metric::L1, 2, r) - 2.0 * r * r).abs() < 1e-12);
+        assert!((ball_volume(Metric::Linf, 4, r) - (2.0 * r).powi(4)).abs() < 1e-12);
+        // Lp with p=2 agrees with the L2 formula.
+        assert!(
+            (ball_volume(Metric::Lp(2.0), 5, r) - ball_volume(Metric::L2, 5, r)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn eps_inverts_volume() {
+        for metric in [Metric::L1, Metric::L2, Metric::Linf, Metric::Lp(3.0)] {
+            for d in [2usize, 8, 32] {
+                let eps = 0.07;
+                let v = ball_volume(metric, d, eps);
+                let back = eps_for_ball_volume(metric, d, v);
+                assert!((back - eps).abs() < 1e-9, "{metric:?} d={d}: {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_pairs_calibration_is_monotone_in_d() {
+        // For fixed target selectivity, ε must grow with dimension (curse of
+        // dimensionality).
+        let eps: Vec<f64> = [2usize, 4, 8, 16, 32]
+            .iter()
+            .map(|&d| eps_for_expected_pairs(Metric::L2, d, 10_000, 50_000.0))
+            .collect();
+        assert!(eps.windows(2).all(|w| w[0] < w[1]), "{eps:?}");
+    }
+
+    #[test]
+    fn calibrated_eps_hits_target_on_uniform_data_2d() {
+        // Empirical check in low dimension where boundary effects are mild.
+        use hdsj_core::{CountSink, JoinSpec, SimilarityJoin};
+        let n = 2000;
+        let target = 2000.0;
+        let eps = eps_for_expected_pairs(Metric::L2, 2, n, target);
+        let ds = crate::uniform(2, n, 17);
+        let mut bf = hdsj_bruteforce::BruteForce::default();
+        let mut sink = CountSink::default();
+        bf.self_join(&ds, &JoinSpec::new(eps, Metric::L2), &mut sink)
+            .unwrap();
+        let got = sink.count as f64;
+        assert!(
+            got > target * 0.5 && got < target * 1.5,
+            "expected ~{target}, got {got} (eps={eps})"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Dataset manipulation utilities: sampling, splitting, concatenation, and
+//! a sampling-based join-selectivity estimator.
+
+use hdsj_core::{Dataset, Error, Metric, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniform random sample (without replacement) of `k` points.
+/// Returns the whole dataset (reindexed) when `k >= len`.
+pub fn sample(ds: &Dataset, k: usize, seed: u64) -> Dataset {
+    let n = ds.len();
+    if k >= n {
+        return ds.clone();
+    }
+    // Partial Fisher–Yates over an index array.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    let mut out = Dataset::with_capacity(ds.dims(), k).expect("dims >= 1");
+    for &i in &idx[..k] {
+        out.push(ds.point(i)).expect("valid point");
+    }
+    out
+}
+
+/// Splits a dataset into two parts: the first `left` points and the rest.
+pub fn split(ds: &Dataset, left: usize) -> (Dataset, Dataset) {
+    let mut a = Dataset::with_capacity(ds.dims(), left).expect("dims >= 1");
+    let mut b =
+        Dataset::with_capacity(ds.dims(), ds.len().saturating_sub(left)).expect("dims >= 1");
+    for (i, p) in ds.iter() {
+        if (i as usize) < left {
+            a.push(p).expect("valid point");
+        } else {
+            b.push(p).expect("valid point");
+        }
+    }
+    (a, b)
+}
+
+/// Concatenates two datasets of equal dimensionality. Indices of `b` are
+/// shifted by `a.len()`.
+pub fn concat(a: &Dataset, b: &Dataset) -> Result<Dataset> {
+    if a.dims() != b.dims() {
+        return Err(Error::InvalidInput(format!(
+            "dimensionality mismatch: {} vs {}",
+            a.dims(),
+            b.dims()
+        )));
+    }
+    let mut out = Dataset::with_capacity(a.dims(), a.len() + b.len())?;
+    for (_, p) in a.iter().chain(b.iter()) {
+        out.push(p)?;
+    }
+    Ok(out)
+}
+
+/// Estimates the result size of an ε self-join by testing `samples` random
+/// pairs and scaling: cheap enough to run before committing to an expensive
+/// join, the classic query-optimizer use of similarity-join selectivity.
+///
+/// The estimate is unbiased; its relative error shrinks as
+/// `1/sqrt(hits)`, so rare joins need more samples for a tight estimate.
+pub fn estimate_self_join_size(
+    ds: &Dataset,
+    metric: Metric,
+    eps: f64,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let n = ds.len() as u64;
+    if n < 2 || samples == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0u64;
+    for _ in 0..samples {
+        let i = rng.gen_range(0..n) as u32;
+        let mut j = rng.gen_range(0..n - 1) as u32;
+        if j >= i {
+            j += 1;
+        }
+        if metric.within(ds.point(i), ds.point(j), eps) {
+            hits += 1;
+        }
+    }
+    let total_pairs = n as f64 * (n as f64 - 1.0) / 2.0;
+    hits as f64 / samples as f64 * total_pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_subset_without_replacement() {
+        let ds = crate::uniform(3, 100, 1);
+        let s = sample(&ds, 30, 2);
+        assert_eq!(s.len(), 30);
+        // Every sampled point exists in the source; no duplicates beyond
+        // what the source itself contains (uniform source: none).
+        let mut seen = std::collections::HashSet::new();
+        for (_, p) in s.iter() {
+            let found = ds.iter().any(|(_, q)| q == p);
+            assert!(found);
+            assert!(seen.insert(p.iter().map(|v| v.to_bits()).collect::<Vec<_>>()));
+        }
+    }
+
+    #[test]
+    fn sample_larger_than_source_returns_all() {
+        let ds = crate::uniform(2, 10, 1);
+        assert_eq!(sample(&ds, 50, 2), ds);
+    }
+
+    #[test]
+    fn split_and_concat_round_trip() {
+        let ds = crate::uniform(4, 57, 3);
+        let (a, b) = split(&ds, 20);
+        assert_eq!((a.len(), b.len()), (20, 37));
+        assert_eq!(a.point(19), ds.point(19));
+        assert_eq!(b.point(0), ds.point(20));
+        let back = concat(&a, &b).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn split_beyond_len_gives_empty_tail() {
+        let ds = crate::uniform(2, 5, 4);
+        let (a, b) = split(&ds, 100);
+        assert_eq!(a.len(), 5);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn concat_rejects_dim_mismatch() {
+        let a = crate::uniform(2, 5, 1);
+        let b = crate::uniform(3, 5, 1);
+        assert!(concat(&a, &b).is_err());
+    }
+
+    #[test]
+    fn estimator_tracks_true_join_size() {
+        use hdsj_core::{CountSink, JoinSpec, SimilarityJoin};
+        let ds = crate::uniform(2, 2_000, 5);
+        let eps = 0.05;
+        let mut bf = hdsj_bruteforce::BruteForce::default();
+        let mut sink = CountSink::default();
+        bf.self_join(&ds, &JoinSpec::new(eps, Metric::L2), &mut sink)
+            .unwrap();
+        let truth = sink.count as f64;
+        let est = estimate_self_join_size(&ds, Metric::L2, eps, 200_000, 6);
+        assert!(
+            est > truth * 0.7 && est < truth * 1.3,
+            "estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn estimator_degenerate_inputs() {
+        let empty = Dataset::new(2).unwrap();
+        assert_eq!(
+            estimate_self_join_size(&empty, Metric::L2, 0.1, 100, 1),
+            0.0
+        );
+        let one = crate::uniform(2, 1, 1);
+        assert_eq!(estimate_self_join_size(&one, Metric::L2, 0.1, 100, 1), 0.0);
+        let ds = crate::uniform(2, 10, 1);
+        assert_eq!(estimate_self_join_size(&ds, Metric::L2, 0.1, 0, 1), 0.0);
+    }
+}
+
+/// Estimates the ε whose self-join under `metric` returns roughly
+/// `target_pairs` results: the `target/total` quantile of sampled pair
+/// distances. Distribution-free (works on clustered and real-surrogate
+/// data, where the closed forms in [`crate::analytic`] do not apply).
+pub fn eps_for_target_pairs(
+    ds: &Dataset,
+    metric: Metric,
+    target_pairs: f64,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let n = ds.len() as f64;
+    if n < 2.0 || samples == 0 {
+        return 0.1;
+    }
+    let total_pairs = n * (n - 1.0) / 2.0;
+    let frac = (target_pairs / total_pairs).clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dists: Vec<f64> = Vec::with_capacity(samples);
+    let n_u = ds.len() as u64;
+    for _ in 0..samples {
+        let i = rng.gen_range(0..n_u) as u32;
+        let mut j = rng.gen_range(0..n_u - 1) as u32;
+        if j >= i {
+            j += 1;
+        }
+        dists.push(metric.distance(ds.point(i), ds.point(j)));
+    }
+    dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    let idx = ((dists.len() as f64 * frac) as usize).min(dists.len() - 1);
+    dists[idx].max(1e-9)
+}
+
+#[cfg(test)]
+mod target_pairs_tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_eps_hits_target_roughly() {
+        use hdsj_core::{CountSink, JoinSpec, SimilarityJoin};
+        let ds = crate::gaussian_clusters(
+            3,
+            3000,
+            crate::ClusterSpec {
+                clusters: 8,
+                sigma: 0.05,
+                ..Default::default()
+            },
+            13,
+        );
+        let target = 5_000.0;
+        let eps = eps_for_target_pairs(&ds, Metric::L2, target, 200_000, 14);
+        let mut sink = CountSink::default();
+        hdsj_bruteforce::BruteForce::default()
+            .self_join(&ds, &JoinSpec::new(eps, Metric::L2), &mut sink)
+            .unwrap();
+        let got = sink.count as f64;
+        assert!(
+            got > target * 0.5 && got < target * 2.0,
+            "target {target}, got {got}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back() {
+        let one = crate::uniform(2, 1, 1);
+        assert_eq!(eps_for_target_pairs(&one, Metric::L2, 10.0, 100, 1), 0.1);
+    }
+}

@@ -1,0 +1,510 @@
+//! # hdsj-ekdb — the ε-KDB tree similarity join
+//!
+//! The main comparison structure of the paper's evaluation, due to Shim,
+//! Srikant and Agrawal (*High-Dimensional Similarity Joins*, ICDE 1997).
+//!
+//! The ε-KDB tree partitions `[0,1)^d` by **stripes of width ε**: when a
+//! leaf overflows, it is split on the next dimension (dimensions are
+//! consumed in order 0, 1, 2, … as depth grows) into `⌊1/ε⌋` stripes, the
+//! last stripe absorbing the remainder. Because stripes are at least ε wide,
+//! two points within L∞ distance ε always land in the *same or adjacent*
+//! stripes, so the join only pairs sibling subtrees whose stripe indices
+//! differ by at most one — and within leaves, a plane sweep along dimension
+//! 0 bounds the candidate set.
+//!
+//! The structure is excellent when a few dimensions suffice to cut the data
+//! down, but its interior fan-out is `⌊1/ε⌋` *per node*, so its memory
+//! footprint grows quickly as ε shrinks and as more dimensions get split —
+//! the behaviour the paper's memory experiment (E5) contrasts with MSJ's
+//! flat level files.
+
+use hdsj_core::{
+    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, PairSink, PhaseTimer,
+    Refiner, Result, SimilarityJoin,
+};
+
+/// One node of the ε-KDB tree.
+enum Node {
+    /// Point ids, sorted by dimension 0 after the build (for the sweep).
+    Leaf(Vec<u32>),
+    /// Children indexed by stripe of the split dimension; `None` = empty.
+    Inner { children: Vec<Option<Box<Node>>> },
+}
+
+/// An ε-KDB tree over one dataset.
+struct Tree {
+    root: Node,
+    stripes: usize,
+    dims: usize,
+    leaf_capacity: usize,
+    eps: f64,
+}
+
+impl Tree {
+    fn build(ds: &Dataset, eps: f64, leaf_capacity: usize) -> Tree {
+        // ⌊1/ε⌋ stripes, at least 1; the last stripe absorbs the remainder so
+        // every stripe is at least ε wide.
+        let stripes = ((1.0 / eps).floor() as usize).max(1);
+        let mut tree = Tree {
+            root: Node::Leaf(Vec::new()),
+            stripes,
+            dims: ds.dims(),
+            leaf_capacity: leaf_capacity.max(2),
+            eps,
+        };
+        for (i, _) in ds.iter() {
+            tree.insert(ds, i);
+        }
+        tree.sort_leaves(ds);
+        tree
+    }
+
+    fn insert(&mut self, ds: &Dataset, id: u32) {
+        let stripes = self.stripes;
+        let capacity = self.leaf_capacity;
+        let dims = self.dims;
+        let eps = self.eps;
+        let mut node = &mut self.root;
+        let mut depth = 0;
+        loop {
+            match node {
+                Node::Inner { children } => {
+                    let s = stripe_index(ds.point(id)[depth], eps, stripes);
+                    let child =
+                        children[s].get_or_insert_with(|| Box::new(Node::Leaf(Vec::new())));
+                    node = child;
+                    depth += 1;
+                }
+                Node::Leaf(points) => {
+                    points.push(id);
+                    // Split when over capacity and a dimension is left. Past
+                    // depth == dims the leaf simply grows (the structure has
+                    // no dimensions left to cut — the paper's behaviour).
+                    if points.len() > capacity && depth < dims {
+                        let old = std::mem::take(points);
+                        let mut children: Vec<Option<Box<Node>>> =
+                            (0..stripes).map(|_| None).collect();
+                        for pid in old {
+                            let s = stripe_index(ds.point(pid)[depth], eps, stripes);
+                            match children[s]
+                                .get_or_insert_with(|| Box::new(Node::Leaf(Vec::new())))
+                                .as_mut()
+                            {
+                                Node::Leaf(v) => v.push(pid),
+                                Node::Inner { .. } => unreachable!("fresh child is a leaf"),
+                            }
+                        }
+                        *node = Node::Inner { children };
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Sorts every leaf by dimension 0 so leaf joins can plane-sweep.
+    fn sort_leaves(&mut self, ds: &Dataset) {
+        fn rec(node: &mut Node, ds: &Dataset) {
+            match node {
+                Node::Leaf(points) => {
+                    points.sort_unstable_by(|&a, &b| {
+                        ds.point(a)[0]
+                            .partial_cmp(&ds.point(b)[0])
+                            .expect("finite coordinates")
+                            .then(a.cmp(&b))
+                    });
+                }
+                Node::Inner { children } => {
+                    for c in children.iter_mut().flatten() {
+                        rec(c, ds);
+                    }
+                }
+            }
+        }
+        rec(&mut self.root, ds);
+    }
+
+    /// Structure-resident bytes: the quantity experiment E5 reports. Interior
+    /// nodes pay for their full `⌊1/ε⌋`-slot child array — that is exactly
+    /// the ε-KDB memory behaviour under study.
+    fn bytes(&self) -> u64 {
+        fn rec(node: &Node) -> u64 {
+            match node {
+                Node::Leaf(points) => 32 + points.len() as u64 * 4,
+                Node::Inner { children } => {
+                    32 + children.len() as u64 * 8
+                        + children.iter().flatten().map(|c| rec(c)).sum::<u64>()
+                }
+            }
+        }
+        rec(&self.root)
+    }
+}
+
+fn stripe_index(x: f64, eps: f64, stripes: usize) -> usize {
+    ((x / eps).floor() as usize).min(stripes - 1)
+}
+
+/// ε-KDB tree join.
+#[derive(Clone, Debug)]
+pub struct EkdbJoin {
+    /// Points a leaf may hold before it splits.
+    pub leaf_capacity: usize,
+}
+
+impl Default for EkdbJoin {
+    fn default() -> EkdbJoin {
+        EkdbJoin { leaf_capacity: 64 }
+    }
+}
+
+impl EkdbJoin {
+    fn run(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        kind: JoinKind,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        validate_inputs(a, b, spec)?;
+        let mut phases = Vec::new();
+
+        let build = PhaseTimer::start("build");
+        let tree_a = Tree::build(a, spec.eps, self.leaf_capacity);
+        let tree_b = match kind {
+            JoinKind::SelfJoin => None,
+            JoinKind::TwoSets => Some(Tree::build(b, spec.eps, self.leaf_capacity)),
+        };
+        let structure_bytes = tree_a.bytes() + tree_b.as_ref().map(|t| t.bytes()).unwrap_or(0);
+        build.finish(&mut phases);
+
+        let join = PhaseTimer::start("join");
+        let mut refiner = Refiner::new(a, b, kind, spec, sink);
+        let mut ctx = JoinCtx {
+            a,
+            b,
+            eps: spec.eps,
+            refiner: &mut refiner,
+        };
+        match kind {
+            JoinKind::SelfJoin => ctx.pair_self(&tree_a.root),
+            JoinKind::TwoSets => {
+                ctx.pair_cross(&tree_a.root, &tree_b.as_ref().expect("tree b").root)
+            }
+        }
+        let mut stats = refiner.finish(JoinStats::default());
+        join.finish(&mut phases);
+        stats.phases = phases;
+        stats.structure_bytes = structure_bytes;
+        Ok(stats)
+    }
+}
+
+/// The simultaneous traversal. `pair_self(x)` enumerates unordered pairs
+/// within subtree `x`; `pair_cross(x, y)` enumerates A-subtree × B-subtree
+/// pairs (also used for two *sibling* subtrees of a self-join, where both
+/// sides index the same dataset).
+struct JoinCtx<'a, 'r> {
+    a: &'a Dataset,
+    b: &'a Dataset,
+    eps: f64,
+    refiner: &'r mut Refiner<'a>,
+}
+
+impl JoinCtx<'_, '_> {
+    fn pair_self(&mut self, node: &Node) {
+        match node {
+            Node::Leaf(points) => self.sweep_within(points),
+            Node::Inner { children } => {
+                for i in 0..children.len() {
+                    if let Some(ci) = &children[i] {
+                        self.pair_self(ci);
+                        if let Some(cj) = children.get(i + 1).and_then(|c| c.as_ref()) {
+                            self.pair_siblings(ci, cj);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Two distinct subtrees of the same (self-join) tree: both sides hold
+    /// ids of dataset `a`, unordered-pair semantics via the refiner.
+    // Indexed loops express the |i - j| <= 1 stripe adjacency directly.
+    #[allow(clippy::needless_range_loop)]
+    fn pair_siblings(&mut self, x: &Node, y: &Node) {
+        match (x, y) {
+            (Node::Leaf(px), Node::Leaf(py)) => self.sweep_cross(px, py),
+            (Node::Inner { children }, leaf @ Node::Leaf(_)) => {
+                for c in children.iter().flatten() {
+                    self.pair_siblings(c, leaf);
+                }
+            }
+            (leaf @ Node::Leaf(_), Node::Inner { children }) => {
+                for c in children.iter().flatten() {
+                    self.pair_siblings(leaf, c);
+                }
+            }
+            (Node::Inner { children: cx }, Node::Inner { children: cy }) => {
+                for i in 0..cx.len() {
+                    if let Some(ci) = &cx[i] {
+                        for j in i.saturating_sub(1)..=(i + 1).min(cy.len() - 1) {
+                            if let Some(cj) = &cy[j] {
+                                self.pair_siblings(ci, cj);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Two subtrees of *different* trees (two-set join).
+    #[allow(clippy::needless_range_loop)]
+    fn pair_cross(&mut self, x: &Node, y: &Node) {
+        match (x, y) {
+            (Node::Leaf(px), Node::Leaf(py)) => self.sweep_two_set(px, py),
+            (Node::Inner { children }, leaf @ Node::Leaf(_)) => {
+                for c in children.iter().flatten() {
+                    self.pair_cross(c, leaf);
+                }
+            }
+            (leaf @ Node::Leaf(_), Node::Inner { children }) => {
+                for c in children.iter().flatten() {
+                    self.pair_cross(leaf, c);
+                }
+            }
+            (Node::Inner { children: cx }, Node::Inner { children: cy }) => {
+                for i in 0..cx.len() {
+                    if let Some(ci) = &cx[i] {
+                        for j in i.saturating_sub(1)..=(i + 1).min(cy.len() - 1) {
+                            if let Some(cj) = &cy[j] {
+                                self.pair_cross(ci, cj);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unordered pairs inside one leaf, sweeping along dimension 0.
+    fn sweep_within(&mut self, points: &[u32]) {
+        for (idx, &i) in points.iter().enumerate() {
+            let xi = self.a.point(i)[0];
+            for &j in &points[idx + 1..] {
+                if self.a.point(j)[0] - xi > self.eps {
+                    break;
+                }
+                self.refiner.offer(i, j);
+            }
+        }
+    }
+
+    /// Pairs across two sibling leaves of a self-join tree (both lists are
+    /// ids into dataset `a`, both sorted by dimension 0).
+    fn sweep_cross(&mut self, px: &[u32], py: &[u32]) {
+        let mut start = 0usize;
+        for &i in px {
+            let xi = self.a.point(i)[0];
+            while start < py.len() && self.a.point(py[start])[0] < xi - self.eps {
+                start += 1;
+            }
+            for &j in &py[start..] {
+                if self.a.point(j)[0] - xi > self.eps {
+                    break;
+                }
+                self.refiner.offer(i, j);
+            }
+        }
+    }
+
+    /// Pairs across an A-leaf and a B-leaf (two-set join).
+    fn sweep_two_set(&mut self, px: &[u32], py: &[u32]) {
+        let mut start = 0usize;
+        for &i in px {
+            let xi = self.a.point(i)[0];
+            while start < py.len() && self.b.point(py[start])[0] < xi - self.eps {
+                start += 1;
+            }
+            for &j in &py[start..] {
+                if self.b.point(j)[0] - xi > self.eps {
+                    break;
+                }
+                self.refiner.offer(i, j);
+            }
+        }
+    }
+}
+
+impl SimilarityJoin for EkdbJoin {
+    fn name(&self) -> &'static str {
+        "EKDB"
+    }
+
+    fn join(
+        &mut self,
+        a: &Dataset,
+        b: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        self.run(a, b, JoinKind::TwoSets, spec, sink)
+    }
+
+    fn self_join(
+        &mut self,
+        a: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        self.run(a, a, JoinKind::SelfJoin, spec, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsj_bruteforce::BruteForce;
+    use hdsj_core::{verify, Metric, VecSink};
+
+    fn compare_with_bf(a: &Dataset, b: Option<&Dataset>, spec: &JoinSpec, ekdb: &mut EkdbJoin) {
+        let mut want = VecSink::default();
+        let mut got = VecSink::default();
+        let mut bf = BruteForce::default();
+        match b {
+            None => {
+                bf.self_join(a, spec, &mut want).unwrap();
+                ekdb.self_join(a, spec, &mut got).unwrap();
+            }
+            Some(b) => {
+                bf.join(a, b, spec, &mut want).unwrap();
+                ekdb.join(a, b, spec, &mut got).unwrap();
+            }
+        }
+        verify::assert_same_results("EKDB", &want.pairs, &got.pairs);
+    }
+
+    #[test]
+    fn matches_brute_force_on_uniform_self_join() {
+        for (dims, eps) in [(2usize, 0.05), (4, 0.2), (8, 0.3), (16, 0.5)] {
+            let ds = hdsj_data::uniform(dims, 400, dims as u64 + 100);
+            compare_with_bf(
+                &ds,
+                None,
+                &JoinSpec::new(eps, Metric::L2),
+                &mut EkdbJoin::default(),
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_two_set_join() {
+        let a = hdsj_data::uniform(5, 350, 31);
+        let b = hdsj_data::uniform(5, 280, 32);
+        for metric in [Metric::L1, Metric::L2, Metric::Linf] {
+            compare_with_bf(
+                &a,
+                Some(&b),
+                &JoinSpec::new(0.22, metric),
+                &mut EkdbJoin::default(),
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_tiny_leaves() {
+        // Tiny leaf capacity forces deep splitting through many dimensions.
+        let ds = hdsj_data::uniform(6, 300, 77);
+        let mut ekdb = EkdbJoin { leaf_capacity: 2 };
+        compare_with_bf(&ds, None, &JoinSpec::new(0.3, Metric::L2), &mut ekdb);
+    }
+
+    #[test]
+    fn matches_brute_force_on_clustered_data() {
+        let ds = hdsj_data::gaussian_clusters(
+            4,
+            600,
+            hdsj_data::ClusterSpec {
+                clusters: 6,
+                sigma: 0.02,
+                ..Default::default()
+            },
+            5,
+        );
+        compare_with_bf(
+            &ds,
+            None,
+            &JoinSpec::new(0.04, Metric::L2),
+            &mut EkdbJoin::default(),
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_correlated_data() {
+        let ds = hdsj_data::correlated(8, 400, 0.05, 3);
+        compare_with_bf(
+            &ds,
+            None,
+            &JoinSpec::new(0.1, Metric::L2),
+            &mut EkdbJoin::default(),
+        );
+    }
+
+    #[test]
+    fn stripe_boundary_points_survive() {
+        // Points exactly on stripe boundaries and in the remainder stripe.
+        let eps = 0.3; // stripes: [0,.3) [.3,.6) [.6,1) — last absorbs 0.1
+        let ds = Dataset::from_rows(&[
+            vec![0.3, 0.5],
+            vec![0.299, 0.5],
+            vec![0.6, 0.5],
+            vec![0.899, 0.5],
+            vec![0.95, 0.5],
+        ])
+        .unwrap();
+        let mut ekdb = EkdbJoin { leaf_capacity: 2 };
+        compare_with_bf(&ds, None, &JoinSpec::new(eps, Metric::Linf), &mut ekdb);
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let mut rows = vec![vec![0.5, 0.5, 0.5]; 50];
+        rows.push(vec![0.51, 0.5, 0.5]);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut ekdb = EkdbJoin { leaf_capacity: 4 };
+        compare_with_bf(&ds, None, &JoinSpec::new(0.05, Metric::L2), &mut ekdb);
+    }
+
+    #[test]
+    fn memory_grows_as_eps_shrinks() {
+        // The ε-KDB signature: interior fan-out is ⌊1/ε⌋, so structure
+        // memory explodes as ε shrinks.
+        let ds = hdsj_data::uniform(4, 2000, 8);
+        let bytes = |eps: f64| {
+            let mut sink = VecSink::default();
+            EkdbJoin { leaf_capacity: 16 }
+                .self_join(&ds, &JoinSpec::new(eps, Metric::L2), &mut sink)
+                .unwrap()
+                .structure_bytes
+        };
+        assert!(
+            bytes(0.01) > 4 * bytes(0.2),
+            "{} vs {}",
+            bytes(0.01),
+            bytes(0.2)
+        );
+    }
+
+    #[test]
+    fn reports_phases() {
+        let ds = hdsj_data::uniform(3, 100, 2);
+        let mut sink = VecSink::default();
+        let stats = EkdbJoin::default()
+            .self_join(&ds, &JoinSpec::l2(0.2), &mut sink)
+            .unwrap();
+        assert!(stats.phase("build").is_some());
+        assert!(stats.phase("join").is_some());
+    }
+}

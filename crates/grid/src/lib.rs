@@ -1,0 +1,354 @@
+//! # hdsj-grid — the ε-grid hash join
+//!
+//! The textbook low-dimensional filter: overlay a grid of cell side `ε`;
+//! two points within L∞ distance ε necessarily fall in the same or in
+//! adjacent cells, so each occupied cell only joins with its `3^d`
+//! neighbourhood.
+//!
+//! That `3^d` is the point. At `d = 4` a cell has 80 neighbours; at `d = 16`
+//! it has 43 million — the curse-of-dimensionality blow-up that motivates
+//! the paper's MSJ. The implementation therefore **refuses** to run above a
+//! configurable dimensionality cap ([`GridJoin::max_dims`]) instead of
+//! silently burning hours; the dimensionality experiment (E1) reports it as
+//! infeasible beyond the cap, just as the paper's grid-style baselines drop
+//! out of the high-`d` plots.
+//!
+//! Cells are kept in a hash directory (occupied cells only), so space is
+//! `O(N)` regardless of how fine the grid is.
+
+use hdsj_core::{
+    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, PhaseTimer,
+    Refiner, Result, SimilarityJoin,
+};
+use std::collections::HashMap;
+
+/// ε-grid hash join.
+///
+/// ```
+/// use hdsj_core::{JoinSpec, SimilarityJoin, CountSink};
+/// use hdsj_grid::GridJoin;
+/// let points = hdsj_data::uniform(3, 200, 7);
+/// let mut sink = CountSink::default();
+/// let stats = GridJoin::default().self_join(&points, &JoinSpec::l2(0.1), &mut sink)?;
+/// assert_eq!(stats.results, sink.count);
+/// # Ok::<(), hdsj_core::Error>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GridJoin {
+    /// Refuse dimensionalities above this (3^d neighbour enumeration).
+    pub max_dims: usize,
+}
+
+impl Default for GridJoin {
+    fn default() -> GridJoin {
+        GridJoin { max_dims: 10 }
+    }
+}
+
+/// A point's cell coordinates at grid resolution `1/eps`.
+fn cell_of(p: &[f64], eps: f64) -> Vec<i64> {
+    p.iter().map(|&x| (x / eps).floor() as i64).collect()
+}
+
+/// Hash directory: occupied cell → point ids, with deterministic iteration
+/// order (sorted cell coordinates).
+struct Directory {
+    cells: HashMap<Vec<i64>, Vec<u32>>,
+}
+
+impl Directory {
+    fn build(ds: &Dataset, eps: f64) -> Directory {
+        let mut cells: HashMap<Vec<i64>, Vec<u32>> = HashMap::new();
+        for (i, p) in ds.iter() {
+            cells.entry(cell_of(p, eps)).or_default().push(i);
+        }
+        Directory { cells }
+    }
+
+    fn sorted_keys(&self) -> Vec<&Vec<i64>> {
+        let mut keys: Vec<&Vec<i64>> = self.cells.keys().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    fn bytes(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|(k, v)| (k.len() * 8 + v.len() * 4 + 48) as u64)
+            .sum()
+    }
+}
+
+/// Calls `f` for every offset in `{-1,0,1}^d`, including the zero offset.
+fn for_each_offset(d: usize, f: &mut impl FnMut(&[i64])) {
+    let mut offset = vec![-1i64; d];
+    loop {
+        f(&offset);
+        // Odometer increment over {-1,0,1}.
+        let mut i = 0;
+        loop {
+            if i == d {
+                return;
+            }
+            if offset[i] < 1 {
+                offset[i] += 1;
+                break;
+            }
+            offset[i] = -1;
+            i += 1;
+        }
+    }
+}
+
+/// True when `offset` is lexicographically positive (first non-zero entry is
+/// `+1`) — the half-neighbourhood used by self-joins so each cell pair is
+/// visited once.
+fn is_positive(offset: &[i64]) -> bool {
+    for &o in offset {
+        if o > 0 {
+            return true;
+        }
+        if o < 0 {
+            return false;
+        }
+    }
+    false
+}
+
+impl GridJoin {
+    fn check_dims(&self, dims: usize) -> Result<()> {
+        if dims > self.max_dims {
+            return Err(Error::Unsupported(format!(
+                "epsilon-grid join at d={dims} would enumerate 3^{dims} neighbour cells; \
+                 cap is {} (raise GridJoin::max_dims to force it)",
+                self.max_dims
+            )));
+        }
+        Ok(())
+    }
+
+    fn run(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        kind: JoinKind,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        let dims = validate_inputs(a, b, spec)?;
+        self.check_dims(dims)?;
+        let mut phases = Vec::new();
+
+        let build = PhaseTimer::start("build");
+        let dir_a = Directory::build(a, spec.eps);
+        let dir_b = match kind {
+            JoinKind::SelfJoin => None,
+            JoinKind::TwoSets => Some(Directory::build(b, spec.eps)),
+        };
+        let structure_bytes = dir_a.bytes() + dir_b.as_ref().map(|d| d.bytes()).unwrap_or(0);
+        build.finish(&mut phases);
+
+        let sweep = PhaseTimer::start("probe");
+        let mut refiner = Refiner::new(a, b, kind, spec, sink);
+        let mut neighbour = vec![0i64; dims];
+        match kind {
+            JoinKind::SelfJoin => {
+                for key in dir_a.sorted_keys() {
+                    let points = &dir_a.cells[key];
+                    // Within-cell pairs.
+                    for (x, &i) in points.iter().enumerate() {
+                        for &j in &points[x + 1..] {
+                            refiner.offer(i, j);
+                        }
+                    }
+                    // Positive half of the neighbourhood.
+                    for_each_offset(dims, &mut |off| {
+                        if !is_positive(off) {
+                            return;
+                        }
+                        for ((n, &k), &o) in neighbour.iter_mut().zip(key.iter()).zip(off) {
+                            *n = k + o;
+                        }
+                        if let Some(others) = dir_a.cells.get(&neighbour) {
+                            for &i in points {
+                                for &j in others {
+                                    refiner.offer(i, j);
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+            JoinKind::TwoSets => {
+                let dir_b = dir_b.as_ref().expect("two-set directory");
+                for key in dir_a.sorted_keys() {
+                    let points = &dir_a.cells[key];
+                    for_each_offset(dims, &mut |off| {
+                        for ((n, &k), &o) in neighbour.iter_mut().zip(key.iter()).zip(off) {
+                            *n = k + o;
+                        }
+                        if let Some(others) = dir_b.cells.get(&neighbour) {
+                            for &i in points {
+                                for &j in others {
+                                    refiner.offer(i, j);
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        let mut stats = refiner.finish(JoinStats::default());
+        sweep.finish(&mut phases);
+        stats.phases = phases;
+        stats.structure_bytes = structure_bytes;
+        Ok(stats)
+    }
+}
+
+impl SimilarityJoin for GridJoin {
+    fn name(&self) -> &'static str {
+        "GRID"
+    }
+
+    fn join(
+        &mut self,
+        a: &Dataset,
+        b: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        self.run(a, b, JoinKind::TwoSets, spec, sink)
+    }
+
+    fn self_join(
+        &mut self,
+        a: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        self.run(a, a, JoinKind::SelfJoin, spec, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsj_bruteforce::BruteForce;
+    use hdsj_core::{verify, Metric, VecSink};
+
+    fn compare_with_bf(a: &Dataset, b: Option<&Dataset>, spec: &JoinSpec) {
+        let mut want = VecSink::default();
+        let mut got = VecSink::default();
+        let mut bf = BruteForce::default();
+        let mut grid = GridJoin::default();
+        match b {
+            None => {
+                bf.self_join(a, spec, &mut want).unwrap();
+                grid.self_join(a, spec, &mut got).unwrap();
+            }
+            Some(b) => {
+                bf.join(a, b, spec, &mut want).unwrap();
+                grid.join(a, b, spec, &mut got).unwrap();
+            }
+        }
+        verify::assert_same_results("GRID", &want.pairs, &got.pairs);
+    }
+
+    #[test]
+    fn matches_brute_force_on_uniform_self_join() {
+        for (dims, eps) in [(2usize, 0.05), (3, 0.15), (6, 0.4)] {
+            let ds = hdsj_data::uniform(dims, 400, dims as u64);
+            compare_with_bf(&ds, None, &JoinSpec::new(eps, Metric::L2));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_two_set_join() {
+        let a = hdsj_data::uniform(4, 300, 1);
+        let b = hdsj_data::uniform(4, 250, 2);
+        for metric in [Metric::L1, Metric::L2, Metric::Linf, Metric::Lp(3.0)] {
+            compare_with_bf(&a, Some(&b), &JoinSpec::new(0.25, metric));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_clustered_data() {
+        let ds = hdsj_data::gaussian_clusters(
+            3,
+            500,
+            hdsj_data::ClusterSpec {
+                clusters: 5,
+                sigma: 0.03,
+                ..Default::default()
+            },
+            9,
+        );
+        compare_with_bf(&ds, None, &JoinSpec::new(0.05, Metric::L2));
+    }
+
+    #[test]
+    fn points_on_cell_boundaries_are_not_lost() {
+        // Exact multiples of eps sit on cell edges; the neighbour sweep must
+        // still find cross-boundary pairs.
+        let eps = 0.125;
+        let ds = Dataset::from_rows(&[
+            vec![0.25, 0.25],  // corner of 4 cells
+            vec![0.249, 0.25], // just left
+            vec![0.375, 0.25], // exactly eps to the right
+            vec![0.25, 0.375],
+        ])
+        .unwrap();
+        compare_with_bf(&ds, None, &JoinSpec::new(eps, Metric::Linf));
+    }
+
+    #[test]
+    fn large_eps_degenerates_to_single_cell() {
+        let ds = hdsj_data::uniform(2, 100, 5);
+        compare_with_bf(&ds, None, &JoinSpec::new(0.9, Metric::L2));
+    }
+
+    #[test]
+    fn refuses_high_dimensionality() {
+        let ds = hdsj_data::uniform(16, 10, 1);
+        let mut sink = VecSink::default();
+        let err = GridJoin::default()
+            .self_join(&ds, &JoinSpec::l2(0.1), &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)), "{err}");
+        // Raising the cap overrides the refusal.
+        let ds_small = hdsj_data::uniform(11, 50, 1);
+        GridJoin { max_dims: 16 }
+            .self_join(&ds_small, &JoinSpec::l2(0.5), &mut sink)
+            .unwrap();
+    }
+
+    #[test]
+    fn reports_phases_and_structure_bytes() {
+        let ds = hdsj_data::uniform(3, 200, 2);
+        let mut sink = VecSink::default();
+        let stats = GridJoin::default()
+            .self_join(&ds, &JoinSpec::l2(0.1), &mut sink)
+            .unwrap();
+        assert!(stats.phase("build").is_some());
+        assert!(stats.phase("probe").is_some());
+        assert!(stats.structure_bytes > 0);
+        assert!(stats.candidates >= stats.results);
+    }
+
+    #[test]
+    fn offsets_enumerate_exactly_3_pow_d() {
+        for d in 1..=5usize {
+            let mut n = 0;
+            let mut positive = 0;
+            for_each_offset(d, &mut |off| {
+                n += 1;
+                if is_positive(off) {
+                    positive += 1;
+                }
+            });
+            assert_eq!(n, 3usize.pow(d as u32));
+            assert_eq!(positive, (3usize.pow(d as u32) - 1) / 2);
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! # hdsj-msj — the Multidimensional Spatial Join (the paper's contribution)
+//!
+//! MSJ generalizes the authors' Size Separation Spatial Join to high
+//! dimensions using a space-filling curve. The pipeline:
+//!
+//! 1. **Expansion** — every point becomes the L∞ cube of side ε centred on
+//!    it; two points are within L∞ distance ε iff their cubes intersect.
+//! 2. **Size-separation level assignment** ([`assign`]) — each cube is
+//!    assigned to the *finest* level of a hierarchy of grids (level `l` has
+//!    `2^l` cells per dimension) at which it fits inside a single cell,
+//!    together with the Hilbert key of that cell.
+//! 3. **Level files** — entries are written to the `hdsj-storage` engine
+//!    and **externally sorted** by `(cell key zero-padded to full depth,
+//!    level)`. Because the Hilbert curve is hierarchical (a cell's key is a
+//!    prefix of every descendant's key — property-tested in `hdsj-sfc`),
+//!    this order is exactly a depth-first traversal of the cell hierarchy.
+//! 4. **Synchronized sweep** ([`sweep`]) — one pass over the sorted stream
+//!    with a stack of "open" ancestor cells: a cube can only intersect
+//!    cubes in its own cell or in an ancestor cell, so each cell's points
+//!    are joined against the cell itself and the stack. Candidates are
+//!    pre-filtered by a dimension-0 plane sweep and refined with the exact
+//!    metric.
+//!
+//! The memory the sweep needs is the stack of at most `depth + 1` open
+//! cells — independent of dimensionality, which is the structural reason
+//! MSJ scales to high `d` where the ε-KDB directory and the R-tree fan-out
+//! collapse (experiments E1, E5).
+
+pub mod assign;
+pub mod parallel;
+pub mod s3j;
+pub mod sweep;
+
+use assign::{Assigner, RecordCodec};
+use hdsj_core::{
+    join::validate_inputs, Dataset, IoCounters, JoinKind, JoinSpec, JoinStats, PairSink,
+    PhaseTimer, Refiner, Result, SimilarityJoin,
+};
+use hdsj_sfc::Curve;
+use hdsj_storage::sort::{external_sort, SortConfig};
+use hdsj_storage::{RecordFile, StorageEngine};
+
+/// The Multidimensional Spatial Join.
+#[derive(Clone)]
+pub struct Msj {
+    /// Space-filling curve ordering the grid cells (Hilbert by default;
+    /// Z-order for the E12 ablation).
+    pub curve: Curve,
+    /// Cap on the hierarchy depth. The effective depth is
+    /// `min(max_depth, ⌈log2(1/ε)⌉)` — cells finer than ε can never host a
+    /// cube of side ε, so deeper levels would only lengthen the sort keys.
+    pub max_depth: u32,
+    /// In-memory workspace of the external sort, in records.
+    pub sort_mem_records: usize,
+    /// Buffer-pool frames of the owned engine (when none is supplied).
+    pub pool_pages: usize,
+    /// Worker threads for exact-metric candidate refinement; `1` refines
+    /// inline on the sweep thread.
+    pub refine_threads: usize,
+    engine: Option<StorageEngine>,
+}
+
+impl Default for Msj {
+    fn default() -> Msj {
+        Msj {
+            curve: Curve::Hilbert,
+            max_depth: 16,
+            sort_mem_records: 128 * 1024,
+            pool_pages: 1024,
+            refine_threads: 1,
+            engine: None,
+        }
+    }
+}
+
+impl Msj {
+    /// Runs on an externally supplied storage engine (for the I/O and
+    /// buffer-size experiments).
+    pub fn with_engine(engine: StorageEngine) -> Msj {
+        Msj {
+            engine: Some(engine),
+            ..Msj::default()
+        }
+    }
+
+    /// Uses the given curve (the E12 ablation).
+    pub fn with_curve(curve: Curve) -> Msj {
+        Msj {
+            curve,
+            ..Msj::default()
+        }
+    }
+
+    /// Refines candidates on `threads` worker threads.
+    pub fn with_refine_threads(threads: usize) -> Msj {
+        Msj {
+            refine_threads: threads.max(1),
+            ..Msj::default()
+        }
+    }
+
+    /// The hierarchy depth used for a given ε. A cube of side ε only fits in
+    /// cells of side ≥ ε, i.e. levels `l ≤ log2(1/ε)`, so deeper levels
+    /// would stay empty and only lengthen the sort keys.
+    pub fn effective_depth(&self, eps: f64) -> u32 {
+        let useful = (1.0 / eps).log2().floor().max(1.0) as u32;
+        useful.min(self.max_depth).clamp(1, 20)
+    }
+
+    /// Per-level entry counts for a dataset at a given ε — the level
+    /// occupancy table (experiment E9).
+    pub fn level_histogram(&self, ds: &Dataset, eps: f64) -> Result<Vec<u64>> {
+        let depth = self.effective_depth(eps);
+        let mut assigner = Assigner::new(ds.dims(), depth, eps, self.curve)?;
+        let mut hist = vec![0u64; depth as usize + 1];
+        for (_, p) in ds.iter() {
+            let (_, level) = assigner.assign(p);
+            hist[level as usize] += 1;
+        }
+        Ok(hist)
+    }
+
+    fn run(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        kind: JoinKind,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        let dims = validate_inputs(a, b, spec)?;
+        let engine = match &self.engine {
+            Some(e) => e.clone(),
+            None => StorageEngine::in_memory(self.pool_pages),
+        };
+        let io_before = engine.io_counters();
+        let depth = self.effective_depth(spec.eps);
+        let codec = RecordCodec::new(dims, depth);
+        let mut phases = Vec::new();
+
+        // Phase 1: level assignment, one combined file of tagged entries.
+        let assign_timer = PhaseTimer::start("assign");
+        let mut file = RecordFile::create(&engine, codec.record_len())?;
+        let mut assigner = Assigner::new(dims, depth, spec.eps, self.curve)?;
+        let mut rec = vec![0u8; codec.record_len()];
+        for (i, p) in a.iter() {
+            let (key, level) = assigner.assign(p);
+            codec.encode(&key, level, assign::TAG_A, i, &mut rec);
+            file.push(&rec)?;
+        }
+        if kind == JoinKind::TwoSets {
+            for (i, p) in b.iter() {
+                let (key, level) = assigner.assign(p);
+                codec.encode(&key, level, assign::TAG_B, i, &mut rec);
+                file.push(&rec)?;
+            }
+        }
+        file.release_tail();
+        assign_timer.finish(&mut phases);
+
+        // Phase 2: external sort by (padded cell key, level) — the DFS
+        // order of the cell hierarchy. The level byte directly follows the
+        // key bytes, so one prefix comparison covers both.
+        let sort_timer = PhaseTimer::start("sort");
+        let sorted = external_sort(
+            &engine,
+            &file,
+            codec.sort_key_len(),
+            SortConfig {
+                mem_records: self.sort_mem_records,
+                ..SortConfig::default()
+            },
+        )?;
+        // The unsorted level file is consumed; return its pages for reuse.
+        file.destroy()?;
+        sort_timer.finish(&mut phases);
+
+        // Phase 3: stack-based synchronized sweep, refining inline or on
+        // worker threads.
+        let sweep_timer = PhaseTimer::start("sweep");
+        let mut stats = JoinStats::default();
+        let peak_bytes = if self.refine_threads <= 1 {
+            let mut refiner = Refiner::new(a, b, kind, spec, sink);
+            let peak = sweep::sweep(&sorted, &codec, a, b, kind, spec.eps, &mut |i, j| {
+                refiner.offer(i, j)
+            })?;
+            stats = refiner.finish(stats);
+            peak
+        } else {
+            let (peak, pairs, candidates) = parallel::sweep_and_refine(
+                &sorted,
+                &codec,
+                a,
+                b,
+                kind,
+                spec,
+                self.refine_threads,
+            )?;
+            stats.candidates += candidates;
+            stats.dist_evals += candidates;
+            stats.results += pairs.len() as u64;
+            for (i, j) in pairs {
+                sink.push(i, j);
+            }
+            peak
+        };
+        sweep_timer.finish(&mut phases);
+        sorted.destroy()?;
+
+        stats.phases = phases;
+        stats.structure_bytes = peak_bytes;
+        let io_after = engine.io_counters();
+        stats.io = IoCounters {
+            reads: io_after.reads - io_before.reads,
+            writes: io_after.writes - io_before.writes,
+            allocs: io_after.allocs - io_before.allocs,
+        };
+        Ok(stats)
+    }
+}
+
+impl SimilarityJoin for Msj {
+    fn name(&self) -> &'static str {
+        "MSJ"
+    }
+
+    fn join(
+        &mut self,
+        a: &Dataset,
+        b: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        self.run(a, b, JoinKind::TwoSets, spec, sink)
+    }
+
+    fn self_join(
+        &mut self,
+        a: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        self.run(a, a, JoinKind::SelfJoin, spec, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsj_bruteforce::BruteForce;
+    use hdsj_core::{verify, Metric, VecSink};
+
+    fn compare_with_bf(a: &Dataset, b: Option<&Dataset>, spec: &JoinSpec, msj: &mut Msj) {
+        let mut want = VecSink::default();
+        let mut got = VecSink::default();
+        let mut bf = BruteForce::default();
+        match b {
+            None => {
+                bf.self_join(a, spec, &mut want).unwrap();
+                msj.self_join(a, spec, &mut got).unwrap();
+            }
+            Some(b) => {
+                bf.join(a, b, spec, &mut want).unwrap();
+                msj.join(a, b, spec, &mut got).unwrap();
+            }
+        }
+        verify::assert_same_results("MSJ", &want.pairs, &got.pairs);
+    }
+
+    #[test]
+    fn matches_brute_force_on_uniform_self_join() {
+        for (dims, eps) in [(2usize, 0.05), (4, 0.15), (8, 0.3), (16, 0.6)] {
+            let ds = hdsj_data::uniform(dims, 400, dims as u64 + 7);
+            compare_with_bf(
+                &ds,
+                None,
+                &JoinSpec::new(eps, Metric::L2),
+                &mut Msj::default(),
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_two_set_join() {
+        let a = hdsj_data::uniform(5, 350, 51);
+        let b = hdsj_data::uniform(5, 300, 52);
+        for metric in [Metric::L1, Metric::L2, Metric::Linf, Metric::Lp(3.0)] {
+            compare_with_bf(
+                &a,
+                Some(&b),
+                &JoinSpec::new(0.2, metric),
+                &mut Msj::default(),
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_zorder_curve() {
+        let ds = hdsj_data::uniform(6, 400, 61);
+        let mut msj = Msj::with_curve(Curve::ZOrder);
+        compare_with_bf(&ds, None, &JoinSpec::new(0.25, Metric::L2), &mut msj);
+    }
+
+    #[test]
+    fn matches_brute_force_on_clustered_and_correlated_data() {
+        let clustered = hdsj_data::gaussian_clusters(
+            4,
+            500,
+            hdsj_data::ClusterSpec {
+                clusters: 6,
+                sigma: 0.03,
+                ..Default::default()
+            },
+            71,
+        );
+        compare_with_bf(
+            &clustered,
+            None,
+            &JoinSpec::new(0.05, Metric::L2),
+            &mut Msj::default(),
+        );
+        let corr = hdsj_data::correlated(8, 400, 0.04, 72);
+        compare_with_bf(
+            &corr,
+            None,
+            &JoinSpec::new(0.08, Metric::L2),
+            &mut Msj::default(),
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_in_high_dimensions() {
+        let ds = hdsj_data::uniform(32, 150, 81);
+        compare_with_bf(
+            &ds,
+            None,
+            &JoinSpec::new(0.7, Metric::L2),
+            &mut Msj::default(),
+        );
+    }
+
+    #[test]
+    fn shallow_depth_cap_is_still_exact() {
+        // max_depth=1 pushes almost everything into levels 0/1: the sweep
+        // degenerates gracefully but stays correct.
+        let ds = hdsj_data::uniform(3, 300, 91);
+        let mut msj = Msj {
+            max_depth: 1,
+            ..Msj::default()
+        };
+        compare_with_bf(&ds, None, &JoinSpec::new(0.1, Metric::L2), &mut msj);
+    }
+
+    #[test]
+    fn boundary_points_are_not_lost() {
+        // Cubes touching cell boundaries exactly must be classified into an
+        // ancestor cell, not dropped.
+        let eps = 0.25;
+        let ds = Dataset::from_rows(&[
+            vec![0.5, 0.5],   // cube spans the centre: level 0
+            vec![0.375, 0.5], // cube touches x=0.5 exactly
+            vec![0.625, 0.5],
+            vec![0.125, 0.125], // interior of one quadrant
+            vec![0.126, 0.126],
+        ])
+        .unwrap();
+        compare_with_bf(
+            &ds,
+            None,
+            &JoinSpec::new(eps, Metric::Linf),
+            &mut Msj::default(),
+        );
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let rows = vec![vec![0.3, 0.3]; 40];
+        let ds = Dataset::from_rows(&rows).unwrap();
+        compare_with_bf(
+            &ds,
+            None,
+            &JoinSpec::new(0.01, Metric::L2),
+            &mut Msj::default(),
+        );
+    }
+
+    #[test]
+    fn level_histogram_sums_to_n_and_shifts_with_eps() {
+        let ds = hdsj_data::uniform(4, 1000, 3);
+        let msj = Msj::default();
+        let hist_fine = msj.level_histogram(&ds, 0.01).unwrap();
+        assert_eq!(hist_fine.iter().sum::<u64>(), 1000);
+        let hist_coarse = msj.level_histogram(&ds, 0.4).unwrap();
+        assert_eq!(hist_coarse.iter().sum::<u64>(), 1000);
+        // Small ε ⇒ cubes fit in deep cells; large ε ⇒ mass at the top.
+        let mean_level = |h: &[u64]| {
+            h.iter()
+                .enumerate()
+                .map(|(l, &c)| l as f64 * c as f64)
+                .sum::<f64>()
+                / 1000.0
+        };
+        assert!(mean_level(&hist_fine) > mean_level(&hist_coarse) + 1.0);
+    }
+
+    #[test]
+    fn reports_phases_io_and_peak_memory() {
+        let ds = hdsj_data::uniform(4, 8000, 5);
+        let engine = StorageEngine::in_memory(3); // tiny pool: real I/O
+        let mut msj = Msj::with_engine(engine);
+        let mut sink = VecSink::default();
+        let stats = msj.self_join(&ds, &JoinSpec::l2(0.1), &mut sink).unwrap();
+        for phase in ["assign", "sort", "sweep"] {
+            assert!(stats.phase(phase).is_some(), "missing phase {phase}");
+        }
+        assert!(stats.io.reads > 0 && stats.io.writes > 0, "{:?}", stats.io);
+        assert!(stats.structure_bytes > 0);
+        assert_eq!(stats.results as usize, sink.pairs.len());
+    }
+
+    #[test]
+    fn effective_depth_tracks_eps() {
+        let msj = Msj::default();
+        assert_eq!(msj.effective_depth(0.5), 1);
+        assert_eq!(msj.effective_depth(0.25), 2);
+        assert_eq!(msj.effective_depth(0.1), 3);
+        assert_eq!(msj.effective_depth(1e-9), 16, "capped by max_depth");
+    }
+
+    #[test]
+    fn storage_fault_propagates() {
+        let ds = hdsj_data::uniform(3, 200, 5);
+        let engine = StorageEngine::in_memory(64);
+        engine.set_fault_after(Some(2));
+        let mut msj = Msj::with_engine(engine);
+        let mut sink = VecSink::default();
+        assert!(msj.self_join(&ds, &JoinSpec::l2(0.1), &mut sink).is_err());
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use hdsj_core::{verify, Metric, VecSink};
+
+    #[test]
+    fn parallel_refinement_matches_serial() {
+        for (dims, eps, n) in [(4usize, 0.2f64, 600usize), (8, 0.35, 400)] {
+            let ds = hdsj_data::uniform(dims, n, 1000 + dims as u64);
+            let spec = JoinSpec::new(eps, Metric::L2);
+            let mut serial = VecSink::default();
+            let s1 = Msj::default().self_join(&ds, &spec, &mut serial).unwrap();
+            let mut par = VecSink::default();
+            let s2 = Msj::with_refine_threads(4)
+                .self_join(&ds, &spec, &mut par)
+                .unwrap();
+            verify::assert_same_results("MSJ parallel", &serial.pairs, &par.pairs);
+            assert_eq!(s1.candidates, s2.candidates);
+            assert_eq!(s1.results, s2.results);
+        }
+    }
+
+    #[test]
+    fn parallel_two_set_join_matches_serial() {
+        let a = hdsj_data::uniform(5, 400, 2001);
+        let b = hdsj_data::uniform(5, 350, 2002);
+        let spec = JoinSpec::new(0.25, Metric::Linf);
+        let mut serial = VecSink::default();
+        Msj::default().join(&a, &b, &spec, &mut serial).unwrap();
+        let mut par = VecSink::default();
+        Msj::with_refine_threads(3)
+            .join(&a, &b, &spec, &mut par)
+            .unwrap();
+        verify::assert_same_results("MSJ parallel two-set", &serial.pairs, &par.pairs);
+    }
+
+    #[test]
+    fn single_thread_config_uses_serial_path() {
+        let ds = hdsj_data::uniform(3, 200, 2003);
+        let spec = JoinSpec::l2(0.1);
+        let mut sink = VecSink::default();
+        Msj::with_refine_threads(1)
+            .self_join(&ds, &spec, &mut sink)
+            .unwrap();
+        let mut want = VecSink::default();
+        Msj::default().self_join(&ds, &spec, &mut want).unwrap();
+        verify::assert_same_results("MSJ t=1", &want.pairs, &sink.pairs);
+    }
+}

@@ -1,0 +1,109 @@
+//! Parallel candidate refinement.
+//!
+//! The sweep itself is inherently sequential (it follows the sorted stream),
+//! but at large ε·d the dominant cost is evaluating the exact metric on the
+//! candidate pairs it emits (see experiment E8). This module fans that
+//! refinement out: the sweep batches candidates into a bounded crossbeam
+//! channel and worker threads verify them against the metric, each
+//! accumulating its own result list. Results are identical to the serial
+//! path (order of sink delivery aside), which the tests pin down.
+
+use crate::assign::RecordCodec;
+use crate::sweep;
+use hdsj_core::{Dataset, Error, JoinKind, JoinSpec, Result};
+use hdsj_storage::RecordFile;
+
+/// Candidate pairs per channel message: large enough to amortize channel
+/// overhead, small enough to keep workers busy.
+const BATCH: usize = 4096;
+
+/// `(peak_stack_bytes, matched_pairs, candidate_count)` from a refined
+/// sweep.
+pub type RefineOutcome = (u64, Vec<(u32, u32)>, u64);
+
+/// Runs the sweep with `threads` refinement workers.
+pub fn sweep_and_refine(
+    sorted: &RecordFile,
+    codec: &RecordCodec,
+    a: &Dataset,
+    b: &Dataset,
+    kind: JoinKind,
+    spec: &JoinSpec,
+    threads: usize,
+) -> Result<RefineOutcome> {
+    let threads = threads.max(1);
+    let eps = spec.eps;
+    let metric = spec.metric;
+
+    let scope_result = crossbeam::thread::scope(|s| -> Result<RefineOutcome> {
+        let (tx, rx) = crossbeam::channel::bounded::<Vec<(u32, u32)>>(threads * 4);
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let rx = rx.clone();
+            workers.push(s.spawn(move |_| {
+                let mut pairs: Vec<(u32, u32)> = Vec::new();
+                let mut candidates = 0u64;
+                for batch in rx.iter() {
+                    for (i, j) in batch {
+                        let (i, j) = match kind {
+                            JoinKind::TwoSets => (i, j),
+                            JoinKind::SelfJoin => {
+                                if i == j {
+                                    continue;
+                                }
+                                (i.min(j), i.max(j))
+                            }
+                        };
+                        candidates += 1;
+                        if metric.within(a.point(i), b.point(j), eps) {
+                            pairs.push((i, j));
+                        }
+                    }
+                }
+                (pairs, candidates)
+            }));
+        }
+        drop(rx);
+
+        // The sweep runs on this thread, batching candidates outward. The
+        // channel send only fails if all workers died, which only happens
+        // on panic — propagate as a storage error rather than unwinding.
+        let mut batch: Vec<(u32, u32)> = Vec::with_capacity(BATCH);
+        let mut send_error = false;
+        let peak = {
+            let mut offer = |i: u32, j: u32| {
+                if send_error {
+                    return;
+                }
+                batch.push((i, j));
+                if batch.len() == BATCH
+                    && tx
+                        .send(std::mem::replace(&mut batch, Vec::with_capacity(BATCH)))
+                        .is_err()
+                {
+                    send_error = true;
+                }
+            };
+            sweep::sweep(sorted, codec, a, b, kind, eps, &mut offer)?
+        };
+        if !batch.is_empty() {
+            let _ = tx.send(batch);
+        }
+        drop(tx);
+
+        let mut all_pairs = Vec::new();
+        let mut candidates = 0u64;
+        for w in workers {
+            let (pairs, c) = w
+                .join()
+                .map_err(|_| Error::Storage("refinement worker panicked".into()))?;
+            all_pairs.extend(pairs);
+            candidates += c;
+        }
+        if send_error {
+            return Err(Error::Storage("refinement channel closed early".into()));
+        }
+        Ok((peak, all_pairs, candidates))
+    });
+    scope_result.map_err(|_| Error::Storage("refinement scope panicked".into()))?
+}

@@ -1,0 +1,191 @@
+//! The synchronized stack sweep over the sorted level-file stream.
+//!
+//! The sorted stream visits cells in depth-first order of the hierarchy.
+//! The sweep maintains a stack of *open* cells — exactly the ancestors of
+//! the current cell — and joins each arriving cell against itself and the
+//! stack. Correctness rests on the size-separation invariant: a cube
+//! assigned to cell `c` lies entirely inside `c`, and grid cells of the
+//! hierarchy are either nested or disjoint, so two intersecting cubes must
+//! sit in ancestor-related cells.
+//!
+//! Inside a cell pair, a plane sweep along dimension 0 (lists kept sorted
+//! by the first coordinate) bounds the candidate set before the exact
+//! metric runs.
+
+use crate::assign::{prefix_bits_equal, RecordCodec, TAG_A};
+use hdsj_core::{Dataset, JoinKind, Result};
+use hdsj_storage::RecordFile;
+
+/// One open cell on the sweep stack: its identity and the points it holds,
+/// kept sorted by dimension 0 for the plane sweep.
+struct OpenCell {
+    key: Vec<u8>,
+    level: u8,
+    /// `(x0, id)` of left-input points, sorted by `x0`.
+    a: Vec<(f64, u32)>,
+    /// Right-input points (two-set joins only).
+    b: Vec<(f64, u32)>,
+}
+
+impl OpenCell {
+    fn bytes(&self) -> u64 {
+        (self.key.len() + (self.a.len() + self.b.len()) * 12 + 64) as u64
+    }
+}
+
+/// Runs the sweep, passing every candidate pair to `offer` (serial runs
+/// hand it the exact-metric refiner; parallel runs hand it a batching
+/// channel). Returns the peak bytes held by the stack (the algorithm's
+/// structure memory, experiment E5).
+pub fn sweep(
+    sorted: &RecordFile,
+    codec: &RecordCodec,
+    a: &Dataset,
+    b: &Dataset,
+    kind: JoinKind,
+    eps: f64,
+    offer: &mut dyn FnMut(u32, u32),
+) -> Result<u64> {
+    let dims = a.dims() as u32;
+    let mut stack: Vec<OpenCell> = Vec::new();
+    let mut current: Option<OpenCell> = None;
+    let mut peak_bytes = 0u64;
+    let mut cursor = sorted.cursor();
+
+    while let Some(rec) = cursor.next()? {
+        let key = codec.key_of(rec);
+        let (level, tag, id) = codec.meta_of(rec);
+        let same_cell = current
+            .as_ref()
+            .map(|c| c.level == level && c.key[..] == *key)
+            .unwrap_or(false);
+        if !same_cell {
+            // Close out the previous cell: join it and push it.
+            if let Some(cell) = current.take() {
+                process_cell(cell, &mut stack, kind, eps, offer, &mut peak_bytes);
+            }
+            // Pop stack cells that are not ancestors of the new cell.
+            while let Some(top) = stack.last() {
+                let is_ancestor = top.level < level
+                    && prefix_bits_equal(&top.key, key, dims * top.level as u32);
+                if is_ancestor {
+                    break;
+                }
+                stack.pop();
+            }
+            current = Some(OpenCell {
+                key: key.to_vec(),
+                level,
+                a: Vec::new(),
+                b: Vec::new(),
+            });
+        }
+        let cell = current.as_mut().expect("current cell exists");
+        let (ds, list) = if tag == TAG_A {
+            (a, &mut cell.a)
+        } else {
+            (b, &mut cell.b)
+        };
+        list.push((ds.point(id)[0], id));
+    }
+    if let Some(cell) = current.take() {
+        process_cell(cell, &mut stack, kind, eps, offer, &mut peak_bytes);
+    }
+    Ok(peak_bytes)
+}
+
+/// Joins a freshly completed cell against itself and the open ancestors,
+/// then pushes it.
+fn process_cell(
+    mut cell: OpenCell,
+    stack: &mut Vec<OpenCell>,
+    kind: JoinKind,
+    eps: f64,
+    offer: &mut dyn FnMut(u32, u32),
+    peak_bytes: &mut u64,
+) {
+    cell.a
+        .sort_unstable_by(|x, y| x.0.partial_cmp(&y.0).expect("finite").then(x.1.cmp(&y.1)));
+    cell.b
+        .sort_unstable_by(|x, y| x.0.partial_cmp(&y.0).expect("finite").then(x.1.cmp(&y.1)));
+
+    match kind {
+        JoinKind::SelfJoin => {
+            sweep_within(&cell.a, eps, offer);
+            for anc in stack.iter() {
+                sweep_pair(&cell.a, &anc.a, eps, offer);
+            }
+        }
+        JoinKind::TwoSets => {
+            sweep_pair(&cell.a, &cell.b, eps, offer);
+            for anc in stack.iter() {
+                // Left points of the new cell × right points of ancestors,
+                // and vice versa; orientation is always (a-id, b-id).
+                sweep_pair(&cell.a, &anc.b, eps, offer);
+                sweep_pair(&anc.a, &cell.b, eps, offer);
+            }
+        }
+    }
+
+    stack.push(cell);
+    let bytes: u64 = stack.iter().map(|c| c.bytes()).sum();
+    *peak_bytes = (*peak_bytes).max(bytes);
+}
+
+/// Unordered pairs within one sorted list whose `x0` differ by at most ε.
+fn sweep_within(xs: &[(f64, u32)], eps: f64, offer: &mut dyn FnMut(u32, u32)) {
+    for (idx, &(x0, i)) in xs.iter().enumerate() {
+        for &(y0, j) in &xs[idx + 1..] {
+            if y0 - x0 > eps {
+                break;
+            }
+            offer(i, j);
+        }
+    }
+}
+
+/// Cross pairs of two sorted lists whose `x0` differ by at most ε.
+fn sweep_pair(xs: &[(f64, u32)], ys: &[(f64, u32)], eps: f64, offer: &mut dyn FnMut(u32, u32)) {
+    let mut start = 0usize;
+    for &(x0, i) in xs {
+        while start < ys.len() && ys[start].0 < x0 - eps {
+            start += 1;
+        }
+        for &(y0, j) in &ys[start..] {
+            if y0 - x0 > eps {
+                break;
+            }
+            offer(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_within_respects_window() {
+        let xs = vec![(0.1, 0), (0.15, 1), (0.5, 2), (0.52, 3)];
+        let mut pairs = Vec::new();
+        sweep_within(&xs, 0.1, &mut |i, j| pairs.push((i, j)));
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn sweep_pair_windows_both_sides() {
+        let xs = vec![(0.1, 0), (0.5, 1)];
+        let ys = vec![(0.05, 10), (0.18, 11), (0.45, 12), (0.9, 13)];
+        let mut pairs = Vec::new();
+        sweep_pair(&xs, &ys, 0.1, &mut |i, j| pairs.push((i, j)));
+        assert_eq!(pairs, vec![(0, 10), (0, 11), (1, 12)]);
+    }
+
+    #[test]
+    fn sweep_pair_empty_lists() {
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        sweep_pair(&[], &[(0.5, 1)], 0.1, &mut |i, j| pairs.push((i, j)));
+        sweep_pair(&[(0.5, 1)], &[], 0.1, &mut |i, j| pairs.push((i, j)));
+        assert!(pairs.is_empty());
+    }
+}

@@ -1,0 +1,394 @@
+//! RSJ — the synchronized R-tree spatial join of Brinkhoff, Kriegel and
+//! Seeger, adapted to ε-similarity joins.
+//!
+//! Both inputs are indexed **as part of the join** (the paper charges index
+//! construction to the join, because a similarity-join user rarely has
+//! pre-built indexes lying around). The traversal descends both trees in
+//! lock-step, pruning every node pair whose MBRs are further than ε apart in
+//! L∞ (safe for all supported metrics, whose ε-balls the L∞ cube contains),
+//! and plane-sweeps leaf pairs along dimension 0 before handing candidates
+//! to the exact-metric refiner.
+
+use crate::build::BuildStrategy;
+use crate::node::Node;
+use crate::tree::RTree;
+use hdsj_core::{
+    join::validate_inputs, Dataset, IoCounters, JoinKind, JoinSpec, JoinStats, PairSink,
+    PhaseTimer, Rect, Refiner, Result, SimilarityJoin,
+};
+use hdsj_storage::{PageId, StorageEngine};
+
+/// R-tree spatial join (build-and-join).
+#[derive(Clone)]
+pub struct RsjJoin {
+    /// How the on-the-fly trees are bulk loaded / built.
+    pub strategy: BuildStrategy,
+    /// Packing fill factor.
+    pub fill: f64,
+    /// Buffer-pool frames of the owned engine (when none is supplied).
+    pub pool_pages: usize,
+    engine: Option<StorageEngine>,
+}
+
+impl Default for RsjJoin {
+    fn default() -> RsjJoin {
+        RsjJoin {
+            strategy: BuildStrategy::HilbertPack,
+            fill: 0.7,
+            pool_pages: 1024,
+            engine: None,
+        }
+    }
+}
+
+impl RsjJoin {
+    /// Runs on an externally supplied storage engine (for the buffer-size
+    /// experiments); otherwise each join creates a fresh in-memory engine.
+    pub fn with_engine(engine: StorageEngine) -> RsjJoin {
+        RsjJoin {
+            engine: Some(engine),
+            ..RsjJoin::default()
+        }
+    }
+
+    /// Same, with an explicit build strategy.
+    pub fn with_strategy(strategy: BuildStrategy) -> RsjJoin {
+        RsjJoin {
+            strategy,
+            ..RsjJoin::default()
+        }
+    }
+
+    fn run(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        kind: JoinKind,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        validate_inputs(a, b, spec)?;
+        let engine = match &self.engine {
+            Some(e) => e.clone(),
+            None => StorageEngine::in_memory(self.pool_pages),
+        };
+        let io_before = engine.io_counters();
+        let mut phases = Vec::new();
+
+        let build = PhaseTimer::start("build");
+        let tree_a = RTree::build(&engine, a, self.strategy, self.fill)?;
+        let tree_b = match kind {
+            JoinKind::SelfJoin => None,
+            JoinKind::TwoSets => Some(RTree::build(&engine, b, self.strategy, self.fill)?),
+        };
+        let structure_bytes = tree_a.structure_bytes()
+            + tree_b.as_ref().map(|t| t.structure_bytes()).unwrap_or(0);
+        build.finish(&mut phases);
+
+        let join = PhaseTimer::start("join");
+        let mut refiner = Refiner::new(a, b, kind, spec, sink);
+        {
+            let mut traversal = Traversal {
+                engine: &engine,
+                dims: a.dims(),
+                eps: spec.eps,
+                refiner: &mut refiner,
+            };
+            match (&kind, &tree_b) {
+                (JoinKind::SelfJoin, _) => traversal.self_pairs(tree_a.root())?,
+                (JoinKind::TwoSets, Some(tb)) => {
+                    traversal.cross_pairs(tree_a.root(), tb.root())?
+                }
+                (JoinKind::TwoSets, None) => unreachable!("two-set join builds tree b"),
+            }
+        }
+        let mut stats = refiner.finish(JoinStats::default());
+        join.finish(&mut phases);
+
+        stats.phases = phases;
+        stats.structure_bytes = structure_bytes;
+        let io_after = engine.io_counters();
+        stats.io = IoCounters {
+            reads: io_after.reads - io_before.reads,
+            writes: io_after.writes - io_before.writes,
+            allocs: io_after.allocs - io_before.allocs,
+        };
+        Ok(stats)
+    }
+}
+
+struct Traversal<'a, 'r> {
+    engine: &'a StorageEngine,
+    dims: usize,
+    eps: f64,
+    refiner: &'r mut Refiner<'a>,
+}
+
+impl Traversal<'_, '_> {
+    /// Unordered pairs within one subtree (self-join).
+    fn self_pairs(&mut self, pid: PageId) -> Result<()> {
+        match Node::load(self.engine, pid, self.dims)? {
+            Node::Leaf(mut entries) => {
+                sort_by_dim0(&mut entries);
+                for (x, e) in entries.iter().enumerate() {
+                    for f in &entries[x + 1..] {
+                        if f.coords[0] - e.coords[0] > self.eps {
+                            break;
+                        }
+                        if linf_within(&e.coords, &f.coords, self.eps) {
+                            self.refiner.offer(e.id, f.id);
+                        }
+                    }
+                }
+            }
+            Node::Inner(entries) => {
+                for (i, e) in entries.iter().enumerate() {
+                    self.self_pairs(e.child)?;
+                    for f in &entries[i + 1..] {
+                        if e.mbr.mindist_linf(&f.mbr) <= self.eps {
+                            self.cross_pairs(e.child, f.child)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pairs across two distinct subtrees (of the same tree or of two
+    /// trees; the refiner knows which reporting convention applies).
+    fn cross_pairs(&mut self, pa: PageId, pb: PageId) -> Result<()> {
+        let na = Node::load(self.engine, pa, self.dims)?;
+        let nb = Node::load(self.engine, pb, self.dims)?;
+        match (na, nb) {
+            (Node::Leaf(mut ea), Node::Leaf(mut eb)) => {
+                sort_by_dim0(&mut ea);
+                sort_by_dim0(&mut eb);
+                let mut start = 0usize;
+                for e in &ea {
+                    while start < eb.len() && eb[start].coords[0] < e.coords[0] - self.eps {
+                        start += 1;
+                    }
+                    for f in &eb[start..] {
+                        if f.coords[0] - e.coords[0] > self.eps {
+                            break;
+                        }
+                        if linf_within(&e.coords, &f.coords, self.eps) {
+                            self.refiner.offer(e.id, f.id);
+                        }
+                    }
+                }
+            }
+            (Node::Inner(ea), Node::Inner(eb)) => {
+                for e in &ea {
+                    for f in &eb {
+                        if e.mbr.mindist_linf(&f.mbr) <= self.eps {
+                            self.cross_pairs(e.child, f.child)?;
+                        }
+                    }
+                }
+            }
+            (Node::Inner(ea), nb @ Node::Leaf(_)) => {
+                // Height mismatch: descend the taller side against the leaf.
+                let leaf_mbr = nb.mbr(self.dims);
+                for e in &ea {
+                    if e.mbr.mindist_linf(&leaf_mbr) <= self.eps {
+                        self.cross_pairs(e.child, pb)?;
+                    }
+                }
+            }
+            (na @ Node::Leaf(_), Node::Inner(eb)) => {
+                let leaf_mbr = na.mbr(self.dims);
+                for f in &eb {
+                    if leaf_mbr.mindist_linf(&f.mbr) <= self.eps {
+                        self.cross_pairs(pa, f.child)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn sort_by_dim0(entries: &mut [crate::node::LeafEntry]) {
+    entries.sort_unstable_by(|a, b| {
+        a.coords[0]
+            .partial_cmp(&b.coords[0])
+            .expect("finite coordinates")
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+fn linf_within(a: &[f64], b: &[f64], eps: f64) -> bool {
+    Rect::point(a).mindist_linf(&Rect::point(b)) <= eps
+}
+
+impl SimilarityJoin for RsjJoin {
+    fn name(&self) -> &'static str {
+        "RSJ"
+    }
+
+    fn join(
+        &mut self,
+        a: &Dataset,
+        b: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        self.run(a, b, JoinKind::TwoSets, spec, sink)
+    }
+
+    fn self_join(
+        &mut self,
+        a: &Dataset,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
+        self.run(a, a, JoinKind::SelfJoin, spec, sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsj_bruteforce::BruteForce;
+    use hdsj_core::{verify, Metric, VecSink};
+
+    fn compare_with_bf(a: &Dataset, b: Option<&Dataset>, spec: &JoinSpec, rsj: &mut RsjJoin) {
+        let mut want = VecSink::default();
+        let mut got = VecSink::default();
+        let mut bf = BruteForce::default();
+        match b {
+            None => {
+                bf.self_join(a, spec, &mut want).unwrap();
+                rsj.self_join(a, spec, &mut got).unwrap();
+            }
+            Some(b) => {
+                bf.join(a, b, spec, &mut want).unwrap();
+                rsj.join(a, b, spec, &mut got).unwrap();
+            }
+        }
+        verify::assert_same_results("RSJ", &want.pairs, &got.pairs);
+    }
+
+    #[test]
+    fn matches_brute_force_for_every_build_strategy() {
+        let ds = hdsj_data::uniform(4, 500, 11);
+        for strategy in [
+            BuildStrategy::HilbertPack,
+            BuildStrategy::Str,
+            BuildStrategy::DynamicInsert,
+        ] {
+            let mut rsj = RsjJoin::with_strategy(strategy);
+            compare_with_bf(&ds, None, &JoinSpec::new(0.2, Metric::L2), &mut rsj);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_two_set_join() {
+        let a = hdsj_data::uniform(6, 400, 21);
+        let b = hdsj_data::uniform(6, 350, 22);
+        for metric in [Metric::L1, Metric::L2, Metric::Linf, Metric::Lp(4.0)] {
+            compare_with_bf(
+                &a,
+                Some(&b),
+                &JoinSpec::new(0.3, metric),
+                &mut RsjJoin::default(),
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_in_high_dimensions() {
+        let ds = hdsj_data::uniform(32, 200, 31);
+        compare_with_bf(
+            &ds,
+            None,
+            &JoinSpec::new(0.8, Metric::L2),
+            &mut RsjJoin::default(),
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_clustered_data() {
+        let ds = hdsj_data::gaussian_clusters(
+            5,
+            600,
+            hdsj_data::ClusterSpec {
+                clusters: 8,
+                sigma: 0.02,
+                ..Default::default()
+            },
+            3,
+        );
+        compare_with_bf(
+            &ds,
+            None,
+            &JoinSpec::new(0.04, Metric::L2),
+            &mut RsjJoin::default(),
+        );
+    }
+
+    #[test]
+    fn two_set_join_with_different_tree_heights() {
+        // 5 points vs 3000 points: tree heights differ, exercising the
+        // mixed leaf/inner traversal arms.
+        let a = hdsj_data::uniform(3, 5, 1);
+        let b = hdsj_data::uniform(3, 3000, 2);
+        compare_with_bf(
+            &a,
+            Some(&b),
+            &JoinSpec::new(0.15, Metric::L2),
+            &mut RsjJoin::default(),
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = Dataset::new(4).unwrap();
+        let some = hdsj_data::uniform(4, 50, 1);
+        let mut sink = VecSink::default();
+        let stats = RsjJoin::default()
+            .join(&empty, &some, &JoinSpec::l2(0.2), &mut sink)
+            .unwrap();
+        assert_eq!(stats.results, 0);
+        let stats = RsjJoin::default()
+            .self_join(&empty, &JoinSpec::l2(0.2), &mut sink)
+            .unwrap();
+        assert_eq!(stats.results, 0);
+    }
+
+    #[test]
+    fn reports_structure_bytes_and_io() {
+        let ds = hdsj_data::uniform(8, 2000, 5);
+        let mut sink = VecSink::default();
+        // Tiny pool: the trees cannot stay resident, so the join must do
+        // real (counted) page reads.
+        let engine = StorageEngine::in_memory(16);
+        let mut rsj = RsjJoin::with_engine(engine);
+        let stats = rsj.self_join(&ds, &JoinSpec::l2(0.1), &mut sink).unwrap();
+        assert!(stats.structure_bytes > 0);
+        assert!(stats.io.allocs > 0, "tree pages were allocated");
+        assert!(
+            stats.io.reads > 0,
+            "traversal should fault pages in a 16-frame pool"
+        );
+        assert!(stats.phase("build").is_some() && stats.phase("join").is_some());
+    }
+
+    #[test]
+    fn candidate_counts_are_bounded_by_quadratic() {
+        let ds = hdsj_data::uniform(4, 400, 77);
+        let mut sink = VecSink::default();
+        let stats = RsjJoin::default()
+            .self_join(&ds, &JoinSpec::l2(0.05), &mut sink)
+            .unwrap();
+        let quad = 400u64 * 399 / 2;
+        assert!(
+            stats.candidates < quad / 4,
+            "filter should prune: {}",
+            stats.candidates
+        );
+        assert_eq!(stats.results as usize, sink.pairs.len());
+    }
+}

@@ -1,0 +1,312 @@
+//! On-page R-tree node layout and (de)serialization.
+//!
+//! ```text
+//! page:  [ kind: u8 | pad: u8 | count: u16 | pad: u32 | entries... ]
+//! leaf entry:   [ point_id: u32 | coords: d × f64 ]          (4 + 8d bytes)
+//! inner entry:  [ child_pid: u64 | lo: d × f64 | hi: d × f64 ] (8 + 16d bytes)
+//! ```
+//!
+//! Leaves store the full point coordinates, so a join reads points through
+//! the buffer pool like a real disk-resident index — and so leaf fan-out
+//! shrinks as `d` grows, which is precisely the high-dimensional R-tree
+//! pathology the evaluation exhibits.
+
+use hdsj_core::{Error, Rect, Result};
+use hdsj_storage::{Page, PageId, StorageEngine, PAGE_SIZE};
+
+/// Bytes of the node header.
+const HEADER: usize = 8;
+const KIND_LEAF: u8 = 1;
+const KIND_INNER: u8 = 2;
+
+/// Maximum entries of a leaf node for dimensionality `dims`.
+pub fn leaf_capacity(dims: usize) -> usize {
+    (PAGE_SIZE - HEADER) / (4 + 8 * dims)
+}
+
+/// Maximum entries of an inner node for dimensionality `dims`.
+pub fn inner_capacity(dims: usize) -> usize {
+    (PAGE_SIZE - HEADER) / (8 + 16 * dims)
+}
+
+/// An entry of a leaf node: a point and its dataset index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeafEntry {
+    /// Index of the point in its dataset.
+    pub id: u32,
+    /// The point's coordinates.
+    pub coords: Vec<f64>,
+}
+
+/// An entry of an inner node: a child page and its MBR.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InnerEntry {
+    /// Page id of the child node.
+    pub child: PageId,
+    /// Minimum bounding rectangle of the child's subtree.
+    pub mbr: Rect,
+}
+
+/// A deserialized node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    /// Leaf level: points.
+    Leaf(Vec<LeafEntry>),
+    /// Interior level: children with MBRs.
+    Inner(Vec<InnerEntry>),
+}
+
+impl Node {
+    /// True for leaves.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf(v) => v.len(),
+            Node::Inner(v) => v.len(),
+        }
+    }
+
+    /// True when the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The union MBR of all entries.
+    pub fn mbr(&self, dims: usize) -> Rect {
+        let mut mbr = Rect::empty(dims);
+        match self {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    mbr.grow_point(&e.coords);
+                }
+            }
+            Node::Inner(entries) => {
+                for e in entries {
+                    mbr.grow_rect(&e.mbr);
+                }
+            }
+        }
+        mbr
+    }
+
+    /// Serializes into `page`. Errors when the node exceeds the page.
+    pub fn write_to(&self, page: &mut Page, dims: usize) -> Result<()> {
+        let (kind, count, entry_size) = match self {
+            Node::Leaf(v) => (KIND_LEAF, v.len(), 4 + 8 * dims),
+            Node::Inner(v) => (KIND_INNER, v.len(), 8 + 16 * dims),
+        };
+        if HEADER + count * entry_size > PAGE_SIZE {
+            return Err(Error::Storage(format!(
+                "node of {count} entries overflows a page at d={dims}"
+            )));
+        }
+        page.bytes_mut()[0] = kind;
+        page.put_u16(2, count as u16);
+        let mut off = HEADER;
+        match self {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    debug_assert_eq!(e.coords.len(), dims);
+                    page.put_u32(off, e.id);
+                    off += 4;
+                    for &c in &e.coords {
+                        page.put_f64(off, c);
+                        off += 8;
+                    }
+                }
+            }
+            Node::Inner(entries) => {
+                for e in entries {
+                    debug_assert_eq!(e.mbr.dims(), dims);
+                    page.put_u64(off, e.child);
+                    off += 8;
+                    for &c in e.mbr.lo() {
+                        page.put_f64(off, c);
+                        off += 8;
+                    }
+                    for &c in e.mbr.hi() {
+                        page.put_f64(off, c);
+                        off += 8;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a node from `page`.
+    pub fn read_from(page: &Page, dims: usize) -> Result<Node> {
+        let kind = page.bytes()[0];
+        let count = page.get_u16(2) as usize;
+        let mut off = HEADER;
+        match kind {
+            KIND_LEAF => {
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = page.get_u32(off);
+                    off += 4;
+                    let mut coords = Vec::with_capacity(dims);
+                    for _ in 0..dims {
+                        coords.push(page.get_f64(off));
+                        off += 8;
+                    }
+                    entries.push(LeafEntry { id, coords });
+                }
+                Ok(Node::Leaf(entries))
+            }
+            KIND_INNER => {
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let child = page.get_u64(off);
+                    off += 8;
+                    let mut lo = Vec::with_capacity(dims);
+                    for _ in 0..dims {
+                        lo.push(page.get_f64(off));
+                        off += 8;
+                    }
+                    let mut hi = Vec::with_capacity(dims);
+                    for _ in 0..dims {
+                        hi.push(page.get_f64(off));
+                        off += 8;
+                    }
+                    entries.push(InnerEntry {
+                        child,
+                        mbr: Rect::new(lo, hi),
+                    });
+                }
+                Ok(Node::Inner(entries))
+            }
+            other => Err(Error::Storage(format!(
+                "page is not an R-tree node (kind {other})"
+            ))),
+        }
+    }
+
+    /// Convenience: fetches and deserializes the node at `pid`.
+    pub fn load(engine: &StorageEngine, pid: PageId, dims: usize) -> Result<Node> {
+        let guard = engine.fetch(pid)?;
+        let node = Node::read_from(&guard.read(), dims)?;
+        Ok(node)
+    }
+
+    /// Convenience: serializes the node into the page at `pid`.
+    pub fn store(&self, engine: &StorageEngine, pid: PageId, dims: usize) -> Result<()> {
+        let guard = engine.fetch(pid)?;
+        let mut page = guard.write();
+        self.write_to(&mut page, dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_shrink_with_dimensionality() {
+        assert!(leaf_capacity(2) > leaf_capacity(16));
+        assert!(inner_capacity(2) > inner_capacity(16));
+        // The paper's high-d regime: single-digit fan-out at d=64.
+        assert!(inner_capacity(64) < 10);
+        assert!(inner_capacity(64) >= 2, "pages must still hold a node");
+        assert!(leaf_capacity(64) >= 2);
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let dims = 3;
+        let entries: Vec<LeafEntry> = (0..5)
+            .map(|i| LeafEntry {
+                id: i,
+                coords: vec![i as f64 * 0.1, 0.5, 1.0 - i as f64 * 0.01],
+            })
+            .collect();
+        let node = Node::Leaf(entries);
+        let mut page = Page::zeroed();
+        node.write_to(&mut page, dims).unwrap();
+        assert_eq!(Node::read_from(&page, dims).unwrap(), node);
+    }
+
+    #[test]
+    fn inner_round_trip() {
+        let dims = 2;
+        let entries: Vec<InnerEntry> = (0..4)
+            .map(|i| InnerEntry {
+                child: 100 + i as u64,
+                mbr: Rect::new(vec![0.1 * i as f64, 0.0], vec![0.1 * i as f64 + 0.2, 0.5]),
+            })
+            .collect();
+        let node = Node::Inner(entries);
+        let mut page = Page::zeroed();
+        node.write_to(&mut page, dims).unwrap();
+        assert_eq!(Node::read_from(&page, dims).unwrap(), node);
+    }
+
+    #[test]
+    fn full_capacity_node_fits_exactly() {
+        let dims = 7;
+        let cap = leaf_capacity(dims);
+        let entries: Vec<LeafEntry> = (0..cap as u32)
+            .map(|i| LeafEntry {
+                id: i,
+                coords: vec![0.5; dims],
+            })
+            .collect();
+        let node = Node::Leaf(entries);
+        let mut page = Page::zeroed();
+        node.write_to(&mut page, dims).unwrap();
+        assert_eq!(Node::read_from(&page, dims).unwrap().len(), cap);
+    }
+
+    #[test]
+    fn overflowing_node_is_rejected() {
+        let dims = 7;
+        let cap = leaf_capacity(dims);
+        let entries: Vec<LeafEntry> = (0..=cap as u32)
+            .map(|i| LeafEntry {
+                id: i,
+                coords: vec![0.5; dims],
+            })
+            .collect();
+        let mut page = Page::zeroed();
+        assert!(Node::Leaf(entries).write_to(&mut page, dims).is_err());
+    }
+
+    #[test]
+    fn garbage_page_is_rejected() {
+        let page = Page::zeroed(); // kind byte 0
+        assert!(Node::read_from(&page, 2).is_err());
+    }
+
+    #[test]
+    fn mbr_unions_entries() {
+        let node = Node::Leaf(vec![
+            LeafEntry {
+                id: 0,
+                coords: vec![0.2, 0.8],
+            },
+            LeafEntry {
+                id: 1,
+                coords: vec![0.6, 0.1],
+            },
+        ]);
+        let mbr = node.mbr(2);
+        assert_eq!(mbr.lo(), &[0.2, 0.1]);
+        assert_eq!(mbr.hi(), &[0.6, 0.8]);
+    }
+
+    #[test]
+    fn load_store_through_engine() {
+        let engine = StorageEngine::in_memory(4);
+        let pid = engine.alloc().unwrap().id();
+        let node = Node::Leaf(vec![LeafEntry {
+            id: 9,
+            coords: vec![0.25, 0.75],
+        }]);
+        node.store(&engine, pid, 2).unwrap();
+        assert_eq!(Node::load(&engine, pid, 2).unwrap(), node);
+    }
+}

@@ -1,0 +1,71 @@
+//! Morton (Z-order) keys: plain MSB-first bit interleaving.
+//!
+//! Z-order is trivially hierarchical (truncation = enclosing cell) and much
+//! cheaper to compute than Hilbert, but clusters space worse; the MSJ curve
+//! ablation (experiment E12) quantifies the difference.
+
+use crate::bitkey::BitKey;
+
+/// Z-order index of `coords` (each `< 2^bits`) as a `d·bits`-bit key.
+pub fn index(coords: &[u32], bits: u32) -> BitKey {
+    BitKey::interleave(coords, bits)
+}
+
+/// Grid coordinates of a Z-order `key` of width `dims · bits`.
+pub fn coords(key: &BitKey, dims: usize, bits: u32) -> Vec<u32> {
+    key.deinterleave(dims, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_hand_case() {
+        let c = [0b101u32, 0b010u32];
+        let k = index(&c, 3);
+        // planes MSB first: (1,0)(0,1)(1,0) -> 100110
+        let expected: Vec<bool> = "100110".chars().map(|c| c == '1').collect();
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(k.get(i as u32), *want, "bit {i}");
+        }
+        assert_eq!(coords(&k, 2, 3), c);
+    }
+
+    #[test]
+    fn z_order_is_monotone_in_high_bits() {
+        // Doubling both coordinates' leading bits moves the key forward.
+        let a = index(&[0, 0], 4);
+        let b = index(&[8, 0], 4);
+        let c = index(&[8, 8], 4);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn hierarchical_prefix_property() {
+        let dims = 4usize;
+        let full = 6u32;
+        for seed in 0..100u32 {
+            let c: Vec<u32> = (0..dims as u32)
+                .map(|i| (seed.wrapping_mul(0x9e3779b9).rotate_left(i * 5)) & 0x3f)
+                .collect();
+            let key = index(&c, full);
+            for l in 1..=full {
+                let cell: Vec<u32> = c.iter().map(|v| v >> (full - l)).collect();
+                assert_eq!(key.prefix(dims as u32 * l), index(&cell, l));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(dims in 1usize..10, bits in 1u32..12, seed in any::<u64>()) {
+            let mask = (1u32 << bits) - 1;
+            let c: Vec<u32> = (0..dims)
+                .map(|i| ((seed.rotate_left(i as u32 * 13) as u32) ^ (i as u32)) & mask)
+                .collect();
+            prop_assert_eq!(coords(&index(&c, bits), dims, bits), c);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Backing stores: the `Disk` trait and its in-memory / file-backed
+//! implementations.
+
+use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::stats::IoStats;
+use hdsj_core::{Error, Result};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::Arc;
+
+/// A linear array of pages addressed by [`PageId`]. All traffic is counted
+/// in the shared [`IoStats`], and every operation honours the fault
+/// injection trigger.
+pub trait Disk: Send + Sync {
+    /// Reads page `id` into `into`.
+    fn read_page(&self, id: PageId, into: &mut Page) -> Result<()>;
+    /// Writes `page` at `id`.
+    fn write_page(&self, id: PageId, page: &Page) -> Result<()>;
+    /// Appends a zeroed page, returning its id.
+    fn alloc_page(&self) -> Result<PageId>;
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u64;
+}
+
+fn fault(stats: &IoStats, op: &str) -> Result<()> {
+    if stats.should_fault() {
+        Err(Error::Storage(format!("injected fault during {op}")))
+    } else {
+        Ok(())
+    }
+}
+
+/// An in-memory disk: fast, deterministic, but it still *counts* like a
+/// disk, which is all the I/O experiments need.
+pub struct MemDisk {
+    pages: Mutex<Vec<Page>>,
+    stats: Arc<IoStats>,
+}
+
+impl MemDisk {
+    /// Creates an empty in-memory disk sharing `stats`.
+    pub fn new(stats: Arc<IoStats>) -> MemDisk {
+        MemDisk {
+            pages: Mutex::new(Vec::new()),
+            stats,
+        }
+    }
+}
+
+impl Disk for MemDisk {
+    fn read_page(&self, id: PageId, into: &mut Page) -> Result<()> {
+        fault(&self.stats, "read")?;
+        let pages = self.pages.lock();
+        let page = pages
+            .get(id as usize)
+            .ok_or_else(|| Error::Storage(format!("read of unallocated page {id}")))?;
+        into.bytes_mut().copy_from_slice(page.bytes());
+        self.stats.record_read();
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        fault(&self.stats, "write")?;
+        let mut pages = self.pages.lock();
+        let slot = pages
+            .get_mut(id as usize)
+            .ok_or_else(|| Error::Storage(format!("write of unallocated page {id}")))?;
+        slot.bytes_mut().copy_from_slice(page.bytes());
+        self.stats.record_write();
+        Ok(())
+    }
+
+    fn alloc_page(&self) -> Result<PageId> {
+        fault(&self.stats, "alloc")?;
+        let mut pages = self.pages.lock();
+        pages.push(Page::zeroed());
+        self.stats.record_alloc();
+        Ok((pages.len() - 1) as PageId)
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+}
+
+/// A disk backed by one operating-system file, pages stored back to back.
+pub struct FileDisk {
+    file: Mutex<File>,
+    num_pages: Mutex<u64>,
+    stats: Arc<IoStats>,
+}
+
+impl FileDisk {
+    /// Creates (truncating) the backing file.
+    pub fn create(path: &std::path::Path, stats: Arc<IoStats>) -> Result<FileDisk> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileDisk {
+            file: Mutex::new(file),
+            num_pages: Mutex::new(0),
+            stats,
+        })
+    }
+}
+
+impl Disk for FileDisk {
+    fn read_page(&self, id: PageId, into: &mut Page) -> Result<()> {
+        fault(&self.stats, "read")?;
+        if id >= *self.num_pages.lock() {
+            return Err(Error::Storage(format!("read of unallocated page {id}")));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        file.read_exact(&mut into.bytes_mut()[..])?;
+        self.stats.record_read();
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        fault(&self.stats, "write")?;
+        if id >= *self.num_pages.lock() {
+            return Err(Error::Storage(format!("write of unallocated page {id}")));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        file.write_all(&page.bytes()[..])?;
+        self.stats.record_write();
+        Ok(())
+    }
+
+    fn alloc_page(&self) -> Result<PageId> {
+        fault(&self.stats, "alloc")?;
+        let mut n = self.num_pages.lock();
+        let id = *n;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
+        file.write_all(&[0u8; PAGE_SIZE])?;
+        *n += 1;
+        self.stats.record_alloc();
+        Ok(id)
+    }
+
+    fn num_pages(&self) -> u64 {
+        *self.num_pages.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &dyn Disk) {
+        let a = disk.alloc_page().unwrap();
+        let b = disk.alloc_page().unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(disk.num_pages(), 2);
+
+        let mut p = Page::zeroed();
+        p.put_u64(16, 42);
+        disk.write_page(b, &p).unwrap();
+
+        let mut q = Page::zeroed();
+        disk.read_page(b, &mut q).unwrap();
+        assert_eq!(q.get_u64(16), 42);
+        disk.read_page(a, &mut q).unwrap();
+        assert_eq!(q.get_u64(16), 0, "page a stays zeroed");
+
+        assert!(disk.read_page(99, &mut q).is_err());
+        assert!(disk.write_page(99, &p).is_err());
+    }
+
+    #[test]
+    fn mem_disk_round_trip() {
+        let disk = MemDisk::new(Arc::new(IoStats::default()));
+        exercise(&disk);
+    }
+
+    #[test]
+    fn file_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("hdsj-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let disk = FileDisk::create(&path, Arc::new(IoStats::default())).unwrap();
+        exercise(&disk);
+        drop(disk);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let stats = Arc::new(IoStats::default());
+        let disk = MemDisk::new(Arc::clone(&stats));
+        let id = disk.alloc_page().unwrap();
+        let p = Page::zeroed();
+        disk.write_page(id, &p).unwrap();
+        let mut q = Page::zeroed();
+        disk.read_page(id, &mut q).unwrap();
+        let snap = stats.snapshot();
+        assert_eq!((snap.allocs, snap.writes, snap.reads), (1, 1, 1));
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_storage_error() {
+        let stats = Arc::new(IoStats::default());
+        let disk = MemDisk::new(Arc::clone(&stats));
+        let id = disk.alloc_page().unwrap();
+        stats.set_fault_after(Some(1));
+        let mut p = Page::zeroed();
+        let err = disk.read_page(id, &mut p).unwrap_err();
+        assert!(matches!(err, Error::Storage(_)), "{err}");
+        // Disarmed after firing: next op succeeds.
+        disk.read_page(id, &mut p).unwrap();
+    }
+}

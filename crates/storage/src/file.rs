@@ -1,0 +1,393 @@
+//! Append-only files of fixed-size records on top of the buffer pool.
+//!
+//! MSJ's level files and the external sort's runs are `RecordFile`s. Each
+//! page holds a small header (record count) followed by densely packed
+//! records; the page directory (the list of page ids) lives in memory, which
+//! is the usual arrangement for temporary files whose extent map is tiny
+//! compared to the data.
+
+use crate::page::PAGE_SIZE;
+use crate::pool::PinnedPage;
+use crate::{PageId, StorageEngine};
+use hdsj_core::{Error, Result};
+
+/// Bytes reserved at the start of each page (u32 record count + padding).
+const HEADER: usize = 8;
+
+/// An append-only sequence of fixed-length records stored in pages.
+pub struct RecordFile {
+    engine: StorageEngine,
+    record_len: usize,
+    per_page: usize,
+    pages: Vec<PageId>,
+    len: u64,
+    /// Tail page kept pinned between appends so a bulk load does not
+    /// re-fetch it per record.
+    tail: Option<PinnedPage>,
+}
+
+impl RecordFile {
+    /// Creates an empty file of `record_len`-byte records on `engine`.
+    pub fn create(engine: &StorageEngine, record_len: usize) -> Result<RecordFile> {
+        if record_len == 0 || record_len > PAGE_SIZE - HEADER {
+            return Err(Error::InvalidInput(format!(
+                "record length {record_len} not in 1..={}",
+                PAGE_SIZE - HEADER
+            )));
+        }
+        Ok(RecordFile {
+            engine: engine.clone(),
+            record_len,
+            per_page: (PAGE_SIZE - HEADER) / record_len,
+            pages: Vec::new(),
+            len: 0,
+            tail: None,
+        })
+    }
+
+    /// Record length in bytes.
+    pub fn record_len(&self) -> usize {
+        self.record_len
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no records have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages the file occupies.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Records per page (a function of the record length).
+    pub fn records_per_page(&self) -> usize {
+        self.per_page
+    }
+
+    /// Appends one record. `rec.len()` must equal the record length.
+    pub fn push(&mut self, rec: &[u8]) -> Result<()> {
+        if rec.len() != self.record_len {
+            return Err(Error::InvalidInput(format!(
+                "record of {} bytes in a file of {}-byte records",
+                rec.len(),
+                self.record_len
+            )));
+        }
+        let slot = (self.len % self.per_page as u64) as usize;
+        if slot == 0 {
+            // Start a new page; release the old tail pin first.
+            self.tail = None;
+            let page = self.engine.alloc()?;
+            self.pages.push(page.id());
+            self.tail = Some(page);
+        } else if self.tail.is_none() {
+            // Re-open the tail after the file was iterated or unpinned.
+            let pid = *self.pages.last().expect("tail page exists");
+            self.tail = Some(self.engine.fetch(pid)?);
+        }
+        let tail = self.tail.as_ref().expect("tail pinned");
+        {
+            let mut page = tail.write();
+            page.put_slice(HEADER + slot * self.record_len, rec);
+            page.put_u32(0, slot as u32 + 1);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Unpins the tail page (e.g. before long scans, so the pool frame is
+    /// reusable). Appending re-pins automatically.
+    pub fn release_tail(&mut self) {
+        self.tail = None;
+    }
+
+    /// Frees every page of the file back to the engine's freelist. Use for
+    /// temporary files (sort runs, level files) once consumed, so long
+    /// pipelines do not grow the disk without bound.
+    pub fn destroy(mut self) -> Result<()> {
+        self.tail = None;
+        for pid in std::mem::take(&mut self.pages) {
+            self.engine.pool().free(pid)?;
+        }
+        self.len = 0;
+        Ok(())
+    }
+
+    /// A cursor positioned before the first record.
+    pub fn cursor(&self) -> RecordCursor<'_> {
+        self.cursor_at(0)
+    }
+
+    /// A cursor positioned before record `start` (random access: the page
+    /// directory maps record index to page directly, so no pages before the
+    /// target are touched).
+    pub fn cursor_at(&self, start: u64) -> RecordCursor<'_> {
+        let page_idx = (start / self.per_page as u64) as usize;
+        let slot = (start % self.per_page as u64) as usize;
+        RecordCursor {
+            file: self,
+            page_idx,
+            slot,
+            current: None,
+            buf: vec![0u8; self.record_len],
+        }
+    }
+
+    /// Reads every record into a fresh `Vec` (testing / small files).
+    pub fn read_all(&self) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        let mut cur = self.cursor();
+        while let Some(rec) = cur.next()? {
+            out.push(rec.to_vec());
+        }
+        Ok(out)
+    }
+}
+
+/// Sequential reader over a [`RecordFile`]. Holds at most one page pinned.
+pub struct RecordCursor<'a> {
+    file: &'a RecordFile,
+    page_idx: usize,
+    slot: usize,
+    current: Option<PinnedPage>,
+    buf: Vec<u8>,
+}
+
+impl<'a> RecordCursor<'a> {
+    /// Advances to the next record, returning a borrow of it (valid until
+    /// the next call), or `None` at end of file.
+    ///
+    /// Deliberately not `Iterator`: the cursor is *lending* (the slice
+    /// borrows its internal buffer) and fallible.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<&[u8]>> {
+        loop {
+            if self.page_idx >= self.file.pages.len() {
+                return Ok(None);
+            }
+            if self.current.is_none() {
+                self.current = Some(self.file.engine.fetch(self.file.pages[self.page_idx])?);
+            }
+            let page = self.current.as_ref().expect("page pinned");
+            let count = page.read().get_u32(0) as usize;
+            if self.slot >= count {
+                self.current = None;
+                self.page_idx += 1;
+                self.slot = 0;
+                continue;
+            }
+            let off = HEADER + self.slot * self.file.record_len;
+            self.buf
+                .copy_from_slice(page.read().get_slice(off, self.file.record_len));
+            self.slot += 1;
+            return Ok(Some(&self.buf));
+        }
+    }
+
+    /// Remaining records (upper bound; exact for fully-written files).
+    pub fn remaining_hint(&self) -> u64 {
+        let consumed = self.page_idx as u64 * self.file.per_page as u64 + self.slot as u64;
+        self.file.len.saturating_sub(consumed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> StorageEngine {
+        StorageEngine::in_memory(8)
+    }
+
+    #[test]
+    fn rejects_bad_record_lengths() {
+        let eng = engine();
+        assert!(RecordFile::create(&eng, 0).is_err());
+        assert!(RecordFile::create(&eng, PAGE_SIZE).is_err());
+        assert!(RecordFile::create(&eng, PAGE_SIZE - HEADER).is_ok());
+    }
+
+    #[test]
+    fn push_and_scan_round_trip_across_pages() {
+        let eng = engine();
+        // Large records so a page holds few and we cross page boundaries.
+        let rec_len = 2048;
+        let mut f = RecordFile::create(&eng, rec_len).unwrap();
+        assert_eq!(f.records_per_page(), 3);
+        let n = 10u8;
+        for i in 0..n {
+            f.push(&vec![i; rec_len]).unwrap();
+        }
+        assert_eq!(f.len(), n as u64);
+        assert_eq!(f.num_pages(), 4);
+        f.release_tail();
+
+        let mut cur = f.cursor();
+        let mut i = 0u8;
+        while let Some(rec) = cur.next().unwrap() {
+            assert!(rec.iter().all(|&b| b == i), "record {i}");
+            i += 1;
+        }
+        assert_eq!(i, n);
+    }
+
+    #[test]
+    fn push_rejects_wrong_size() {
+        let eng = engine();
+        let mut f = RecordFile::create(&eng, 16).unwrap();
+        assert!(f.push(&[0u8; 15]).is_err());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn cursor_on_empty_file() {
+        let eng = engine();
+        let f = RecordFile::create(&eng, 16).unwrap();
+        assert_eq!(f.cursor().next().unwrap(), None);
+    }
+
+    #[test]
+    fn interleaved_append_and_scan() {
+        let eng = engine();
+        let mut f = RecordFile::create(&eng, 8).unwrap();
+        f.push(&1u64.to_le_bytes()).unwrap();
+        f.release_tail();
+        {
+            let mut cur = f.cursor();
+            assert_eq!(cur.next().unwrap().unwrap(), 1u64.to_le_bytes());
+        }
+        f.push(&2u64.to_le_bytes()).unwrap();
+        f.release_tail();
+        let all = f.read_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1], 2u64.to_le_bytes());
+    }
+
+    #[test]
+    fn remaining_hint_counts_down() {
+        let eng = engine();
+        let mut f = RecordFile::create(&eng, 8).unwrap();
+        for i in 0..5u64 {
+            f.push(&i.to_le_bytes()).unwrap();
+        }
+        f.release_tail();
+        let mut cur = f.cursor();
+        assert_eq!(cur.remaining_hint(), 5);
+        cur.next().unwrap();
+        assert_eq!(cur.remaining_hint(), 4);
+    }
+
+    #[test]
+    fn bulk_load_keeps_tail_pinned() {
+        let eng = StorageEngine::in_memory(4);
+        let mut f = RecordFile::create(&eng, 64).unwrap();
+        eng.reset_counters();
+        for _ in 0..100 {
+            f.push(&[7u8; 64]).unwrap();
+        }
+        // 100 records fit in one page (127 per page): exactly one alloc, no
+        // reads.
+        let io = eng.io_counters();
+        assert_eq!(io.allocs, 1);
+        assert_eq!(io.reads, 0);
+    }
+
+    #[test]
+    fn scan_io_is_one_read_per_cold_page() {
+        // Pool too small to keep the file resident: scanning must read
+        // every page exactly once.
+        let eng = StorageEngine::in_memory(2);
+        let rec_len = 2048; // 3 per page
+        let mut f = RecordFile::create(&eng, rec_len).unwrap();
+        for i in 0..30u8 {
+            f.push(&vec![i; rec_len]).unwrap();
+        }
+        f.release_tail();
+        eng.flush_all().unwrap();
+        // Evict everything by filling the pool with other pages.
+        let _x = eng.alloc().unwrap();
+        let _y = eng.alloc().unwrap();
+        eng.reset_counters();
+        drop((_x, _y));
+        let mut cur = f.cursor();
+        let mut n = 0;
+        while cur.next().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 30);
+        assert_eq!(eng.io_counters().reads, f.num_pages() as u64);
+    }
+
+    #[test]
+    fn storage_fault_propagates_through_push() {
+        let eng = StorageEngine::in_memory(4);
+        let mut f = RecordFile::create(&eng, 16).unwrap();
+        eng.set_fault_after(Some(1)); // the page alloc for the first record
+        assert!(f.push(&[0u8; 16]).is_err());
+        eng.set_fault_after(None);
+    }
+}
+
+#[cfg(test)]
+mod destroy_tests {
+    use super::*;
+
+    #[test]
+    fn destroy_returns_pages_to_the_freelist() {
+        let eng = StorageEngine::in_memory(8);
+        let mut f = RecordFile::create(&eng, 2048).unwrap();
+        for i in 0..9u8 {
+            f.push(&vec![i; 2048]).unwrap();
+        }
+        let pages = f.num_pages();
+        assert!(pages >= 3);
+        f.destroy().unwrap();
+        assert_eq!(eng.pool().free_pages(), pages);
+        // New file reuses the pages: disk stays the same size.
+        let before = eng.pool().num_pages();
+        let mut g = RecordFile::create(&eng, 2048).unwrap();
+        for i in 0..9u8 {
+            g.push(&vec![i; 2048]).unwrap();
+        }
+        assert_eq!(eng.pool().num_pages(), before, "no disk growth");
+        assert_eq!(g.read_all().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn repeated_sort_pipelines_do_not_grow_the_disk_unboundedly() {
+        // The MSJ pattern: build + sort + destroy, many times over.
+        use crate::sort::{external_sort, SortConfig};
+        let eng = StorageEngine::in_memory(64);
+        let mut sizes = Vec::new();
+        for round in 0..5u32 {
+            let mut f = RecordFile::create(&eng, 16).unwrap();
+            for i in 0..2000u32 {
+                let mut rec = [0u8; 16];
+                rec[..4].copy_from_slice(&(i.wrapping_mul(2654435761 + round)).to_be_bytes());
+                f.push(&rec).unwrap();
+            }
+            f.release_tail();
+            let sorted = external_sort(
+                &eng,
+                &f,
+                4,
+                SortConfig {
+                    mem_records: 256,
+                    fanin: 4,
+                },
+            )
+            .unwrap();
+            f.destroy().unwrap();
+            sorted.destroy().unwrap();
+            sizes.push(eng.pool().num_pages());
+        }
+        // After the first round the page pool reaches steady state.
+        assert_eq!(sizes[1], *sizes.last().unwrap(), "{sizes:?}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Fixed-size pages with typed little-endian accessors.
+
+/// Page size in bytes. 8 KiB, a common database page size.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page within its disk (dense, starting at 0).
+pub type PageId = u64;
+
+/// One 8 KiB page. Heap-allocated so frames and disks move 8-byte pointers,
+/// not 8 KiB bodies.
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zeroed page.
+    pub fn zeroed() -> Page {
+        Page {
+            data: vec![0u8; PAGE_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("sized"),
+        }
+    }
+
+    /// Raw bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Raw bytes, mutably.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// Copies `src` into the page at `off`. Panics when out of bounds.
+    #[inline]
+    pub fn put_slice(&mut self, off: usize, src: &[u8]) {
+        self.data[off..off + src.len()].copy_from_slice(src);
+    }
+
+    /// Borrows `len` bytes at `off`.
+    #[inline]
+    pub fn get_slice(&self, off: usize, len: usize) -> &[u8] {
+        &self.data[off..off + len]
+    }
+
+    /// Writes a `u16` at `off` (little-endian).
+    #[inline]
+    pub fn put_u16(&mut self, off: usize, v: u16) {
+        self.put_slice(off, &v.to_le_bytes());
+    }
+
+    /// Reads a `u16` at `off`.
+    #[inline]
+    pub fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.data[off..off + 2].try_into().expect("2 bytes"))
+    }
+
+    /// Writes a `u32` at `off`.
+    #[inline]
+    pub fn put_u32(&mut self, off: usize, v: u32) {
+        self.put_slice(off, &v.to_le_bytes());
+    }
+
+    /// Reads a `u32` at `off`.
+    #[inline]
+    pub fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Writes a `u64` at `off`.
+    #[inline]
+    pub fn put_u64(&mut self, off: usize, v: u64) {
+        self.put_slice(off, &v.to_le_bytes());
+    }
+
+    /// Reads a `u64` at `off`.
+    #[inline]
+    pub fn get_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.data[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes an `f64` at `off`.
+    #[inline]
+    pub fn put_f64(&mut self, off: usize, v: f64) {
+        self.put_slice(off, &v.to_le_bytes());
+    }
+
+    /// Reads an `f64` at `off`.
+    #[inline]
+    pub fn get_f64(&self, off: usize) -> f64 {
+        f64::from_le_bytes(self.data[off..off + 8].try_into().expect("8 bytes"))
+    }
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Page {
+        Page {
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl Default for Page {
+    fn default() -> Page {
+        Page::zeroed()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_page_is_zero() {
+        let p = Page::zeroed();
+        assert!(p.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn typed_accessors_round_trip() {
+        let mut p = Page::zeroed();
+        p.put_u16(0, 0xbeef);
+        p.put_u32(2, 0xdead_beef);
+        p.put_u64(6, u64::MAX - 7);
+        p.put_f64(14, -0.125);
+        assert_eq!(p.get_u16(0), 0xbeef);
+        assert_eq!(p.get_u32(2), 0xdead_beef);
+        assert_eq!(p.get_u64(6), u64::MAX - 7);
+        assert_eq!(p.get_f64(14), -0.125);
+    }
+
+    #[test]
+    fn slice_round_trip_at_page_end() {
+        let mut p = Page::zeroed();
+        let payload = [1u8, 2, 3, 4];
+        p.put_slice(PAGE_SIZE - 4, &payload);
+        assert_eq!(p.get_slice(PAGE_SIZE - 4, 4), payload);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        Page::zeroed().put_u32(PAGE_SIZE - 2, 1);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Page::zeroed();
+        a.put_u32(0, 7);
+        let b = a.clone();
+        a.put_u32(0, 9);
+        assert_eq!(b.get_u32(0), 7);
+    }
+}

@@ -1,0 +1,397 @@
+//! The LRU buffer pool.
+//!
+//! Every page access in the workspace goes through [`BufferPool::fetch`] /
+//! [`BufferPool::alloc`], which return RAII-pinned guards. A pinned page is
+//! never evicted; unpinned pages are evicted least-recently-used, writing
+//! dirty victims back to the disk. Because the pool sits between the
+//! algorithms and the `Disk`, the shared
+//! [`IoStats`] counters reflect exactly the page transfers a real system
+//! with the same buffer size would perform — the quantity the I/O
+//! experiments (E4, E11) plot.
+
+use crate::disk::Disk;
+use crate::page::{Page, PageId};
+use crate::stats::IoStats;
+use hdsj_core::{Error, Result};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Frame {
+    pid: PageId,
+    page: RwLock<Page>,
+    pins: AtomicU32,
+    dirty: AtomicBool,
+    last_used: AtomicU64,
+}
+
+struct PoolInner {
+    map: HashMap<PageId, Arc<Frame>>,
+    tick: u64,
+    /// Page ids returned by [`BufferPool::free`], reused by the next
+    /// allocations before the disk is grown.
+    freelist: Vec<PageId>,
+}
+
+/// A fixed-capacity page cache with pin/unpin semantics and LRU
+/// replacement.
+pub struct BufferPool {
+    disk: Box<dyn Disk>,
+    stats: Arc<IoStats>,
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames (minimum 1) over `disk`.
+    pub fn new(disk: Box<dyn Disk>, capacity: usize, stats: Arc<IoStats>) -> BufferPool {
+        BufferPool {
+            disk,
+            stats,
+            capacity: capacity.max(1),
+            inner: Mutex::new(PoolInner {
+                map: HashMap::new(),
+                tick: 0,
+                freelist: Vec::new(),
+            }),
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages right now.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// The shared I/O counters.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Total pages allocated on the underlying disk.
+    pub fn num_pages(&self) -> u64 {
+        self.disk.num_pages()
+    }
+
+    /// Fetches page `id`, reading from disk on a miss. The guard pins the
+    /// page until dropped.
+    pub fn fetch(&self, id: PageId) -> Result<PinnedPage> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(frame) = inner.map.get(&id) {
+            frame.last_used.store(tick, Ordering::Relaxed);
+            frame.pins.fetch_add(1, Ordering::Relaxed);
+            return Ok(PinnedPage {
+                frame: Arc::clone(frame),
+            });
+        }
+        self.make_room(&mut inner)?;
+        let mut page = Page::zeroed();
+        self.disk.read_page(id, &mut page)?;
+        Ok(self.install(&mut inner, id, page, false, tick))
+    }
+
+    /// Allocates a zeroed page — reusing a freed page when one is
+    /// available, growing the disk otherwise — and returns it pinned.
+    pub fn alloc(&self) -> Result<PinnedPage> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        self.make_room(&mut inner)?;
+        if let Some(id) = inner.freelist.pop() {
+            // Reused page: its on-disk bytes are stale, so the zeroed
+            // resident copy is dirty.
+            return Ok(self.install(&mut inner, id, Page::zeroed(), true, tick));
+        }
+        let id = self.disk.alloc_page()?;
+        // The disk wrote zeros; the resident copy matches, so not dirty.
+        Ok(self.install(&mut inner, id, Page::zeroed(), false, tick))
+    }
+
+    /// Returns a page to the freelist for reuse. The caller must not hold a
+    /// pin on it and must not use the id again; a pinned page is rejected.
+    pub fn free(&self, id: PageId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(frame) = inner.map.get(&id) {
+            if frame.pins.load(Ordering::Relaxed) > 0 {
+                return Err(Error::Storage(format!("freeing pinned page {id}")));
+            }
+            inner.map.remove(&id);
+        }
+        debug_assert!(!inner.freelist.contains(&id), "double free of page {id}");
+        inner.freelist.push(id);
+        Ok(())
+    }
+
+    /// Pages currently on the freelist.
+    pub fn free_pages(&self) -> usize {
+        self.inner.lock().freelist.len()
+    }
+
+    fn install(
+        &self,
+        inner: &mut PoolInner,
+        id: PageId,
+        page: Page,
+        dirty: bool,
+        tick: u64,
+    ) -> PinnedPage {
+        let frame = Arc::new(Frame {
+            pid: id,
+            page: RwLock::new(page),
+            pins: AtomicU32::new(1),
+            dirty: AtomicBool::new(dirty),
+            last_used: AtomicU64::new(tick),
+        });
+        inner.map.insert(id, Arc::clone(&frame));
+        PinnedPage { frame }
+    }
+
+    /// Ensures a free frame exists, evicting the LRU unpinned page if
+    /// necessary. Errors when every frame is pinned.
+    fn make_room(&self, inner: &mut PoolInner) -> Result<()> {
+        if inner.map.len() < self.capacity {
+            return Ok(());
+        }
+        let victim = inner
+            .map
+            .values()
+            .filter(|f| f.pins.load(Ordering::Relaxed) == 0)
+            .min_by_key(|f| f.last_used.load(Ordering::Relaxed))
+            .map(|f| f.pid)
+            .ok_or_else(|| {
+                Error::Storage(format!(
+                    "buffer pool exhausted: all {} frames pinned",
+                    self.capacity
+                ))
+            })?;
+        let frame = inner.map.remove(&victim).expect("victim resident");
+        if frame.dirty.load(Ordering::Relaxed) {
+            let page = frame.page.read();
+            self.disk.write_page(victim, &page)?;
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty resident page back to the disk (pages stay
+    /// resident and become clean).
+    pub fn flush_all(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        for frame in inner.map.values() {
+            if frame.dirty.swap(false, Ordering::Relaxed) {
+                let page = frame.page.read();
+                self.disk.write_page(frame.pid, &page)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// RAII guard for a pinned page. While alive the page cannot be evicted;
+/// dropping it unpins.
+pub struct PinnedPage {
+    frame: Arc<Frame>,
+}
+
+impl std::fmt::Debug for PinnedPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PinnedPage(id={})", self.frame.pid)
+    }
+}
+
+impl PinnedPage {
+    /// The page's id.
+    pub fn id(&self) -> PageId {
+        self.frame.pid
+    }
+
+    /// Shared read access to the page body.
+    pub fn read(&self) -> RwLockReadGuard<'_, Page> {
+        self.frame.page.read()
+    }
+
+    /// Exclusive write access; marks the page dirty.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Page> {
+        self.frame.dirty.store(true, Ordering::Relaxed);
+        self.frame.page.write()
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn pool(frames: usize) -> BufferPool {
+        let stats = Arc::new(IoStats::default());
+        BufferPool::new(Box::new(MemDisk::new(Arc::clone(&stats))), frames, stats)
+    }
+
+    #[test]
+    fn hit_costs_no_io() {
+        let p = pool(2);
+        let a = p.alloc().unwrap();
+        let id = a.id();
+        drop(a);
+        p.stats().reset();
+        let _again = p.fetch(id).unwrap();
+        let snap = p.stats().snapshot();
+        assert_eq!(snap.reads, 0, "resident fetch must be free");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let p = pool(2);
+        let a = p.alloc().unwrap().id();
+        let b = p.alloc().unwrap().id();
+        // Touch a so b becomes LRU.
+        drop(p.fetch(a).unwrap());
+        p.stats().reset();
+        let _c = p.alloc().unwrap(); // evicts b
+        drop(p.fetch(a).unwrap()); // still resident: no read
+        assert_eq!(p.stats().snapshot().reads, 0);
+        drop(p.fetch(b).unwrap()); // was evicted: one read
+        assert_eq!(p.stats().snapshot().reads, 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages_only() {
+        let p = pool(1);
+        let a = p.alloc().unwrap();
+        a.write().put_u64(0, 77);
+        let a_id = a.id();
+        drop(a);
+        p.stats().reset();
+        let b = p.alloc().unwrap(); // evicts dirty a -> 1 write
+        assert_eq!(p.stats().snapshot().writes, 1);
+        drop(b); // b clean
+        p.stats().reset();
+        let back = p.fetch(a_id).unwrap(); // evicts clean b -> 0 writes
+        assert_eq!(p.stats().snapshot().writes, 0);
+        assert_eq!(back.read().get_u64(0), 77, "dirty data survived eviction");
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let p = pool(2);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        // Both pinned; a third page cannot enter.
+        let err = p.alloc().unwrap_err();
+        assert!(err.to_string().contains("pinned"), "{err}");
+        drop(b);
+        // Now there is a victim.
+        let c = p.alloc().unwrap();
+        assert_eq!(a.read().get_u64(0), 0);
+        drop((a, c));
+    }
+
+    #[test]
+    fn flush_all_cleans_pages() {
+        let p = pool(4);
+        let a = p.alloc().unwrap();
+        a.write().put_u64(0, 5);
+        drop(a);
+        p.stats().reset();
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().snapshot().writes, 1);
+        p.flush_all().unwrap();
+        assert_eq!(
+            p.stats().snapshot().writes,
+            1,
+            "second flush writes nothing"
+        );
+    }
+
+    #[test]
+    fn resident_and_capacity_report() {
+        let p = pool(3);
+        assert_eq!(p.capacity(), 3);
+        let _a = p.alloc().unwrap();
+        let _b = p.alloc().unwrap();
+        assert_eq!(p.resident(), 2);
+        assert_eq!(p.num_pages(), 2);
+    }
+
+    #[test]
+    fn eviction_error_propagates_from_injected_fault() {
+        let p = pool(1);
+        let a = p.alloc().unwrap();
+        a.write().put_u64(0, 1);
+        drop(a);
+        // Next disk op is the dirty write-back during eviction.
+        p.stats().set_fault_after(Some(1));
+        let err = p.alloc().unwrap_err();
+        assert!(matches!(err, Error::Storage(_)), "{err}");
+    }
+}
+
+#[cfg(test)]
+mod freelist_tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn pool(frames: usize) -> BufferPool {
+        let stats = Arc::new(IoStats::default());
+        BufferPool::new(Box::new(MemDisk::new(Arc::clone(&stats))), frames, stats)
+    }
+
+    #[test]
+    fn freed_pages_are_reused_before_growing_the_disk() {
+        let p = pool(4);
+        let id = p.alloc().unwrap().id();
+        assert_eq!(p.num_pages(), 1);
+        p.free(id).unwrap();
+        assert_eq!(p.free_pages(), 1);
+        let again = p.alloc().unwrap();
+        assert_eq!(again.id(), id, "freelist id reused");
+        assert_eq!(p.num_pages(), 1, "disk did not grow");
+        assert_eq!(p.free_pages(), 0);
+    }
+
+    #[test]
+    fn reused_pages_come_back_zeroed() {
+        let p = pool(2);
+        let a = p.alloc().unwrap();
+        a.write().put_u64(0, 0xfeed);
+        let id = a.id();
+        drop(a);
+        p.flush_all().unwrap();
+        p.free(id).unwrap();
+        let b = p.alloc().unwrap();
+        assert_eq!(b.id(), id);
+        assert_eq!(b.read().get_u64(0), 0, "stale bytes must not resurface");
+    }
+
+    #[test]
+    fn freeing_a_pinned_page_is_rejected() {
+        let p = pool(2);
+        let a = p.alloc().unwrap();
+        let err = p.free(a.id()).unwrap_err();
+        assert!(err.to_string().contains("pinned"), "{err}");
+        let id = a.id();
+        drop(a);
+        p.free(id).unwrap();
+    }
+
+    #[test]
+    fn freeing_a_non_resident_page_works() {
+        let p = pool(1);
+        let a = p.alloc().unwrap().id();
+        let _b = p.alloc().unwrap(); // evicts a
+        p.free(a).unwrap();
+        assert_eq!(p.free_pages(), 1);
+    }
+}

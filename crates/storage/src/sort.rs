@@ -1,0 +1,352 @@
+//! External multi-way merge sort over [`RecordFile`]s.
+//!
+//! Records are ordered by `memcmp` of their first `key_len` bytes (ties
+//! broken by the remaining bytes, making the sort deterministic). Keys in
+//! this workspace are big-endian `BitKey` bytes plus a
+//! level byte, so byte order *is* key order.
+//!
+//! The sort follows the textbook two-stage shape: (1) run formation — fill a
+//! bounded in-memory workspace, `sort_unstable`, spill a sorted run; (2)
+//! multi-way merge with a loser-tree-equivalent binary heap, cascading in
+//! passes when the number of runs exceeds the merge fan-in. All I/O flows
+//! through the buffer pool and is therefore counted.
+
+use crate::file::{RecordCursor, RecordFile};
+use crate::StorageEngine;
+use hdsj_core::{Error, Result};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Maximum number of runs merged in one pass.
+const MAX_FANIN: usize = 64;
+
+/// Configuration for [`external_sort`].
+#[derive(Clone, Copy, Debug)]
+pub struct SortConfig {
+    /// Records held in memory during run formation (the "sort buffer").
+    pub mem_records: usize,
+    /// Merge fan-in (clamped to `2..=64`).
+    pub fanin: usize,
+}
+
+impl Default for SortConfig {
+    fn default() -> SortConfig {
+        SortConfig {
+            mem_records: 64 * 1024,
+            fanin: MAX_FANIN,
+        }
+    }
+}
+
+/// Sorts `input` by the first `key_len` bytes of each record (full-record
+/// tiebreak), producing a new file on the same engine. The input file is
+/// left untouched.
+pub fn external_sort(
+    engine: &StorageEngine,
+    input: &RecordFile,
+    key_len: usize,
+    config: SortConfig,
+) -> Result<RecordFile> {
+    let rec_len = input.record_len();
+    if key_len > rec_len {
+        return Err(Error::InvalidInput(format!(
+            "key length {key_len} exceeds record length {rec_len}"
+        )));
+    }
+    let mem_records = config.mem_records.max(2);
+    let fanin = config.fanin.clamp(2, MAX_FANIN);
+
+    // Stage 1: run formation.
+    let mut runs: Vec<RecordFile> = Vec::new();
+    {
+        let mut buf: Vec<u8> = Vec::with_capacity(mem_records * rec_len);
+        let mut order: Vec<u32> = Vec::with_capacity(mem_records);
+        let mut cursor = input.cursor();
+        loop {
+            buf.clear();
+            order.clear();
+            while order.len() < mem_records {
+                match cursor.next()? {
+                    Some(rec) => {
+                        order.push((buf.len() / rec_len) as u32);
+                        buf.extend_from_slice(rec);
+                    }
+                    None => break,
+                }
+            }
+            if order.is_empty() {
+                break;
+            }
+            order.sort_unstable_by(|&a, &b| {
+                let ra = &buf[a as usize * rec_len..(a as usize + 1) * rec_len];
+                let rb = &buf[b as usize * rec_len..(b as usize + 1) * rec_len];
+                cmp_records(ra, rb, key_len)
+            });
+            let mut run = RecordFile::create(engine, rec_len)?;
+            for &i in &order {
+                run.push(&buf[i as usize * rec_len..(i as usize + 1) * rec_len])?;
+            }
+            run.release_tail();
+            runs.push(run);
+        }
+    }
+
+    if runs.is_empty() {
+        return RecordFile::create(engine, rec_len);
+    }
+
+    // Stage 2: cascaded multi-way merges. Consumed runs are destroyed so
+    // their pages return to the freelist instead of growing the disk.
+    while runs.len() > 1 {
+        let mut next: Vec<RecordFile> = Vec::new();
+        let mut iter = runs.into_iter().peekable();
+        while iter.peek().is_some() {
+            let group: Vec<RecordFile> = iter.by_ref().take(fanin).collect();
+            next.push(merge_runs(engine, &group, key_len)?);
+            for run in group {
+                run.destroy()?;
+            }
+        }
+        runs = next;
+    }
+    Ok(runs.pop().expect("at least one run"))
+}
+
+fn cmp_records(a: &[u8], b: &[u8], key_len: usize) -> Ordering {
+    a[..key_len]
+        .cmp(&b[..key_len])
+        .then_with(|| a[key_len..].cmp(&b[key_len..]))
+}
+
+/// One heap entry: the current record of run `run`, ordered ascending.
+struct HeapItem {
+    rec: Vec<u8>,
+    key_len: usize,
+    run: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse record order (BinaryHeap is a max-heap) and break ties by
+        // run index for a deterministic, stable-per-run merge.
+        cmp_records(&other.rec, &self.rec, self.key_len).then_with(|| other.run.cmp(&self.run))
+    }
+}
+
+fn merge_runs(
+    engine: &StorageEngine,
+    runs: &[RecordFile],
+    key_len: usize,
+) -> Result<RecordFile> {
+    let rec_len = runs[0].record_len();
+    let mut out = RecordFile::create(engine, rec_len)?;
+    let mut cursors: Vec<RecordCursor<'_>> = runs.iter().map(|r| r.cursor()).collect();
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(runs.len());
+    for (i, cur) in cursors.iter_mut().enumerate() {
+        if let Some(rec) = cur.next()? {
+            heap.push(HeapItem {
+                rec: rec.to_vec(),
+                key_len,
+                run: i,
+            });
+        }
+    }
+    while let Some(item) = heap.pop() {
+        out.push(&item.rec)?;
+        if let Some(rec) = cursors[item.run].next()? {
+            heap.push(HeapItem {
+                rec: rec.to_vec(),
+                key_len,
+                run: item.run,
+            });
+        }
+    }
+    out.release_tail();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_file(engine: &StorageEngine, records: &[Vec<u8>]) -> RecordFile {
+        let mut f = RecordFile::create(engine, records[0].len()).unwrap();
+        for r in records {
+            f.push(r).unwrap();
+        }
+        f.release_tail();
+        f
+    }
+
+    fn sorted_records(engine: &StorageEngine, f: &RecordFile) -> Vec<Vec<u8>> {
+        let _ = engine;
+        f.read_all().unwrap()
+    }
+
+    #[test]
+    fn sorts_small_file_like_std_sort() {
+        let eng = StorageEngine::in_memory(16);
+        let records: Vec<Vec<u8>> = (0..500u32)
+            .map(|i| {
+                let key = (i.wrapping_mul(2654435761)) % 1000;
+                let mut rec = key.to_be_bytes().to_vec();
+                rec.extend_from_slice(&i.to_le_bytes());
+                rec
+            })
+            .collect();
+        let input = make_file(&eng, &records);
+        let out = external_sort(
+            &eng,
+            &input,
+            4,
+            SortConfig {
+                mem_records: 37,
+                fanin: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), input.len());
+        let mut expected = records.clone();
+        expected.sort();
+        assert_eq!(sorted_records(&eng, &out), expected);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let eng = StorageEngine::in_memory(8);
+        let input = RecordFile::create(&eng, 8).unwrap();
+        let out = external_sort(&eng, &input, 8, SortConfig::default()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_run_skips_merging() {
+        let eng = StorageEngine::in_memory(8);
+        let records: Vec<Vec<u8>> =
+            (0..10u64).rev().map(|i| i.to_be_bytes().to_vec()).collect();
+        let input = make_file(&eng, &records);
+        let out = external_sort(&eng, &input, 8, SortConfig::default()).unwrap();
+        let got = sorted_records(&eng, &out);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn key_prefix_ordering_with_payload_tiebreak() {
+        let eng = StorageEngine::in_memory(8);
+        // Same 2-byte key, different payloads.
+        let records = vec![vec![0, 1, 9, 9], vec![0, 1, 0, 0], vec![0, 0, 5, 5]];
+        let input = make_file(&eng, &records);
+        let out = external_sort(
+            &eng,
+            &input,
+            2,
+            SortConfig {
+                mem_records: 2,
+                fanin: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            sorted_records(&eng, &out),
+            vec![vec![0, 0, 5, 5], vec![0, 1, 0, 0], vec![0, 1, 9, 9]]
+        );
+    }
+
+    #[test]
+    fn multi_pass_merge_with_tiny_fanin() {
+        let eng = StorageEngine::in_memory(32);
+        let records: Vec<Vec<u8>> = (0..200u16)
+            .map(|i| (199 - i).to_be_bytes().to_vec())
+            .collect();
+        let input = make_file(&eng, &records);
+        // mem_records=10 -> 20 runs; fanin=2 -> 5 merge passes.
+        let out = external_sort(
+            &eng,
+            &input,
+            2,
+            SortConfig {
+                mem_records: 10,
+                fanin: 2,
+            },
+        )
+        .unwrap();
+        let got = sorted_records(&eng, &out);
+        assert_eq!(got.len(), 200);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn rejects_key_longer_than_record() {
+        let eng = StorageEngine::in_memory(8);
+        let input = RecordFile::create(&eng, 4).unwrap();
+        assert!(external_sort(&eng, &input, 5, SortConfig::default()).is_err());
+    }
+
+    #[test]
+    fn fault_during_sort_propagates() {
+        let eng = StorageEngine::in_memory(8);
+        let records: Vec<Vec<u8>> = (0..50u64).map(|i| i.to_be_bytes().to_vec()).collect();
+        let input = make_file(&eng, &records);
+        eng.flush_all().unwrap();
+        eng.set_fault_after(Some(3));
+        let res = external_sort(
+            &eng,
+            &input,
+            8,
+            SortConfig {
+                mem_records: 8,
+                fanin: 2,
+            },
+        );
+        eng.set_fault_after(None);
+        assert!(res.is_err());
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn external_sort_equals_std_sort(
+            records in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 12),
+                0..400,
+            ),
+            key_len in 1usize..=12,
+            mem_records in 2usize..64,
+            fanin in 2usize..8,
+        ) {
+            let eng = StorageEngine::in_memory(64);
+            let mut file = RecordFile::create(&eng, 12).unwrap();
+            for r in &records {
+                file.push(r).unwrap();
+            }
+            file.release_tail();
+            let out = external_sort(&eng, &file, key_len, SortConfig { mem_records, fanin })
+                .unwrap();
+            let got = out.read_all().unwrap();
+            let mut want = records.clone();
+            want.sort_by(|a, b| {
+                a[..key_len].cmp(&b[..key_len]).then_with(|| a[key_len..].cmp(&b[key_len..]))
+            });
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Shared I/O counters with fault injection.
+
+use hdsj_core::IoCounters;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Atomic page-transfer counters shared between a disk, its buffer pool,
+/// and any number of engine clones. Also hosts the fault-injection trigger
+/// used by the failure-path tests: when armed with `n`, the `n`-th
+/// subsequent disk operation reports a fault.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocs: AtomicU64,
+    /// Remaining operations until an injected fault; negative = disarmed.
+    fault_in: AtomicI64,
+}
+
+impl IoStats {
+    /// Records a page read.
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a page write.
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a page allocation.
+    pub fn record_alloc(&self) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot in `hdsj-core` form.
+    pub fn snapshot(&self) -> IoCounters {
+        IoCounters {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters (fault trigger is unaffected).
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
+    }
+
+    /// Arms (`Some(n)`: fault on the n-th next operation, 1-based) or
+    /// disarms (`None`) fault injection.
+    pub fn set_fault_after(&self, n: Option<u64>) {
+        self.fault_in
+            .store(n.map(|v| v as i64).unwrap_or(-1), Ordering::Relaxed);
+    }
+
+    /// Called by disks before each operation; `true` means "fail now".
+    pub fn should_fault(&self) -> bool {
+        // Only decrement while armed; avoid wrapping when disarmed.
+        let mut cur = self.fault_in.load(Ordering::Relaxed);
+        loop {
+            if cur <= 0 {
+                return false;
+            }
+            match self.fault_in.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(prev) => return prev == 1,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::default();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        s.record_alloc();
+        let snap = s.snapshot();
+        assert_eq!((snap.reads, snap.writes, snap.allocs), (2, 1, 1));
+        s.reset();
+        assert_eq!(s.snapshot(), IoCounters::default());
+    }
+
+    #[test]
+    fn fault_fires_exactly_on_nth_operation() {
+        let s = IoStats::default();
+        assert!(!s.should_fault(), "disarmed by default");
+        s.set_fault_after(Some(3));
+        assert!(!s.should_fault());
+        assert!(!s.should_fault());
+        assert!(s.should_fault(), "third op faults");
+        assert!(!s.should_fault(), "trigger disarms after firing");
+    }
+
+    #[test]
+    fn disarming_clears_pending_fault() {
+        let s = IoStats::default();
+        s.set_fault_after(Some(1));
+        s.set_fault_after(None);
+        assert!(!s.should_fault());
+    }
+}

@@ -1,0 +1,59 @@
+//! Disk-resident joins: run MSJ and RSJ on a real file-backed storage
+//! engine with a small buffer pool, and watch the page I/O counters — the
+//! setting the paper's I/O experiments (E4, E11) measure.
+//!
+//! ```sh
+//! cargo run --release --example disk_resident
+//! ```
+
+use hdsj::core::{CountSink, JoinSpec, Metric, SimilarityJoin};
+use hdsj::data::uniform;
+use hdsj::msj::Msj;
+use hdsj::rtree::RsjJoin;
+use hdsj::storage::StorageEngine;
+
+fn main() {
+    let dims = 8;
+    let n = 30_000;
+    let points = uniform(dims, n, 321);
+    let spec = JoinSpec::new(0.12, Metric::L2);
+
+    let dir = std::env::temp_dir().join(format!("hdsj-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    for pool_pages in [16usize, 256] {
+        println!(
+            "--- buffer pool: {pool_pages} frames ({} KiB) ---",
+            pool_pages * 8
+        );
+
+        let msj_engine =
+            StorageEngine::file_backed(&dir.join(format!("msj-{pool_pages}.db")), pool_pages)
+                .expect("file-backed engine");
+        let mut msj = Msj::with_engine(msj_engine);
+        let mut sink = CountSink::default();
+        let stats = msj.self_join(&points, &spec, &mut sink).expect("msj");
+        println!(
+            "MSJ : {} pairs, io: {} reads / {} writes, peak sweep memory {} bytes",
+            stats.results, stats.io.reads, stats.io.writes, stats.structure_bytes
+        );
+
+        let rsj_engine =
+            StorageEngine::file_backed(&dir.join(format!("rsj-{pool_pages}.db")), pool_pages)
+                .expect("file-backed engine");
+        let mut rsj = RsjJoin::with_engine(rsj_engine);
+        let mut sink = CountSink::default();
+        let stats = rsj.self_join(&points, &spec, &mut sink).expect("rsj");
+        println!(
+            "RSJ : {} pairs, io: {} reads / {} writes, tree size {} pages",
+            stats.results,
+            stats.io.reads,
+            stats.io.writes,
+            stats.structure_bytes / 8192
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\nnote how MSJ's sequential level-file I/O barely notices the small pool,");
+    println!("while RSJ's random tree traversal thrashes it.");
+}

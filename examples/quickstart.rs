@@ -1,0 +1,52 @@
+//! Quickstart: run an ε-similarity self-join with MSJ and cross-check it
+//! against brute force.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hdsj::core::{JoinSpec, Metric, SimilarityJoin, VecSink};
+use hdsj::data::uniform;
+use hdsj::msj::Msj;
+
+fn main() {
+    // 5,000 uniform points in the 8-dimensional unit cube.
+    let points = uniform(8, 5_000, 1234);
+
+    // Find every pair within Euclidean distance 0.25.
+    let spec = JoinSpec::new(0.25, Metric::L2);
+
+    let mut sink = VecSink::default();
+    let stats = Msj::default()
+        .self_join(&points, &spec, &mut sink)
+        .expect("join");
+
+    println!(
+        "MSJ self-join of {} points (d = {}):",
+        points.len(),
+        points.dims()
+    );
+    println!("  result pairs : {}", stats.results);
+    println!(
+        "  candidates   : {} (filter precision {:.3})",
+        stats.candidates,
+        stats.filter_precision()
+    );
+    for phase in &stats.phases {
+        println!("  phase {:<7}: {:?}", phase.name, phase.elapsed);
+    }
+
+    // Show a few concrete matches.
+    for &(i, j) in sink.pairs.iter().take(3) {
+        let d = spec.metric.distance(points.point(i), points.point(j));
+        println!("  e.g. points {i} and {j} are {d:.4} apart");
+    }
+
+    // Cross-check against the brute-force ground truth.
+    let mut bf_sink = VecSink::default();
+    hdsj::bruteforce::BruteForce::default()
+        .self_join(&points, &spec, &mut bf_sink)
+        .expect("brute force");
+    hdsj::core::verify::assert_same_results("MSJ", &bf_sink.pairs, &sink.pairs);
+    println!("verified: MSJ result set identical to brute force ✓");
+}

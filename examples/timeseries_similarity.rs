@@ -1,0 +1,82 @@
+//! Time-series similarity search — the workload the paper's "real data"
+//! experiments model.
+//!
+//! Pipeline (the standard one from the time-series indexing literature the
+//! paper builds on): generate a collection of series, reduce each to its
+//! leading DFT coefficients, then run an ε-similarity self-join over the
+//! feature vectors to find series with similar *shape*. Because distances
+//! in truncated Fourier space lower-bound distances on the raw
+//! (mean-centred) series, the join result is a superset of the truly
+//! similar pairs, which a final verification pass refines.
+//!
+//! ```sh
+//! cargo run --release --example timeseries_similarity
+//! ```
+
+use hdsj::core::{JoinSpec, Metric, SimilarityJoin, VecSink};
+use hdsj::data::timeseries::{dft_coeffs, fourier_dataset, random_walk, seasonal};
+use hdsj::msj::Msj;
+
+/// Euclidean distance between two raw series.
+fn series_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn main() {
+    let num_series = 3_000;
+    let series_len = 128;
+    let feature_dims = 8;
+
+    // Feature extraction: 8 dims = first 4 complex DFT coefficients.
+    let features = fourier_dataset(feature_dims, num_series, series_len, 77);
+    println!(
+        "{num_series} series of length {series_len} -> {feature_dims}-dimensional Fourier features"
+    );
+
+    // Join in feature space: pairs of series with similar low-frequency
+    // shape. ε picked to return a workable shortlist.
+    let spec = JoinSpec::new(0.05, Metric::L2);
+    let mut sink = VecSink::default();
+    let stats = Msj::default()
+        .self_join(&features, &spec, &mut sink)
+        .expect("join");
+    println!(
+        "feature-space join: {} candidate series pairs ({} filter candidates)",
+        stats.results, stats.candidates
+    );
+
+    // Refine a few pairs on the raw series to show the shortlist is real:
+    // regenerate the series deterministically from their seeds.
+    let make_series = |i: usize| -> Vec<f64> {
+        let mut s = if i.is_multiple_of(3) {
+            seasonal(series_len, 16 + (i % 48), 3.0, 77u64.wrapping_add(i as u64))
+        } else {
+            random_walk(series_len, 77u64.wrapping_add(i as u64))
+        };
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        for v in s.iter_mut() {
+            *v -= mean;
+        }
+        s
+    };
+
+    println!("\nclosest raw-series distances among the first shortlisted pairs:");
+    for &(i, j) in sink.pairs.iter().take(5) {
+        let (a, b) = (make_series(i as usize), make_series(j as usize));
+        let raw = series_distance(&a, &b);
+        let feat = spec.metric.distance(features.point(i), features.point(j));
+        println!("  series {i:>5} ~ {j:>5}: feature dist {feat:.4}, raw dist {raw:.2}");
+        // Sanity: features are mean-normalized DFT magnitudes, so similar
+        // features must mean similar dominant shape.
+        let coeffs_a = dft_coeffs(&a, 2);
+        let coeffs_b = dft_coeffs(&b, 2);
+        let lead = (coeffs_a[0] - coeffs_b[0]).abs();
+        println!("        leading-coefficient gap {lead:.3}");
+    }
+
+    println!("\n(every pair above was found without ever comparing raw series pairwise)");
+}

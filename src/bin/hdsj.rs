@@ -1,0 +1,302 @@
+//! `hdsj` — command-line similarity joins.
+//!
+//! ```text
+//! hdsj generate --kind uniform --dims 8 --n 10000 --seed 1 --out pts.csv
+//! hdsj join --algo msj --eps 0.2 --metric l2 --input pts.csv --out pairs.csv
+//! hdsj join --algo rsj --eps 0.1 --input a.csv --other b.csv
+//! hdsj info --input pts.csv
+//! ```
+//!
+//! Flags are `--name value` pairs; see `hdsj help` for the full list. CSV
+//! datasets are headerless, one point per row (`#` comments allowed).
+
+use hdsj::core::{Error, JoinSpec, Metric, Result, SimilarityJoin, VecSink};
+use hdsj::data::{self, io as dio, ClusterSpec, HistogramSpec};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> Result<()> {
+    let Some(cmd) = args.first() else {
+        print_help();
+        return Ok(());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => generate(&flags),
+        "join" => join(&flags),
+        "info" => info(&flags),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(Error::InvalidInput(format!(
+            "unknown command {other:?}; try `hdsj help`"
+        ))),
+    }
+}
+
+fn print_help() {
+    println!(
+        "hdsj — high dimensional similarity joins
+
+USAGE:
+  hdsj generate --kind <uniform|clusters|correlated|fourier|histograms>
+                --dims D --n N [--seed S] --out FILE
+                [--clusters K] [--sigma S] [--zipf Z] [--noise F]
+  hdsj join     --algo <bf|sm1d|grid|ekdb|rsj|msj> (--eps E | --target-pairs N)\n                [--metric l1|l2|linf|lp:P]
+                --input FILE [--other FILE] [--out FILE] [--quiet]
+  hdsj info     --input FILE
+
+Datasets are headerless CSV, one point per row. `join` runs a self-join of
+--input, or a two-set join against --other. Results go to --out as
+`i,j` index pairs (or are only counted with --quiet)."
+    );
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(Error::InvalidInput(format!("expected --flag, got {key:?}")));
+        };
+        if name == "quiet" {
+            flags.insert(name.to_string(), "1".to_string());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| Error::InvalidInput(format!("--{name} needs a value")))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn req<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str> {
+    flags
+        .get(name)
+        .map(|s| s.as_str())
+        .ok_or_else(|| Error::InvalidInput(format!("missing required flag --{name}")))
+}
+
+fn num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|e| Error::InvalidInput(format!("--{name} {v:?}: {e}"))),
+    }
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<()> {
+    let kind = req(flags, "kind")?;
+    let dims: usize = num(flags, "dims", 8)?;
+    let n: usize = num(flags, "n", 10_000)?;
+    let seed: u64 = num(flags, "seed", 42)?;
+    let out = PathBuf::from(req(flags, "out")?);
+
+    let ds = match kind {
+        "uniform" => data::uniform(dims, n, seed),
+        "clusters" => {
+            let spec = ClusterSpec {
+                clusters: num(flags, "clusters", 10)?,
+                sigma: num(flags, "sigma", 0.05)?,
+                zipf_theta: num(flags, "zipf", 0.0)?,
+                noise_fraction: num(flags, "noise", 0.0)?,
+            };
+            data::gaussian_clusters(dims, n, spec, seed)
+        }
+        "correlated" => data::correlated(dims, n, num(flags, "noise", 0.05)?, seed),
+        "fourier" => data::timeseries::fourier_dataset(dims, n, num(flags, "len", 128)?, seed),
+        "histograms" => data::color_histograms(
+            dims,
+            n,
+            HistogramSpec {
+                themes: num(flags, "themes", 20)?,
+                themes_per_image: num(flags, "themes-per-image", 3)?,
+                noise: num(flags, "noise", 0.01)?,
+            },
+            seed,
+        ),
+        other => {
+            return Err(Error::InvalidInput(format!("unknown --kind {other:?}")));
+        }
+    };
+    dio::save_csv(&ds, &out)?;
+    println!(
+        "wrote {} points (d={}) to {}",
+        ds.len(),
+        ds.dims(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn parse_metric(s: &str) -> Result<Metric> {
+    match s {
+        "l1" => Ok(Metric::L1),
+        "l2" => Ok(Metric::L2),
+        "linf" => Ok(Metric::Linf),
+        other => {
+            if let Some(p) = other.strip_prefix("lp:") {
+                let p: f64 = p
+                    .parse()
+                    .map_err(|e| Error::InvalidInput(format!("bad Lp exponent: {e}")))?;
+                let m = Metric::Lp(p);
+                m.validate()?;
+                Ok(m)
+            } else {
+                Err(Error::InvalidInput(format!(
+                    "unknown metric {other:?} (l1, l2, linf, lp:P)"
+                )))
+            }
+        }
+    }
+}
+
+fn make_algo(name: &str) -> Result<Box<dyn SimilarityJoin>> {
+    Ok(match name {
+        "bf" => Box::new(hdsj::bruteforce::BruteForce::default()),
+        "sm1d" => Box::new(hdsj::sortmerge::SortMergeJoin::default()),
+        "grid" => Box::new(hdsj::grid::GridJoin::default()),
+        "ekdb" => Box::new(hdsj::ekdb::EkdbJoin::default()),
+        "rsj" => Box::new(hdsj::rtree::RsjJoin::default()),
+        "msj" => Box::new(hdsj::msj::Msj::default()),
+        other => {
+            return Err(Error::InvalidInput(format!(
+                "unknown --algo {other:?} (bf, sm1d, grid, ekdb, rsj, msj)"
+            )));
+        }
+    })
+}
+
+fn join(flags: &HashMap<String, String>) -> Result<()> {
+    let mut algo = make_algo(req(flags, "algo")?)?;
+    let metric = parse_metric(flags.get("metric").map(|s| s.as_str()).unwrap_or("l2"))?;
+
+    let input = dio::load_csv(Path::new(req(flags, "input")?))?;
+    // Threshold: explicit --eps, or calibrated from --target-pairs by
+    // sampling pair distances.
+    let eps: f64 = match (flags.get("eps"), flags.get("target-pairs")) {
+        (Some(e), _) => e
+            .parse()
+            .map_err(|e| Error::InvalidInput(format!("--eps: {e}")))?,
+        (None, Some(t)) => {
+            let target: f64 = t
+                .parse()
+                .map_err(|e| Error::InvalidInput(format!("--target-pairs: {e}")))?;
+            let eps = data::eps_for_target_pairs(&input, metric, target, 200_000, 42);
+            println!("calibrated eps = {eps:.6} for ~{target} pairs");
+            eps
+        }
+        (None, None) => {
+            return Err(Error::InvalidInput(
+                "missing required flag --eps (or --target-pairs)".into(),
+            ));
+        }
+    };
+    let spec = JoinSpec::new(eps, metric);
+    spec.validate()?;
+    input.check_unit_domain().map_err(|e| {
+        Error::InvalidInput(format!(
+            "{e}\nhint: hdsj joins run on [0,1)^d data; rescale your CSV first"
+        ))
+    })?;
+
+    let mut sink = VecSink::default();
+    let started = std::time::Instant::now();
+    let stats = match flags.get("other") {
+        Some(other_path) => {
+            let other = dio::load_csv(Path::new(other_path))?;
+            other.check_unit_domain()?;
+            algo.join(&input, &other, &spec, &mut sink)?
+        }
+        None => algo.self_join(&input, &spec, &mut sink)?,
+    };
+    let elapsed = started.elapsed();
+
+    println!("algorithm : {}", algo.name());
+    println!("pairs     : {}", stats.results);
+    println!(
+        "candidates: {} (precision {:.4})",
+        stats.candidates,
+        stats.filter_precision()
+    );
+    println!("time      : {elapsed:?}");
+    for phase in &stats.phases {
+        println!("  {:<8}: {:?}", phase.name, phase.elapsed);
+    }
+    if stats.io.total() > 0 {
+        println!(
+            "io        : {} reads, {} writes",
+            stats.io.reads, stats.io.writes
+        );
+    }
+
+    if let Some(out) = flags.get("out") {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(out)?);
+        for (i, j) in &sink.pairs {
+            writeln!(f, "{i},{j}")?;
+        }
+        f.flush()?;
+        println!("pairs written to {out}");
+    } else if !flags.contains_key("quiet") && !sink.pairs.is_empty() {
+        for (i, j) in sink.pairs.iter().take(10) {
+            println!("  ({i}, {j})");
+        }
+        if sink.pairs.len() > 10 {
+            println!(
+                "  ... {} more (use --out FILE to save)",
+                sink.pairs.len() - 10
+            );
+        }
+    }
+    Ok(())
+}
+
+fn info(flags: &HashMap<String, String>) -> Result<()> {
+    let ds = dio::load_csv(Path::new(req(flags, "input")?))?;
+    println!("points : {}", ds.len());
+    println!("dims   : {}", ds.dims());
+    println!("bytes  : {}", ds.bytes());
+    let in_unit = ds.check_unit_domain().is_ok();
+    println!(
+        "domain : {}",
+        if in_unit {
+            "[0,1)^d ✓"
+        } else {
+            "NOT unit-domain (rescale before joining)"
+        }
+    );
+    // Per-dimension ranges (first 8 dims).
+    for d in 0..ds.dims().min(8) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (_, p) in ds.iter() {
+            lo = lo.min(p[d]);
+            hi = hi.max(p[d]);
+        }
+        println!("  dim {d}: [{lo:.4}, {hi:.4}]");
+    }
+    Ok(())
+}

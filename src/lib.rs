@@ -1,0 +1,45 @@
+//! # hdsj — High Dimensional Similarity Joins
+//!
+//! Umbrella crate re-exporting the whole workspace: the MSJ algorithm (the
+//! paper's contribution), the RSJ / ε-KDB / grid / brute-force baselines,
+//! the space-filling-curve and paged-storage substrates, and the workload
+//! generators. See the repository README for a tour and `DESIGN.md` for the
+//! system inventory.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hdsj::core::{JoinSpec, Metric, SimilarityJoin, VecSink};
+//! use hdsj::data::uniform;
+//! use hdsj::msj::Msj;
+//!
+//! let points = uniform(8, 500, 42); // 500 points in [0,1)^8
+//! let spec = JoinSpec::new(0.4, Metric::L2);
+//! let mut sink = VecSink::default();
+//! let stats = Msj::default().self_join(&points, &spec, &mut sink).unwrap();
+//! assert_eq!(stats.results as usize, sink.pairs.len());
+//! ```
+
+pub use hdsj_bruteforce as bruteforce;
+pub use hdsj_core as core;
+pub use hdsj_data as data;
+pub use hdsj_ekdb as ekdb;
+pub use hdsj_grid as grid;
+pub use hdsj_msj as msj;
+pub use hdsj_rtree as rtree;
+pub use hdsj_sfc as sfc;
+pub use hdsj_sortmerge as sortmerge;
+pub use hdsj_storage as storage;
+
+/// Every algorithm in the workspace behind one constructor, for harnesses
+/// and examples that iterate over "all algorithms".
+pub fn all_algorithms() -> Vec<Box<dyn hdsj_core::SimilarityJoin>> {
+    vec![
+        Box::new(hdsj_bruteforce::BruteForce::default()),
+        Box::new(hdsj_sortmerge::SortMergeJoin::default()),
+        Box::new(hdsj_grid::GridJoin::default()),
+        Box::new(hdsj_ekdb::EkdbJoin::default()),
+        Box::new(hdsj_rtree::RsjJoin::default()),
+        Box::new(hdsj_msj::Msj::default()),
+    ]
+}

@@ -1,0 +1,113 @@
+//! Public-API integration tests: the umbrella crate's advertised workflows
+//! work end to end as documented in the README.
+
+use hdsj::all_algorithms;
+use hdsj::core::{CallbackSink, CountSink, Dataset, JoinSpec, Metric, SimilarityJoin, VecSink};
+
+#[test]
+fn roster_is_complete_and_named() {
+    let names: Vec<&str> = all_algorithms().iter().map(|a| a.name()).collect();
+    assert_eq!(names, vec!["BF", "SM1D", "GRID", "EKDB", "RSJ", "MSJ"]);
+}
+
+#[test]
+fn readme_workflow_normalize_then_join() {
+    // Raw, un-normalized business data: two feature tables on different
+    // scales, joined after shared normalization.
+    let a = Dataset::from_rows(&[vec![10.0, 2000.0], vec![12.0, 2100.0], vec![90.0, 9000.0]])
+        .unwrap();
+    let b = Dataset::from_rows(&[vec![11.0, 2050.0], vec![50.0, 5000.0]]).unwrap();
+
+    let (na, nb, scale) = Dataset::normalize_pair(&a, &b).unwrap();
+    // "within 300 units" in original space becomes scale*300 in the cube.
+    let eps = scale * 300.0;
+    let spec = JoinSpec::new(eps, Metric::L2);
+
+    let mut sink = VecSink::default();
+    hdsj::msj::Msj::default()
+        .join(&na, &nb, &spec, &mut sink)
+        .unwrap();
+    // a0 and a1 are within 300 of b0; a2 is far from everything.
+    sink.pairs.sort_unstable();
+    assert_eq!(sink.pairs, vec![(0, 0), (1, 0)]);
+}
+
+#[test]
+fn callback_sink_streams_pairs() {
+    let ds = hdsj::data::uniform(3, 300, 1);
+    let spec = JoinSpec::new(0.1, Metric::L2);
+    let mut streamed = 0u64;
+    {
+        let mut sink = CallbackSink(|_i, _j| streamed += 1);
+        hdsj::grid::GridJoin::default()
+            .self_join(&ds, &spec, &mut sink)
+            .unwrap();
+    }
+    let mut count = CountSink::default();
+    hdsj::grid::GridJoin::default()
+        .self_join(&ds, &spec, &mut count)
+        .unwrap();
+    assert_eq!(streamed, count.count);
+}
+
+#[test]
+fn algorithms_are_reusable_across_calls() {
+    // `&mut self` lets implementations cache scratch space; repeated use of
+    // one instance must keep producing correct, identical results.
+    let ds1 = hdsj::data::uniform(4, 300, 2);
+    let ds2 = hdsj::data::uniform(4, 250, 3);
+    for mut algo in all_algorithms() {
+        let spec = JoinSpec::new(0.2, Metric::L2);
+        let mut first = VecSink::default();
+        if algo.self_join(&ds1, &spec, &mut first).is_err() {
+            continue;
+        }
+        let mut other = VecSink::default();
+        algo.join(&ds1, &ds2, &spec, &mut other).unwrap();
+        let mut again = VecSink::default();
+        algo.self_join(&ds1, &spec, &mut again).unwrap();
+        hdsj::core::verify::assert_same_results(algo.name(), &first.pairs, &again.pairs);
+    }
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let ds = hdsj::data::uniform(3, 10, 4);
+    let other = hdsj::data::uniform(4, 10, 5);
+    for mut algo in all_algorithms() {
+        let mut sink = CountSink::default();
+        // eps <= 0
+        assert!(algo.self_join(&ds, &JoinSpec::l2(0.0), &mut sink).is_err());
+        // NaN eps
+        assert!(algo
+            .self_join(&ds, &JoinSpec::l2(f64::NAN), &mut sink)
+            .is_err());
+        // dimension mismatch
+        assert!(algo
+            .join(&ds, &other, &JoinSpec::l2(0.1), &mut sink)
+            .is_err());
+        // invalid Lp
+        assert!(algo
+            .self_join(&ds, &JoinSpec::new(0.1, Metric::Lp(0.5)), &mut sink)
+            .is_err());
+    }
+}
+
+#[test]
+fn stats_phases_are_populated_for_all_structured_algorithms() {
+    let ds = hdsj::data::uniform(4, 400, 6);
+    let spec = JoinSpec::new(0.2, Metric::L2);
+    for mut algo in all_algorithms() {
+        let mut sink = CountSink::default();
+        let stats = match algo.self_join(&ds, &spec, &mut sink) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        assert!(
+            !stats.phases.is_empty(),
+            "{} reports no phases",
+            algo.name()
+        );
+        assert!(stats.total_time().as_nanos() > 0);
+    }
+}

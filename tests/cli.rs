@@ -1,0 +1,181 @@
+//! End-to-end tests of the `hdsj` command-line tool: generate → info →
+//! join round trips through real files and real process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn hdsj() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hdsj"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hdsj-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_info_join_round_trip() {
+    let csv = tmp("uniform.csv");
+    let out = hdsj()
+        .args(["generate", "--kind", "uniform", "--dims", "4", "--n", "500"])
+        .args(["--seed", "9", "--out", csv.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let info = hdsj()
+        .args(["info", "--input", csv.to_str().unwrap()])
+        .output()
+        .expect("run info");
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("points : 500"), "{text}");
+    assert!(text.contains("dims   : 4"), "{text}");
+    assert!(text.contains("[0,1)^d"), "{text}");
+
+    let pairs_path = tmp("pairs.csv");
+    let join = hdsj()
+        .args(["join", "--algo", "msj", "--eps", "0.2", "--metric", "l2"])
+        .args([
+            "--input",
+            csv.to_str().unwrap(),
+            "--out",
+            pairs_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run join");
+    assert!(
+        join.status.success(),
+        "{}",
+        String::from_utf8_lossy(&join.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&join.stdout);
+    assert!(stdout.contains("algorithm : MSJ"), "{stdout}");
+    assert!(stdout.contains("pairs"), "{stdout}");
+
+    // The pair file parses and matches the reported count.
+    let reported: u64 = stdout
+        .lines()
+        .find(|l| l.starts_with("pairs"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("parse pair count");
+    let lines = std::fs::read_to_string(&pairs_path).unwrap();
+    assert_eq!(lines.lines().count() as u64, reported);
+    for line in lines.lines().take(5) {
+        let (i, j) = line.split_once(',').expect("i,j");
+        let i: u32 = i.parse().unwrap();
+        let j: u32 = j.parse().unwrap();
+        assert!(i < j, "self-join pairs are canonical");
+    }
+}
+
+#[test]
+fn join_algorithms_agree_through_the_cli() {
+    let csv = tmp("agree.csv");
+    hdsj()
+        .args([
+            "generate", "--kind", "clusters", "--dims", "5", "--n", "400",
+        ])
+        .args(["--clusters", "6", "--sigma", "0.04", "--seed", "3"])
+        .args(["--out", csv.to_str().unwrap()])
+        .status()
+        .expect("generate");
+    let mut counts = Vec::new();
+    for algo in ["bf", "sm1d", "grid", "ekdb", "rsj", "msj"] {
+        let out = hdsj()
+            .args(["join", "--algo", algo, "--eps", "0.08", "--quiet"])
+            .args(["--input", csv.to_str().unwrap()])
+            .output()
+            .expect("join");
+        assert!(out.status.success(), "{algo}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        let n: u64 = text
+            .lines()
+            .find(|l| l.starts_with("pairs"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("{algo}: no pair count in {text}"));
+        counts.push(n);
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn errors_exit_nonzero_with_message() {
+    // Unknown command.
+    let out = hdsj().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing threshold (neither --eps nor --target-pairs).
+    let ok_csv = tmp("ok.csv");
+    std::fs::write(&ok_csv, "0.1,0.2\n0.3,0.4\n").unwrap();
+    let out = hdsj()
+        .args(["join", "--algo", "msj", "--input", ok_csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--eps"));
+
+    // Out-of-domain data gets the rescale hint.
+    let bad = tmp("bad.csv");
+    std::fs::write(&bad, "5.0,2.0\n1.0,9.0\n").unwrap();
+    let out = hdsj()
+        .args([
+            "join",
+            "--algo",
+            "bf",
+            "--eps",
+            "0.1",
+            "--input",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("rescale"));
+}
+
+#[test]
+fn two_set_join_via_cli() {
+    let a = tmp("left.csv");
+    let b = tmp("right.csv");
+    for (path, seed) in [(&a, "1"), (&b, "2")] {
+        hdsj()
+            .args(["generate", "--kind", "uniform", "--dims", "3", "--n", "200"])
+            .args(["--seed", seed, "--out", path.to_str().unwrap()])
+            .status()
+            .expect("generate");
+    }
+    let out = hdsj()
+        .args(["join", "--algo", "rsj", "--eps", "0.15", "--quiet"])
+        .args([
+            "--input",
+            a.to_str().unwrap(),
+            "--other",
+            b.to_str().unwrap(),
+        ])
+        .output()
+        .expect("join");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("algorithm : RSJ"));
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = hdsj().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["generate", "join", "info"] {
+        assert!(text.contains(cmd), "help is missing {cmd}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Cross-algorithm equivalence: every algorithm must produce exactly the
+//! brute-force result set on every workload × metric × join-kind
+//! combination. This is the central correctness contract of the library.
+
+use hdsj::all_algorithms;
+use hdsj::bruteforce::BruteForce;
+use hdsj::core::{verify, Dataset, JoinSpec, Metric, SimilarityJoin, VecSink};
+use hdsj::data::{correlated, gaussian_clusters, timeseries, uniform, ClusterSpec};
+
+fn ground_truth_self(ds: &Dataset, spec: &JoinSpec) -> Vec<(u32, u32)> {
+    let mut sink = VecSink::default();
+    BruteForce::default()
+        .self_join(ds, spec, &mut sink)
+        .unwrap();
+    sink.pairs
+}
+
+fn ground_truth_two(a: &Dataset, b: &Dataset, spec: &JoinSpec) -> Vec<(u32, u32)> {
+    let mut sink = VecSink::default();
+    BruteForce::default().join(a, b, spec, &mut sink).unwrap();
+    sink.pairs
+}
+
+/// Runs every algorithm on a self-join and checks against brute force.
+/// Algorithms that decline (grid in high d) are skipped.
+fn check_all_self(ds: &Dataset, spec: &JoinSpec, label: &str) {
+    let want = ground_truth_self(ds, spec);
+    for mut algo in all_algorithms() {
+        let mut sink = VecSink::default();
+        match algo.self_join(ds, spec, &mut sink) {
+            Ok(stats) => {
+                assert_eq!(
+                    stats.results as usize,
+                    sink.pairs.len(),
+                    "{label}/{}",
+                    algo.name()
+                );
+                verify::assert_same_results(
+                    &format!("{label}/{}", algo.name()),
+                    &want,
+                    &sink.pairs,
+                );
+            }
+            Err(hdsj::core::Error::Unsupported(_)) => continue,
+            Err(e) => panic!("{label}/{}: {e}", algo.name()),
+        }
+    }
+}
+
+fn check_all_two(a: &Dataset, b: &Dataset, spec: &JoinSpec, label: &str) {
+    let want = ground_truth_two(a, b, spec);
+    for mut algo in all_algorithms() {
+        let mut sink = VecSink::default();
+        match algo.join(a, b, spec, &mut sink) {
+            Ok(_) => verify::assert_same_results(
+                &format!("{label}/{}", algo.name()),
+                &want,
+                &sink.pairs,
+            ),
+            Err(hdsj::core::Error::Unsupported(_)) => continue,
+            Err(e) => panic!("{label}/{}: {e}", algo.name()),
+        }
+    }
+}
+
+#[test]
+fn uniform_self_join_across_dims_and_eps() {
+    for (d, eps) in [(2usize, 0.03), (3, 0.1), (6, 0.3), (12, 0.5)] {
+        let ds = uniform(d, 500, d as u64 * 31 + 1);
+        check_all_self(
+            &ds,
+            &JoinSpec::new(eps, Metric::L2),
+            &format!("uniform d={d}"),
+        );
+    }
+}
+
+#[test]
+fn all_metrics_agree_with_ground_truth() {
+    let ds = uniform(5, 400, 99);
+    for metric in [Metric::L1, Metric::L2, Metric::Linf, Metric::Lp(2.5)] {
+        check_all_self(&ds, &JoinSpec::new(0.25, metric), &format!("{metric:?}"));
+    }
+}
+
+#[test]
+fn two_set_joins_match() {
+    let a = uniform(4, 450, 11);
+    let b = uniform(4, 380, 12);
+    check_all_two(&a, &b, &JoinSpec::new(0.2, Metric::L2), "two-set uniform");
+    // Asymmetric sizes exercise tree-height mismatches.
+    let tiny = uniform(4, 7, 13);
+    check_all_two(
+        &tiny,
+        &b,
+        &JoinSpec::new(0.2, Metric::L2),
+        "two-set tiny-left",
+    );
+    check_all_two(
+        &b,
+        &tiny,
+        &JoinSpec::new(0.2, Metric::L2),
+        "two-set tiny-right",
+    );
+}
+
+#[test]
+fn clustered_and_skewed_workloads_match() {
+    let tight = gaussian_clusters(
+        4,
+        600,
+        ClusterSpec {
+            clusters: 5,
+            sigma: 0.01,
+            zipf_theta: 1.5,
+            noise_fraction: 0.2,
+        },
+        7,
+    );
+    check_all_self(&tight, &JoinSpec::new(0.03, Metric::L2), "zipf clusters");
+
+    let corr = correlated(8, 500, 0.03, 21);
+    check_all_self(
+        &corr,
+        &JoinSpec::new(0.07, Metric::L2),
+        "correlated diagonal",
+    );
+}
+
+#[test]
+fn fourier_feature_workload_matches() {
+    let ds = timeseries::fourier_dataset(6, 400, 64, 2025);
+    check_all_self(&ds, &JoinSpec::new(0.04, Metric::L2), "fourier features");
+}
+
+#[test]
+fn degenerate_datasets_match() {
+    // All-duplicate points.
+    let dupes = Dataset::from_rows(&vec![vec![0.25, 0.75, 0.5]; 60]).unwrap();
+    check_all_self(&dupes, &JoinSpec::new(0.01, Metric::L2), "duplicates");
+
+    // Single point, empty set.
+    let single = Dataset::from_rows(&[vec![0.5, 0.5, 0.5]]).unwrap();
+    check_all_self(&single, &JoinSpec::new(0.1, Metric::L2), "single point");
+    let empty = Dataset::new(3).unwrap();
+    check_all_self(&empty, &JoinSpec::new(0.1, Metric::L2), "empty");
+
+    // Points packed along grid boundaries.
+    let mut rows = Vec::new();
+    for i in 0..8 {
+        for j in 0..8 {
+            rows.push(vec![i as f64 / 8.0, j as f64 / 8.0, 0.5]);
+        }
+    }
+    let grid_pts = Dataset::from_rows(&rows).unwrap();
+    check_all_self(
+        &grid_pts,
+        &JoinSpec::new(0.125, Metric::Linf),
+        "boundary lattice",
+    );
+}
+
+#[test]
+fn result_sets_nest_as_eps_grows() {
+    // For every algorithm: results(eps1) ⊆ results(eps2) when eps1 < eps2.
+    let ds = uniform(5, 400, 3);
+    for mut algo in all_algorithms() {
+        let mut small = VecSink::default();
+        let mut large = VecSink::default();
+        if algo.self_join(&ds, &JoinSpec::l2(0.1), &mut small).is_err() {
+            continue;
+        }
+        algo.self_join(&ds, &JoinSpec::l2(0.2), &mut large).unwrap();
+        let large_set: std::collections::HashSet<_> = large.pairs.iter().collect();
+        for pair in &small.pairs {
+            assert!(
+                large_set.contains(pair),
+                "{}: {pair:?} lost at larger eps",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn color_histogram_workload_matches() {
+    let ds = hdsj::data::color_histograms(
+        12,
+        350,
+        hdsj::data::HistogramSpec {
+            themes: 6,
+            themes_per_image: 2,
+            noise: 0.01,
+        },
+        31,
+    );
+    let eps = hdsj::data::eps_for_target_pairs(&ds, Metric::L2, 800.0, 50_000, 32);
+    check_all_self(&ds, &JoinSpec::new(eps, Metric::L2), "color histograms");
+}
+
+#[test]
+fn high_dimensional_correlated_workload_matches() {
+    // d = 24: grid declines, everything else must agree.
+    let ds = correlated(24, 300, 0.02, 41);
+    check_all_self(&ds, &JoinSpec::new(0.05, Metric::L2), "correlated d=24");
+}
