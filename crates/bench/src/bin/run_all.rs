@@ -41,6 +41,9 @@ fn main() {
             }
         }
     }
+    if let Err(e) = aggregate_jsonl() {
+        eprintln!("could not aggregate JSONL results: {e}");
+    }
     if failed.is_empty() {
         println!(
             "\nall {} experiments completed; CSVs in target/experiments/",
@@ -50,4 +53,41 @@ fn main() {
         eprintln!("\nfailed experiments: {failed:?}");
         std::process::exit(1);
     }
+}
+
+/// Concatenates every per-experiment `target/experiments/*.jsonl` into one
+/// `target/experiments/experiments.jsonl` — the single structured artefact
+/// CI uploads (one JSON object per experiment point, tagged with its
+/// experiment name).
+fn aggregate_jsonl() -> std::io::Result<()> {
+    use std::io::Write;
+    let dir = std::path::Path::new("target/experiments");
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut sources: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|ext| ext == "jsonl")
+                && p.file_name().is_some_and(|n| n != "experiments.jsonl")
+        })
+        .collect();
+    sources.sort();
+    let out_path = dir.join("experiments.jsonl");
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&out_path)?);
+    let mut rows = 0usize;
+    for src in &sources {
+        let text = std::fs::read_to_string(src)?;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            writeln!(out, "{line}")?;
+            rows += 1;
+        }
+    }
+    out.flush()?;
+    println!(
+        "\naggregated {rows} rows from {} experiments into {}",
+        sources.len(),
+        out_path.display()
+    );
+    Ok(())
 }

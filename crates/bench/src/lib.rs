@@ -185,7 +185,40 @@ impl Table {
         out
     }
 
-    /// Prints the table and writes `target/experiments/<name>.csv`.
+    /// One JSON object per row: `{"experiment": <name>, <header>: <cell>, ...}`.
+    /// Cells that parse as plain numbers are emitted as numbers, everything
+    /// else (units like `12.3ms`, `n/a`) as strings, so downstream tools get
+    /// typed values without the harness committing to a column schema.
+    pub fn json_rows(&self) -> Vec<String> {
+        use hdsj_core::obs::json::{encode_f64, encode_str};
+        let cell_value = |cell: &str| -> String {
+            if let Ok(v) = cell.parse::<u64>() {
+                return v.to_string();
+            }
+            match cell.parse::<f64>() {
+                Ok(v) if v.is_finite() => encode_f64(v),
+                _ => encode_str(cell),
+            }
+        };
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut out = format!("{{\"experiment\":{}", encode_str(&self.name));
+                for (header, cell) in self.headers.iter().zip(row) {
+                    out.push(',');
+                    out.push_str(&encode_str(header));
+                    out.push(':');
+                    out.push_str(&cell_value(cell));
+                }
+                out.push('}');
+                out
+            })
+            .collect()
+    }
+
+    /// Prints the table and writes `target/experiments/<name>.csv` plus
+    /// `target/experiments/<name>.jsonl` (one structured JSON row per
+    /// experiment point).
     pub fn emit(&self) -> std::io::Result<()> {
         println!("\n== {} ==", self.name);
         print!("{}", self.render());
@@ -198,7 +231,14 @@ impl Table {
             writeln!(f, "{}", row.join(","))?;
         }
         f.flush()?;
+        let json_path = dir.join(format!("{}.jsonl", self.name));
+        let mut j = std::io::BufWriter::new(std::fs::File::create(&json_path)?);
+        for line in self.json_rows() {
+            writeln!(j, "{line}")?;
+        }
+        j.flush()?;
         println!("(csv written to {})", path.display());
+        println!("(jsonl written to {})", json_path.display());
         Ok(())
     }
 }
@@ -291,6 +331,32 @@ mod tests {
         let s = t.render();
         assert!(s.contains("long_header"));
         assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn json_rows_type_cells_and_parse() {
+        use hdsj_core::obs::json;
+        let mut t = Table::new("e2e", &["algo", "n", "time", "precision"]);
+        t.row(vec![
+            "MSJ".into(),
+            "1000".into(),
+            "12.3ms".into(),
+            "0.5".into(),
+        ]);
+        t.row(vec!["GRID".into(), "1000".into(), "n/a".into(), "1".into()]);
+        let rows = t.json_rows();
+        assert_eq!(rows.len(), 2);
+        let first = json::parse(&rows[0]).unwrap();
+        assert_eq!(
+            first.get("experiment").and_then(|v| v.as_str()),
+            Some("e2e")
+        );
+        assert_eq!(first.get("algo").and_then(|v| v.as_str()), Some("MSJ"));
+        assert_eq!(first.get("n").and_then(|v| v.as_u64()), Some(1000));
+        assert_eq!(first.get("time").and_then(|v| v.as_str()), Some("12.3ms"));
+        assert_eq!(first.get("precision").and_then(|v| v.as_f64()), Some(0.5));
+        let second = json::parse(&rows[1]).unwrap();
+        assert_eq!(second.get("time").and_then(|v| v.as_str()), Some("n/a"));
     }
 
     #[test]

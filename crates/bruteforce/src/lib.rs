@@ -10,9 +10,10 @@
 //! tiles out over `crossbeam::scope` workers.
 
 use crossbeam::thread;
+use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, PairSink, PhaseTimer,
-    Refiner, Result, SimilarityJoin,
+    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, PairSink, Refiner, Result,
+    SimilarityJoin, Tracer,
 };
 
 /// Block nested-loop join.
@@ -22,6 +23,9 @@ pub struct BruteForce {
     pub block: usize,
     /// Worker threads; `1` runs single-threaded on the calling thread.
     pub threads: usize,
+    /// Trace sink for spans/counters (disabled by default; see
+    /// `set_tracer`).
+    pub tracer: Tracer,
 }
 
 impl Default for BruteForce {
@@ -29,6 +33,7 @@ impl Default for BruteForce {
         BruteForce {
             block: 256,
             threads: 1,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -37,8 +42,8 @@ impl BruteForce {
     /// A parallel instance with `threads` workers.
     pub fn parallel(threads: usize) -> BruteForce {
         BruteForce {
-            block: 256,
             threads: threads.max(1),
+            ..BruteForce::default()
         }
     }
 
@@ -52,7 +57,16 @@ impl BruteForce {
     ) -> Result<JoinStats> {
         validate_inputs(a, b, spec)?;
         let mut phases = Vec::new();
-        let timer = PhaseTimer::start("join");
+
+        let mut root = self.tracer.span("bf.join");
+        root.attr_str("algo", "BF");
+        root.attr_u64("n_a", a.len() as u64);
+        root.attr_u64("n_b", b.len() as u64);
+        root.attr_u64("dims", a.dims() as u64);
+        root.attr_f64("eps", spec.eps);
+        root.attr_u64("threads", self.threads as u64);
+
+        let timer = TracedPhase::start(&root, "join");
         let stats = if self.threads <= 1 {
             let mut refiner = Refiner::new(a, b, kind, spec, sink);
             serial_pairs(a, b, kind, self.block, &mut |i, j| refiner.offer(i, j));
@@ -61,6 +75,13 @@ impl BruteForce {
             self.run_parallel(a, b, kind, spec, sink)?
         };
         timer.finish(&mut phases);
+        if self.tracer.enabled() {
+            root.attr_u64("candidates", stats.candidates);
+            root.attr_u64("results", stats.results);
+            self.tracer.counter("bf.candidates").add(stats.candidates);
+            self.tracer.counter("bf.results").add(stats.results);
+        }
+        root.finish();
         Ok(JoinStats { phases, ..stats })
     }
 
@@ -171,6 +192,10 @@ impl SimilarityJoin for BruteForce {
         "BF"
     }
 
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn join(
         &mut self,
         a: &Dataset,
@@ -246,6 +271,7 @@ mod tests {
         BruteForce {
             block: 3,
             threads: 1,
+            ..BruteForce::default()
         }
         .self_join(&ds, &spec, &mut got)
         .unwrap();

@@ -104,6 +104,12 @@ pub trait SimilarityJoin {
     /// Short identifier used in experiment output (`"MSJ"`, `"RSJ"`, …).
     fn name(&self) -> &'static str;
 
+    /// Installs a tracer: subsequent runs record their phases as spans and
+    /// their statistics as counters (see `hdsj-obs`). The default is a
+    /// no-op so trivial implementations stay trivial; all workspace
+    /// algorithms override it.
+    fn set_tracer(&mut self, _tracer: crate::obs::Tracer) {}
+
     /// Joins two datasets. `a.dims() == b.dims()` is required.
     fn join(
         &mut self,

@@ -45,4 +45,9 @@ pub use join::{
 pub use metric::Metric;
 pub use rect::Rect;
 pub use refine::Refiner;
-pub use stats::{IoCounters, JoinStats, Phase, PhaseTimer};
+pub use stats::{IoCounters, JoinStats, Phase, PhaseTimer, TracedPhase};
+
+/// Structured tracing and metrics (re-exported from `hdsj-obs` so the
+/// algorithm crates need no extra dependency).
+pub use hdsj_obs as obs;
+pub use hdsj_obs::Tracer;

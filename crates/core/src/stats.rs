@@ -18,6 +18,12 @@ pub struct IoCounters {
     pub writes: u64,
     /// Pages newly allocated in the backing store.
     pub allocs: u64,
+    /// Buffer-pool fetches satisfied without touching the backing store.
+    pub hits: u64,
+    /// Pages evicted from the buffer pool (clean or dirty).
+    pub evictions: u64,
+    /// Dirty evictions — the subset of `evictions` that forced a write.
+    pub writebacks: u64,
 }
 
 impl IoCounters {
@@ -26,11 +32,56 @@ impl IoCounters {
         self.reads + self.writes
     }
 
+    /// Fraction of buffer-pool fetches served from memory:
+    /// `hits / (hits + reads)`, or 0 when no fetch happened.
+    pub fn hit_rate(&self) -> f64 {
+        let accesses = self.hits + self.reads;
+        if accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / accesses as f64
+        }
+    }
+
     /// Accumulates another counter set (e.g. across join phases).
     pub fn add(&mut self, other: &IoCounters) {
         self.reads += other.reads;
         self.writes += other.writes;
         self.allocs += other.allocs;
+        self.hits += other.hits;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+    }
+
+    /// Field-wise `after − before`, for algorithms that snapshot shared
+    /// counters around a run.
+    pub fn diff(after: &IoCounters, before: &IoCounters) -> IoCounters {
+        IoCounters {
+            reads: after.reads - before.reads,
+            writes: after.writes - before.writes,
+            allocs: after.allocs - before.allocs,
+            hits: after.hits - before.hits,
+            evictions: after.evictions - before.evictions,
+            writebacks: after.writebacks - before.writebacks,
+        }
+    }
+
+    /// Records every field into the tracer's counter registry under
+    /// `<prefix>.<field>` names (e.g. `pool.hits`).
+    pub fn record_counters(&self, tracer: &hdsj_obs::Tracer, prefix: &str) {
+        if !tracer.enabled() {
+            return;
+        }
+        for (field, value) in [
+            ("reads", self.reads),
+            ("writes", self.writes),
+            ("allocs", self.allocs),
+            ("hits", self.hits),
+            ("evictions", self.evictions),
+            ("writebacks", self.writebacks),
+        ] {
+            tracer.counter(format!("{prefix}.{field}")).add(value);
+        }
     }
 }
 
@@ -127,6 +178,50 @@ impl PhaseTimer {
     }
 }
 
+/// A [`PhaseTimer`] that is also a trace span: the phase shows up both in
+/// [`JoinStats::phases`] (for the experiment tables) and, when the tracer
+/// is enabled, as a child span in the structured trace.
+///
+/// ```
+/// use hdsj_core::stats::{Phase, TracedPhase};
+/// let tracer = hdsj_core::obs::Tracer::disabled();
+/// let root = tracer.span("join");
+/// let mut phases: Vec<Phase> = Vec::new();
+/// let t = TracedPhase::start(&root, "sort");
+/// // ... work ...
+/// t.finish(&mut phases);
+/// assert_eq!(phases[0].name, "sort");
+/// ```
+#[derive(Debug)]
+pub struct TracedPhase {
+    name: &'static str,
+    span: hdsj_obs::Span,
+}
+
+impl TracedPhase {
+    /// Starts a phase as a child span of `parent`.
+    pub fn start(parent: &hdsj_obs::Span, name: &'static str) -> TracedPhase {
+        TracedPhase {
+            name,
+            span: parent.child(name),
+        }
+    }
+
+    /// Mutable access to the underlying span, e.g. to attach attributes.
+    pub fn span_mut(&mut self) -> &mut hdsj_obs::Span {
+        &mut self.span
+    }
+
+    /// Ends the span and records the phase.
+    pub fn finish(self, phases: &mut Vec<Phase>) {
+        let elapsed = self.span.finish();
+        phases.push(Phase {
+            name: self.name,
+            elapsed,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,21 +232,88 @@ mod tests {
             reads: 1,
             writes: 2,
             allocs: 3,
+            hits: 4,
+            evictions: 5,
+            writebacks: 6,
         };
         a.add(&IoCounters {
             reads: 10,
             writes: 20,
             allocs: 30,
+            hits: 40,
+            evictions: 50,
+            writebacks: 60,
         });
         assert_eq!(
             a,
             IoCounters {
                 reads: 11,
                 writes: 22,
-                allocs: 33
+                allocs: 33,
+                hits: 44,
+                evictions: 55,
+                writebacks: 66,
             }
         );
         assert_eq!(a.total(), 33);
+    }
+
+    #[test]
+    fn io_counter_diff_and_hit_rate() {
+        let before = IoCounters {
+            reads: 5,
+            hits: 10,
+            ..Default::default()
+        };
+        let after = IoCounters {
+            reads: 9,
+            hits: 22,
+            evictions: 3,
+            writebacks: 1,
+            ..Default::default()
+        };
+        let d = IoCounters::diff(&after, &before);
+        assert_eq!(d.reads, 4);
+        assert_eq!(d.hits, 12);
+        assert_eq!(d.evictions, 3);
+        assert_eq!(d.writebacks, 1);
+        assert!((d.hit_rate() - 12.0 / 16.0).abs() < 1e-12);
+        assert_eq!(IoCounters::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn io_counters_record_into_tracer() {
+        let (tracer, sink) = hdsj_obs::Tracer::memory();
+        let io = IoCounters {
+            reads: 2,
+            hits: 7,
+            evictions: 1,
+            ..Default::default()
+        };
+        io.record_counters(&tracer, "pool");
+        tracer.flush();
+        assert_eq!(sink.counter_value("pool.hits"), Some(7));
+        assert_eq!(sink.counter_value("pool.reads"), Some(2));
+        assert_eq!(sink.counter_value("pool.evictions"), Some(1));
+    }
+
+    #[test]
+    fn traced_phase_records_both_phase_and_span() {
+        let (tracer, sink) = hdsj_obs::Tracer::memory();
+        let mut phases = Vec::new();
+        {
+            let root = tracer.span("join");
+            let t = TracedPhase::start(&root, "sort");
+            t.finish(&mut phases);
+            root.finish();
+        }
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].name, "sort");
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "sort");
+        assert_eq!(spans[1].name, "join");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
     }
 
     #[test]

@@ -44,6 +44,7 @@ impl Default for HistogramSpec {
 /// into `[0,1)`), so points live on the probability simplex like real
 /// color histograms do.
 pub fn color_histograms(bins: usize, n: usize, spec: HistogramSpec, seed: u64) -> Dataset {
+    let _span = crate::synthetic::gen_span("data.color_histograms", bins, n, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let themes = spec.themes.max(1);
     let per_image = spec.themes_per_image.clamp(1, themes);

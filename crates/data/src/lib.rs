@@ -38,4 +38,23 @@ mod tests {
         let ds = super::uniform(3, 10, 1);
         assert_eq!((ds.dims(), ds.len()), (3, 10));
     }
+
+    #[test]
+    fn generators_record_spans_on_the_global_tracer() {
+        use hdsj_core::obs;
+        let (tracer, events) = obs::Tracer::memory();
+        obs::set_global(tracer);
+        let _ = super::uniform(3, 50, 9);
+        let _ = super::gaussian_clusters(3, 40, super::ClusterSpec::default(), 9);
+        obs::set_global(obs::Tracer::disabled());
+        let spans = events.spans();
+        for name in ["data.uniform", "data.gaussian_clusters"] {
+            let span = spans.iter().find(|s| s.name == name).expect(name);
+            assert!(span.attrs.iter().any(|(k, _)| k == "seed"));
+        }
+        // Generators after the reset stay untraced.
+        let before = events.spans().len();
+        let _ = super::uniform(2, 10, 1);
+        assert_eq!(events.spans().len(), before);
+    }
 }

@@ -8,8 +8,26 @@ use rand::{Rng, SeedableRng};
 /// Largest representable coordinate inside the `[0, 1)` convention.
 const MAX_COORD: f64 = 1.0 - 1e-12;
 
+/// Opens a generation span on the process-global tracer (a no-op unless
+/// one was installed via `hdsj_core::obs::set_global`). Free functions have
+/// no struct to hang a tracer on, hence the global.
+pub(crate) fn gen_span(
+    name: &'static str,
+    dims: usize,
+    n: usize,
+    seed: u64,
+) -> hdsj_core::obs::Span {
+    let tracer = hdsj_core::obs::global();
+    let mut span = tracer.span(name);
+    span.attr_u64("dims", dims as u64);
+    span.attr_u64("n", n as u64);
+    span.attr_u64("seed", seed);
+    span
+}
+
 /// `n` i.i.d. uniform points in `[0,1)^d`.
 pub fn uniform(dims: usize, n: usize, seed: u64) -> Dataset {
+    let _span = gen_span("data.uniform", dims, n, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ds = Dataset::with_capacity(dims, n).expect("dims >= 1");
     let mut p = vec![0.0; dims];
@@ -51,6 +69,7 @@ impl Default for ClusterSpec {
 /// `n` points from `spec.clusters` Gaussian clusters with uniformly placed
 /// centers. Coordinates are clamped into `[0,1)`.
 pub fn gaussian_clusters(dims: usize, n: usize, spec: ClusterSpec, seed: u64) -> Dataset {
+    let _span = gen_span("data.gaussian_clusters", dims, n, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let k = spec.clusters.max(1);
     // Cluster centres.
@@ -97,6 +116,7 @@ pub fn gaussian_clusters(dims: usize, n: usize, spec: ClusterSpec, seed: u64) ->
 /// correlated attributes (the regime where space-filling-curve methods
 /// shine and stripe-based structures degrade).
 pub fn correlated(dims: usize, n: usize, noise: f64, seed: u64) -> Dataset {
+    let _span = gen_span("data.correlated", dims, n, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ds = Dataset::with_capacity(dims, n).expect("dims >= 1");
     let mut p = vec![0.0; dims];

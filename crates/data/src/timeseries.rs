@@ -71,6 +71,7 @@ pub fn dft_coeffs(series: &[f64], k: usize) -> Vec<f64> {
 /// features capture *shape*, matching the similarity-search pipelines the
 /// paper references.
 pub fn fourier_dataset(dims: usize, n: usize, series_len: usize, seed: u64) -> Dataset {
+    let _span = crate::synthetic::gen_span("data.fourier_dataset", dims, n, seed);
     let k = dims.div_ceil(2);
     let mut rows = Vec::with_capacity(n);
     for i in 0..n {

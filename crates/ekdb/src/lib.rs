@@ -18,9 +18,10 @@
 //! the behaviour the paper's memory experiment (E5) contrasts with MSJ's
 //! flat level files.
 
+use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, PairSink, PhaseTimer,
-    Refiner, Result, SimilarityJoin,
+    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, PairSink, Refiner, Result,
+    SimilarityJoin, Tracer,
 };
 
 /// One node of the ε-KDB tree.
@@ -150,11 +151,17 @@ fn stripe_index(x: f64, eps: f64, stripes: usize) -> usize {
 pub struct EkdbJoin {
     /// Points a leaf may hold before it splits.
     pub leaf_capacity: usize,
+    /// Trace sink for spans/counters (disabled by default; see
+    /// `set_tracer`).
+    pub tracer: Tracer,
 }
 
 impl Default for EkdbJoin {
     fn default() -> EkdbJoin {
-        EkdbJoin { leaf_capacity: 64 }
+        EkdbJoin {
+            leaf_capacity: 64,
+            tracer: Tracer::disabled(),
+        }
     }
 }
 
@@ -170,7 +177,14 @@ impl EkdbJoin {
         validate_inputs(a, b, spec)?;
         let mut phases = Vec::new();
 
-        let build = PhaseTimer::start("build");
+        let mut root = self.tracer.span("ekdb.join");
+        root.attr_str("algo", "EKDB");
+        root.attr_u64("n_a", a.len() as u64);
+        root.attr_u64("n_b", b.len() as u64);
+        root.attr_u64("dims", a.dims() as u64);
+        root.attr_f64("eps", spec.eps);
+
+        let build = TracedPhase::start(&root, "build");
         let tree_a = Tree::build(a, spec.eps, self.leaf_capacity);
         let tree_b = match kind {
             JoinKind::SelfJoin => None,
@@ -179,7 +193,7 @@ impl EkdbJoin {
         let structure_bytes = tree_a.bytes() + tree_b.as_ref().map(|t| t.bytes()).unwrap_or(0);
         build.finish(&mut phases);
 
-        let join = PhaseTimer::start("join");
+        let join = TracedPhase::start(&root, "join");
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         let mut ctx = JoinCtx {
             a,
@@ -197,6 +211,13 @@ impl EkdbJoin {
         join.finish(&mut phases);
         stats.phases = phases;
         stats.structure_bytes = structure_bytes;
+        if self.tracer.enabled() {
+            root.attr_u64("candidates", stats.candidates);
+            root.attr_u64("results", stats.results);
+            self.tracer.counter("ekdb.candidates").add(stats.candidates);
+            self.tracer.counter("ekdb.results").add(stats.results);
+        }
+        root.finish();
         Ok(stats)
     }
 }
@@ -343,6 +364,10 @@ impl SimilarityJoin for EkdbJoin {
         "EKDB"
     }
 
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     fn join(
         &mut self,
         a: &Dataset,
@@ -417,7 +442,10 @@ mod tests {
     fn matches_brute_force_with_tiny_leaves() {
         // Tiny leaf capacity forces deep splitting through many dimensions.
         let ds = hdsj_data::uniform(6, 300, 77);
-        let mut ekdb = EkdbJoin { leaf_capacity: 2 };
+        let mut ekdb = EkdbJoin {
+            leaf_capacity: 2,
+            ..Default::default()
+        };
         compare_with_bf(&ds, None, &JoinSpec::new(0.3, Metric::L2), &mut ekdb);
     }
 
@@ -464,7 +492,10 @@ mod tests {
             vec![0.95, 0.5],
         ])
         .unwrap();
-        let mut ekdb = EkdbJoin { leaf_capacity: 2 };
+        let mut ekdb = EkdbJoin {
+            leaf_capacity: 2,
+            ..Default::default()
+        };
         compare_with_bf(&ds, None, &JoinSpec::new(eps, Metric::Linf), &mut ekdb);
     }
 
@@ -473,7 +504,10 @@ mod tests {
         let mut rows = vec![vec![0.5, 0.5, 0.5]; 50];
         rows.push(vec![0.51, 0.5, 0.5]);
         let ds = Dataset::from_rows(&rows).unwrap();
-        let mut ekdb = EkdbJoin { leaf_capacity: 4 };
+        let mut ekdb = EkdbJoin {
+            leaf_capacity: 4,
+            ..Default::default()
+        };
         compare_with_bf(&ds, None, &JoinSpec::new(0.05, Metric::L2), &mut ekdb);
     }
 
@@ -484,10 +518,13 @@ mod tests {
         let ds = hdsj_data::uniform(4, 2000, 8);
         let bytes = |eps: f64| {
             let mut sink = VecSink::default();
-            EkdbJoin { leaf_capacity: 16 }
-                .self_join(&ds, &JoinSpec::new(eps, Metric::L2), &mut sink)
-                .unwrap()
-                .structure_bytes
+            EkdbJoin {
+                leaf_capacity: 16,
+                ..Default::default()
+            }
+            .self_join(&ds, &JoinSpec::new(eps, Metric::L2), &mut sink)
+            .unwrap()
+            .structure_bytes
         };
         assert!(
             bytes(0.01) > 4 * bytes(0.2),

@@ -16,9 +16,10 @@
 //! Cells are kept in a hash directory (occupied cells only), so space is
 //! `O(N)` regardless of how fine the grid is.
 
+use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, PhaseTimer,
-    Refiner, Result, SimilarityJoin,
+    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, Refiner,
+    Result, SimilarityJoin, Tracer,
 };
 use std::collections::HashMap;
 
@@ -37,11 +38,17 @@ use std::collections::HashMap;
 pub struct GridJoin {
     /// Refuse dimensionalities above this (3^d neighbour enumeration).
     pub max_dims: usize,
+    /// Trace sink for spans/counters (disabled by default; see
+    /// `set_tracer`).
+    pub tracer: Tracer,
 }
 
 impl Default for GridJoin {
     fn default() -> GridJoin {
-        GridJoin { max_dims: 10 }
+        GridJoin {
+            max_dims: 10,
+            tracer: Tracer::disabled(),
+        }
     }
 }
 
@@ -139,7 +146,14 @@ impl GridJoin {
         self.check_dims(dims)?;
         let mut phases = Vec::new();
 
-        let build = PhaseTimer::start("build");
+        let mut root = self.tracer.span("grid.join");
+        root.attr_str("algo", "GRID");
+        root.attr_u64("n_a", a.len() as u64);
+        root.attr_u64("n_b", b.len() as u64);
+        root.attr_u64("dims", dims as u64);
+        root.attr_f64("eps", spec.eps);
+
+        let build = TracedPhase::start(&root, "build");
         let dir_a = Directory::build(a, spec.eps);
         let dir_b = match kind {
             JoinKind::SelfJoin => None,
@@ -148,7 +162,7 @@ impl GridJoin {
         let structure_bytes = dir_a.bytes() + dir_b.as_ref().map(|d| d.bytes()).unwrap_or(0);
         build.finish(&mut phases);
 
-        let sweep = PhaseTimer::start("probe");
+        let sweep = TracedPhase::start(&root, "probe");
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         let mut neighbour = vec![0i64; dims];
         match kind {
@@ -202,6 +216,13 @@ impl GridJoin {
         sweep.finish(&mut phases);
         stats.phases = phases;
         stats.structure_bytes = structure_bytes;
+        if self.tracer.enabled() {
+            root.attr_u64("candidates", stats.candidates);
+            root.attr_u64("results", stats.results);
+            self.tracer.counter("grid.candidates").add(stats.candidates);
+            self.tracer.counter("grid.results").add(stats.results);
+        }
+        root.finish();
         Ok(stats)
     }
 }
@@ -209,6 +230,10 @@ impl GridJoin {
 impl SimilarityJoin for GridJoin {
     fn name(&self) -> &'static str {
         "GRID"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn join(
@@ -318,9 +343,12 @@ mod tests {
         assert!(matches!(err, Error::Unsupported(_)), "{err}");
         // Raising the cap overrides the refusal.
         let ds_small = hdsj_data::uniform(11, 50, 1);
-        GridJoin { max_dims: 16 }
-            .self_join(&ds_small, &JoinSpec::l2(0.5), &mut sink)
-            .unwrap();
+        GridJoin {
+            max_dims: 16,
+            ..GridJoin::default()
+        }
+        .self_join(&ds_small, &JoinSpec::l2(0.5), &mut sink)
+        .unwrap();
     }
 
     #[test]

@@ -32,9 +32,10 @@ pub mod s3j;
 pub mod sweep;
 
 use assign::{Assigner, RecordCodec};
+use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
     join::validate_inputs, Dataset, IoCounters, JoinKind, JoinSpec, JoinStats, PairSink,
-    PhaseTimer, Refiner, Result, SimilarityJoin,
+    Refiner, Result, SimilarityJoin, Tracer,
 };
 use hdsj_sfc::Curve;
 use hdsj_storage::sort::{external_sort, SortConfig};
@@ -58,6 +59,9 @@ pub struct Msj {
     /// inline on the sweep thread.
     pub refine_threads: usize,
     engine: Option<StorageEngine>,
+    /// Trace sink for spans/counters (disabled by default; see
+    /// `set_tracer`).
+    pub tracer: Tracer,
 }
 
 impl Default for Msj {
@@ -69,6 +73,7 @@ impl Default for Msj {
             pool_pages: 1024,
             refine_threads: 1,
             engine: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -138,8 +143,17 @@ impl Msj {
         let codec = RecordCodec::new(dims, depth);
         let mut phases = Vec::new();
 
+        let mut root = self.tracer.span("msj.join");
+        root.attr_str("algo", "MSJ");
+        root.attr_u64("n_a", a.len() as u64);
+        root.attr_u64("n_b", b.len() as u64);
+        root.attr_u64("dims", dims as u64);
+        root.attr_f64("eps", spec.eps);
+        root.attr_u64("depth", depth as u64);
+        root.attr_u64("refine_threads", self.refine_threads as u64);
+
         // Phase 1: level assignment, one combined file of tagged entries.
-        let assign_timer = PhaseTimer::start("assign");
+        let assign_timer = TracedPhase::start(&root, "assign");
         let mut file = RecordFile::create(&engine, codec.record_len())?;
         let mut assigner = Assigner::new(dims, depth, spec.eps, self.curve)?;
         let mut rec = vec![0u8; codec.record_len()];
@@ -161,7 +175,7 @@ impl Msj {
         // Phase 2: external sort by (padded cell key, level) — the DFS
         // order of the cell hierarchy. The level byte directly follows the
         // key bytes, so one prefix comparison covers both.
-        let sort_timer = PhaseTimer::start("sort");
+        let sort_timer = TracedPhase::start(&root, "sort");
         let sorted = external_sort(
             &engine,
             &file,
@@ -177,7 +191,7 @@ impl Msj {
 
         // Phase 3: stack-based synchronized sweep, refining inline or on
         // worker threads.
-        let sweep_timer = PhaseTimer::start("sweep");
+        let mut sweep_timer = TracedPhase::start(&root, "sweep");
         let mut stats = JoinStats::default();
         let peak_bytes = if self.refine_threads <= 1 {
             let mut refiner = Refiner::new(a, b, kind, spec, sink);
@@ -195,6 +209,8 @@ impl Msj {
                 kind,
                 spec,
                 self.refine_threads,
+                &self.tracer,
+                sweep_timer.span_mut(),
             )?;
             stats.candidates += candidates;
             stats.dist_evals += candidates;
@@ -210,11 +226,16 @@ impl Msj {
         stats.phases = phases;
         stats.structure_bytes = peak_bytes;
         let io_after = engine.io_counters();
-        stats.io = IoCounters {
-            reads: io_after.reads - io_before.reads,
-            writes: io_after.writes - io_before.writes,
-            allocs: io_after.allocs - io_before.allocs,
-        };
+        stats.io = IoCounters::diff(&io_after, &io_before);
+        if self.tracer.enabled() {
+            root.attr_u64("candidates", stats.candidates);
+            root.attr_u64("results", stats.results);
+            self.tracer.counter("msj.candidates").add(stats.candidates);
+            self.tracer.counter("msj.results").add(stats.results);
+            stats.io.record_counters(&self.tracer, "pool");
+            self.tracer.gauge("pool.hit_rate", stats.io.hit_rate());
+        }
+        root.finish();
         Ok(stats)
     }
 }
@@ -222,6 +243,10 @@ impl Msj {
 impl SimilarityJoin for Msj {
     fn name(&self) -> &'static str {
         "MSJ"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn join(
@@ -472,6 +497,59 @@ mod parallel_tests {
             .join(&a, &b, &spec, &mut par)
             .unwrap();
         verify::assert_same_results("MSJ parallel two-set", &serial.pairs, &par.pairs);
+    }
+
+    #[test]
+    fn refine_worker_counters_are_exact_under_concurrency() {
+        use hdsj_core::obs::{AttrValue, Tracer};
+
+        let ds = hdsj_data::uniform(6, 1200, 2004);
+        let spec = JoinSpec::new(0.3, Metric::L2);
+        let (tracer, events) = Tracer::memory();
+        let mut msj = Msj::with_refine_threads(4);
+        msj.set_tracer(tracer.clone());
+        let mut out = VecSink::default();
+        let stats = msj.self_join(&ds, &spec, &mut out).unwrap();
+        tracer.flush();
+
+        // The shared counters are incremented concurrently from every
+        // worker, one batch at a time — they must still sum exactly.
+        assert_eq!(
+            events.counter_value("msj.refine.pairs"),
+            Some(stats.results)
+        );
+        assert_eq!(
+            events.counter_value("msj.refine.candidates"),
+            Some(stats.candidates)
+        );
+
+        // Each worker reports its own span under the sweep phase, and the
+        // per-worker attributes also sum to the totals.
+        let spans = events.spans();
+        let sweep_id = spans
+            .iter()
+            .find(|s| s.name == "sweep")
+            .expect("sweep span")
+            .id;
+        let attr_total = |key: &str| -> u64 {
+            spans
+                .iter()
+                .filter(|s| s.name == "refine-worker")
+                .map(|s| {
+                    assert_eq!(s.parent, Some(sweep_id));
+                    match s.attrs.iter().find(|(k, _)| k == key) {
+                        Some((_, AttrValue::U64(v))) => *v,
+                        other => panic!("missing u64 attr {key}: {other:?}"),
+                    }
+                })
+                .sum()
+        };
+        assert_eq!(
+            spans.iter().filter(|s| s.name == "refine-worker").count(),
+            4
+        );
+        assert_eq!(attr_total("pairs"), stats.results);
+        assert_eq!(attr_total("candidates"), stats.candidates);
     }
 
     #[test]

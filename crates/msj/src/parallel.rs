@@ -7,11 +7,19 @@
 //! channel and worker threads verify them against the metric, each
 //! accumulating its own result list. Results are identical to the serial
 //! path (order of sink delivery aside), which the tests pin down.
+//!
+//! When a tracer is installed, each worker reports a `refine-worker` span
+//! (child of the sweep span) carrying its pair/candidate counts and the
+//! time it spent blocked on the channel, and increments the shared
+//! `msj.refine.pairs` / `msj.refine.candidates` counters; the sweep side
+//! reports its channel-send backpressure as `msj.sweep.send_wait_us`.
 
 use crate::assign::RecordCodec;
 use crate::sweep;
-use hdsj_core::{Dataset, Error, JoinKind, JoinSpec, Result};
+use hdsj_core::obs::Span;
+use hdsj_core::{Dataset, Error, JoinKind, JoinSpec, Result, Tracer};
 use hdsj_storage::RecordFile;
+use std::time::{Duration, Instant};
 
 /// Candidate pairs per channel message: large enough to amortize channel
 /// overhead, small enough to keep workers busy.
@@ -21,7 +29,9 @@ const BATCH: usize = 4096;
 /// sweep.
 pub type RefineOutcome = (u64, Vec<(u32, u32)>, u64);
 
-/// Runs the sweep with `threads` refinement workers.
+/// Runs the sweep with `threads` refinement workers. `parent` is the span
+/// the per-worker spans nest under (the caller's sweep phase).
+#[allow(clippy::too_many_arguments)]
 pub fn sweep_and_refine(
     sorted: &RecordFile,
     codec: &RecordCodec,
@@ -30,20 +40,42 @@ pub fn sweep_and_refine(
     kind: JoinKind,
     spec: &JoinSpec,
     threads: usize,
+    tracer: &Tracer,
+    parent: &Span,
 ) -> Result<RefineOutcome> {
     let threads = threads.max(1);
     let eps = spec.eps;
     let metric = spec.metric;
+    let traced = tracer.enabled();
+    let pairs_counter = tracer.counter("msj.refine.pairs");
+    let candidates_counter = tracer.counter("msj.refine.candidates");
 
     let scope_result = crossbeam::thread::scope(|s| -> Result<RefineOutcome> {
         let (tx, rx) = crossbeam::channel::bounded::<Vec<(u32, u32)>>(threads * 4);
         let mut workers = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for worker_idx in 0..threads {
             let rx = rx.clone();
+            let pairs_counter = pairs_counter.clone();
+            let candidates_counter = candidates_counter.clone();
             workers.push(s.spawn(move |_| {
+                let mut span = parent.child("refine-worker");
                 let mut pairs: Vec<(u32, u32)> = Vec::new();
                 let mut candidates = 0u64;
-                for batch in rx.iter() {
+                let mut wait = Duration::ZERO;
+                loop {
+                    let blocked = Instant::now();
+                    let batch = match rx.recv() {
+                        Ok(batch) => {
+                            wait += blocked.elapsed();
+                            batch
+                        }
+                        Err(_) => {
+                            wait += blocked.elapsed();
+                            break;
+                        }
+                    };
+                    let mut batch_pairs = 0u64;
+                    let mut batch_candidates = 0u64;
                     for (i, j) in batch {
                         let (i, j) = match kind {
                             JoinKind::TwoSets => (i, j),
@@ -54,11 +86,25 @@ pub fn sweep_and_refine(
                                 (i.min(j), i.max(j))
                             }
                         };
-                        candidates += 1;
+                        batch_candidates += 1;
                         if metric.within(a.point(i), b.point(j), eps) {
                             pairs.push((i, j));
+                            batch_pairs += 1;
                         }
                     }
+                    candidates += batch_candidates;
+                    if traced {
+                        // Per-batch shared increments: concurrent with the
+                        // other workers, summing exactly to the totals.
+                        candidates_counter.add(batch_candidates);
+                        pairs_counter.add(batch_pairs);
+                    }
+                }
+                if traced {
+                    span.attr_u64("worker", worker_idx as u64);
+                    span.attr_u64("pairs", pairs.len() as u64);
+                    span.attr_u64("candidates", candidates);
+                    span.attr_u64("wait_us", wait.as_micros() as u64);
                 }
                 (pairs, candidates)
             }));
@@ -70,18 +116,22 @@ pub fn sweep_and_refine(
         // on panic — propagate as a storage error rather than unwinding.
         let mut batch: Vec<(u32, u32)> = Vec::with_capacity(BATCH);
         let mut send_error = false;
+        let mut send_wait = Duration::ZERO;
         let peak = {
             let mut offer = |i: u32, j: u32| {
                 if send_error {
                     return;
                 }
                 batch.push((i, j));
-                if batch.len() == BATCH
-                    && tx
+                if batch.len() == BATCH {
+                    let blocked = Instant::now();
+                    if tx
                         .send(std::mem::replace(&mut batch, Vec::with_capacity(BATCH)))
                         .is_err()
-                {
-                    send_error = true;
+                    {
+                        send_error = true;
+                    }
+                    send_wait += blocked.elapsed();
                 }
             };
             sweep::sweep(sorted, codec, a, b, kind, eps, &mut offer)?
@@ -90,6 +140,11 @@ pub fn sweep_and_refine(
             let _ = tx.send(batch);
         }
         drop(tx);
+        if traced {
+            tracer
+                .counter("msj.sweep.send_wait_us")
+                .add(send_wait.as_micros() as u64);
+        }
 
         let mut all_pairs = Vec::new();
         let mut candidates = 0u64;

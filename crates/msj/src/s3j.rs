@@ -12,9 +12,9 @@
 //! (exact `Rect::intersects` instead of a metric test).
 
 use crate::assign::{prefix_bits_equal, Assigner, RecordCodec, TAG_A, TAG_B};
+use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    Error, IoCounters, JoinKind, JoinSpec, JoinStats, Metric, PairSink, PhaseTimer, Rect,
-    Result,
+    Error, IoCounters, JoinKind, JoinSpec, JoinStats, Metric, PairSink, Rect, Result, Tracer,
 };
 use hdsj_sfc::Curve;
 use hdsj_storage::sort::{external_sort, SortConfig};
@@ -33,6 +33,9 @@ pub struct S3j {
     /// Buffer-pool frames of the owned engine (when none is supplied).
     pub pool_pages: usize,
     engine: Option<StorageEngine>,
+    /// Trace sink for spans/counters (disabled by default; see
+    /// `set_tracer`).
+    pub tracer: Tracer,
 }
 
 impl Default for S3j {
@@ -43,6 +46,7 @@ impl Default for S3j {
             sort_mem_records: 128 * 1024,
             pool_pages: 1024,
             engine: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -54,6 +58,11 @@ impl S3j {
             engine: Some(engine),
             ..S3j::default()
         }
+    }
+
+    /// Installs a tracer; subsequent runs record spans and counters.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Intersection join of two rectangle sets: every `(i, j)` with
@@ -84,10 +93,17 @@ impl S3j {
         let codec = RecordCodec::new(dims, self.depth);
         let mut phases = Vec::new();
 
+        let mut root = self.tracer.span("s3j.join");
+        root.attr_str("algo", "S3J");
+        root.attr_u64("n_a", a.len() as u64);
+        root.attr_u64("n_b", b.len() as u64);
+        root.attr_u64("dims", dims as u64);
+        root.attr_u64("depth", self.depth as u64);
+
         // Phase 1: level assignment. The assigner's ε-expansion is disabled
         // (ε = 0 would be rejected by JoinSpec, but the assigner itself only
         // uses ε for the cube case; faces are passed explicitly here).
-        let assign_timer = PhaseTimer::start("assign");
+        let assign_timer = TracedPhase::start(&root, "assign");
         let mut assigner = Assigner::new(dims, self.depth, 1.0, self.curve)?;
         let mut file = RecordFile::create(&engine, codec.record_len())?;
         let mut rec = vec![0u8; codec.record_len()];
@@ -107,7 +123,7 @@ impl S3j {
         assign_timer.finish(&mut phases);
 
         // Phase 2: DFS-order external sort (identical to the ε-join).
-        let sort_timer = PhaseTimer::start("sort");
+        let sort_timer = TracedPhase::start(&root, "sort");
         let sorted = external_sort(
             &engine,
             &file,
@@ -122,7 +138,7 @@ impl S3j {
         sort_timer.finish(&mut phases);
 
         // Phase 3: stack sweep with rectangle refinement.
-        let sweep_timer = PhaseTimer::start("sweep");
+        let sweep_timer = TracedPhase::start(&root, "sweep");
         let mut stats = JoinStats::default();
         let peak = rect_sweep(&sorted, &codec, a, b, kind, sink, &mut stats)?;
         sweep_timer.finish(&mut phases);
@@ -131,11 +147,15 @@ impl S3j {
         stats.phases = phases;
         stats.structure_bytes = peak;
         let io_after = engine.io_counters();
-        stats.io = IoCounters {
-            reads: io_after.reads - io_before.reads,
-            writes: io_after.writes - io_before.writes,
-            allocs: io_after.allocs - io_before.allocs,
-        };
+        stats.io = IoCounters::diff(&io_after, &io_before);
+        if self.tracer.enabled() {
+            root.attr_u64("candidates", stats.candidates);
+            root.attr_u64("results", stats.results);
+            self.tracer.counter("s3j.candidates").add(stats.candidates);
+            self.tracer.counter("s3j.results").add(stats.results);
+            stats.io.record_counters(&self.tracer, "pool");
+        }
+        root.finish();
         Ok(stats)
     }
 }

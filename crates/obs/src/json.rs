@@ -1,0 +1,509 @@
+//! Hand-rolled JSON encoding/decoding for trace events.
+//!
+//! The workspace builds with no external dependencies, so the JSONL codec
+//! is written out by hand: an event encoder producing one compact object
+//! per line, and a small recursive-descent parser covering the JSON subset
+//! those lines use (objects, arrays, strings with escapes, numbers, bools,
+//! null). The parser is general enough for any well-formed JSON document,
+//! which keeps the round-trip property testable.
+
+use crate::{AttrValue, CounterEvent, Event, GaugeEvent, SpanEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+/// Escapes and quotes a string per JSON.
+pub fn encode_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Encodes an `f64` so it parses back as a JSON number (`NaN`/`inf` have no
+/// JSON representation and encode as `null`).
+pub fn encode_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `format!("{}", 1.0)` yields "1"; keep a decimal point so readers
+        // see a float.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn encode_attrs(attrs: &[(String, AttrValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&encode_str(key));
+        out.push(':');
+        match value {
+            AttrValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            AttrValue::F64(v) => out.push_str(&encode_f64(*v)),
+            AttrValue::Str(s) => out.push_str(&encode_str(s)),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// One event as a single-line JSON object (no trailing newline).
+pub fn encode_event(event: &Event) -> String {
+    match event {
+        Event::Span(s) => {
+            let mut out = format!("{{\"t\":\"span\",\"id\":{}", s.id);
+            if let Some(parent) = s.parent {
+                let _ = write!(out, ",\"parent\":{parent}");
+            }
+            let _ = write!(
+                out,
+                ",\"name\":{},\"start_us\":{},\"dur_us\":{}",
+                encode_str(&s.name),
+                s.start_us,
+                s.dur_us
+            );
+            if !s.attrs.is_empty() {
+                let _ = write!(out, ",\"attrs\":{}", encode_attrs(&s.attrs));
+            }
+            out.push('}');
+            out
+        }
+        Event::Counter(c) => format!(
+            "{{\"t\":\"counter\",\"name\":{},\"value\":{}}}",
+            encode_str(&c.name),
+            c.value
+        ),
+        Event::Gauge(g) => format!(
+            "{{\"t\":\"gauge\",\"name\":{},\"value\":{}}}",
+            encode_str(&g.name),
+            encode_f64(g.value)
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+/// A parsed JSON value. Integers that fit `u64` are kept exact (`U64`);
+/// everything else numeric becomes `F64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, requiring it to span the full input.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            b as char,
+            *pos,
+            bytes.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: Value,
+) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']', found {other:?}")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        // Surrogate pairs are not produced by our encoder;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid; find the next char boundary).
+                let rest = &bytes[*pos..];
+                let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad number")?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::U64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|e| format!("invalid number '{text}': {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Event decoding
+
+/// Decodes one JSONL line back into an [`Event`] — the inverse of
+/// [`encode_event`].
+pub fn decode_event(line: &str) -> Result<Event, String> {
+    let value = parse(line)?;
+    let tag = value
+        .get("t")
+        .and_then(Value::as_str)
+        .ok_or("event missing \"t\" tag")?;
+    match tag {
+        "span" => {
+            let attrs = match value.get("attrs") {
+                None => Vec::new(),
+                Some(Value::Obj(map)) => map
+                    .iter()
+                    .map(|(k, v)| {
+                        let attr = match v {
+                            Value::U64(n) => AttrValue::U64(*n),
+                            Value::F64(f) => AttrValue::F64(*f),
+                            Value::Str(s) => AttrValue::Str(s.clone()),
+                            other => AttrValue::Str(format!("{other:?}")),
+                        };
+                        (k.clone(), attr)
+                    })
+                    .collect(),
+                Some(other) => return Err(format!("attrs must be an object, got {other:?}")),
+            };
+            Ok(Event::Span(SpanEvent {
+                id: value.get("id").and_then(Value::as_u64).ok_or("span.id")?,
+                parent: value.get("parent").and_then(Value::as_u64),
+                name: value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("span.name")?
+                    .to_string(),
+                start_us: value
+                    .get("start_us")
+                    .and_then(Value::as_u64)
+                    .ok_or("span.start_us")?,
+                dur_us: value
+                    .get("dur_us")
+                    .and_then(Value::as_u64)
+                    .ok_or("span.dur_us")?,
+                attrs,
+            }))
+        }
+        "counter" => Ok(Event::Counter(CounterEvent {
+            name: value
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("counter.name")?
+                .to_string(),
+            value: value
+                .get("value")
+                .and_then(Value::as_u64)
+                .ok_or("counter.value")?,
+        })),
+        "gauge" => Ok(Event::Gauge(GaugeEvent {
+            name: value
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("gauge.name")?
+                .to_string(),
+            value: value
+                .get("value")
+                .and_then(Value::as_f64)
+                .ok_or("gauge.value")?,
+        })),
+        other => Err(format!("unknown event tag {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let original = "a \"quoted\" line\nwith\ttabs \\ and unicode: ε";
+        let encoded = encode_str(original);
+        let parsed = parse(&encoded).unwrap();
+        assert_eq!(parsed, Value::Str(original.to_string()));
+    }
+
+    #[test]
+    fn numbers_parse_exactly() {
+        assert_eq!(parse("18446744073709551615").unwrap(), Value::U64(u64::MAX));
+        assert_eq!(parse("0").unwrap(), Value::U64(0));
+        assert_eq!(parse("-3.5").unwrap(), Value::F64(-3.5));
+        assert_eq!(parse("1e3").unwrap(), Value::F64(1000.0));
+        assert!(parse("-").is_err());
+        assert!(parse("01x").is_err());
+    }
+
+    #[test]
+    fn documents_parse_structurally() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":true,"d":"x"}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("d").and_then(Value::as_str), Some("x"));
+        match v.get("a") {
+            Some(Value::Arr(items)) => assert_eq!(items.len(), 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(r#"{"a":1"#).is_err());
+        assert!(parse("[1,2] tail").is_err());
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let events = vec![
+            Event::Span(SpanEvent {
+                id: 7,
+                parent: Some(3),
+                name: "sweep \"inner\"".to_string(),
+                start_us: 1234,
+                dur_us: u64::MAX,
+                attrs: vec![
+                    ("pairs".to_string(), AttrValue::U64(42)),
+                    ("rate".to_string(), AttrValue::F64(0.5)),
+                    ("algo".to_string(), AttrValue::Str("MSJ".to_string())),
+                ],
+            }),
+            Event::Span(SpanEvent {
+                id: 1,
+                parent: None,
+                name: "join".to_string(),
+                start_us: 0,
+                dur_us: 0,
+                attrs: Vec::new(),
+            }),
+            Event::Counter(CounterEvent {
+                name: "pool.hits".to_string(),
+                value: u64::MAX,
+            }),
+            Event::Gauge(GaugeEvent {
+                name: "precision".to_string(),
+                value: 0.125,
+            }),
+        ];
+        for event in events {
+            let line = encode_event(&event);
+            let mut back = decode_event(&line).unwrap();
+            // Attribute order is not part of the schema (objects are
+            // unordered); compare sorted.
+            if let (Event::Span(a), Event::Span(b)) = (&event, &mut back) {
+                let mut want = a.clone();
+                want.attrs.sort_by(|x, y| x.0.cmp(&y.0));
+                b.attrs.sort_by(|x, y| x.0.cmp(&y.0));
+                assert_eq!(&want, b);
+            } else {
+                assert_eq!(event, back);
+            }
+        }
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(encode_f64(1.0), "1.0");
+        assert_eq!(encode_f64(0.25), "0.25");
+        assert_eq!(encode_f64(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,260 @@
+//! Trace-file analysis: parse a JSONL trace back into events and render a
+//! flamegraph-style phase tree with top counters.
+//!
+//! This is the consumer side of the [`crate::JsonlSink`] schema, used by
+//! the `hdsj trace-report` subcommand and by tests that check the JSONL
+//! round trip.
+
+use crate::json;
+use crate::{CounterEvent, Event, GaugeEvent, SpanEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fully parsed trace file.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub spans: Vec<SpanEvent>,
+    pub counters: Vec<CounterEvent>,
+    pub gauges: Vec<GaugeEvent>,
+}
+
+impl Trace {
+    /// Parses JSONL text (one event object per non-empty line).
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut trace = Trace::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match json::decode_event(line).map_err(|e| format!("line {}: {e}", lineno + 1))? {
+                Event::Span(s) => trace.spans.push(s),
+                Event::Counter(c) => trace.counters.push(c),
+                Event::Gauge(g) => trace.gauges.push(g),
+            }
+        }
+        Ok(trace)
+    }
+
+    /// The named counter's value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The first span with the given name, if any.
+    pub fn span(&self, name: &str) -> Option<&SpanEvent> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Root spans (no parent), ordered by start time.
+    pub fn roots(&self) -> Vec<&SpanEvent> {
+        let mut roots: Vec<&SpanEvent> =
+            self.spans.iter().filter(|s| s.parent.is_none()).collect();
+        roots.sort_by_key(|s| s.start_us);
+        roots
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn fmt_attrs(span: &SpanEvent) -> String {
+    if span.attrs.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = span
+        .attrs
+        .iter()
+        .map(|(k, v)| match v {
+            crate::AttrValue::U64(n) => format!("{k}={n}"),
+            crate::AttrValue::F64(f) => format!("{k}={f:.4}"),
+            crate::AttrValue::Str(s) => format!("{k}={s}"),
+        })
+        .collect();
+    format!("  [{}]", parts.join(" "))
+}
+
+const BAR_WIDTH: usize = 24;
+
+fn render_span(
+    out: &mut String,
+    span: &SpanEvent,
+    children: &BTreeMap<u64, Vec<&SpanEvent>>,
+    depth: usize,
+    root_dur: u64,
+) {
+    let share = if root_dur == 0 {
+        0.0
+    } else {
+        span.dur_us as f64 / root_dur as f64
+    };
+    let filled = ((share * BAR_WIDTH as f64).round() as usize).min(BAR_WIDTH);
+    let bar: String = std::iter::repeat_n('█', filled)
+        .chain(std::iter::repeat_n('·', BAR_WIDTH - filled))
+        .collect();
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", span.name);
+    let _ = writeln!(
+        out,
+        "{label:<32} {bar} {:>10} {:>6.1}%{}",
+        fmt_us(span.dur_us),
+        share * 100.0,
+        fmt_attrs(span)
+    );
+    if let Some(kids) = children.get(&span.id) {
+        for child in kids {
+            render_span(out, child, children, depth + 1, root_dur);
+        }
+    }
+}
+
+/// Renders the span tree (one indented line per span, with a duration bar
+/// scaled to its root) followed by the top `max_counters` counters and all
+/// gauges.
+pub fn render(trace: &Trace, max_counters: usize) -> String {
+    let mut out = String::new();
+    let mut children: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+    for span in &trace.spans {
+        if let Some(parent) = span.parent {
+            children.entry(parent).or_default().push(span);
+        }
+    }
+    for kids in children.values_mut() {
+        kids.sort_by_key(|s| s.start_us);
+    }
+
+    let roots = trace.roots();
+    if roots.is_empty() && !trace.spans.is_empty() {
+        let _ = writeln!(out, "(no root spans; {} orphaned)", trace.spans.len());
+    }
+    for root in roots {
+        render_span(&mut out, root, &children, 0, root.dur_us.max(1));
+    }
+
+    if !trace.counters.is_empty() {
+        let mut counters = trace.counters.clone();
+        counters.sort_by(|a, b| b.value.cmp(&a.value).then_with(|| a.name.cmp(&b.name)));
+        let _ = writeln!(out, "\ntop counters:");
+        for c in counters.iter().take(max_counters) {
+            let _ = writeln!(out, "  {:<40} {:>14}", c.name, c.value);
+        }
+        if counters.len() > max_counters {
+            let _ = writeln!(out, "  … {} more", counters.len() - max_counters);
+        }
+    }
+
+    if !trace.gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges:");
+        for g in &trace.gauges {
+            let _ = writeln!(out, "  {:<40} {:>14.6}", g.name, g.value);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn sample_trace() -> Trace {
+        let (tracer, sink) = Tracer::memory();
+        {
+            let mut root = tracer.span("join");
+            root.attr_str("algo", "MSJ");
+            {
+                let assign = root.child("assign");
+                assign.finish();
+            }
+            {
+                let sort = root.child("sort");
+                let _merge = sort.child("merge");
+            }
+            tracer.counter("pairs").add(10);
+            tracer.counter("pool.hits").add(99);
+            tracer.gauge("precision", 0.5);
+        }
+        tracer.flush();
+        // Round-trip through the JSONL codec to exercise the parser.
+        let text: String = sink
+            .events()
+            .iter()
+            .map(|e| crate::json::encode_event(e) + "\n")
+            .collect();
+        Trace::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_structure() {
+        let trace = sample_trace();
+        assert_eq!(trace.spans.len(), 4);
+        assert_eq!(trace.roots().len(), 1);
+        let root = trace.span("join").unwrap();
+        assert!(root.parent.is_none());
+        let sort = trace.span("sort").unwrap();
+        assert_eq!(sort.parent, Some(root.id));
+        let merge = trace.span("merge").unwrap();
+        assert_eq!(merge.parent, Some(sort.id));
+        assert_eq!(trace.counter("pairs"), Some(10));
+        assert_eq!(trace.counter("pool.hits"), Some(99));
+        assert_eq!(trace.gauges.len(), 1);
+    }
+
+    #[test]
+    fn render_shows_every_span_and_top_counters() {
+        let trace = sample_trace();
+        let text = render(&trace, 10);
+        for name in ["join", "assign", "sort", "merge"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("pool.hits"));
+        assert!(text.contains("precision"));
+        assert!(text.contains('%'));
+        // Children are indented under their parents.
+        let join_line = text
+            .lines()
+            .position(|l| l.trim_start().starts_with("join"))
+            .unwrap();
+        let merge_line = text.lines().position(|l| l.contains("merge")).unwrap();
+        assert!(merge_line > join_line);
+    }
+
+    #[test]
+    fn counter_list_truncates() {
+        let mut trace = Trace::default();
+        for i in 0..10 {
+            trace.counters.push(crate::CounterEvent {
+                name: format!("c{i}"),
+                value: i,
+            });
+        }
+        let text = render(&trace, 3);
+        assert!(text.contains("… 7 more"));
+    }
+
+    #[test]
+    fn bad_lines_report_line_numbers() {
+        let err = Trace::parse("{\"t\":\"span\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = Trace::parse("{\"t\":\"counter\",\"name\":\"x\",\"value\":1}\nnot json\n")
+            .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_blank_lines_are_skipped() {
+        let trace =
+            Trace::parse("\n\n{\"t\":\"gauge\",\"name\":\"g\",\"value\":1.5}\n\n").unwrap();
+        assert_eq!(trace.gauges.len(), 1);
+    }
+}

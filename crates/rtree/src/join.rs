@@ -12,9 +12,10 @@
 use crate::build::BuildStrategy;
 use crate::node::Node;
 use crate::tree::RTree;
+use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, IoCounters, JoinKind, JoinSpec, JoinStats, PairSink,
-    PhaseTimer, Rect, Refiner, Result, SimilarityJoin,
+    join::validate_inputs, Dataset, IoCounters, JoinKind, JoinSpec, JoinStats, PairSink, Rect,
+    Refiner, Result, SimilarityJoin, Tracer,
 };
 use hdsj_storage::{PageId, StorageEngine};
 
@@ -28,6 +29,9 @@ pub struct RsjJoin {
     /// Buffer-pool frames of the owned engine (when none is supplied).
     pub pool_pages: usize,
     engine: Option<StorageEngine>,
+    /// Trace sink for spans/counters (disabled by default; see
+    /// `set_tracer`).
+    pub tracer: Tracer,
 }
 
 impl Default for RsjJoin {
@@ -37,6 +41,7 @@ impl Default for RsjJoin {
             fill: 0.7,
             pool_pages: 1024,
             engine: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -75,7 +80,14 @@ impl RsjJoin {
         let io_before = engine.io_counters();
         let mut phases = Vec::new();
 
-        let build = PhaseTimer::start("build");
+        let mut root = self.tracer.span("rsj.join");
+        root.attr_str("algo", "RSJ");
+        root.attr_u64("n_a", a.len() as u64);
+        root.attr_u64("n_b", b.len() as u64);
+        root.attr_u64("dims", a.dims() as u64);
+        root.attr_f64("eps", spec.eps);
+
+        let build = TracedPhase::start(&root, "build");
         let tree_a = RTree::build(&engine, a, self.strategy, self.fill)?;
         let tree_b = match kind {
             JoinKind::SelfJoin => None,
@@ -85,7 +97,7 @@ impl RsjJoin {
             + tree_b.as_ref().map(|t| t.structure_bytes()).unwrap_or(0);
         build.finish(&mut phases);
 
-        let join = PhaseTimer::start("join");
+        let join = TracedPhase::start(&root, "join");
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         {
             let mut traversal = Traversal {
@@ -108,11 +120,15 @@ impl RsjJoin {
         stats.phases = phases;
         stats.structure_bytes = structure_bytes;
         let io_after = engine.io_counters();
-        stats.io = IoCounters {
-            reads: io_after.reads - io_before.reads,
-            writes: io_after.writes - io_before.writes,
-            allocs: io_after.allocs - io_before.allocs,
-        };
+        stats.io = IoCounters::diff(&io_after, &io_before);
+        if self.tracer.enabled() {
+            root.attr_u64("candidates", stats.candidates);
+            root.attr_u64("results", stats.results);
+            self.tracer.counter("rsj.candidates").add(stats.candidates);
+            self.tracer.counter("rsj.results").add(stats.results);
+            stats.io.record_counters(&self.tracer, "pool");
+        }
+        root.finish();
         Ok(stats)
     }
 }
@@ -226,6 +242,10 @@ fn linf_within(a: &[f64], b: &[f64], eps: f64) -> bool {
 impl SimilarityJoin for RsjJoin {
     fn name(&self) -> &'static str {
         "RSJ"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn join(

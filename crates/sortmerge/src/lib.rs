@@ -16,9 +16,10 @@
 //! The projection dimension is selectable; [`SortMergeJoin::best_dimension`]
 //! picks the highest-variance one, the standard heuristic.
 
+use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, PhaseTimer,
-    Refiner, Result, SimilarityJoin,
+    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, Refiner,
+    Result, SimilarityJoin, Tracer,
 };
 
 /// Sort-merge join over one projected dimension.
@@ -36,6 +37,9 @@ pub struct SortMergeJoin {
     /// Projection dimension; `None` selects the highest-variance dimension
     /// of the (left) input at run time.
     pub dimension: Option<usize>,
+    /// Trace sink for spans/counters (disabled by default; see
+    /// `set_tracer`).
+    pub tracer: Tracer,
 }
 
 impl SortMergeJoin {
@@ -43,6 +47,7 @@ impl SortMergeJoin {
     pub fn on_dimension(dimension: usize) -> SortMergeJoin {
         SortMergeJoin {
             dimension: Some(dimension),
+            ..SortMergeJoin::default()
         }
     }
 
@@ -84,7 +89,15 @@ impl SortMergeJoin {
         };
         let mut phases = Vec::new();
 
-        let sort_timer = PhaseTimer::start("sort");
+        let mut root = self.tracer.span("sm1d.join");
+        root.attr_str("algo", "SM1D");
+        root.attr_u64("n_a", a.len() as u64);
+        root.attr_u64("n_b", b.len() as u64);
+        root.attr_u64("dims", dims as u64);
+        root.attr_f64("eps", spec.eps);
+        root.attr_u64("projection_dim", dim as u64);
+
+        let sort_timer = TracedPhase::start(&root, "sort");
         let sorted_a = sorted_projection(a, dim);
         let sorted_b = match kind {
             JoinKind::SelfJoin => None,
@@ -94,7 +107,7 @@ impl SortMergeJoin {
             (sorted_a.len() + sorted_b.as_ref().map(|s| s.len()).unwrap_or(0)) as u64 * 12;
         sort_timer.finish(&mut phases);
 
-        let sweep_timer = PhaseTimer::start("sweep");
+        let sweep_timer = TracedPhase::start(&root, "sweep");
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         match &sorted_b {
             None => {
@@ -127,6 +140,13 @@ impl SortMergeJoin {
 
         stats.phases = phases;
         stats.structure_bytes = structure_bytes;
+        if self.tracer.enabled() {
+            root.attr_u64("candidates", stats.candidates);
+            root.attr_u64("results", stats.results);
+            self.tracer.counter("sm1d.candidates").add(stats.candidates);
+            self.tracer.counter("sm1d.results").add(stats.results);
+        }
+        root.finish();
         Ok(stats)
     }
 }
@@ -140,6 +160,10 @@ fn sorted_projection(ds: &Dataset, dim: usize) -> Vec<(f64, u32)> {
 impl SimilarityJoin for SortMergeJoin {
     fn name(&self) -> &'static str {
         "SM1D"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn join(

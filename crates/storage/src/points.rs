@@ -209,11 +209,7 @@ pub fn disk_block_nested_loops(
     timer.finish(&mut phases);
     stats.phases = phases;
     let io_after = engine.io_counters();
-    stats.io = IoCounters {
-        reads: io_after.reads - io_before.reads,
-        writes: io_after.writes - io_before.writes,
-        allocs: io_after.allocs - io_before.allocs,
-    };
+    stats.io = IoCounters::diff(&io_after, &io_before);
     stats.structure_bytes = (block_points * (a.dims() * 8 + 16)) as u64 * 2;
     Ok(stats)
 }

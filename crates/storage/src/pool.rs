@@ -87,6 +87,7 @@ impl BufferPool {
         if let Some(frame) = inner.map.get(&id) {
             frame.last_used.store(tick, Ordering::Relaxed);
             frame.pins.fetch_add(1, Ordering::Relaxed);
+            self.stats.record_hit();
             return Ok(PinnedPage {
                 frame: Arc::clone(frame),
             });
@@ -172,9 +173,11 @@ impl BufferPool {
                 ))
             })?;
         let frame = inner.map.remove(&victim).expect("victim resident");
+        self.stats.record_eviction();
         if frame.dirty.load(Ordering::Relaxed) {
             let page = frame.page.read();
             self.disk.write_page(victim, &page)?;
+            self.stats.record_writeback();
         }
         Ok(())
     }
@@ -281,6 +284,44 @@ mod tests {
         let back = p.fetch(a_id).unwrap(); // evicts clean b -> 0 writes
         assert_eq!(p.stats().snapshot().writes, 0);
         assert_eq!(back.read().get_u64(0), 77, "dirty data survived eviction");
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_counters_across_forced_evictions() {
+        // Two frames, three pages: every round-robin fetch cycle misses and
+        // evicts, so the counters are exactly predictable.
+        let p = pool(2);
+        let ids: Vec<_> = (0..3).map(|_| p.alloc().unwrap().id()).collect();
+        p.stats().reset();
+
+        // Warm fetches of the two resident pages: hits, no I/O. (alloc of
+        // page 2 evicted page 0, so residents are pages 1 and 2.)
+        drop(p.fetch(ids[1]).unwrap());
+        drop(p.fetch(ids[2]).unwrap());
+        let snap = p.stats().snapshot();
+        assert_eq!((snap.hits, snap.reads, snap.evictions), (2, 0, 0));
+
+        // Three cold fetches in LRU-hostile order: each one misses and
+        // evicts a clean page (no write-backs — nothing is dirty).
+        for &id in &[ids[0], ids[1], ids[2]] {
+            drop(p.fetch(id).unwrap());
+        }
+        let snap = p.stats().snapshot();
+        assert_eq!(snap.hits, 2, "cold fetches add no hits");
+        assert_eq!(snap.reads, 3, "every cold fetch reads");
+        assert_eq!(snap.evictions, 3, "every cold fetch evicts");
+        assert_eq!(snap.writebacks, 0, "clean victims need no write-back");
+        assert!((p.stats().hit_rate() - 0.4).abs() < 1e-12, "2 of 5");
+
+        // Dirty a page, force it out: the eviction becomes a write-back.
+        p.fetch(ids[0]).unwrap().write().put_u64(0, 9);
+        drop(p.fetch(ids[1]).unwrap()); // hit or miss depending on residency
+        p.stats().reset();
+        drop(p.fetch(ids[2]).unwrap()); // evicts dirty ids[0]
+        let snap = p.stats().snapshot();
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.writebacks, 1, "dirty victim written back");
+        assert_eq!(snap.writes, 1);
     }
 
     #[test]

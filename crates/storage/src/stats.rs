@@ -12,6 +12,9 @@ pub struct IoStats {
     reads: AtomicU64,
     writes: AtomicU64,
     allocs: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
     /// Remaining operations until an injected fault; negative = disarmed.
     fault_in: AtomicI64,
 }
@@ -32,12 +35,35 @@ impl IoStats {
         self.allocs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a buffer-pool fetch served from a resident page.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer-pool eviction (any victim, clean or dirty).
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a dirty eviction that forced a write-back.
+    pub fn record_writeback(&self) {
+        self.writebacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fraction of pool fetches served from memory (0 before any fetch).
+    pub fn hit_rate(&self) -> f64 {
+        self.snapshot().hit_rate()
+    }
+
     /// Snapshot in `hdsj-core` form.
     pub fn snapshot(&self) -> IoCounters {
         IoCounters {
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             allocs: self.allocs.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
         }
     }
 
@@ -46,6 +72,9 @@ impl IoStats {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
         self.allocs.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
     }
 
     /// Arms (`Some(n)`: fault on the n-th next operation, 1-based) or
@@ -87,10 +116,18 @@ mod tests {
         s.record_read();
         s.record_write();
         s.record_alloc();
+        s.record_hit();
+        s.record_hit();
+        s.record_hit();
+        s.record_eviction();
+        s.record_writeback();
         let snap = s.snapshot();
         assert_eq!((snap.reads, snap.writes, snap.allocs), (2, 1, 1));
+        assert_eq!((snap.hits, snap.evictions, snap.writebacks), (3, 1, 1));
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12, "3 hits / 5 accesses");
         s.reset();
         assert_eq!(s.snapshot(), IoCounters::default());
+        assert_eq!(s.hit_rate(), 0.0);
     }
 
     #[test]

@@ -33,6 +33,10 @@ fn run(args: &[String]) -> Result<()> {
         print_help();
         return Ok(());
     };
+    // `trace-report` takes a positional file argument, not --flag pairs.
+    if cmd == "trace-report" {
+        return trace_report(&args[1..]);
+    }
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
         "generate" => generate(&flags),
@@ -58,11 +62,20 @@ USAGE:
                 [--clusters K] [--sigma S] [--zipf Z] [--noise F]
   hdsj join     --algo <bf|sm1d|grid|ekdb|rsj|msj> (--eps E | --target-pairs N)\n                [--metric l1|l2|linf|lp:P]
                 --input FILE [--other FILE] [--out FILE] [--quiet]
+                [--trace FILE] [--stats human|json]
   hdsj info     --input FILE
+  hdsj trace-report FILE
 
 Datasets are headerless CSV, one point per row. `join` runs a self-join of
 --input, or a two-set join against --other. Results go to --out as
-`i,j` index pairs (or are only counted with --quiet)."
+`i,j` index pairs (or are only counted with --quiet).
+
+`join` prints `algorithm`/`pairs` to stdout; detailed statistics
+(candidates, filter precision, per-phase times, I/O) go to stderr unless
+--quiet. `--stats json` replaces the stdout summary with one machine-
+readable JSON object. `--trace FILE` records spans and counters for the
+whole run as JSONL; `hdsj trace-report FILE` renders such a file as a
+phase tree with its top counters."
     );
 }
 
@@ -217,11 +230,35 @@ fn join(flags: &HashMap<String, String>) -> Result<()> {
     };
     let spec = JoinSpec::new(eps, metric);
     spec.validate()?;
+    // Validate before the (possibly long) join so a typo fails fast.
+    let json_stats = match flags.get("stats").map(|s| s.as_str()) {
+        None | Some("human") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(Error::InvalidInput(format!(
+                "unknown --stats {other:?} (human, json)"
+            )));
+        }
+    };
     input.check_unit_domain().map_err(|e| {
         Error::InvalidInput(format!(
             "{e}\nhint: hdsj joins run on [0,1)^d data; rescale your CSV first"
         ))
     })?;
+
+    // --trace installs a JSONL tracer for the whole run: the algorithm's
+    // spans/counters plus (via the process global) any generator spans.
+    let tracer = match flags.get("trace") {
+        Some(path) => {
+            let tracer = hdsj::obs::Tracer::jsonl(Path::new(path)).map_err(|e| {
+                Error::InvalidInput(format!("cannot create trace file {path:?}: {e}"))
+            })?;
+            hdsj::obs::set_global(tracer.clone());
+            algo.set_tracer(tracer.clone());
+            Some(tracer)
+        }
+        None => None,
+    };
 
     let mut sink = VecSink::default();
     let started = std::time::Instant::now();
@@ -234,23 +271,41 @@ fn join(flags: &HashMap<String, String>) -> Result<()> {
         None => algo.self_join(&input, &spec, &mut sink)?,
     };
     let elapsed = started.elapsed();
-
-    println!("algorithm : {}", algo.name());
-    println!("pairs     : {}", stats.results);
-    println!(
-        "candidates: {} (precision {:.4})",
-        stats.candidates,
-        stats.filter_precision()
-    );
-    println!("time      : {elapsed:?}");
-    for phase in &stats.phases {
-        println!("  {:<8}: {:?}", phase.name, phase.elapsed);
+    if let Some(tracer) = &tracer {
+        tracer.flush();
+        hdsj::obs::set_global(hdsj::obs::Tracer::disabled());
     }
-    if stats.io.total() > 0 {
-        println!(
-            "io        : {} reads, {} writes",
-            stats.io.reads, stats.io.writes
-        );
+
+    if json_stats {
+        println!("{}", stats_json(algo.name(), &stats, elapsed));
+    } else {
+        println!("algorithm : {}", algo.name());
+        println!("pairs     : {}", stats.results);
+        if !flags.contains_key("quiet") {
+            // Detail block on stderr: visible in a terminal, out of the way
+            // of pipelines consuming the stdout summary.
+            eprintln!(
+                "candidates: {} (precision {:.4})",
+                stats.candidates,
+                stats.filter_precision()
+            );
+            eprintln!("time      : {elapsed:?}");
+            for phase in &stats.phases {
+                eprintln!("  {:<8}: {:?}", phase.name, phase.elapsed);
+            }
+            if stats.io.total() > 0 {
+                eprintln!(
+                    "io        : {} reads, {} writes, {} hits (hit rate {:.3}), \
+                     {} evictions, {} writebacks",
+                    stats.io.reads,
+                    stats.io.writes,
+                    stats.io.hits,
+                    stats.io.hit_rate(),
+                    stats.io.evictions,
+                    stats.io.writebacks
+                );
+            }
+        }
     }
 
     if let Some(out) = flags.get("out") {
@@ -259,8 +314,10 @@ fn join(flags: &HashMap<String, String>) -> Result<()> {
             writeln!(f, "{i},{j}")?;
         }
         f.flush()?;
-        println!("pairs written to {out}");
-    } else if !flags.contains_key("quiet") && !sink.pairs.is_empty() {
+        if !json_stats {
+            println!("pairs written to {out}");
+        }
+    } else if !json_stats && !flags.contains_key("quiet") && !sink.pairs.is_empty() {
         for (i, j) in sink.pairs.iter().take(10) {
             println!("  ({i}, {j})");
         }
@@ -271,6 +328,61 @@ fn join(flags: &HashMap<String, String>) -> Result<()> {
             );
         }
     }
+    Ok(())
+}
+
+/// One machine-readable JSON object for `--stats json`, built with the
+/// `hdsj-obs` encoder so escaping and float formatting stay consistent
+/// with trace files.
+fn stats_json(
+    algo: &str,
+    stats: &hdsj::core::JoinStats,
+    elapsed: std::time::Duration,
+) -> String {
+    use hdsj::obs::json::{encode_f64, encode_str};
+    let mut s = String::from("{");
+    s.push_str(&format!("\"algorithm\":{},", encode_str(algo)));
+    s.push_str(&format!("\"results\":{},", stats.results));
+    s.push_str(&format!("\"candidates\":{},", stats.candidates));
+    s.push_str(&format!("\"dist_evals\":{},", stats.dist_evals));
+    s.push_str(&format!(
+        "\"filter_precision\":{},",
+        encode_f64(stats.filter_precision())
+    ));
+    s.push_str(&format!("\"time_us\":{},", elapsed.as_micros()));
+    s.push_str(&format!("\"structure_bytes\":{},", stats.structure_bytes));
+    s.push_str("\"phases\":{");
+    for (i, phase) in stats.phases.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{}:{}",
+            encode_str(phase.name),
+            phase.elapsed.as_micros()
+        ));
+    }
+    s.push_str("},\"io\":{");
+    s.push_str(&format!("\"reads\":{},", stats.io.reads));
+    s.push_str(&format!("\"writes\":{},", stats.io.writes));
+    s.push_str(&format!("\"allocs\":{},", stats.io.allocs));
+    s.push_str(&format!("\"hits\":{},", stats.io.hits));
+    s.push_str(&format!("\"evictions\":{},", stats.io.evictions));
+    s.push_str(&format!("\"writebacks\":{},", stats.io.writebacks));
+    s.push_str(&format!("\"hit_rate\":{}", encode_f64(stats.io.hit_rate())));
+    s.push_str("}}");
+    s
+}
+
+/// `hdsj trace-report FILE`: renders a JSONL trace as a phase tree.
+fn trace_report(args: &[String]) -> Result<()> {
+    let [path] = args else {
+        return Err(Error::InvalidInput("usage: hdsj trace-report FILE".into()));
+    };
+    let text = std::fs::read_to_string(path)?;
+    let trace = hdsj::obs::report::Trace::parse(&text)
+        .map_err(|e| Error::InvalidInput(format!("{path}: {e}")))?;
+    print!("{}", hdsj::obs::report::render(&trace, 10));
     Ok(())
 }
 

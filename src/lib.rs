@@ -22,6 +22,7 @@
 
 pub use hdsj_bruteforce as bruteforce;
 pub use hdsj_core as core;
+pub use hdsj_core::obs;
 pub use hdsj_data as data;
 pub use hdsj_ekdb as ekdb;
 pub use hdsj_grid as grid;

@@ -171,6 +171,123 @@ fn two_set_join_via_cli() {
 }
 
 #[test]
+fn stats_block_goes_to_stderr_unless_quiet() {
+    let csv = tmp("stderr-stats.csv");
+    hdsj()
+        .args(["generate", "--kind", "uniform", "--dims", "4", "--n", "300"])
+        .args(["--seed", "17", "--out", csv.to_str().unwrap()])
+        .status()
+        .expect("generate");
+
+    let out = hdsj()
+        .args(["join", "--algo", "msj", "--eps", "0.2"])
+        .args(["--input", csv.to_str().unwrap()])
+        .output()
+        .expect("join");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("algorithm : MSJ"), "{stdout}");
+    assert!(stdout.contains("pairs"), "{stdout}");
+    for detail in ["candidates:", "time", "assign", "sort", "sweep"] {
+        assert!(stderr.contains(detail), "stderr missing {detail}: {stderr}");
+        assert!(
+            !stdout.contains(detail),
+            "{detail} leaked to stdout: {stdout}"
+        );
+    }
+
+    let quiet = hdsj()
+        .args(["join", "--algo", "msj", "--eps", "0.2", "--quiet"])
+        .args(["--input", csv.to_str().unwrap()])
+        .output()
+        .expect("join quiet");
+    assert!(quiet.status.success());
+    let quiet_err = String::from_utf8_lossy(&quiet.stderr);
+    assert!(
+        !quiet_err.contains("candidates:"),
+        "--quiet must suppress the stderr stats: {quiet_err}"
+    );
+}
+
+#[test]
+fn stats_json_emits_one_parseable_object() {
+    let csv = tmp("stats-json.csv");
+    hdsj()
+        .args(["generate", "--kind", "uniform", "--dims", "4", "--n", "300"])
+        .args(["--seed", "19", "--out", csv.to_str().unwrap()])
+        .status()
+        .expect("generate");
+    let out = hdsj()
+        .args(["join", "--algo", "msj", "--eps", "0.2", "--stats", "json"])
+        .args(["--input", csv.to_str().unwrap()])
+        .output()
+        .expect("join");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let obj = hdsj::obs::json::parse(stdout.trim()).expect("valid JSON");
+    assert_eq!(obj.get("algorithm").and_then(|v| v.as_str()), Some("MSJ"));
+    assert!(obj.get("results").and_then(|v| v.as_u64()).is_some());
+    let phases = obj.get("phases").expect("phases object");
+    for phase in ["assign", "sort", "sweep"] {
+        assert!(phases.get(phase).is_some(), "missing phase {phase}");
+    }
+    assert!(obj.get("io").and_then(|io| io.get("reads")).is_some());
+}
+
+#[test]
+fn trace_file_has_nested_spans_and_pool_counters() {
+    let csv = tmp("traced.csv");
+    hdsj()
+        .args(["generate", "--kind", "uniform", "--dims", "4", "--n", "500"])
+        .args(["--seed", "23", "--out", csv.to_str().unwrap()])
+        .status()
+        .expect("generate");
+    let trace_path = tmp("join.jsonl");
+    let out = hdsj()
+        .args(["join", "--algo", "msj", "--eps", "0.2", "--quiet"])
+        .args(["--input", csv.to_str().unwrap()])
+        .args(["--trace", trace_path.to_str().unwrap()])
+        .output()
+        .expect("join");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let trace = hdsj::obs::report::Trace::parse(&text).expect("valid JSONL");
+    let root = trace.span("msj.join").expect("root span");
+    for phase in ["assign", "sort", "sweep"] {
+        let span = trace.span(phase).unwrap_or_else(|| panic!("span {phase}"));
+        assert_eq!(span.parent, Some(root.id), "{phase} nests under the root");
+    }
+    for counter in ["pool.reads", "pool.writes", "pool.hits", "pool.evictions"] {
+        assert!(
+            trace.counter(counter).is_some(),
+            "missing counter {counter}: {:?}",
+            trace.counters
+        );
+    }
+    assert!(trace.counter("msj.results").is_some());
+
+    // The reporter renders the same file as a phase tree.
+    let report = hdsj()
+        .args(["trace-report", trace_path.to_str().unwrap()])
+        .output()
+        .expect("trace-report");
+    assert!(report.status.success());
+    let rendered = String::from_utf8_lossy(&report.stdout);
+    for needle in ["msj.join", "assign", "sort", "sweep", "pool.reads"] {
+        assert!(
+            rendered.contains(needle),
+            "report missing {needle}:\n{rendered}"
+        );
+    }
+}
+
+#[test]
 fn help_lists_commands() {
     let out = hdsj().arg("help").output().unwrap();
     assert!(out.status.success());

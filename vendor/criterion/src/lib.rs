@@ -1,0 +1,204 @@
+//! Minimal stand-in for the `criterion` crate (vendored offline shim).
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input` /
+//! `sample_size` / `finish`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! warm-up + timed-samples loop that prints a mean/min per benchmark.
+//! No statistics, plots, or baseline comparisons; enough to keep
+//! `cargo bench` (and `cargo build --benches`) working offline.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, as re-exported by criterion.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies a parameterized benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { full: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+    last_min: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: a short warm-up, then `samples` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: aim for batches of >= ~1ms.
+        let calib = Instant::now();
+        std_black_box(f());
+        let once = calib.elapsed().max(Duration::from_nanos(20));
+        let per_batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000)
+            as usize;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0usize;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                std_black_box(f());
+            }
+            let dt = t.elapsed();
+            let per_iter = dt / per_batch as u32;
+            min = min.min(per_iter);
+            total += dt;
+            iters += per_batch;
+        }
+        self.last_mean = total / iters.max(1) as u32;
+        self.last_min = min;
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+            last_min: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.full, &b);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+            last_min: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.full, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        println!(
+            "bench {:<48} mean {:>12?}  min {:>12?}",
+            format!("{}/{}", self.name, id),
+            b.last_mean,
+            b.last_min
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: "criterion".to_string(),
+            sample_size: 20,
+            _criterion: self,
+        };
+        group.bench_function(name, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_trivial_payload() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        group.bench_with_input(BenchmarkId::new("mul", 3u32), &3u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+}

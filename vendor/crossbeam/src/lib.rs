@@ -1,0 +1,296 @@
+//! Minimal stand-in for the `crossbeam` crate (vendored offline shim).
+//!
+//! Implements only what this workspace uses:
+//!
+//! * [`thread::scope`] — crossbeam's scoped-thread API (closure receives a
+//!   scope handle, `scope` returns `thread::Result`), layered over
+//!   `std::thread::scope` with a `catch_unwind` to translate stray panics
+//!   into the `Err` return crossbeam promises.
+//! * [`channel::bounded`] — a blocking MPMC channel built from a mutex,
+//!   a ring buffer, and two condvars, with crossbeam's disconnect
+//!   semantics: `send` fails once all receivers are gone, `recv`/`iter`
+//!   terminate once all senders are gone and the buffer drains.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Re-export of the panic-carrying result type, as in crossbeam.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Scope handle passed to [`scope`] closures and spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope handle (so it could spawn siblings); all workspace callers
+        /// ignore it.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let handle = Scope { inner: inner_scope };
+                    f(&handle)
+                }),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// caller's stack. Returns `Err` if any unjoined spawned thread
+    /// panicked (crossbeam's contract); panics from threads whose handles
+    /// were joined surface through those `join()` results instead.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(move || {
+            std::thread::scope(move |s| {
+                let handle = Scope { inner: s };
+                f(&handle)
+            })
+        }))
+    }
+}
+
+pub use thread::scope;
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message, as in crossbeam.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Creates a bounded blocking MPMC channel of capacity `cap` (≥ 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let cap = cap.max(1);
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                buf: VecDeque::with_capacity(cap),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender { chan: chan.clone() },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues. Fails (returning the
+        /// message) once all receivers have been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.buf.len() < st.cap {
+                    st.buf.push_back(value);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.chan.not_full.wait(st).expect("channel lock");
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives. Fails once the buffer is empty
+        /// and all senders have been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).expect("channel lock");
+            }
+        }
+
+        /// Blocking iterator that yields until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.chan.state.lock().expect("channel lock").senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.chan.state.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake all blocked receivers so they observe disconnect.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let a = s.spawn(|_| data[..2].iter().sum::<u64>());
+            let b = s.spawn(|_| data[2..].iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn joined_panics_surface_in_handle_not_scope() {
+        let res = thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        });
+        assert_eq!(res.unwrap(), true);
+    }
+
+    #[test]
+    fn mpmc_channel_delivers_everything_exactly_once() {
+        let n = 10_000u32;
+        let workers = 4;
+        let (tx, rx) = channel::bounded::<u32>(8);
+        let collected: Vec<Vec<u32>> = thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..workers {
+                let rx = rx.clone();
+                handles.push(s.spawn(move |_| rx.iter().collect::<Vec<u32>>()));
+            }
+            drop(rx);
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        let mut all: Vec<u32> = collected.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_drains_buffer_before_reporting_disconnect() {
+        let (tx, rx) = channel::bounded::<u8>(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err());
+    }
+}
