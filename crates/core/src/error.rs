@@ -13,6 +13,11 @@ pub enum Error {
     Unsupported(String),
     /// An error bubbled up from the paged storage engine.
     Storage(String),
+    /// A page failed its checksum: the bytes read back differ from the
+    /// bytes written. Unlike [`Error::Storage`] (a clean failure the
+    /// caller may retry), corruption means the medium lied and retrying
+    /// the same read would re-deliver the same bad bytes.
+    Corruption(String),
     /// Operating-system I/O error (spill files, dataset persistence).
     Io(std::io::Error),
 }
@@ -20,12 +25,35 @@ pub enum Error {
 /// Convenience alias used by every fallible API in the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
+impl Error {
+    /// The variant's name, for error surfaces that map variants to exit
+    /// codes or log fields.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Error::InvalidInput(_) => "InvalidInput",
+            Error::Unsupported(_) => "Unsupported",
+            Error::Storage(_) => "Storage",
+            Error::Corruption(_) => "Corruption",
+            Error::Io(_) => "Io",
+        }
+    }
+
+    /// True for failures where retrying the operation may succeed
+    /// (transient storage faults and OS-level I/O errors). Corruption is
+    /// deliberately *not* transient: the bad bytes are already on the
+    /// medium.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Storage(_) | Error::Io(_))
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidInput(m) => write!(f, "invalid input: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Corruption(m) => write!(f, "corruption detected: {m}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -62,10 +90,27 @@ mod tests {
                 Error::Storage("page fault".into()),
                 "storage error: page fault",
             ),
+            (
+                Error::Corruption("page 3 checksum".into()),
+                "corruption detected: page 3 checksum",
+            ),
         ];
         for (err, want) in cases {
             assert_eq!(err.to_string(), want);
         }
+    }
+
+    #[test]
+    fn variant_names_and_transience() {
+        assert_eq!(
+            Error::InvalidInput("x".into()).variant_name(),
+            "InvalidInput"
+        );
+        assert_eq!(Error::Corruption("x".into()).variant_name(), "Corruption");
+        assert!(Error::Storage("x".into()).is_transient());
+        assert!(Error::Io(std::io::Error::other("x")).is_transient());
+        assert!(!Error::Corruption("x".into()).is_transient());
+        assert!(!Error::InvalidInput("x".into()).is_transient());
     }
 
     #[test]

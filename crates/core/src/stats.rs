@@ -24,6 +24,13 @@ pub struct IoCounters {
     pub evictions: u64,
     /// Dirty evictions — the subset of `evictions` that forced a write.
     pub writebacks: u64,
+    /// Disk operations retried after a transient fault (buffer-pool
+    /// recovery; see the storage crate's `RetryPolicy`).
+    pub retries: u64,
+    /// Faults the injection layer actually delivered.
+    pub faults: u64,
+    /// Pages that failed their checksum on read.
+    pub corruptions: u64,
 }
 
 impl IoCounters {
@@ -51,6 +58,9 @@ impl IoCounters {
         self.hits += other.hits;
         self.evictions += other.evictions;
         self.writebacks += other.writebacks;
+        self.retries += other.retries;
+        self.faults += other.faults;
+        self.corruptions += other.corruptions;
     }
 
     /// Field-wise `after − before`, for algorithms that snapshot shared
@@ -63,6 +73,9 @@ impl IoCounters {
             hits: after.hits - before.hits,
             evictions: after.evictions - before.evictions,
             writebacks: after.writebacks - before.writebacks,
+            retries: after.retries - before.retries,
+            faults: after.faults - before.faults,
+            corruptions: after.corruptions - before.corruptions,
         }
     }
 
@@ -79,6 +92,9 @@ impl IoCounters {
             ("hits", self.hits),
             ("evictions", self.evictions),
             ("writebacks", self.writebacks),
+            ("retries", self.retries),
+            ("faults", self.faults),
+            ("corruption_detected", self.corruptions),
         ] {
             tracer.counter(format!("{prefix}.{field}")).add(value);
         }
@@ -235,6 +251,9 @@ mod tests {
             hits: 4,
             evictions: 5,
             writebacks: 6,
+            retries: 7,
+            faults: 8,
+            corruptions: 9,
         };
         a.add(&IoCounters {
             reads: 10,
@@ -243,6 +262,9 @@ mod tests {
             hits: 40,
             evictions: 50,
             writebacks: 60,
+            retries: 70,
+            faults: 80,
+            corruptions: 90,
         });
         assert_eq!(
             a,
@@ -253,6 +275,9 @@ mod tests {
                 hits: 44,
                 evictions: 55,
                 writebacks: 66,
+                retries: 77,
+                faults: 88,
+                corruptions: 99,
             }
         );
         assert_eq!(a.total(), 33);
@@ -288,6 +313,9 @@ mod tests {
             reads: 2,
             hits: 7,
             evictions: 1,
+            retries: 3,
+            faults: 4,
+            corruptions: 2,
             ..Default::default()
         };
         io.record_counters(&tracer, "pool");
@@ -295,6 +323,9 @@ mod tests {
         assert_eq!(sink.counter_value("pool.hits"), Some(7));
         assert_eq!(sink.counter_value("pool.reads"), Some(2));
         assert_eq!(sink.counter_value("pool.evictions"), Some(1));
+        assert_eq!(sink.counter_value("pool.retries"), Some(3));
+        assert_eq!(sink.counter_value("pool.faults"), Some(4));
+        assert_eq!(sink.counter_value("pool.corruption_detected"), Some(2));
     }
 
     #[test]

@@ -67,8 +67,9 @@ impl RecordCodec {
     pub fn meta_of(&self, rec: &[u8]) -> (u8, u8, u32) {
         let level = rec[self.key_bytes];
         let tag = rec[self.key_bytes + 1];
-        let id = u32::from_le_bytes(rec[self.key_bytes + 2..].try_into().expect("4 bytes"));
-        (level, tag, id)
+        let mut id_bytes = [0u8; 4];
+        id_bytes.copy_from_slice(&rec[self.key_bytes + 2..self.key_bytes + 6]);
+        (level, tag, u32::from_le_bytes(id_bytes))
     }
 }
 

@@ -26,6 +26,8 @@
 //! MSJ scales to high `d` where the ε-KDB directory and the R-tree fan-out
 //! collapse (experiments E1, E5).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod assign;
 pub mod parallel;
 pub mod s3j;
@@ -62,6 +64,10 @@ pub struct Msj {
     /// Trace sink for spans/counters (disabled by default; see
     /// `set_tracer`).
     pub tracer: Tracer,
+    /// Chaos failpoint: the refinement worker with this index panics on
+    /// startup, exercising the panic-containment path. Never set outside
+    /// fault-injection tests.
+    pub fail_refine_worker: Option<usize>,
 }
 
 impl Default for Msj {
@@ -74,6 +80,7 @@ impl Default for Msj {
             refine_threads: 1,
             engine: None,
             tracer: Tracer::disabled(),
+            fail_refine_worker: None,
         }
     }
 }
@@ -211,6 +218,7 @@ impl Msj {
                 self.refine_threads,
                 &self.tracer,
                 sweep_timer.span_mut(),
+                self.fail_refine_worker,
             )?;
             stats.candidates += candidates;
             stats.dist_evals += candidates;
@@ -550,6 +558,41 @@ mod parallel_tests {
         );
         assert_eq!(attr_total("pairs"), stats.results);
         assert_eq!(attr_total("candidates"), stats.candidates);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_as_typed_error() {
+        let ds = hdsj_data::uniform(4, 500, 2005);
+        let spec = JoinSpec::l2(0.2);
+        let engine = StorageEngine::in_memory(64);
+        let mut msj = Msj {
+            refine_threads: 3,
+            fail_refine_worker: Some(1),
+            ..Msj::with_engine(engine.clone())
+        };
+        let mut sink = VecSink::default();
+        let err = msj.self_join(&ds, &spec, &mut sink).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked"), "typed panic error, got: {msg}");
+        assert!(
+            msg.contains("injected refine-worker failure"),
+            "panic message preserved, got: {msg}"
+        );
+        // Containment left the pool consistent: nothing pinned, temp files
+        // returned their pages, and the same configuration works again with
+        // the failpoint off.
+        assert_eq!(engine.pool().pinned_frames(), 0);
+        assert_eq!(
+            engine.pool().free_pages(),
+            engine.pool().num_pages() as usize,
+            "temp pages must be back on the freelist"
+        );
+        msj.fail_refine_worker = None;
+        let mut retry_sink = VecSink::default();
+        msj.self_join(&ds, &spec, &mut retry_sink).unwrap();
+        let mut want = VecSink::default();
+        Msj::default().self_join(&ds, &spec, &mut want).unwrap();
+        verify::assert_same_results("MSJ after panic", &want.pairs, &retry_sink.pairs);
     }
 
     #[test]

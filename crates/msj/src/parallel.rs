@@ -29,8 +29,21 @@ const BATCH: usize = 4096;
 /// sweep.
 pub type RefineOutcome = (u64, Vec<(u32, u32)>, u64);
 
+/// Best-effort human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs the sweep with `threads` refinement workers. `parent` is the span
 /// the per-worker spans nest under (the caller's sweep phase).
+/// `fail_worker` is a chaos-test failpoint: the worker with that index
+/// panics on startup, exercising the containment path.
 #[allow(clippy::too_many_arguments)]
 pub fn sweep_and_refine(
     sorted: &RecordFile,
@@ -42,6 +55,7 @@ pub fn sweep_and_refine(
     threads: usize,
     tracer: &Tracer,
     parent: &Span,
+    fail_worker: Option<usize>,
 ) -> Result<RefineOutcome> {
     let threads = threads.max(1);
     let eps = spec.eps;
@@ -59,54 +73,69 @@ pub fn sweep_and_refine(
             let candidates_counter = candidates_counter.clone();
             workers.push(s.spawn(move |_| {
                 let mut span = parent.child("refine-worker");
-                let mut pairs: Vec<(u32, u32)> = Vec::new();
-                let mut candidates = 0u64;
-                let mut wait = Duration::ZERO;
-                loop {
-                    let blocked = Instant::now();
-                    let batch = match rx.recv() {
-                        Ok(batch) => {
-                            wait += blocked.elapsed();
-                            batch
-                        }
-                        Err(_) => {
-                            wait += blocked.elapsed();
-                            break;
-                        }
-                    };
-                    let mut batch_pairs = 0u64;
-                    let mut batch_candidates = 0u64;
-                    for (i, j) in batch {
-                        let (i, j) = match kind {
-                            JoinKind::TwoSets => (i, j),
-                            JoinKind::SelfJoin => {
-                                if i == j {
-                                    continue;
-                                }
-                                (i.min(j), i.max(j))
+                // Panic containment: a panicking metric (or the chaos
+                // failpoint) must not unwind across the scope and abort the
+                // whole join — it becomes a typed error at the join() site.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if fail_worker == Some(worker_idx) {
+                        panic!("injected refine-worker failure (worker {worker_idx})");
+                    }
+                    let mut pairs: Vec<(u32, u32)> = Vec::new();
+                    let mut candidates = 0u64;
+                    let mut wait = Duration::ZERO;
+                    loop {
+                        let blocked = Instant::now();
+                        let batch = match rx.recv() {
+                            Ok(batch) => {
+                                wait += blocked.elapsed();
+                                batch
+                            }
+                            Err(_) => {
+                                wait += blocked.elapsed();
+                                break;
                             }
                         };
-                        batch_candidates += 1;
-                        if metric.within(a.point(i), b.point(j), eps) {
-                            pairs.push((i, j));
-                            batch_pairs += 1;
+                        let mut batch_pairs = 0u64;
+                        let mut batch_candidates = 0u64;
+                        for (i, j) in batch {
+                            let (i, j) = match kind {
+                                JoinKind::TwoSets => (i, j),
+                                JoinKind::SelfJoin => {
+                                    if i == j {
+                                        continue;
+                                    }
+                                    (i.min(j), i.max(j))
+                                }
+                            };
+                            batch_candidates += 1;
+                            if metric.within(a.point(i), b.point(j), eps) {
+                                pairs.push((i, j));
+                                batch_pairs += 1;
+                            }
+                        }
+                        candidates += batch_candidates;
+                        if traced {
+                            // Per-batch shared increments: concurrent with
+                            // the other workers, summing exactly to the
+                            // totals.
+                            candidates_counter.add(batch_candidates);
+                            pairs_counter.add(batch_pairs);
                         }
                     }
-                    candidates += batch_candidates;
-                    if traced {
-                        // Per-batch shared increments: concurrent with the
-                        // other workers, summing exactly to the totals.
-                        candidates_counter.add(batch_candidates);
-                        pairs_counter.add(batch_pairs);
+                    (pairs, candidates, wait)
+                }));
+                match outcome {
+                    Ok((pairs, candidates, wait)) => {
+                        if traced {
+                            span.attr_u64("worker", worker_idx as u64);
+                            span.attr_u64("pairs", pairs.len() as u64);
+                            span.attr_u64("candidates", candidates);
+                            span.attr_u64("wait_us", wait.as_micros() as u64);
+                        }
+                        Ok((pairs, candidates))
                     }
+                    Err(payload) => Err(panic_message(payload.as_ref())),
                 }
-                if traced {
-                    span.attr_u64("worker", worker_idx as u64);
-                    span.attr_u64("pairs", pairs.len() as u64);
-                    span.attr_u64("candidates", candidates);
-                    span.attr_u64("wait_us", wait.as_micros() as u64);
-                }
-                (pairs, candidates)
             }));
         }
         drop(rx);
@@ -148,12 +177,28 @@ pub fn sweep_and_refine(
 
         let mut all_pairs = Vec::new();
         let mut candidates = 0u64;
+        let mut worker_panic: Option<String> = None;
         for w in workers {
-            let (pairs, c) = w
-                .join()
-                .map_err(|_| Error::Storage("refinement worker panicked".into()))?;
-            all_pairs.extend(pairs);
-            candidates += c;
+            match w.join() {
+                Ok(Ok((pairs, c))) => {
+                    all_pairs.extend(pairs);
+                    candidates += c;
+                }
+                Ok(Err(msg)) => {
+                    worker_panic.get_or_insert(msg);
+                }
+                // catch_unwind should have caught everything; if a panic
+                // still escaped (e.g. in the span machinery), contain it
+                // here too.
+                Err(_) => {
+                    worker_panic.get_or_insert_with(|| "unknown worker panic".into());
+                }
+            }
+        }
+        // A dead worker explains the closed channel, so it wins over the
+        // generic send error.
+        if let Some(msg) = worker_panic {
+            return Err(Error::Storage(format!("refine worker panicked: {msg}")));
         }
         if send_error {
             return Err(Error::Storage("refinement channel closed early".into()));

@@ -283,7 +283,11 @@ fn rect_sweep(
                 b: Vec::new(),
             });
         }
-        let cell = current.as_mut().expect("current cell");
+        let Some(cell) = current.as_mut() else {
+            // The branch above opens a cell whenever none matched; an empty
+            // slot here is a sweep logic bug, reported as a typed error.
+            return Err(Error::Storage("S3J sweep lost its open cell".into()));
+        };
         if tag == TAG_A {
             cell.a.push(id);
         } else {

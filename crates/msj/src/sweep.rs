@@ -13,7 +13,7 @@
 //! metric runs.
 
 use crate::assign::{prefix_bits_equal, RecordCodec, TAG_A};
-use hdsj_core::{Dataset, JoinKind, Result};
+use hdsj_core::{Dataset, Error, JoinKind, Result};
 use hdsj_storage::RecordFile;
 
 /// One open cell on the sweep stack: its identity and the points it holds,
@@ -80,7 +80,11 @@ pub fn sweep(
                 b: Vec::new(),
             });
         }
-        let cell = current.as_mut().expect("current cell exists");
+        let Some(cell) = current.as_mut() else {
+            // The branch above opens a cell whenever none matched; an empty
+            // slot here is a sweep logic bug, reported as a typed error.
+            return Err(Error::Storage("sweep lost its open cell".into()));
+        };
         let (ds, list) = if tag == TAG_A {
             (a, &mut cell.a)
         } else {
@@ -104,10 +108,12 @@ fn process_cell(
     offer: &mut dyn FnMut(u32, u32),
     peak_bytes: &mut u64,
 ) {
+    // total_cmp gives a total order even on NaN coordinates (datasets
+    // reject them, but the sweep must not be able to panic on bad data).
     cell.a
-        .sort_unstable_by(|x, y| x.0.partial_cmp(&y.0).expect("finite").then(x.1.cmp(&y.1)));
+        .sort_unstable_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
     cell.b
-        .sort_unstable_by(|x, y| x.0.partial_cmp(&y.0).expect("finite").then(x.1.cmp(&y.1)));
+        .sort_unstable_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
 
     match kind {
         JoinKind::SelfJoin => {

@@ -1,10 +1,13 @@
 //! On-page R-tree node layout and (de)serialization.
 //!
 //! ```text
-//! page:  [ kind: u8 | pad: u8 | count: u16 | pad: u32 | entries... ]
+//! page:  [ storage header | kind: u8 | pad: u8 | count: u16 | pad: u32 | entries... ]
 //! leaf entry:   [ point_id: u32 | coords: d × f64 ]          (4 + 8d bytes)
 //! inner entry:  [ child_pid: u64 | lo: d × f64 | hi: d × f64 ] (8 + 16d bytes)
 //! ```
+//!
+//! The first `PAGE_HEADER` bytes belong to the storage layer (page
+//! checksum); node data starts after them.
 //!
 //! Leaves store the full point coordinates, so a join reads points through
 //! the buffer pool like a real disk-resident index — and so leaf fan-out
@@ -12,10 +15,14 @@
 //! pathology the evaluation exhibits.
 
 use hdsj_core::{Error, Rect, Result};
-use hdsj_storage::{Page, PageId, StorageEngine, PAGE_SIZE};
+use hdsj_storage::{Page, PageId, StorageEngine, PAGE_HEADER, PAGE_SIZE};
 
-/// Bytes of the node header.
-const HEADER: usize = 8;
+/// Offset of the node's kind byte (just past the storage header).
+const KIND_OFFSET: usize = PAGE_HEADER;
+/// Offset of the node's entry count.
+const COUNT_OFFSET: usize = PAGE_HEADER + 2;
+/// Bytes before the first entry: storage header + node header.
+const HEADER: usize = PAGE_HEADER + 8;
 const KIND_LEAF: u8 = 1;
 const KIND_INNER: u8 = 2;
 
@@ -104,8 +111,8 @@ impl Node {
                 "node of {count} entries overflows a page at d={dims}"
             )));
         }
-        page.bytes_mut()[0] = kind;
-        page.put_u16(2, count as u16);
+        page.bytes_mut()[KIND_OFFSET] = kind;
+        page.put_u16(COUNT_OFFSET, count as u16);
         let mut off = HEADER;
         match self {
             Node::Leaf(entries) => {
@@ -140,8 +147,8 @@ impl Node {
 
     /// Deserializes a node from `page`.
     pub fn read_from(page: &Page, dims: usize) -> Result<Node> {
-        let kind = page.bytes()[0];
-        let count = page.get_u16(2) as usize;
+        let kind = page.bytes()[KIND_OFFSET];
+        let count = page.get_u16(COUNT_OFFSET) as usize;
         let mut off = HEADER;
         match kind {
             KIND_LEAF => {

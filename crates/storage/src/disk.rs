@@ -1,17 +1,19 @@
 //! Backing stores: the `Disk` trait and its in-memory / file-backed
 //! implementations.
+//!
+//! Fault injection does not live here: wrap any disk in
+//! [`crate::fault::FaultyDisk`] (which every [`crate::StorageEngine`]
+//! does) to schedule failures.
 
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 use hdsj_core::{Error, Result};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::Arc;
 
 /// A linear array of pages addressed by [`PageId`]. All traffic is counted
-/// in the shared [`IoStats`], and every operation honours the fault
-/// injection trigger.
+/// in the shared [`IoStats`].
 pub trait Disk: Send + Sync {
     /// Reads page `id` into `into`.
     fn read_page(&self, id: PageId, into: &mut Page) -> Result<()>;
@@ -21,14 +23,6 @@ pub trait Disk: Send + Sync {
     fn alloc_page(&self) -> Result<PageId>;
     /// Number of allocated pages.
     fn num_pages(&self) -> u64;
-}
-
-fn fault(stats: &IoStats, op: &str) -> Result<()> {
-    if stats.should_fault() {
-        Err(Error::Storage(format!("injected fault during {op}")))
-    } else {
-        Ok(())
-    }
 }
 
 /// An in-memory disk: fast, deterministic, but it still *counts* like a
@@ -50,7 +44,6 @@ impl MemDisk {
 
 impl Disk for MemDisk {
     fn read_page(&self, id: PageId, into: &mut Page) -> Result<()> {
-        fault(&self.stats, "read")?;
         let pages = self.pages.lock();
         let page = pages
             .get(id as usize)
@@ -61,7 +54,6 @@ impl Disk for MemDisk {
     }
 
     fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
-        fault(&self.stats, "write")?;
         let mut pages = self.pages.lock();
         let slot = pages
             .get_mut(id as usize)
@@ -72,7 +64,6 @@ impl Disk for MemDisk {
     }
 
     fn alloc_page(&self) -> Result<PageId> {
-        fault(&self.stats, "alloc")?;
         let mut pages = self.pages.lock();
         pages.push(Page::zeroed());
         self.stats.record_alloc();
@@ -85,9 +76,17 @@ impl Disk for MemDisk {
 }
 
 /// A disk backed by one operating-system file, pages stored back to back.
+///
+/// Reads and writes use positioned I/O (`pread`/`pwrite` on Unix): one
+/// syscall per page instead of seek-then-transfer, and no shared seek
+/// cursor to serialize on. Non-Unix builds fall back to seeking under a
+/// lock.
 pub struct FileDisk {
-    file: Mutex<File>,
+    file: File,
     num_pages: Mutex<u64>,
+    /// Serializes the seek-based fallback; unused on Unix.
+    #[cfg(not(unix))]
+    io_lock: Mutex<()>,
     stats: Arc<IoStats>,
 }
 
@@ -101,45 +100,74 @@ impl FileDisk {
             .truncate(true)
             .open(path)?;
         Ok(FileDisk {
-            file: Mutex::new(file),
+            file,
             num_pages: Mutex::new(0),
+            #[cfg(not(unix))]
+            io_lock: Mutex::new(()),
             stats,
         })
+    }
+
+    #[cfg(unix)]
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)?;
+        Ok(())
+    }
+
+    #[cfg(unix)]
+    fn write_at(&self, buf: &[u8], offset: u64) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, offset)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let _guard = self.io_lock.lock();
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn write_at(&self, buf: &[u8], offset: u64) -> Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let _guard = self.io_lock.lock();
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(buf)?;
+        Ok(())
     }
 }
 
 impl Disk for FileDisk {
     fn read_page(&self, id: PageId, into: &mut Page) -> Result<()> {
-        fault(&self.stats, "read")?;
         if id >= *self.num_pages.lock() {
             return Err(Error::Storage(format!("read of unallocated page {id}")));
         }
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
-        file.read_exact(&mut into.bytes_mut()[..])?;
+        self.read_at(&mut into.bytes_mut()[..], id * PAGE_SIZE as u64)?;
         self.stats.record_read();
         Ok(())
     }
 
     fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
-        fault(&self.stats, "write")?;
         if id >= *self.num_pages.lock() {
             return Err(Error::Storage(format!("write of unallocated page {id}")));
         }
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
-        file.write_all(&page.bytes()[..])?;
+        self.write_at(&page.bytes()[..], id * PAGE_SIZE as u64)?;
         self.stats.record_write();
         Ok(())
     }
 
     fn alloc_page(&self) -> Result<PageId> {
-        fault(&self.stats, "alloc")?;
+        // Hold the page-count lock across the zero-fill so concurrent
+        // allocs get distinct ids and the file grows densely.
         let mut n = self.num_pages.lock();
         let id = *n;
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id * PAGE_SIZE as u64))?;
-        file.write_all(&[0u8; PAGE_SIZE])?;
+        self.write_at(&[0u8; PAGE_SIZE], id * PAGE_SIZE as u64)?;
         *n += 1;
         self.stats.record_alloc();
         Ok(id)
@@ -192,6 +220,41 @@ mod tests {
     }
 
     #[test]
+    fn file_disk_concurrent_positioned_io() {
+        // Positioned I/O has no shared cursor: concurrent readers and
+        // writers on different pages must not interleave each other's
+        // offsets.
+        let dir = std::env::temp_dir().join(format!("hdsj-pdisk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let disk = Arc::new(
+            FileDisk::create(&dir.join("pages.db"), Arc::new(IoStats::default())).unwrap(),
+        );
+        let n = 16u64;
+        for _ in 0..n {
+            disk.alloc_page().unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let disk = Arc::clone(&disk);
+                s.spawn(move || {
+                    for id in (t..n).step_by(4) {
+                        let mut p = Page::zeroed();
+                        p.put_u64(64, id * 1000 + t);
+                        disk.write_page(id, &p).unwrap();
+                    }
+                });
+            }
+        });
+        for id in 0..n {
+            let mut p = Page::zeroed();
+            disk.read_page(id, &mut p).unwrap();
+            assert_eq!(p.get_u64(64), id * 1000 + id % 4, "page {id}");
+        }
+        drop(disk);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn counters_track_operations() {
         let stats = Arc::new(IoStats::default());
         let disk = MemDisk::new(Arc::clone(&stats));
@@ -202,18 +265,5 @@ mod tests {
         disk.read_page(id, &mut q).unwrap();
         let snap = stats.snapshot();
         assert_eq!((snap.allocs, snap.writes, snap.reads), (1, 1, 1));
-    }
-
-    #[test]
-    fn injected_fault_surfaces_as_storage_error() {
-        let stats = Arc::new(IoStats::default());
-        let disk = MemDisk::new(Arc::clone(&stats));
-        let id = disk.alloc_page().unwrap();
-        stats.set_fault_after(Some(1));
-        let mut p = Page::zeroed();
-        let err = disk.read_page(id, &mut p).unwrap_err();
-        assert!(matches!(err, Error::Storage(_)), "{err}");
-        // Disarmed after firing: next op succeeds.
-        disk.read_page(id, &mut p).unwrap();
     }
 }

@@ -6,13 +6,18 @@
 //! is the usual arrangement for temporary files whose extent map is tiny
 //! compared to the data.
 
-use crate::page::PAGE_SIZE;
+use crate::page::{PAGE_HEADER, PAGE_SIZE};
 use crate::pool::PinnedPage;
 use crate::{PageId, StorageEngine};
 use hdsj_core::{Error, Result};
 
-/// Bytes reserved at the start of each page (u32 record count + padding).
-const HEADER: usize = 8;
+/// Offset of the u32 record count — just past the storage-layer checksum
+/// header, which owns bytes `0..PAGE_HEADER`.
+const COUNT_OFFSET: usize = PAGE_HEADER;
+
+/// Bytes reserved at the start of each page before record data: the
+/// storage header plus the record count (padded to 8 bytes).
+const HEADER: usize = PAGE_HEADER + 8;
 
 /// An append-only sequence of fixed-length records stored in pages.
 pub struct RecordFile {
@@ -88,14 +93,22 @@ impl RecordFile {
             self.tail = Some(page);
         } else if self.tail.is_none() {
             // Re-open the tail after the file was iterated or unpinned.
-            let pid = *self.pages.last().expect("tail page exists");
+            let Some(&pid) = self.pages.last() else {
+                return Err(Error::Storage(
+                    "record file has records but no pages".into(),
+                ));
+            };
             self.tail = Some(self.engine.fetch(pid)?);
         }
-        let tail = self.tail.as_ref().expect("tail pinned");
+        let Some(tail) = self.tail.as_ref() else {
+            // Both branches above leave a pin in place; a missing one means
+            // the file's invariants are already broken.
+            return Err(Error::Storage("record file tail page not pinned".into()));
+        };
         {
             let mut page = tail.write();
             page.put_slice(HEADER + slot * self.record_len, rec);
-            page.put_u32(0, slot as u32 + 1);
+            page.put_u32(COUNT_OFFSET, slot as u32 + 1);
         }
         self.len += 1;
         Ok(())
@@ -117,6 +130,11 @@ impl RecordFile {
         }
         self.len = 0;
         Ok(())
+    }
+
+    /// Pages owned by the file right now (testing / leak checks).
+    pub fn page_ids(&self) -> &[PageId] {
+        &self.pages
     }
 
     /// A cursor positioned before the first record.
@@ -150,6 +168,20 @@ impl RecordFile {
     }
 }
 
+impl Drop for RecordFile {
+    fn drop(&mut self) {
+        // Temp-file safety net: a file abandoned on an error path (`?`
+        // between create and destroy) still returns its pages to the
+        // freelist. After an explicit [`RecordFile::destroy`] the page list
+        // is empty and this is a no-op; failures here are ignored — drop
+        // cannot report them and the pages are unreachable anyway.
+        self.tail = None;
+        for pid in std::mem::take(&mut self.pages) {
+            let _ = self.engine.pool().free(pid);
+        }
+    }
+}
+
 /// Sequential reader over a [`RecordFile`]. Holds at most one page pinned.
 pub struct RecordCursor<'a> {
     file: &'a RecordFile,
@@ -174,8 +206,12 @@ impl<'a> RecordCursor<'a> {
             if self.current.is_none() {
                 self.current = Some(self.file.engine.fetch(self.file.pages[self.page_idx])?);
             }
-            let page = self.current.as_ref().expect("page pinned");
-            let count = page.read().get_u32(0) as usize;
+            let Some(page) = self.current.as_ref() else {
+                // Set on the line above; a storage error beats a panic if
+                // that ever changes.
+                return Err(Error::Storage("record cursor lost its page pin".into()));
+            };
+            let count = page.read().get_u32(COUNT_OFFSET) as usize;
             if self.slot >= count {
                 self.current = None;
                 self.page_idx += 1;

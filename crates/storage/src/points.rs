@@ -25,7 +25,9 @@ pub struct PointFile {
 impl PointFile {
     /// Writes `ds` to a new point file on `engine`.
     pub fn from_dataset(engine: &StorageEngine, ds: &Dataset) -> Result<PointFile> {
-        if ds.dims() * 8 > crate::PAGE_SIZE - 8 {
+        // A point record must fit beside the page's storage header and the
+        // record file's count word.
+        if ds.dims() * 8 > crate::PAGE_SIZE - crate::PAGE_HEADER - 8 {
             return Err(Error::Unsupported(format!(
                 "points of d={} exceed one page",
                 ds.dims()
@@ -130,7 +132,9 @@ impl PointFile {
 
 fn decode_point(rec: &[u8], out: &mut [f64]) {
     for (v, chunk) in out.iter_mut().zip(rec.chunks_exact(8)) {
-        *v = f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        let mut b = [0u8; 8];
+        b.copy_from_slice(chunk);
+        *v = f64::from_le_bytes(b);
     }
 }
 

@@ -109,7 +109,11 @@ pub fn external_sort(
         }
         runs = next;
     }
-    Ok(runs.pop().expect("at least one run"))
+    // The merge loop only exits with exactly one run; an empty vector here
+    // means the cascade logic is broken, which is a storage bug, not a
+    // reason to abort the process.
+    runs.pop()
+        .ok_or_else(|| Error::Storage("external sort produced no output run".into()))
 }
 
 fn cmp_records(a: &[u8], b: &[u8], key_len: usize) -> Ordering {
@@ -312,6 +316,14 @@ mod tests {
         );
         eng.set_fault_after(None);
         assert!(res.is_err());
+        // The abandoned partial runs must have returned their pages: every
+        // disk page is either owned by the (intact) input or free again.
+        assert_eq!(
+            eng.pool().free_pages() + input.num_pages(),
+            eng.pool().num_pages() as usize,
+            "failed sort leaked temp-run pages"
+        );
+        assert_eq!(eng.pool().pinned_frames(), 0, "failed sort leaked pins");
     }
 }
 

@@ -1,12 +1,14 @@
-//! Shared I/O counters with fault injection.
+//! Shared I/O and fault counters.
 
 use hdsj_core::IoCounters;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic page-transfer counters shared between a disk, its buffer pool,
-/// and any number of engine clones. Also hosts the fault-injection trigger
-/// used by the failure-path tests: when armed with `n`, the `n`-th
-/// subsequent disk operation reports a fault.
+/// and any number of engine clones. Besides the plain I/O traffic it
+/// counts the failure-model events: faults the injection layer delivered,
+/// operations the pool retried, and checksum mismatches it detected.
+/// (Fault *scheduling* lives in [`crate::fault::FaultPlan`]; this type
+/// only observes.)
 #[derive(Debug, Default)]
 pub struct IoStats {
     reads: AtomicU64,
@@ -15,8 +17,9 @@ pub struct IoStats {
     hits: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
-    /// Remaining operations until an injected fault; negative = disarmed.
-    fault_in: AtomicI64,
+    retries: AtomicU64,
+    faults: AtomicU64,
+    corruptions: AtomicU64,
 }
 
 impl IoStats {
@@ -50,6 +53,21 @@ impl IoStats {
         self.writebacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one retry of a transiently failed disk operation.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a delivered injected fault.
+    pub fn record_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a page that failed checksum verification.
+    pub fn record_corruption(&self) {
+        self.corruptions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Fraction of pool fetches served from memory (0 before any fetch).
     pub fn hit_rate(&self) -> f64 {
         self.snapshot().hit_rate()
@@ -64,10 +82,13 @@ impl IoStats {
             hits: self.hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
         }
     }
 
-    /// Zeroes the counters (fault trigger is unaffected).
+    /// Zeroes the counters.
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
@@ -75,33 +96,9 @@ impl IoStats {
         self.hits.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
         self.writebacks.store(0, Ordering::Relaxed);
-    }
-
-    /// Arms (`Some(n)`: fault on the n-th next operation, 1-based) or
-    /// disarms (`None`) fault injection.
-    pub fn set_fault_after(&self, n: Option<u64>) {
-        self.fault_in
-            .store(n.map(|v| v as i64).unwrap_or(-1), Ordering::Relaxed);
-    }
-
-    /// Called by disks before each operation; `true` means "fail now".
-    pub fn should_fault(&self) -> bool {
-        // Only decrement while armed; avoid wrapping when disarmed.
-        let mut cur = self.fault_in.load(Ordering::Relaxed);
-        loop {
-            if cur <= 0 {
-                return false;
-            }
-            match self.fault_in.compare_exchange_weak(
-                cur,
-                cur - 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(prev) => return prev == 1,
-                Err(now) => cur = now,
-            }
-        }
+        self.retries.store(0, Ordering::Relaxed);
+        self.faults.store(0, Ordering::Relaxed);
+        self.corruptions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -121,31 +118,16 @@ mod tests {
         s.record_hit();
         s.record_eviction();
         s.record_writeback();
+        s.record_retry();
+        s.record_fault();
+        s.record_corruption();
         let snap = s.snapshot();
         assert_eq!((snap.reads, snap.writes, snap.allocs), (2, 1, 1));
         assert_eq!((snap.hits, snap.evictions, snap.writebacks), (3, 1, 1));
+        assert_eq!((snap.retries, snap.faults, snap.corruptions), (1, 1, 1));
         assert!((s.hit_rate() - 0.6).abs() < 1e-12, "3 hits / 5 accesses");
         s.reset();
         assert_eq!(s.snapshot(), IoCounters::default());
         assert_eq!(s.hit_rate(), 0.0);
-    }
-
-    #[test]
-    fn fault_fires_exactly_on_nth_operation() {
-        let s = IoStats::default();
-        assert!(!s.should_fault(), "disarmed by default");
-        s.set_fault_after(Some(3));
-        assert!(!s.should_fault());
-        assert!(!s.should_fault());
-        assert!(s.should_fault(), "third op faults");
-        assert!(!s.should_fault(), "trigger disarms after firing");
-    }
-
-    #[test]
-    fn disarming_clears_pending_fault() {
-        let s = IoStats::default();
-        s.set_fault_after(Some(1));
-        s.set_fault_after(None);
-        assert!(!s.should_fault());
     }
 }

@@ -12,6 +12,7 @@
 
 use hdsj::core::{Error, JoinSpec, Metric, Result, SimilarityJoin, VecSink};
 use hdsj::data::{self, io as dio, ClusterSpec, HistogramSpec};
+use hdsj::storage::{FaultPlan, RetryPolicy, StorageEngine};
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -21,11 +22,23 @@ fn main() {
     let code = match run(&args) {
         Ok(()) => 0,
         Err(e) => {
-            eprintln!("error: {e}");
-            2
+            eprintln!("error ({}): {e}", e.variant_name());
+            exit_code(&e)
         }
     };
     std::process::exit(code);
+}
+
+/// Maps error kinds to documented exit codes so scripts and the chaos
+/// harness can distinguish "you typo'd a flag" from "the disk lied".
+fn exit_code(e: &Error) -> i32 {
+    match e {
+        Error::InvalidInput(_) => 2,
+        Error::Unsupported(_) => 3,
+        Error::Storage(_) => 4,
+        Error::Corruption(_) => 5,
+        Error::Io(_) => 6,
+    }
 }
 
 fn run(args: &[String]) -> Result<()> {
@@ -63,6 +76,7 @@ USAGE:
   hdsj join     --algo <bf|sm1d|grid|ekdb|rsj|msj> (--eps E | --target-pairs N)\n                [--metric l1|l2|linf|lp:P]
                 --input FILE [--other FILE] [--out FILE] [--quiet]
                 [--trace FILE] [--stats human|json]
+                [--inject-faults SPEC] [--retries N] [--pool-pages N]
   hdsj info     --input FILE
   hdsj trace-report FILE
 
@@ -75,7 +89,23 @@ Datasets are headerless CSV, one point per row. `join` runs a self-join of
 --quiet. `--stats json` replaces the stdout summary with one machine-
 readable JSON object. `--trace FILE` records spans and counters for the
 whole run as JSONL; `hdsj trace-report FILE` renders such a file as a
-phase tree with its top counters."
+phase tree with its top counters.
+
+FAULT INJECTION (disk-backed algorithms rsj and msj only):
+  --inject-faults SPEC  seeded fault plan for the page store. SPEC is
+                        comma-separated clauses: `seed=N`,
+                        `<op>=<p>[:<kind>]` (probabilistic), or
+                        `<op>@<n>=<kind>` (fault exactly the n-th op);
+                        op is read|write|alloc|any, kind is
+                        transient|persistent|torn|corrupt.
+                        e.g. --inject-faults seed=7,read=0.05:transient
+  --retries N           retry transient storage faults up to N times with
+                        exponential backoff (default 0: fail fast)
+  --pool-pages N        buffer pool capacity in pages (default 256)
+
+EXIT CODES:
+  0 success        2 invalid input     3 unsupported
+  4 storage fault  5 data corruption   6 OS-level I/O error"
     );
 }
 
@@ -187,14 +217,29 @@ fn parse_metric(s: &str) -> Result<Metric> {
     }
 }
 
-fn make_algo(name: &str) -> Result<Box<dyn SimilarityJoin>> {
+fn make_algo(name: &str, engine: Option<StorageEngine>) -> Result<Box<dyn SimilarityJoin>> {
+    // Engine flags (--inject-faults / --retries / --pool-pages) only make
+    // sense for the disk-backed algorithms; reject them elsewhere instead
+    // of silently ignoring the request.
+    if engine.is_some() && !matches!(name, "rsj" | "msj") {
+        return Err(Error::Unsupported(format!(
+            "--inject-faults/--retries/--pool-pages need a disk-backed \
+             algorithm (rsj, msj), not {name:?}"
+        )));
+    }
     Ok(match name {
         "bf" => Box::new(hdsj::bruteforce::BruteForce::default()),
         "sm1d" => Box::new(hdsj::sortmerge::SortMergeJoin::default()),
         "grid" => Box::new(hdsj::grid::GridJoin::default()),
         "ekdb" => Box::new(hdsj::ekdb::EkdbJoin::default()),
-        "rsj" => Box::new(hdsj::rtree::RsjJoin::default()),
-        "msj" => Box::new(hdsj::msj::Msj::default()),
+        "rsj" => match engine {
+            Some(engine) => Box::new(hdsj::rtree::RsjJoin::with_engine(engine)),
+            None => Box::new(hdsj::rtree::RsjJoin::default()),
+        },
+        "msj" => match engine {
+            Some(engine) => Box::new(hdsj::msj::Msj::with_engine(engine)),
+            None => Box::new(hdsj::msj::Msj::default()),
+        },
         other => {
             return Err(Error::InvalidInput(format!(
                 "unknown --algo {other:?} (bf, sm1d, grid, ekdb, rsj, msj)"
@@ -203,8 +248,43 @@ fn make_algo(name: &str) -> Result<Box<dyn SimilarityJoin>> {
     })
 }
 
+/// Builds a storage engine when any of the chaos/pool flags are present.
+/// Returns `None` when none are given, so the algorithms keep their own
+/// default engines.
+fn make_engine(flags: &HashMap<String, String>) -> Result<Option<StorageEngine>> {
+    let wants_engine = flags.contains_key("inject-faults")
+        || flags.contains_key("retries")
+        || flags.contains_key("pool-pages");
+    if !wants_engine {
+        return Ok(None);
+    }
+    let pool_pages: usize = num(flags, "pool-pages", 256)?;
+    if pool_pages == 0 {
+        return Err(Error::InvalidInput(
+            "--pool-pages must be at least 1".into(),
+        ));
+    }
+    let retries: u32 = num(flags, "retries", 0)?;
+    let retry = if retries > 0 {
+        RetryPolicy::backoff(retries)
+    } else {
+        RetryPolicy::none()
+    };
+    let plan = match flags.get("inject-faults") {
+        Some(spec) => FaultPlan::parse(spec)?,
+        None => FaultPlan::new(0),
+    };
+    Ok(Some(
+        StorageEngine::builder(pool_pages)
+            .retry(retry)
+            .faults(plan)
+            .in_memory(),
+    ))
+}
+
 fn join(flags: &HashMap<String, String>) -> Result<()> {
-    let mut algo = make_algo(req(flags, "algo")?)?;
+    let engine = make_engine(flags)?;
+    let mut algo = make_algo(req(flags, "algo")?, engine)?;
     let metric = parse_metric(flags.get("metric").map(|s| s.as_str()).unwrap_or("l2"))?;
 
     let input = dio::load_csv(Path::new(req(flags, "input")?))?;
@@ -304,6 +384,12 @@ fn join(flags: &HashMap<String, String>) -> Result<()> {
                     stats.io.evictions,
                     stats.io.writebacks
                 );
+                if stats.io.faults > 0 || stats.io.retries > 0 || stats.io.corruptions > 0 {
+                    eprintln!(
+                        "faults    : {} injected, {} retries, {} corruptions detected",
+                        stats.io.faults, stats.io.retries, stats.io.corruptions
+                    );
+                }
             }
         }
     }
@@ -369,6 +455,9 @@ fn stats_json(
     s.push_str(&format!("\"hits\":{},", stats.io.hits));
     s.push_str(&format!("\"evictions\":{},", stats.io.evictions));
     s.push_str(&format!("\"writebacks\":{},", stats.io.writebacks));
+    s.push_str(&format!("\"retries\":{},", stats.io.retries));
+    s.push_str(&format!("\"faults\":{},", stats.io.faults));
+    s.push_str(&format!("\"corruptions\":{},", stats.io.corruptions));
     s.push_str(&format!("\"hit_rate\":{}", encode_f64(stats.io.hit_rate())));
     s.push_str("}}");
     s

@@ -296,3 +296,111 @@ fn help_lists_commands() {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
 }
+
+/// Exit codes distinguish the error families, and stderr names the
+/// variant, so scripts can tell bad flags from bad disks.
+#[test]
+fn exit_codes_reflect_error_families() {
+    // 2: invalid input (unknown command).
+    let out = hdsj().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("InvalidInput"));
+
+    let csv = tmp("chaos.csv");
+    hdsj()
+        .args([
+            "generate", "--kind", "uniform", "--dims", "8", "--n", "6000",
+        ])
+        .args(["--seed", "5", "--out", csv.to_str().unwrap()])
+        .status()
+        .expect("generate");
+    let input = ["--input", csv.to_str().unwrap()];
+
+    // 3: engine flags on an algorithm with no storage surface.
+    let out = hdsj()
+        .args(["join", "--algo", "bf", "--eps", "0.25", "--quiet"])
+        .args(input)
+        .args(["--inject-faults", "seed=1,read=0.1:transient"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("Unsupported"));
+
+    // 4: a persistent storage fault aborts the join.
+    let out = hdsj()
+        .args(["join", "--algo", "msj", "--eps", "0.25", "--quiet"])
+        .args(input)
+        .args(["--inject-faults", "alloc@1=persistent"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("Storage"), "{stderr}");
+    assert!(stderr.contains("injected persistent fault"), "{stderr}");
+
+    // 5: corrupting writes are caught by the page checksum on re-read
+    // (the 2-frame pool forces eviction and re-read of damaged pages).
+    let out = hdsj()
+        .args(["join", "--algo", "msj", "--eps", "0.25", "--quiet"])
+        .args(input)
+        .args(["--pool-pages", "2"])
+        .args(["--inject-faults", "seed=3,write=1:corrupt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("Corruption"), "{stderr}");
+    assert!(stderr.contains("checksum"), "{stderr}");
+}
+
+/// The acceptance schedule end to end: a transient fault plan that kills
+/// the run fail-fast completes under --retries, with the recovery counted
+/// in the stderr fault line.
+#[test]
+fn transient_faults_recover_with_retries_through_the_cli() {
+    let csv = tmp("retry.csv");
+    hdsj()
+        .args([
+            "generate", "--kind", "uniform", "--dims", "8", "--n", "6000",
+        ])
+        .args(["--seed", "5", "--out", csv.to_str().unwrap()])
+        .status()
+        .expect("generate");
+    let base = [
+        "join",
+        "--algo",
+        "msj",
+        "--eps",
+        "0.25",
+        "--input",
+        csv.to_str().unwrap(),
+        "--pool-pages",
+        "2",
+        "--inject-faults",
+        "seed=3,write=0.4:transient",
+    ];
+
+    // Without retries the schedule aborts with a storage-family code.
+    let out = hdsj().args(base).arg("--quiet").output().unwrap();
+    assert!(
+        matches!(out.status.code(), Some(4) | Some(6)),
+        "expected storage/io exit, got {:?}",
+        out.status.code()
+    );
+
+    // With retries it completes; the fault line reports the recoveries.
+    let out = hdsj().args(base).args(["--retries", "8"]).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let fault_line = stderr
+        .lines()
+        .find(|l| l.starts_with("faults"))
+        .unwrap_or_else(|| panic!("no fault line in {stderr}"));
+    assert!(fault_line.contains("retries"), "{fault_line}");
+    assert!(!fault_line.contains(" 0 retries"), "{fault_line}");
+}
