@@ -1,0 +1,85 @@
+//! # hdsj-analyze — workspace-wide static invariant checker
+//!
+//! Clippy's generic lints cannot see project rules: that hdsj library code
+//! must be panic-free because the chaos suite injects faults everywhere,
+//! that every buffer-pool pin has an RAII unpin, that the few blocking
+//! locks follow one global order, that the error taxonomy has no dead
+//! variants, and that obs metric names match the registry. This crate is a
+//! std-only diagnostics engine — hand-rolled lexer, light structural
+//! parser, six rules — that enforces exactly those, with `file:line`
+//! output, deny/warn levels, and comment-based suppression
+//! (`// allow(hdsj::<rule>): why`).
+//!
+//! Entry points: `cargo run -p hdsj-analyze -- check` (CI gate), the
+//! `hdsj analyze` CLI subcommand, and [`Workspace::check`] for tests.
+//! Rules are documented in [`rules`] and DESIGN.md §10; the complementary
+//! *runtime* invariant layer is the storage crate's `debug-invariants`
+//! feature.
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod parse;
+pub mod rules;
+pub mod workspace;
+
+pub use diag::{Diagnostic, Level};
+pub use workspace::Workspace;
+
+use std::path::Path;
+
+/// Outcome of a check run, with render helpers shared by the two CLIs.
+pub struct CheckReport {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    pub fn denies(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Deny)
+            .count()
+    }
+
+    pub fn warns(&self) -> usize {
+        self.diagnostics.len() - self.denies()
+    }
+
+    /// True when the check should fail (any deny-level finding).
+    pub fn failed(&self) -> bool {
+        self.denies() > 0
+    }
+
+    /// Human-readable rendering: one line per finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            s.push_str(&d.to_string());
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "hdsj-analyze: {} deny, {} warn\n",
+            self.denies(),
+            self.warns()
+        ));
+        s
+    }
+
+    /// JSONL rendering (one object per finding).
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            s.push_str(&d.to_json());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Checks the workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> std::io::Result<CheckReport> {
+    let ws = Workspace::load(root)?;
+    Ok(CheckReport {
+        diagnostics: ws.check(),
+    })
+}

@@ -1,0 +1,64 @@
+//! `hdsj-analyze` — the static invariant checker's standalone CLI.
+//!
+//! ```text
+//! cargo run -p hdsj-analyze -- check [--root DIR] [--format human|json]
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 deny-level findings,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(failed) => {
+            if failed {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("hdsj-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    if cmd != "check" {
+        return Err(format!("unknown command {cmd:?}\n{}", usage()));
+    }
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => json = false,
+                Some("json") => json = true,
+                other => return Err(format!("--format {other:?}: expected human|json")),
+            },
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    let report = hdsj_analyze::check_workspace(&root).map_err(|e| e.to_string())?;
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(report.failed())
+}
+
+fn usage() -> String {
+    "usage: hdsj-analyze check [--root DIR] [--format human|json]".to_string()
+}

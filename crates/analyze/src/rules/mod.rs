@@ -1,0 +1,66 @@
+//! The project rule set. One module per rule; `run_all` wires the
+//! single-file rules and the cross-file context (error taxonomy, counter
+//! registry) together.
+//!
+//! | rule | name | scope | default |
+//! |------|-----------------------|----------------------|---------|
+//! | R1   | `no_panic`            | per file, non-test   | deny    |
+//! | R2   | `safety_comment`      | per file             | deny    |
+//! | R3   | `pin_pairing`         | per function         | deny    |
+//! | R4   | `lock_order`          | per function         | deny    |
+//! | R5   | `error_taxonomy`      | workspace-wide       | deny/warn |
+//! | R6   | `counter_registry`    | per file + registry  | deny    |
+//!
+//! Suppression: a comment containing `allow(hdsj::<rule>)` on the same
+//! line or up to two lines above the flagged line silences that rule
+//! there. Always pair the suppression with a justification.
+
+pub mod r1_no_panic;
+pub mod r2_safety_comment;
+pub mod r3_pin_pairing;
+pub mod r4_lock_order;
+pub mod r5_error_taxonomy;
+pub mod r6_counter_registry;
+
+use crate::diag::Diagnostic;
+use crate::parse::FileModel;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs every rule over `files`. `registry_path_hint` names the obs
+/// registry file (matched by suffix) among `files`; when absent, R6 is
+/// skipped (fixture sets that don't care about counters).
+pub fn run_all(files: &[FileModel], registry_suffix: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Cross-file context.
+    let registry: Option<BTreeSet<String>> = files
+        .iter()
+        .find(|f| f.path.to_string_lossy().ends_with(registry_suffix))
+        .map(r6_counter_registry::load_registry);
+    let mut variants = Vec::new();
+    for f in files {
+        let v = r5_error_taxonomy::find_error_enum(f);
+        if v.len() > variants.len() {
+            variants = v; // the workspace Error enum (richest definition wins)
+        }
+    }
+    let mut tally: BTreeMap<String, r5_error_taxonomy::Usage> = variants
+        .iter()
+        .map(|v| (v.name.clone(), r5_error_taxonomy::Usage::default()))
+        .collect();
+
+    for f in files {
+        r1_no_panic::check(f, &mut out);
+        r2_safety_comment::check(f, &mut out);
+        r3_pin_pairing::check(f, &mut out);
+        r4_lock_order::check(f, &mut out);
+        if let Some(reg) = &registry {
+            r6_counter_registry::check(f, reg, &mut out);
+        }
+        r5_error_taxonomy::scan_usage(f, &mut tally);
+    }
+    r5_error_taxonomy::report(&variants, &tally, &mut out);
+
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}

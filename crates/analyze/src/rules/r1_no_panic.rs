@@ -1,0 +1,95 @@
+//! R1 `no_panic` — no `unwrap`/`expect`/`panic!`/`unreachable!` (or
+//! `todo!`/`unimplemented!`) in non-test library code.
+//!
+//! Library code must surface failures as typed `Error` values: the chaos
+//! suite (PR 2) injects disk faults into every layer, and a single stray
+//! `.unwrap()` turns a recoverable `Error::Storage` into a process abort.
+//! Test code (`#[cfg(test)]` items, `#[test]` functions) is exempt —
+//! panicking is how tests fail.
+
+use crate::diag::{Diagnostic, Level};
+use crate::parse::FileModel;
+
+pub const RULE: &str = "no_panic";
+
+/// Methods that panic on the error/none path.
+const PANICKY_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+/// Macros that unconditionally panic when reached.
+const PANICKY_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(file: &FileModel, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in file.tokens.iter().enumerate() {
+        let line = tok.line;
+        if file.is_test_line(line) {
+            continue;
+        }
+        let as_method = PANICKY_METHODS.contains(&tok.text.as_str())
+            && i > 0
+            && file.tokens[i - 1].is_punct('.')
+            && file.tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let as_macro = PANICKY_MACROS.contains(&tok.text.as_str())
+            && file.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        if !(as_method || as_macro) {
+            continue;
+        }
+        if file.suppressed(RULE, line) {
+            continue;
+        }
+        let what = if as_macro {
+            format!("`{}!`", tok.text)
+        } else {
+            format!("`.{}()`", tok.text)
+        };
+        out.push(Diagnostic {
+            rule: RULE,
+            level: Level::Deny,
+            path: file.path.clone(),
+            line,
+            message: format!(
+                "{what} in non-test code: return a typed `Error` instead \
+                 (or annotate with `// allow(hdsj::{RULE})` and justify)"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse(PathBuf::from("t.rs"), src);
+        let mut out = Vec::new();
+        check(&m, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_and_macros_outside_tests() {
+        let d = run("fn f() { x.unwrap(); panic!(\"no\"); }");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn spares_tests_and_lookalikes() {
+        let d = run("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n\
+             fn g() { x.unwrap_or(0); x.unwrap_or_else(f); }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn suppression_comment_silences() {
+        let d = run(
+            "fn f() {\n    // allow(hdsj::no_panic): chaos failpoint\n    panic!(\"x\");\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn strings_and_docs_do_not_count() {
+        let d = run("/// call .unwrap() freely\nfn f() { let s = \"panic!\"; }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

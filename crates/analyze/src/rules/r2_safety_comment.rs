@@ -1,0 +1,76 @@
+//! R2 `safety_comment` — every `unsafe` block or `unsafe fn` carries a
+//! `// SAFETY:` comment within the three lines above it (or on the same
+//! line). `unsafe impl`/`unsafe trait` declarations are judged at their
+//! implementation sites, not the keyword, and are exempt here.
+
+use crate::diag::{Diagnostic, Level};
+use crate::parse::FileModel;
+
+pub const RULE: &str = "safety_comment";
+
+/// How many lines above the `unsafe` keyword a SAFETY comment may sit.
+const REACH: u32 = 3;
+
+pub fn check(file: &FileModel, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if !tok.is_ident("unsafe") {
+            continue;
+        }
+        // `unsafe impl Send …` / `unsafe trait` — marker declarations.
+        if file
+            .tokens
+            .get(i + 1)
+            .is_some_and(|t| t.is_ident("impl") || t.is_ident("trait"))
+        {
+            continue;
+        }
+        let line = tok.line;
+        let documented = file.comments.iter().any(|c| {
+            c.text.contains("SAFETY:")
+                && (c.line == line || (c.end_line < line && c.end_line + REACH >= line))
+        });
+        if documented || file.suppressed(RULE, line) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: RULE,
+            level: Level::Deny,
+            path: file.path.clone(),
+            line,
+            message: "`unsafe` without a `// SAFETY:` comment explaining why the \
+                      invariants hold"
+                .to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse(PathBuf::from("t.rs"), src);
+        let mut out = Vec::new();
+        check(&m, &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let d = run("fn f() { let x = unsafe { *p }; }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies() {
+        let d = run("fn f() {\n    // SAFETY: p is valid for reads, checked above.\n    let x = unsafe { *p };\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_impl_is_exempt() {
+        let d = run("unsafe impl Send for T {}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

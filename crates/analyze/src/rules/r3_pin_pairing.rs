@@ -1,0 +1,212 @@
+//! R3 `pin_pairing` — buffer-pool pin/unpin discipline.
+//!
+//! The pool's pin protocol is RAII: `BufferPool::fetch`/`alloc` increment
+//! the frame pin count and hand back a `PinnedPage` guard whose `Drop`
+//! decrements it. Two things can silently break the pairing, and both are
+//! lexically visible:
+//!
+//! 1. **Leaking a guard** — `mem::forget`, `ManuallyDrop::new`, or
+//!    `Box::leak` applied to a value obtained from `.fetch(…)`/`.alloc(…)`
+//!    (directly or through a local binding) pins the frame forever; the
+//!    pool can then never evict it and eventually reports exhaustion.
+//! 2. **Manual pin arithmetic** — a function that calls `pins.fetch_add`
+//!    without either wrapping the result in a `PinnedPage` guard or
+//!    performing the matching `pins.fetch_sub` on every path.
+//!
+//! Check 2 is deliberately conservative: the increment must be paired *in
+//! the same function* (by guard construction or explicit decrement), which
+//! is exactly how `pool.rs` is written.
+
+use crate::diag::{Diagnostic, Level};
+use crate::parse::{FileModel, FnSpan};
+
+pub const RULE: &str = "pin_pairing";
+
+/// Functions that defeat RAII when applied to a pin guard.
+const LEAKERS: &[&str] = &["forget", "leak"];
+
+pub fn check(file: &FileModel, out: &mut Vec<Diagnostic>) {
+    for f in &file.fns {
+        check_fn(file, f, out);
+    }
+}
+
+/// True when tokens `i..end` contain a call `.fetch(` or `.alloc(`.
+fn contains_pin_call(file: &FileModel, start: usize, end: usize) -> bool {
+    (start..end.min(file.tokens.len())).any(|i| {
+        (file.tokens[i].is_ident("fetch") || file.tokens[i].is_ident("alloc"))
+            && i > 0
+            && file.tokens[i - 1].is_punct('.')
+            && file.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+    })
+}
+
+fn check_fn(file: &FileModel, f: &FnSpan, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    // Pass 1: locals bound from a pinning call: `let [mut] g = …fetch(…)…;`
+    let mut guards: Vec<String> = Vec::new();
+    let mut i = f.body_start;
+    while i < f.body_end {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name_tok) = toks.get(j) {
+                if name_tok.kind == crate::lexer::TokenKind::Ident
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+                {
+                    // RHS runs to the `;` at the binding's depth.
+                    let mut k = j + 2;
+                    while k < f.body_end && !toks[k].is_punct(';') {
+                        if toks[k].is_punct('(')
+                            || toks[k].is_punct('{')
+                            || toks[k].is_punct('[')
+                        {
+                            k = file.skip_group(k);
+                        } else {
+                            k += 1;
+                        }
+                    }
+                    if contains_pin_call(file, j + 2, k) {
+                        guards.push(name_tok.text.clone());
+                    }
+                    i = k;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: leak sites. `forget(…)`, `…::leak(…)`, `ManuallyDrop::new(…)`
+    // whose argument list mentions a guard binding or a pinning call.
+    let mut has_fetch_add = false;
+    let mut has_fetch_sub = false;
+    let mut has_guard_ctor = false;
+    let mut i = f.body_start;
+    while i < f.body_end {
+        let t = &toks[i];
+        if t.is_ident("PinnedPage") {
+            has_guard_ctor = true;
+        }
+        if t.is_ident("fetch_add")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks
+                .get(i.saturating_sub(2))
+                .is_some_and(|p| p.is_ident("pins"))
+        {
+            has_fetch_add = true;
+        }
+        if t.is_ident("fetch_sub")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks
+                .get(i.saturating_sub(2))
+                .is_some_and(|p| p.is_ident("pins"))
+        {
+            has_fetch_sub = true;
+        }
+        let is_leaker = LEAKERS.contains(&t.text.as_str())
+            || (t.is_ident("new")
+                && i >= 2
+                && toks[i - 1].is_punct(':')
+                && toks
+                    .get(i.saturating_sub(3))
+                    .is_some_and(|p| p.is_ident("ManuallyDrop")));
+        if is_leaker && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            let args_end = file.skip_group(i + 1);
+            let leaks_guard = contains_pin_call(file, i + 2, args_end)
+                || (i + 2..args_end).any(|k| guards.iter().any(|g| toks[k].is_ident(g)));
+            let line = t.line;
+            if leaks_guard && !file.is_test_line(line) && !file.suppressed(RULE, line) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    level: Level::Deny,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "pinned page guard leaked via `{}` in `{}`: the frame's pin \
+                         count never returns to zero, so it can never be evicted",
+                        t.text, f.name
+                    ),
+                });
+            }
+            i = args_end;
+            continue;
+        }
+        i += 1;
+    }
+
+    if has_fetch_add && !(has_fetch_sub || has_guard_ctor) {
+        let line = f.line;
+        if !file.is_test_line(line) && !file.suppressed(RULE, line) {
+            out.push(Diagnostic {
+                rule: RULE,
+                level: Level::Deny,
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "`{}` increments `pins` but neither constructs a `PinnedPage` \
+                     guard nor calls the matching `pins.fetch_sub`",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse(PathBuf::from("t.rs"), src);
+        let mut out = Vec::new();
+        check(&m, &mut out);
+        out
+    }
+
+    #[test]
+    fn forgetting_a_fetched_guard_is_flagged() {
+        let d =
+            run("fn f(pool: &BufferPool) { let g = pool.fetch(id)?; std::mem::forget(g); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("forget"));
+    }
+
+    #[test]
+    fn forgetting_a_direct_call_is_flagged() {
+        let d = run("fn f(pool: &BufferPool) { std::mem::forget(pool.alloc()?); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn normal_guard_use_is_clean() {
+        let d = run("fn f(pool: &BufferPool) { let g = pool.fetch(id)?; g.read(); drop(g); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unpaired_manual_pin_is_flagged() {
+        let d = run("fn pin_only(frame: &Frame) { frame.pins.fetch_add(1, Relaxed); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn guard_construction_pairs_the_increment() {
+        let d = run(
+            "fn fetch(&self) -> PinnedPage { frame.pins.fetch_add(1, Relaxed); \
+             PinnedPage { frame } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn forgetting_something_else_is_fine() {
+        let d = run("fn f(x: Vec<u8>) { std::mem::forget(x); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

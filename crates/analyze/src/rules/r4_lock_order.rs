@@ -1,0 +1,202 @@
+//! R4 `lock_order` — mutex acquisitions follow the declared global order.
+//!
+//! The workspace's blocking locks are few and named consistently; deadlock
+//! freedom comes from acquiring them in one global order:
+//!
+//! | rank | lock                            | owner                     |
+//! |------|---------------------------------|---------------------------|
+//! | 0    | `inner`                         | `BufferPool` (pool state) |
+//! | 1    | `state`                         | `FaultPlan` schedule      |
+//! | 2    | `pages`, `io_lock`, `num_pages` | disks                     |
+//! | 3    | `out`, `events`, `counters`, `GLOBAL` | obs sinks / registry |
+//!
+//! "Pool before stats, never the reverse": the pool lock (rank 0) may be
+//! held while reaching the disk or the obs registry, but code that holds a
+//! sink or registry lock must not reach back into the pool.
+//!
+//! The check is lexical and per-function: a `let g = x.lock()` binding
+//! *holds* `x`'s rank until its scope closes (or `drop(g)`); any later
+//! acquisition of a strictly lower rank inside that scope is a violation.
+//! Un-bound acquisitions (`x.lock().field`) are temporaries — checked
+//! against currently held ranks but releasing immediately. The
+//! `debug-invariants` feature provides the complementary runtime check
+//! across function boundaries.
+
+use crate::diag::{Diagnostic, Level};
+use crate::parse::{FileModel, FnSpan};
+
+pub const RULE: &str = "lock_order";
+
+/// Receiver-name → rank. Names not listed are ignored.
+pub const LOCK_ORDER: &[(&str, u8)] = &[
+    ("inner", 0),
+    ("state", 1),
+    ("pages", 2),
+    ("io_lock", 2),
+    ("num_pages", 2),
+    ("out", 3),
+    ("events", 3),
+    ("counters", 3),
+    ("GLOBAL", 3),
+];
+
+fn rank_of(name: &str) -> Option<u8> {
+    LOCK_ORDER.iter().find(|(n, _)| *n == name).map(|&(_, r)| r)
+}
+
+struct Held {
+    rank: u8,
+    name: String,
+    /// Binding name (`let g = …`), used by `drop(g)` release.
+    binding: Option<String>,
+    /// Brace depth at the binding; popped when the scope closes.
+    depth: u32,
+}
+
+pub fn check(file: &FileModel, out: &mut Vec<Diagnostic>) {
+    for f in &file.fns {
+        check_fn(file, f, out);
+    }
+}
+
+fn check_fn(file: &FileModel, f: &FnSpan, out: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    let mut held: Vec<Held> = Vec::new();
+    for i in f.body_start..f.body_end.min(toks.len()) {
+        let t = &toks[i];
+        // Scope close: release bindings from deeper scopes.
+        if t.is_punct('}') {
+            let d = file.depth[i];
+            held.retain(|h| h.depth < d);
+            continue;
+        }
+        // Explicit release: drop(g).
+        if t.is_ident("drop") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(arg) = toks.get(i + 2) {
+                held.retain(|h| h.binding.as_deref() != Some(arg.text.as_str()));
+            }
+            continue;
+        }
+        // An acquisition: `<recv> . lock ( )`.
+        let is_lock = t.is_ident("lock")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !is_lock {
+            continue;
+        }
+        let Some(recv) = toks.get(i.wrapping_sub(2)) else {
+            continue;
+        };
+        let Some(rank) = rank_of(&recv.text) else {
+            continue;
+        };
+        let line = t.line;
+        if let Some(worst) = held.iter().filter(|h| h.rank > rank).max_by_key(|h| h.rank) {
+            if !file.is_test_line(line) && !file.suppressed(RULE, line) {
+                out.push(Diagnostic {
+                    rule: RULE,
+                    level: Level::Deny,
+                    path: file.path.clone(),
+                    line,
+                    message: format!(
+                        "lock-order violation in `{}`: acquiring `{}` (rank {rank}) \
+                         while holding `{}` (rank {}); declared order is pool < fault \
+                         < disk < obs",
+                        f.name, recv.text, worst.name, worst.rank
+                    ),
+                });
+            }
+        }
+        // Held only when let-bound: scan back over the receiver chain
+        // (`a . b . c . lock`) to the chain head, then expect `let name =`.
+        let mut head = i - 2; // the receiver ident
+        while head >= 2
+            && toks[head - 1].is_punct('.')
+            && toks[head - 2].kind == crate::lexer::TokenKind::Ident
+        {
+            head -= 2;
+        }
+        let binding = if head >= 2
+            && toks[head - 1].is_punct('=')
+            && toks[head - 2].kind == crate::lexer::TokenKind::Ident
+        {
+            let name_idx = head - 2;
+            let is_let = (0..name_idx).rev().take(2).any(|k| toks[k].is_ident("let"));
+            is_let.then(|| toks[name_idx].text.clone())
+        } else {
+            None
+        };
+        if let Some(b) = binding {
+            held.push(Held {
+                rank,
+                name: recv.text.clone(),
+                binding: Some(b),
+                depth: file.depth[i],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse(PathBuf::from("t.rs"), src);
+        let mut out = Vec::new();
+        check(&m, &mut out);
+        out
+    }
+
+    #[test]
+    fn reverse_order_is_flagged() {
+        let d =
+            run("fn bad(&self) { let g = self.counters.lock(); let p = self.inner.lock(); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("rank 0"));
+    }
+
+    #[test]
+    fn declared_order_is_clean() {
+        let d = run("fn good(&self) { let p = self.inner.lock(); let s = self.pages.lock(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn drop_releases_the_rank() {
+        let d = run(
+            "fn ok(&self) { let s = self.counters.lock(); drop(s); let p = self.inner.lock(); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn scope_end_releases_the_rank() {
+        let d = run(
+            "fn ok(&self) { { let s = self.counters.lock(); } let p = self.inner.lock(); }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn temporaries_do_not_hold() {
+        let d = run("fn ok(&self) { self.counters.lock().len(); let p = self.inner.lock(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn same_rank_nesting_is_allowed() {
+        let d =
+            run("fn ok(&self) { let a = self.io_lock.lock(); let b = self.num_pages.lock(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unknown_receivers_are_ignored() {
+        let d =
+            run("fn ok(&self) { let a = self.whatever.lock(); let p = self.inner.lock(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

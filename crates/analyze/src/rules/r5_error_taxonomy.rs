@@ -1,0 +1,267 @@
+//! R5 `error_taxonomy` — no dead error taxonomy.
+//!
+//! Every variant of the workspace `Error` enum must be *constructed*
+//! somewhere (otherwise it is dead weight in every `match`) and *matched*
+//! somewhere other than a wildcard arm (otherwise callers cannot react to
+//! it — the CLI exit-code mapping and `variant_name` are the canonical
+//! consumers). A variant failing either leg gets a diagnostic at its
+//! definition site: construction-without-match is deny (errors the caller
+//! cannot distinguish), match-without-construction is warn (dead variant).
+
+use crate::diag::{Diagnostic, Level};
+use crate::parse::FileModel;
+
+pub const RULE: &str = "error_taxonomy";
+
+/// A variant of the workspace `Error` enum, located at its definition.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    pub name: String,
+    pub file: std::path::PathBuf,
+    pub line: u32,
+}
+
+/// Extracts the variants of `enum Error { … }` from `file`, if it defines
+/// one.
+pub fn find_error_enum(file: &FileModel) -> Vec<Variant> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident("Error") {
+            // Body: first `{` after the name (skips generics, none here).
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let end = file.skip_group(j);
+            let body_depth = file.depth[j] + 1;
+            let mut k = j + 1;
+            while k < end.saturating_sub(1) {
+                let t = &toks[k];
+                // A variant name: ident at body depth, preceded by `{` or `,`
+                // (attributes skipped below), starting uppercase.
+                if t.kind == crate::lexer::TokenKind::Ident
+                    && file.depth[k] == body_depth
+                    && t.text
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_uppercase())
+                    && (toks[k - 1].is_punct('{')
+                        || toks[k - 1].is_punct(',')
+                        || toks[k - 1].is_punct(']'))
+                {
+                    out.push(Variant {
+                        name: t.text.clone(),
+                        file: file.path.clone(),
+                        line: t.line,
+                    });
+                    // Skip any payload.
+                    if toks
+                        .get(k + 1)
+                        .is_some_and(|t| t.is_punct('(') || t.is_punct('{'))
+                    {
+                        k = file.skip_group(k + 1);
+                        continue;
+                    }
+                }
+                if t.is_punct('#') && toks.get(k + 1).is_some_and(|t| t.is_punct('[')) {
+                    k = file.skip_group(k + 1);
+                    continue;
+                }
+                k += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Per-variant usage counts accumulated across files.
+#[derive(Debug, Default)]
+pub struct Usage {
+    pub constructed: usize,
+    pub matched: usize,
+}
+
+/// Scans `file` for `Error::<Variant>` occurrences and classifies each as
+/// pattern (match arm, `|` alternative, `if let`/`matches!` destructure)
+/// or construction.
+pub fn scan_usage(file: &FileModel, tally: &mut std::collections::BTreeMap<String, Usage>) {
+    let toks = &file.tokens;
+    // Precompute matches!(…) ranges: everything inside is pattern context
+    // after the first comma at call depth.
+    let mut matches_ranges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("matches")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            matches_ranges.push((i + 2, file.skip_group(i + 2)));
+        }
+    }
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        let hit = toks[i].is_ident("Error")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].kind == crate::lexer::TokenKind::Ident;
+        if !hit {
+            i += 1;
+            continue;
+        }
+        let variant = toks[i + 3].text.clone();
+        let Some(usage) = tally.get_mut(&variant) else {
+            i += 4;
+            continue;
+        };
+        // Position after the optional payload group.
+        let mut after = i + 4;
+        if toks
+            .get(after)
+            .is_some_and(|t| t.is_punct('(') || t.is_punct('{'))
+        {
+            after = file.skip_group(after);
+        }
+        let in_matches = matches_ranges.iter().any(|&(a, b)| i > a && i < b);
+        let arrow = toks.get(after).is_some_and(|t| t.is_punct('='))
+            && toks.get(after + 1).is_some_and(|t| t.is_punct('>'));
+        let alternative = toks.get(after).is_some_and(|t| t.is_punct('|'));
+        let destructure = toks.get(after).is_some_and(|t| t.is_punct('='))
+            && !toks
+                .get(after + 1)
+                .is_some_and(|t| t.is_punct('=') || t.is_punct('>'));
+        if in_matches || arrow || alternative || destructure {
+            usage.matched += 1;
+        } else {
+            usage.constructed += 1;
+        }
+        i = after;
+    }
+}
+
+/// Emits diagnostics for variants failing either leg. `variants` is the
+/// definition list; `tally` the cross-file usage counts.
+pub fn report(
+    variants: &[Variant],
+    tally: &std::collections::BTreeMap<String, Usage>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for v in variants {
+        let Some(u) = tally.get(&v.name) else {
+            continue;
+        };
+        if u.constructed > 0 && u.matched == 0 {
+            out.push(Diagnostic {
+                rule: RULE,
+                level: Level::Deny,
+                path: v.file.clone(),
+                line: v.line,
+                message: format!(
+                    "`Error::{}` is constructed but never matched: callers cannot \
+                     distinguish it (add it to the exit-code map / `variant_name`)",
+                    v.name
+                ),
+            });
+        }
+        if u.constructed == 0 {
+            out.push(Diagnostic {
+                rule: RULE,
+                level: Level::Warn,
+                path: v.file.clone(),
+                line: v.line,
+                message: format!(
+                    "`Error::{}` is never constructed: dead taxonomy weight",
+                    v.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+
+    fn run(srcs: &[&str]) -> Vec<Diagnostic> {
+        let models: Vec<FileModel> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| FileModel::parse(PathBuf::from(format!("f{i}.rs")), s))
+            .collect();
+        let mut variants = Vec::new();
+        for m in &models {
+            let v = find_error_enum(m);
+            if !v.is_empty() {
+                variants = v;
+            }
+        }
+        let mut tally: BTreeMap<String, Usage> = variants
+            .iter()
+            .map(|v| (v.name.clone(), Usage::default()))
+            .collect();
+        for m in &models {
+            scan_usage(m, &mut tally);
+        }
+        let mut out = Vec::new();
+        report(&variants, &tally, &mut out);
+        out
+    }
+
+    const ENUM: &str = "pub enum Error { Io(String), Weird(String) }";
+
+    #[test]
+    fn constructed_but_unmatched_is_denied() {
+        let d = run(&[
+            ENUM,
+            "fn f() -> Error { Error::Weird(\"x\".into()) }\n\
+            fn g(e: &Error) { match e { Error::Io(_) => {}, _ => {} } }\n\
+            fn h() { let _ = Error::Io(String::new()); }",
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("Weird"));
+        assert_eq!(d[0].level, Level::Deny);
+    }
+
+    #[test]
+    fn matched_and_constructed_is_clean() {
+        let d = run(&[
+            ENUM,
+            "fn f() { let e = Error::Io(String::new()); let w = Error::Weird(\"w\".into());\n\
+            match e { Error::Io(_) | Error::Weird(_) => {} } }",
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn matches_macro_counts_as_matched() {
+        let d = run(&[
+            ENUM,
+            "fn f(e: &Error) -> bool { let _ = Error::Io(String::new());\n\
+            let _ = Error::Weird(\"w\".into());\n\
+            matches!(e, Error::Io(_) | Error::Weird(_)) }",
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn never_constructed_is_a_warning() {
+        let d = run(&[
+            ENUM,
+            "fn g(e: &Error) { match e { Error::Io(_) => {}, Error::Weird(_) => {} } }",
+        ]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.level == Level::Warn));
+    }
+
+    #[test]
+    fn if_let_counts_as_matched() {
+        let d = run(&[ENUM, "fn f(e: Error) { let _ = Error::Io(String::new()); let _ = Error::Weird(\"w\".into());\n\
+            if let Error::Io(m) = e { use_it(m); }\n\
+            if let Error::Weird(m) = other { use_it(m); } }"]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

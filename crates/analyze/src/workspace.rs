@@ -1,0 +1,89 @@
+//! Workspace discovery: which files the checker walks.
+//!
+//! The walk covers library and binary code — `crates/*/src/**/*.rs` plus
+//! the root package's `src/**/*.rs`. It deliberately excludes:
+//!
+//! * `tests/`, `benches/`, `examples/` — panicking is idiomatic there and
+//!   the in-file `#[cfg(test)]` exemption handles unit tests;
+//! * `vendor/` — std-only shims for external crates, not project code;
+//! * `target/` and hidden directories.
+
+use crate::parse::FileModel;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Suffix identifying the obs metric-name registry among walked files.
+pub const REGISTRY_SUFFIX: &str = "obs/src/names.rs";
+
+/// The set of parsed source files under analysis.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<FileModel>,
+}
+
+impl Workspace {
+    /// Walks `root` (a cargo workspace checkout) and parses every in-scope
+    /// source file. Paths in diagnostics are reported relative to `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut sources: Vec<PathBuf> = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in std::fs::read_dir(&crates_dir)? {
+                let src = entry?.path().join("src");
+                if src.is_dir() {
+                    collect_rs(&src, &mut sources)?;
+                }
+            }
+        }
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            collect_rs(&root_src, &mut sources)?;
+        }
+        sources.sort();
+
+        let mut files = Vec::with_capacity(sources.len());
+        for path in sources {
+            let text = std::fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            files.push(FileModel::parse(rel, &text));
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// Builds a workspace from explicit files (fixture tests).
+    pub fn from_sources(sources: &[(PathBuf, String)]) -> Workspace {
+        Workspace {
+            root: PathBuf::new(),
+            files: sources
+                .iter()
+                .map(|(p, s)| FileModel::parse(p.clone(), s))
+                .collect(),
+        }
+    }
+
+    /// Runs the full rule set.
+    pub fn check(&self) -> Vec<crate::diag::Diagnostic> {
+        crate::rules::run_all(&self.files, REGISTRY_SUFFIX)
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

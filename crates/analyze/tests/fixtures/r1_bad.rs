@@ -1,0 +1,16 @@
+// Fixture: R1 `no_panic` violations — lines 3, 7, 12, 14.
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second(r: Result<u32, String>) -> u32 {
+    r.expect("must hold")
+}
+
+pub fn third(flag: bool) {
+    if flag {
+        panic!("boom");
+    } else {
+        unreachable!();
+    }
+}

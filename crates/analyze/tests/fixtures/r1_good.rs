@@ -1,0 +1,23 @@
+// Fixture: R1 passes — typed errors, suppression, and the test exemption.
+pub fn first(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+pub fn second(flag: bool) {
+    if flag {
+        // allow(hdsj::no_panic): fixture-sanctioned failpoint.
+        panic!("contained");
+    }
+}
+
+pub fn lookalikes(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,4 @@
+// Fixture: R2 `safety_comment` — undocumented unsafe at line 3.
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

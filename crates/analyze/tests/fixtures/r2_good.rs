@@ -1,0 +1,7 @@
+// Fixture: R2 passes — SAFETY comment in reach, marker impls exempt.
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points to a live byte.
+    unsafe { *p }
+}
+
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,9 @@
+// Fixture: R3 `pin_pairing` — leaked guard (line 4), unpaired pin (line 7).
+pub fn leak(pool: &BufferPool, id: PageId) {
+    let guard = pool.fetch(id);
+    std::mem::forget(guard);
+}
+
+pub fn pin_only(frame: &Frame) {
+    frame.pins.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,14 @@
+// Fixture: R3 passes — RAII guard use, and a paired manual pin.
+pub fn read_page(pool: &BufferPool, id: PageId) -> u64 {
+    let guard = pool.fetch(id);
+    guard.read().get_u64(0)
+}
+
+pub fn pin(frame: Arc<Frame>) -> PinnedPage {
+    frame.pins.fetch_add(1, Ordering::Relaxed);
+    PinnedPage { frame }
+}
+
+pub fn forget_unrelated(bytes: Vec<u8>) {
+    std::mem::forget(bytes);
+}

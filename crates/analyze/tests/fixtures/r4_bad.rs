@@ -1,0 +1,6 @@
+// Fixture: R4 `lock_order` — rank 0 acquired under rank 3 (line 4).
+fn backwards(pool: &Pool) {
+    let sink = pool.counters.lock();
+    let inner = pool.inner.lock();
+    drop((sink, inner));
+}

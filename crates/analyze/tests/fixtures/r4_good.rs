@@ -1,0 +1,23 @@
+// Fixture: R4 passes — declared order, drop-release, scoped release.
+fn forward(pool: &Pool) {
+    let inner = pool.inner.lock();
+    let state = pool.state.lock();
+    let pages = pool.pages.lock();
+    drop((inner, state, pages));
+}
+
+fn released(pool: &Pool) {
+    let sink = pool.counters.lock();
+    drop(sink);
+    let inner = pool.inner.lock();
+    drop(inner);
+}
+
+fn scoped(pool: &Pool) {
+    {
+        let events = pool.events.lock();
+        drop(events);
+    }
+    let inner = pool.inner.lock();
+    drop(inner);
+}

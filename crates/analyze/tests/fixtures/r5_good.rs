@@ -1,0 +1,20 @@
+// Fixture: R5 passes — every variant is constructed and matched.
+pub enum Error {
+    Io(String),
+    Lost(String),
+}
+
+pub fn make_io() -> Error {
+    Error::Io("disk".to_string())
+}
+
+pub fn make_lost() -> Error {
+    Error::Lost("gone".to_string())
+}
+
+pub fn classify(e: &Error) -> i32 {
+    match e {
+        Error::Io(_) => 6,
+        Error::Lost(_) => 4,
+    }
+}

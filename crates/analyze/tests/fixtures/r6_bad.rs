@@ -1,0 +1,4 @@
+// Fixture: R6 `counter_registry` — typo'd metric name at line 3.
+fn record(t: &Tracer) {
+    t.counter("pool.hit").add(1);
+}

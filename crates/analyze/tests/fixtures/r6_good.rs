@@ -1,0 +1,7 @@
+// Fixture: R6 passes — registered names, dynamic names skipped.
+fn record(t: &Tracer, s: &MemorySink, prefix: &str) {
+    t.counter("pool.hits").add(1);
+    t.gauge("pool.hit_rate", 0.5);
+    s.counter_value("msj.refine.pairs");
+    t.counter(format!("{prefix}.reads")).add(1);
+}

@@ -1,0 +1,5 @@
+// Fixture registry; stands in for crates/obs/src/names.rs in fixture
+// workspaces (it is installed under that path by the tests).
+pub const POOL_HITS: &str = "pool.hits";
+pub const REFINE_PAIRS: &str = "msj.refine.pairs";
+pub const HIT_RATE: &str = "pool.hit_rate";

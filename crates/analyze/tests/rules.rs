@@ -1,0 +1,108 @@
+//! Fixture-driven rule tests: each rule has a `bad` fixture whose exact
+//! diagnostics are pinned (rule, path, line, level) and a `good` fixture
+//! that must come back clean. Fixtures live under `tests/fixtures/` and
+//! are fed through [`Workspace::from_sources`], the same pipeline as a
+//! real checkout minus the directory walk.
+// Panicking is idiomatic in test code; see clippy.toml / analyzer policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use hdsj_analyze::{Level, Workspace};
+use std::path::{Path, PathBuf};
+
+/// Loads `tests/fixtures/<name>` and mounts it at `mount` in the fixture
+/// workspace (the registry fixture is mounted at the real registry path).
+fn fixture(name: &str, mount: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    (PathBuf::from(mount), text)
+}
+
+#[test]
+fn bad_fixtures_produce_exactly_the_expected_diagnostics() {
+    let ws = Workspace::from_sources(&[
+        fixture("r1_bad.rs", "r1_bad.rs"),
+        fixture("r2_bad.rs", "r2_bad.rs"),
+        fixture("r3_bad.rs", "r3_bad.rs"),
+        fixture("r4_bad.rs", "r4_bad.rs"),
+        fixture("r5_bad.rs", "r5_bad.rs"),
+        fixture("r6_bad.rs", "r6_bad.rs"),
+        fixture("r6_names.rs", "obs/src/names.rs"),
+    ]);
+    let got: Vec<(String, &str, u32, Level)> = ws
+        .check()
+        .into_iter()
+        .map(|d| {
+            (
+                d.path.to_string_lossy().into_owned(),
+                d.rule,
+                d.line,
+                d.level,
+            )
+        })
+        .collect();
+    let want: Vec<(String, &str, u32, Level)> = vec![
+        ("r1_bad.rs".into(), "no_panic", 3, Level::Deny),
+        ("r1_bad.rs".into(), "no_panic", 7, Level::Deny),
+        ("r1_bad.rs".into(), "no_panic", 12, Level::Deny),
+        ("r1_bad.rs".into(), "no_panic", 14, Level::Deny),
+        ("r2_bad.rs".into(), "safety_comment", 3, Level::Deny),
+        ("r3_bad.rs".into(), "pin_pairing", 4, Level::Deny),
+        ("r3_bad.rs".into(), "pin_pairing", 7, Level::Deny),
+        ("r4_bad.rs".into(), "lock_order", 4, Level::Deny),
+        ("r5_bad.rs".into(), "error_taxonomy", 4, Level::Deny),
+        ("r6_bad.rs".into(), "counter_registry", 3, Level::Deny),
+    ];
+    assert_eq!(got, want, "diagnostic set drifted");
+}
+
+#[test]
+fn bad_fixture_messages_name_the_offence() {
+    let ws = Workspace::from_sources(&[
+        fixture("r5_bad.rs", "r5_bad.rs"),
+        fixture("r6_bad.rs", "r6_bad.rs"),
+        fixture("r6_names.rs", "obs/src/names.rs"),
+    ]);
+    let diags = ws.check();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "error_taxonomy" && d.message.contains("Error::Lost")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "counter_registry" && d.message.contains("pool.hit")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    let ws = Workspace::from_sources(&[
+        fixture("r1_good.rs", "r1_good.rs"),
+        fixture("r2_good.rs", "r2_good.rs"),
+        fixture("r3_good.rs", "r3_good.rs"),
+        fixture("r4_good.rs", "r4_good.rs"),
+        fixture("r5_good.rs", "r5_good.rs"),
+        fixture("r6_good.rs", "r6_good.rs"),
+        fixture("r6_names.rs", "obs/src/names.rs"),
+    ]);
+    let diags = ws.check();
+    assert!(diags.is_empty(), "good fixtures must be clean:\n{diags:#?}");
+}
+
+#[test]
+fn diagnostics_render_as_path_line_level_rule() {
+    let ws = Workspace::from_sources(&[fixture("r2_bad.rs", "r2_bad.rs")]);
+    let diags = ws.check();
+    assert_eq!(diags.len(), 1);
+    let line = diags[0].to_string();
+    assert!(
+        line.starts_with("r2_bad.rs:3: deny[hdsj::safety_comment]"),
+        "human rendering drifted: {line}"
+    );
+}

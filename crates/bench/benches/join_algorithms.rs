@@ -2,6 +2,8 @@
 //! swept parameter, one bench per algorithm. Workloads are deliberately
 //! small (Criterion repeats them many times); the experiment binaries run
 //! the full-size sweeps.
+// Panicking is idiomatic in test code; see clippy.toml / analyzer policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdsj_bench::Algo;
@@ -14,7 +16,7 @@ fn bench_dimensionality(c: &mut Criterion) {
     group.sample_size(10);
     for d in [4usize, 16, 64] {
         let eps = eps_for_expected_pairs(Metric::L2, d, n, n as f64).min(0.95);
-        let ds = hdsj_data::uniform(d, n, d as u64);
+        let ds = hdsj_data::uniform(d, n, d as u64).unwrap();
         let spec = JoinSpec::new(eps, Metric::L2);
         for algo in Algo::all() {
             if algo == Algo::Grid && d > 10 {
@@ -40,7 +42,7 @@ fn bench_dimensionality(c: &mut Criterion) {
 fn bench_epsilon(c: &mut Criterion) {
     let n = 2_000;
     let d = 8;
-    let ds = hdsj_data::uniform(d, n, 42);
+    let ds = hdsj_data::uniform(d, n, 42).unwrap();
     let mut group = c.benchmark_group("self_join_vs_eps");
     group.sample_size(10);
     for eps in [0.1f64, 0.3, 0.5] {
@@ -69,7 +71,7 @@ fn bench_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("self_join_vs_n");
     group.sample_size(10);
     for n in [1_000usize, 2_000, 4_000] {
-        let ds = hdsj_data::uniform(d, n, 7);
+        let ds = hdsj_data::uniform(d, n, 7).unwrap();
         for algo in Algo::all() {
             group.bench_with_input(
                 BenchmarkId::new(algo.name(), n),

@@ -1,5 +1,7 @@
 //! R-tree construction benchmarks: the three build strategies across
 //! dimensionalities (the build half of the E12 ablation).
+// Panicking is idiomatic in test code; see clippy.toml / analyzer policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdsj_rtree::{BuildStrategy, RTree};
@@ -9,7 +11,7 @@ fn bench_builds(c: &mut Criterion) {
     let mut group = c.benchmark_group("rtree_build");
     group.sample_size(10);
     for d in [4usize, 16] {
-        let ds = hdsj_data::uniform(d, 5_000, d as u64);
+        let ds = hdsj_data::uniform(d, 5_000, d as u64).unwrap();
         for strategy in [
             BuildStrategy::HilbertPack,
             BuildStrategy::Str,

@@ -10,22 +10,23 @@ use hdsj_msj::Msj;
 use hdsj_rtree::RsjJoin;
 use hdsj_storage::StorageEngine;
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let d = 8;
     let n = scaled(40_000);
-    let ds = hdsj_data::uniform(d, n, 23);
+    let ds = hdsj_data::uniform(d, n, 23)?;
     let spec = JoinSpec::new(0.15, Metric::L2);
     let mut table = Table::new("E11_buffer_sweep", &["pool_pages", "RSJ_io", "MSJ_io"]);
     for pool in [8usize, 32, 128, 512, 2048] {
         let mut rsj = RsjJoin::with_engine(StorageEngine::in_memory(pool));
-        let rsj_m = measure_self_join(&mut rsj, &ds, &spec).expect("rsj");
+        let rsj_m = measure_self_join(&mut rsj, &ds, &spec)?;
         let mut msj = Msj::with_engine(StorageEngine::in_memory(pool));
-        let msj_m = measure_self_join(&mut msj, &ds, &spec).expect("msj");
+        let msj_m = measure_self_join(&mut msj, &ds, &spec)?;
         table.row(vec![
             pool.to_string(),
             rsj_m.stats.io.total().to_string(),
             msj_m.stats.io.total().to_string(),
         ]);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

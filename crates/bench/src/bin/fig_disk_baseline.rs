@@ -10,10 +10,10 @@ use hdsj_core::{CountSink, JoinKind, JoinSpec, Metric};
 use hdsj_msj::Msj;
 use hdsj_storage::{disk_block_nested_loops, PointFile, StorageEngine};
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let d = 8;
     let n = scaled(20_000);
-    let ds = hdsj_data::uniform(d, n, 41);
+    let ds = hdsj_data::uniform(d, n, 41)?;
     let spec = JoinSpec::new(0.1, Metric::L2);
 
     let mut table = Table::new(
@@ -29,12 +29,11 @@ fn main() {
 
     for block in [500usize, 2_000, 8_000] {
         let engine = StorageEngine::in_memory(16);
-        let pf = PointFile::from_dataset(&engine, &ds).expect("point file");
+        let pf = PointFile::from_dataset(&engine, &ds)?;
         engine.reset_counters();
         let mut sink = CountSink::default();
         let stats =
-            disk_block_nested_loops(&pf, &pf, JoinKind::SelfJoin, &spec, block, &mut sink)
-                .expect("bnl");
+            disk_block_nested_loops(&pf, &pf, JoinKind::SelfJoin, &spec, block, &mut sink)?;
         table.row(vec![
             "BNL".into(),
             block.to_string(),
@@ -46,7 +45,7 @@ fn main() {
 
     let engine = StorageEngine::in_memory(16);
     let mut msj = Msj::with_engine(engine);
-    let m = measure_self_join(&mut msj, &ds, &spec).expect("msj");
+    let m = measure_self_join(&mut msj, &ds, &spec)?;
     table.row(vec![
         "MSJ".into(),
         "-".into(),
@@ -55,5 +54,6 @@ fn main() {
         m.stats.results.to_string(),
     ]);
 
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

@@ -10,7 +10,7 @@ use hdsj_bench::{eps_for_sample_quantile, fmt_ms, measure_self_join, scaled, Alg
 use hdsj_core::{JoinSpec, Metric};
 use hdsj_data::{color_histograms, HistogramSpec};
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let n = scaled(8_000);
     let mut table = Table::new(
         "E13_color_histograms",
@@ -19,7 +19,7 @@ fn main() {
         ],
     );
     for bins in [16usize, 32, 64] {
-        let ds = color_histograms(bins, n, HistogramSpec::default(), 2026);
+        let ds = color_histograms(bins, n, HistogramSpec::default(), 2026)?;
         let frac = 4.0 * n as f64 / (n as f64 * (n as f64 - 1.0) / 2.0);
         let eps = eps_for_sample_quantile(&ds, Metric::L2, frac, 20_000);
         let spec = JoinSpec::new(eps, Metric::L2);
@@ -40,5 +40,6 @@ fn main() {
         cells.extend(times);
         table.row(cells);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

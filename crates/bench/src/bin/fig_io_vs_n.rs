@@ -10,7 +10,7 @@ use hdsj_msj::Msj;
 use hdsj_rtree::RsjJoin;
 use hdsj_storage::StorageEngine;
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let d = 8;
     let spec = JoinSpec::new(0.15, Metric::L2);
     let pool = 128;
@@ -20,11 +20,11 @@ fn main() {
     );
     for base in [10_000usize, 20_000, 40_000, 80_000] {
         let n = scaled(base);
-        let ds = hdsj_data::uniform(d, n, 11);
+        let ds = hdsj_data::uniform(d, n, 11)?;
         let mut rsj = RsjJoin::with_engine(StorageEngine::in_memory(pool));
-        let rsj_m = measure_self_join(&mut rsj, &ds, &spec).expect("rsj");
+        let rsj_m = measure_self_join(&mut rsj, &ds, &spec)?;
         let mut msj = Msj::with_engine(StorageEngine::in_memory(pool));
-        let msj_m = measure_self_join(&mut msj, &ds, &spec).expect("msj");
+        let msj_m = measure_self_join(&mut msj, &ds, &spec)?;
         table.row(vec![
             n.to_string(),
             rsj_m.stats.io.reads.to_string(),
@@ -33,5 +33,6 @@ fn main() {
             msj_m.stats.io.writes.to_string(),
         ]);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

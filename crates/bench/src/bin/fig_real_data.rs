@@ -9,7 +9,7 @@ use hdsj_bench::{eps_for_sample_quantile, fmt_ms, measure_self_join, scaled, Alg
 use hdsj_core::{JoinSpec, Metric};
 use hdsj_data::timeseries::fourier_dataset;
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let n = scaled(8_000);
     let mut table = Table::new(
         "E7_real_data",
@@ -18,7 +18,7 @@ fn main() {
         ],
     );
     for d in [4usize, 8, 16] {
-        let ds = fourier_dataset(d, n, 128, 2024);
+        let ds = fourier_dataset(d, n, 128, 2024)?;
         let frac = 4.0 * n as f64 / (n as f64 * (n as f64 - 1.0) / 2.0);
         let eps = eps_for_sample_quantile(&ds, Metric::L2, frac, 20_000);
         let spec = JoinSpec::new(eps, Metric::L2);
@@ -39,5 +39,6 @@ fn main() {
         cells.extend(times);
         table.row(cells);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

@@ -8,7 +8,7 @@ use hdsj_bench::{eps_for_sample_quantile, fmt_ms, measure_self_join, scaled, Alg
 use hdsj_core::{JoinSpec, Metric};
 use hdsj_data::ClusterSpec;
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let d = 8;
     let n = scaled(10_000);
     let mut table = Table::new(
@@ -32,7 +32,7 @@ fn main() {
             zipf_theta: zipf,
             noise_fraction: 0.1,
         };
-        let ds = hdsj_data::gaussian_clusters(d, n, spec_ds, 99);
+        let ds = hdsj_data::gaussian_clusters(d, n, spec_ds, 99)?;
         let frac = 4.0 * n as f64 / (n as f64 * (n as f64 - 1.0) / 2.0);
         let eps = eps_for_sample_quantile(&ds, Metric::L2, frac, 20_000);
         let spec = JoinSpec::new(eps, Metric::L2);
@@ -58,5 +58,6 @@ fn main() {
         cells.extend(times);
         table.row(cells);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

@@ -9,7 +9,7 @@ use hdsj_bench::{fmt_ms, measure_self_join, scaled, Algo, Table};
 use hdsj_core::{JoinSpec, Metric};
 use hdsj_data::analytic::eps_for_expected_pairs;
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let n = scaled(10_000);
     let target_pairs = n as f64 * 2.0;
     let mut table = Table::new(
@@ -20,7 +20,7 @@ fn main() {
     );
     for d in [2usize, 4, 8, 16, 32, 64] {
         let eps = eps_for_expected_pairs(Metric::L2, d, n, target_pairs).min(0.95);
-        let ds = hdsj_data::uniform(d, n, d as u64);
+        let ds = hdsj_data::uniform(d, n, d as u64)?;
         let spec = JoinSpec::new(eps, Metric::L2);
         let mut cells = vec![d.to_string(), format!("{eps:.3}")];
         let mut results = String::from("-");
@@ -39,5 +39,6 @@ fn main() {
         cells.extend(times);
         table.row(cells);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

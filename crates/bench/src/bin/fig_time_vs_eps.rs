@@ -6,10 +6,10 @@
 use hdsj_bench::{fmt_ms, measure_self_join, scaled, Algo, Table};
 use hdsj_core::{JoinSpec, Metric};
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let n = scaled(10_000);
     let d = 8;
-    let ds = hdsj_data::uniform(d, n, 42);
+    let ds = hdsj_data::uniform(d, n, 42)?;
     let mut table = Table::new(
         "E2_time_vs_eps",
         &["eps", "results", "BF", "SM1D", "GRID", "EKDB", "RSJ", "MSJ"],
@@ -33,5 +33,6 @@ fn main() {
         cells.extend(times);
         table.row(cells);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

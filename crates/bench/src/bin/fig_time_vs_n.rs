@@ -6,7 +6,7 @@
 use hdsj_bench::{fmt_ms, measure_self_join, scaled, Algo, Table};
 use hdsj_core::{JoinSpec, Metric};
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let d = 8;
     let eps = 0.2;
     let spec = JoinSpec::new(eps, Metric::L2);
@@ -16,7 +16,7 @@ fn main() {
     );
     for base in [5_000usize, 10_000, 20_000, 40_000] {
         let n = scaled(base);
-        let ds = hdsj_data::uniform(d, n, 7);
+        let ds = hdsj_data::uniform(d, n, 7)?;
         let mut cells = vec![n.to_string()];
         let mut results = String::from("-");
         let mut times = Vec::new();
@@ -34,5 +34,6 @@ fn main() {
         cells.extend(times);
         table.row(cells);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

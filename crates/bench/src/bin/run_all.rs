@@ -21,10 +21,12 @@ const TARGETS: [&str; 14] = [
     "fig_disk_baseline",
 ];
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     // The sibling binaries sit next to this one.
-    let me = std::env::current_exe().expect("own path");
-    let dir = me.parent().expect("bin dir");
+    let me = std::env::current_exe()?;
+    let dir = me.parent().ok_or_else(|| {
+        hdsj_core::Error::Internal("current_exe has no parent directory".into())
+    })?;
     let mut failed = Vec::new();
     for target in TARGETS {
         println!("\n########## {target} ##########");
@@ -53,6 +55,7 @@ fn main() {
         eprintln!("\nfailed experiments: {failed:?}");
         std::process::exit(1);
     }
+    Ok(())
 }
 
 /// Concatenates every per-experiment `target/experiments/*.jsonl` into one

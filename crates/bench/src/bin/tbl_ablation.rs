@@ -7,10 +7,10 @@ use hdsj_msj::Msj;
 use hdsj_rtree::{BuildStrategy, RsjJoin};
 use hdsj_sfc::Curve;
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let d = 8;
     let n = scaled(20_000);
-    let ds = hdsj_data::uniform(d, n, 29);
+    let ds = hdsj_data::uniform(d, n, 29)?;
     let spec = JoinSpec::new(0.15, Metric::L2);
 
     let mut table = Table::new(
@@ -19,7 +19,7 @@ fn main() {
     );
     for curve in [Curve::Hilbert, Curve::ZOrder] {
         let mut msj = Msj::with_curve(curve);
-        let m = measure_self_join(&mut msj, &ds, &spec).expect("msj");
+        let m = measure_self_join(&mut msj, &ds, &spec)?;
         table.row(vec![
             format!("MSJ/{}", curve.label()),
             fmt_ms(m.elapsed_ms),
@@ -29,7 +29,7 @@ fn main() {
     }
     for threads in [2usize, 4] {
         let mut msj = Msj::with_refine_threads(threads);
-        let m = measure_self_join(&mut msj, &ds, &spec).expect("msj");
+        let m = measure_self_join(&mut msj, &ds, &spec)?;
         table.row(vec![
             format!("MSJ/refine x{threads}"),
             fmt_ms(m.elapsed_ms),
@@ -43,7 +43,7 @@ fn main() {
         BuildStrategy::DynamicInsert,
     ] {
         let mut rsj = RsjJoin::with_strategy(strategy);
-        let m = measure_self_join(&mut rsj, &ds, &spec).expect("rsj");
+        let m = measure_self_join(&mut rsj, &ds, &spec)?;
         table.row(vec![
             format!("RSJ/{strategy:?}"),
             fmt_ms(m.elapsed_ms),
@@ -51,5 +51,6 @@ fn main() {
             m.stats.results.to_string(),
         ]);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

@@ -6,10 +6,10 @@
 use hdsj_bench::{measure_self_join, scaled, Algo, Table};
 use hdsj_core::{JoinSpec, Metric};
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let d = 8;
     let n = scaled(10_000);
-    let ds = hdsj_data::uniform(d, n, 17);
+    let ds = hdsj_data::uniform(d, n, 17)?;
     let spec = JoinSpec::new(0.2, Metric::L2);
     let mut table = Table::new(
         "E10_filter_quality",
@@ -34,5 +34,6 @@ fn main() {
             ]),
         }
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

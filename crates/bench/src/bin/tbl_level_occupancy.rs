@@ -8,16 +8,16 @@
 use hdsj_bench::{scaled, Table};
 use hdsj_msj::Msj;
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let n = scaled(20_000);
     let mut table = Table::new(
         "E9_level_occupancy",
         &["d", "eps", "depth", "level_counts (0..depth)"],
     );
     for (d, eps) in [(2usize, 0.01f64), (2, 0.1), (8, 0.05), (8, 0.2), (32, 0.5)] {
-        let ds = hdsj_data::uniform(d, n, d as u64);
+        let ds = hdsj_data::uniform(d, n, d as u64)?;
         let msj = Msj::default();
-        let hist = msj.level_histogram(&ds, eps).expect("histogram");
+        let hist = msj.level_histogram(&ds, eps)?;
         table.row(vec![
             d.to_string(),
             format!("{eps}"),
@@ -28,5 +28,6 @@ fn main() {
                 .join(" "),
         ]);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

@@ -8,7 +8,7 @@ use hdsj_bench::{fmt_bytes, measure_self_join, scaled, Algo, Table};
 use hdsj_core::{JoinSpec, Metric};
 use hdsj_data::analytic::eps_for_expected_pairs;
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let n = scaled(10_000);
     let mut table = Table::new(
         "E5_memory_vs_dim",
@@ -16,7 +16,7 @@ fn main() {
     );
     for d in [2usize, 4, 8, 16, 32] {
         let eps = eps_for_expected_pairs(Metric::L2, d, n, n as f64 * 2.0).min(0.95);
-        let ds = hdsj_data::uniform(d, n, d as u64 + 5);
+        let ds = hdsj_data::uniform(d, n, d as u64 + 5)?;
         let spec = JoinSpec::new(eps, Metric::L2);
         let mut cells = vec![d.to_string(), format!("{eps:.3}")];
         for algo in [Algo::Grid, Algo::Ekdb, Algo::Rsj, Algo::Msj] {
@@ -28,5 +28,6 @@ fn main() {
         }
         table.row(cells);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

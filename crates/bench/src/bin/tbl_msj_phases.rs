@@ -7,7 +7,7 @@ use hdsj_bench::{fmt_ms, measure_self_join, scaled, Table};
 use hdsj_core::{JoinSpec, Metric};
 use hdsj_msj::Msj;
 
-fn main() {
+fn main() -> hdsj_core::Result<()> {
     let d = 8;
     let spec = JoinSpec::new(0.15, Metric::L2);
     let mut table = Table::new(
@@ -24,9 +24,9 @@ fn main() {
     );
     for base in [25_000usize, 50_000, 100_000] {
         let n = scaled(base);
-        let ds = hdsj_data::uniform(d, n, 3);
+        let ds = hdsj_data::uniform(d, n, 3)?;
         let mut msj = Msj::default();
-        let m = measure_self_join(&mut msj, &ds, &spec).expect("msj");
+        let m = measure_self_join(&mut msj, &ds, &spec)?;
         let phase = |name: &str| {
             m.stats
                 .phase(name)
@@ -43,5 +43,6 @@ fn main() {
             m.stats.io.writes.to_string(),
         ]);
     }
-    table.emit().expect("write csv");
+    table.emit()?;
+    Ok(())
 }

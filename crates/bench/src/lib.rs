@@ -21,6 +21,7 @@
 //! Each binary prints an aligned table and writes
 //! `target/experiments/<name>.csv`. Set `HDSJ_QUICK=1` to shrink the
 //! workloads (used by the smoke tests), `HDSJ_SCALE=<f64>` to scale them.
+#![forbid(unsafe_code)]
 
 use hdsj_bruteforce::BruteForce;
 use hdsj_core::{CountSink, Dataset, JoinSpec, JoinStats, Result, SimilarityJoin};
@@ -273,7 +274,7 @@ pub fn eps_for_sample_quantile(
         }
         dists.push(metric.distance(ds.point(i), ds.point(j)));
     }
-    dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    dists.sort_unstable_by(f64::total_cmp);
     let idx = ((dists.len() as f64 * frac) as usize).min(dists.len() - 1);
     dists[idx].max(1e-6)
 }
@@ -305,7 +306,7 @@ mod tests {
 
     #[test]
     fn roster_runs_and_agrees() {
-        let ds = hdsj_data::uniform(4, 300, 1);
+        let ds = hdsj_data::uniform(4, 300, 1).unwrap();
         let spec = JoinSpec::new(0.2, Metric::L2);
         let mut counts = Vec::new();
         for algo in Algo::all() {
@@ -318,7 +319,7 @@ mod tests {
 
     #[test]
     fn grid_reports_unsupported_high_d() {
-        let ds = hdsj_data::uniform(32, 50, 1);
+        let ds = hdsj_data::uniform(32, 50, 1).unwrap();
         let spec = JoinSpec::l2(0.5);
         let mut g = Algo::Grid.make();
         assert!(measure_self_join(g.as_mut(), &ds, &spec).is_err());

@@ -8,12 +8,13 @@
 //! The loops are tiled ([`BruteForce::block`]) so both operands of the inner
 //! loop stay cache-resident, and an optional thread count fans the outer
 //! tiles out over `crossbeam::scope` workers.
+#![forbid(unsafe_code)]
 
 use crossbeam::thread;
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, PairSink, Refiner, Result,
-    SimilarityJoin, Tracer,
+    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, Refiner,
+    Result, SimilarityJoin, Tracer,
 };
 
 /// Block nested-loop join.
@@ -134,10 +135,11 @@ impl BruteForce {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker"))
-                .collect()
+                .map(|h| h.join())
+                .collect::<std::thread::Result<Vec<_>>>()
         })
-        .expect("scope");
+        .and_then(|joined| joined)
+        .map_err(|_| Error::Internal("brute-force worker thread panicked".into()))?;
 
         let mut stats = JoinStats::default();
         for (pairs, candidates) in results {
@@ -280,7 +282,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_on_random_data() {
-        let ds = hdsj_data::uniform(6, 300, 7);
+        let ds = hdsj_data::uniform(6, 300, 7).unwrap();
         for kind in ["self", "two"] {
             let spec = JoinSpec::new(0.35, Metric::L2);
             let mut want = VecSink::default();
@@ -293,7 +295,7 @@ mod tests {
                     .self_join(&ds, &spec, &mut got)
                     .unwrap();
             } else {
-                let other = hdsj_data::uniform(6, 200, 8);
+                let other = hdsj_data::uniform(6, 200, 8).unwrap();
                 BruteForce::default()
                     .join(&ds, &other, &spec, &mut want)
                     .unwrap();
@@ -307,7 +309,7 @@ mod tests {
 
     #[test]
     fn parallel_counters_match_serial() {
-        let ds = hdsj_data::uniform(4, 101, 3);
+        let ds = hdsj_data::uniform(4, 101, 3).unwrap();
         let spec = JoinSpec::new(0.2, Metric::L2);
         let mut s1 = VecSink::default();
         let a = BruteForce::default()

@@ -20,6 +20,11 @@ pub enum Error {
     Corruption(String),
     /// Operating-system I/O error (spill files, dataset persistence).
     Io(std::io::Error),
+    /// An internal invariant did not hold (a "this cannot happen" branch
+    /// was reached). Library code returns this instead of panicking so
+    /// that broken invariants surface as a reportable error under the
+    /// chaos suite rather than unwinding through FFI-free worker threads.
+    Internal(String),
 }
 
 /// Convenience alias used by every fallible API in the workspace.
@@ -35,6 +40,7 @@ impl Error {
             Error::Storage(_) => "Storage",
             Error::Corruption(_) => "Corruption",
             Error::Io(_) => "Io",
+            Error::Internal(_) => "Internal",
         }
     }
 
@@ -55,6 +61,7 @@ impl fmt::Display for Error {
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Corruption(m) => write!(f, "corruption detected: {m}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
 }
@@ -98,6 +105,17 @@ mod tests {
         for (err, want) in cases {
             assert_eq!(err.to_string(), want);
         }
+    }
+
+    #[test]
+    fn internal_formats_and_is_not_transient() {
+        let err = Error::Internal("leaf index out of range".into());
+        assert_eq!(err.variant_name(), "Internal");
+        assert_eq!(
+            err.to_string(),
+            "internal invariant violated: leaf index out of range"
+        );
+        assert!(!err.is_transient());
     }
 
     #[test]

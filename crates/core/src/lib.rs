@@ -27,6 +27,7 @@
 //! filtering happens on the L∞ ε-cube (which contains the ε-ball of every
 //! `Lp` metric) and every candidate is refined with the exact metric through
 //! [`Refiner`], so results are identical across algorithms.
+#![forbid(unsafe_code)]
 
 pub mod dataset;
 pub mod error;

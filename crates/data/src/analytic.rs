@@ -147,7 +147,7 @@ mod tests {
         let n = 2000;
         let target = 2000.0;
         let eps = eps_for_expected_pairs(Metric::L2, 2, n, target);
-        let ds = crate::uniform(2, n, 17);
+        let ds = crate::uniform(2, n, 17).unwrap();
         let mut bf = hdsj_bruteforce::BruteForce::default();
         let mut sink = CountSink::default();
         bf.self_join(&ds, &JoinSpec::new(eps, Metric::L2), &mut sink)

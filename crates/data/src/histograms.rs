@@ -13,7 +13,7 @@
 //! the opposite corner of workload space from uniform data, and exactly the
 //! regime where the paper's real experiments live.
 
-use hdsj_core::Dataset;
+use hdsj_core::{Dataset, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,7 +43,12 @@ impl Default for HistogramSpec {
 /// Every histogram is non-negative and sums to ~1 (before the final clamp
 /// into `[0,1)`), so points live on the probability simplex like real
 /// color histograms do.
-pub fn color_histograms(bins: usize, n: usize, spec: HistogramSpec, seed: u64) -> Dataset {
+pub fn color_histograms(
+    bins: usize,
+    n: usize,
+    spec: HistogramSpec,
+    seed: u64,
+) -> Result<Dataset> {
     let _span = crate::synthetic::gen_span("data.color_histograms", bins, n, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let themes = spec.themes.max(1);
@@ -67,7 +72,7 @@ pub fn color_histograms(bins: usize, n: usize, spec: HistogramSpec, seed: u64) -
         theme_profiles.push(profile);
     }
 
-    let mut ds = Dataset::with_capacity(bins, n).expect("bins >= 1");
+    let mut ds = Dataset::with_capacity(bins, n)?;
     let mut hist = vec![0.0f64; bins];
     for _ in 0..n {
         hist.iter_mut().for_each(|v| *v = 0.0);
@@ -85,9 +90,9 @@ pub fn color_histograms(bins: usize, n: usize, spec: HistogramSpec, seed: u64) -
         for h in hist.iter_mut() {
             *h = (*h / total).min(1.0 - 1e-12);
         }
-        ds.push(&hist).expect("valid histogram");
+        ds.push(&hist)?;
     }
-    ds
+    Ok(ds)
 }
 
 #[cfg(test)]
@@ -96,7 +101,7 @@ mod tests {
 
     #[test]
     fn histograms_live_on_the_simplex() {
-        let ds = color_histograms(32, 200, HistogramSpec::default(), 8);
+        let ds = color_histograms(32, 200, HistogramSpec::default(), 8).unwrap();
         assert_eq!((ds.dims(), ds.len()), (32, 200));
         ds.check_unit_domain().unwrap();
         for (_, h) in ds.iter() {
@@ -108,7 +113,7 @@ mod tests {
 
     #[test]
     fn mass_concentrates_in_few_bins() {
-        let ds = color_histograms(64, 100, HistogramSpec::default(), 9);
+        let ds = color_histograms(64, 100, HistogramSpec::default(), 9).unwrap();
         for (_, h) in ds.iter() {
             let mut sorted: Vec<f64> = h.to_vec();
             sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite"));
@@ -126,7 +131,7 @@ mod tests {
             themes_per_image: 1,
             noise: 0.001,
         };
-        let ds = color_histograms(32, 300, spec, 10);
+        let ds = color_histograms(32, 300, spec, 10).unwrap();
         let mut close_pairs = 0;
         for i in 0..100u32 {
             for j in (i + 1)..100u32 {
@@ -147,8 +152,8 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let a = color_histograms(16, 50, HistogramSpec::default(), 11);
-        let b = color_histograms(16, 50, HistogramSpec::default(), 11);
+        let a = color_histograms(16, 50, HistogramSpec::default(), 11).unwrap();
+        let b = color_histograms(16, 50, HistogramSpec::default(), 11).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -47,9 +47,13 @@ pub fn load_csv(path: &Path) -> Result<Dataset> {
             })?;
             point.push(v);
         }
-        let ds = ds.get_or_insert_with(|| Dataset::new(point.len().max(1)).expect("dims"));
-        ds.push(&point)
-            .map_err(|e| Error::InvalidInput(format!("line {}: {e}", lineno + 1)))?;
+        if ds.is_none() {
+            ds = Some(Dataset::new(point.len().max(1))?);
+        }
+        if let Some(ds) = ds.as_mut() {
+            ds.push(&point)
+                .map_err(|e| Error::InvalidInput(format!("line {}: {e}", lineno + 1)))?;
+        }
     }
     ds.ok_or_else(|| Error::InvalidInput("empty csv".into()))
 }
@@ -112,7 +116,7 @@ mod tests {
 
     #[test]
     fn csv_round_trip_is_lossless() {
-        let ds = crate::uniform(5, 200, 9);
+        let ds = crate::uniform(5, 200, 9).unwrap();
         let path = tmp("round.csv");
         save_csv(&ds, &path).unwrap();
         let back = load_csv(&path).unwrap();
@@ -148,7 +152,7 @@ mod tests {
 
     #[test]
     fn binary_round_trip() {
-        let ds = crate::gaussian_clusters(7, 150, crate::ClusterSpec::default(), 4);
+        let ds = crate::gaussian_clusters(7, 150, crate::ClusterSpec::default(), 4).unwrap();
         let path = tmp("round.bin");
         save_binary(&ds, &path).unwrap();
         let back = load_binary(&path).unwrap();
@@ -158,7 +162,7 @@ mod tests {
 
     #[test]
     fn binary_rejects_corruption() {
-        let ds = crate::uniform(2, 10, 1);
+        let ds = crate::uniform(2, 10, 1).unwrap();
         let path = tmp("corrupt.bin");
         save_binary(&ds, &path).unwrap();
         // Truncate mid-data.

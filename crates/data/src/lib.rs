@@ -19,6 +19,7 @@
 //!
 //! All generators are deterministic in their `seed` so every experiment is
 //! reproducible bit-for-bit.
+#![forbid(unsafe_code)]
 
 pub mod analytic;
 pub mod histograms;
@@ -35,7 +36,7 @@ pub use util::{concat, eps_for_target_pairs, estimate_self_join_size, sample, sp
 mod tests {
     #[test]
     fn reexports_work() {
-        let ds = super::uniform(3, 10, 1);
+        let ds = super::uniform(3, 10, 1).unwrap();
         assert_eq!((ds.dims(), ds.len()), (3, 10));
     }
 

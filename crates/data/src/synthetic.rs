@@ -1,7 +1,7 @@
 //! Synthetic point distributions: uniform, Gaussian clusters (optionally
 //! Zipf-skewed), and diagonal-correlated data.
 
-use hdsj_core::Dataset;
+use hdsj_core::{Dataset, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,19 +25,19 @@ pub(crate) fn gen_span(
     span
 }
 
-/// `n` i.i.d. uniform points in `[0,1)^d`.
-pub fn uniform(dims: usize, n: usize, seed: u64) -> Dataset {
+/// `n` i.i.d. uniform points in `[0,1)^d`. Errors on `dims == 0`.
+pub fn uniform(dims: usize, n: usize, seed: u64) -> Result<Dataset> {
     let _span = gen_span("data.uniform", dims, n, seed);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut ds = Dataset::with_capacity(dims, n).expect("dims >= 1");
+    let mut ds = Dataset::with_capacity(dims, n)?;
     let mut p = vec![0.0; dims];
     for _ in 0..n {
         for v in p.iter_mut() {
             *v = rng.gen::<f64>().min(MAX_COORD);
         }
-        ds.push(&p).expect("valid point");
+        ds.push(&p)?;
     }
-    ds
+    Ok(ds)
 }
 
 /// Shape of a clustered workload.
@@ -67,8 +67,13 @@ impl Default for ClusterSpec {
 }
 
 /// `n` points from `spec.clusters` Gaussian clusters with uniformly placed
-/// centers. Coordinates are clamped into `[0,1)`.
-pub fn gaussian_clusters(dims: usize, n: usize, spec: ClusterSpec, seed: u64) -> Dataset {
+/// centers. Coordinates are clamped into `[0,1)`. Errors on `dims == 0`.
+pub fn gaussian_clusters(
+    dims: usize,
+    n: usize,
+    spec: ClusterSpec,
+    seed: u64,
+) -> Result<Dataset> {
     let _span = gen_span("data.gaussian_clusters", dims, n, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let k = spec.clusters.max(1);
@@ -91,7 +96,7 @@ pub fn gaussian_clusters(dims: usize, n: usize, spec: ClusterSpec, seed: u64) ->
         })
         .collect();
 
-    let mut ds = Dataset::with_capacity(dims, n).expect("dims >= 1");
+    let mut ds = Dataset::with_capacity(dims, n)?;
     let mut gauss = BoxMuller::default();
     let mut p = vec![0.0; dims];
     for _ in 0..n {
@@ -106,19 +111,19 @@ pub fn gaussian_clusters(dims: usize, n: usize, spec: ClusterSpec, seed: u64) ->
                 *v = (center + spec.sigma * gauss.sample(&mut rng)).clamp(0.0, MAX_COORD);
             }
         }
-        ds.push(&p).expect("valid point");
+        ds.push(&p)?;
     }
-    ds
+    Ok(ds)
 }
 
 /// `n` points along the main diagonal of the unit cube with per-dimension
 /// uniform jitter of half-width `noise` — a simple model of strongly
 /// correlated attributes (the regime where space-filling-curve methods
 /// shine and stripe-based structures degrade).
-pub fn correlated(dims: usize, n: usize, noise: f64, seed: u64) -> Dataset {
+pub fn correlated(dims: usize, n: usize, noise: f64, seed: u64) -> Result<Dataset> {
     let _span = gen_span("data.correlated", dims, n, seed);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut ds = Dataset::with_capacity(dims, n).expect("dims >= 1");
+    let mut ds = Dataset::with_capacity(dims, n)?;
     let mut p = vec![0.0; dims];
     for _ in 0..n {
         let base = rng.gen::<f64>();
@@ -126,9 +131,9 @@ pub fn correlated(dims: usize, n: usize, noise: f64, seed: u64) -> Dataset {
             let jitter = (rng.gen::<f64>() - 0.5) * 2.0 * noise;
             *v = (base + jitter).clamp(0.0, MAX_COORD);
         }
-        ds.push(&p).expect("valid point");
+        ds.push(&p)?;
     }
-    ds
+    Ok(ds)
 }
 
 /// Standard-normal sampler (Box–Muller, caching the second variate).
@@ -162,17 +167,17 @@ mod tests {
 
     #[test]
     fn uniform_is_deterministic_and_in_domain() {
-        let a = uniform(5, 200, 99);
-        let b = uniform(5, 200, 99);
+        let a = uniform(5, 200, 99).unwrap();
+        let b = uniform(5, 200, 99).unwrap();
         assert_eq!(a, b);
         a.check_unit_domain().unwrap();
-        let c = uniform(5, 200, 100);
+        let c = uniform(5, 200, 100).unwrap();
         assert_ne!(a, c, "different seeds differ");
     }
 
     #[test]
     fn uniform_covers_the_cube() {
-        let ds = uniform(2, 2000, 1);
+        let ds = uniform(2, 2000, 1).unwrap();
         // Every quadrant of the unit square should be populated.
         let mut quadrants = [0usize; 4];
         for (_, p) in ds.iter() {
@@ -189,7 +194,7 @@ mod tests {
             sigma: 0.01,
             ..Default::default()
         };
-        let ds = gaussian_clusters(3, 1000, spec, 7);
+        let ds = gaussian_clusters(3, 1000, spec, 7).unwrap();
         ds.check_unit_domain().unwrap();
         // With sigma=0.01 nearly all points lie within 0.05 of some of the 4
         // centers; estimate centers by averaging nearest-of-4 assignment via
@@ -227,7 +232,7 @@ mod tests {
             zipf_theta: 1.5,
             ..Default::default()
         };
-        let ds = gaussian_clusters(2, 4000, spec, 11);
+        let ds = gaussian_clusters(2, 4000, spec, 11).unwrap();
         // With sigma tiny, points sit essentially on their centre: bucket by
         // rounded coordinates to recover cluster sizes.
         use std::collections::HashMap;
@@ -255,8 +260,8 @@ mod tests {
             noise_fraction: 0.5,
             ..tight
         };
-        let a = gaussian_clusters(2, 500, tight, 5);
-        let b = gaussian_clusters(2, 500, noisy, 5);
+        let a = gaussian_clusters(2, 500, tight, 5).unwrap();
+        let b = gaussian_clusters(2, 500, noisy, 5).unwrap();
         let spread = |ds: &Dataset| {
             let mean: f64 = ds.iter().map(|(_, p)| p[0]).sum::<f64>() / ds.len() as f64;
             ds.iter().map(|(_, p)| (p[0] - mean).abs()).sum::<f64>() / ds.len() as f64
@@ -266,7 +271,7 @@ mod tests {
 
     #[test]
     fn correlated_points_hug_the_diagonal() {
-        let ds = correlated(6, 300, 0.02, 3);
+        let ds = correlated(6, 300, 0.02, 3).unwrap();
         ds.check_unit_domain().unwrap();
         for (_, p) in ds.iter() {
             let min = p.iter().cloned().fold(f64::INFINITY, f64::min);

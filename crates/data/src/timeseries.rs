@@ -11,7 +11,7 @@
 //! exactly the structure that distinguishes "real" from uniform workloads
 //! in the evaluation (see `DESIGN.md` §5 for the substitution argument).
 
-use hdsj_core::Dataset;
+use hdsj_core::{Dataset, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -70,7 +70,7 @@ pub fn dft_coeffs(series: &[f64], k: usize) -> Vec<f64> {
 /// Mean-centring each series first removes the level of the walk so the
 /// features capture *shape*, matching the similarity-search pipelines the
 /// paper references.
-pub fn fourier_dataset(dims: usize, n: usize, series_len: usize, seed: u64) -> Dataset {
+pub fn fourier_dataset(dims: usize, n: usize, series_len: usize, seed: u64) -> Result<Dataset> {
     let _span = crate::synthetic::gen_span("data.fourier_dataset", dims, n, seed);
     let k = dims.div_ceil(2);
     let mut rows = Vec::with_capacity(n);
@@ -88,8 +88,8 @@ pub fn fourier_dataset(dims: usize, n: usize, series_len: usize, seed: u64) -> D
         feats.truncate(dims);
         rows.push(feats);
     }
-    let raw = Dataset::from_rows(&rows).expect("finite features");
-    raw.normalized()
+    let raw = Dataset::from_rows(&rows)?;
+    Ok(raw.normalized())
 }
 
 #[cfg(test)]
@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn fourier_dataset_shape_and_domain() {
         for dims in [3usize, 8] {
-            let ds = fourier_dataset(dims, 50, 128, 21);
+            let ds = fourier_dataset(dims, 50, 128, 21).unwrap();
             assert_eq!(ds.dims(), dims);
             assert_eq!(ds.len(), 50);
             ds.check_unit_domain().unwrap();
@@ -147,7 +147,7 @@ mod tests {
     fn fourier_energy_concentrates_in_low_dims() {
         // Random-walk spectra decay with frequency: the variance of the
         // first feature dimension should dominate the last.
-        let ds = fourier_dataset(8, 300, 256, 13);
+        let ds = fourier_dataset(8, 300, 256, 13).unwrap();
         let var = |dim: usize| {
             let mean: f64 = ds.iter().map(|(_, p)| p[dim]).sum::<f64>() / ds.len() as f64;
             ds.iter().map(|(_, p)| (p[dim] - mean).powi(2)).sum::<f64>() / ds.len() as f64

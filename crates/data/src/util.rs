@@ -7,10 +7,10 @@ use rand::{Rng, SeedableRng};
 
 /// A uniform random sample (without replacement) of `k` points.
 /// Returns the whole dataset (reindexed) when `k >= len`.
-pub fn sample(ds: &Dataset, k: usize, seed: u64) -> Dataset {
+pub fn sample(ds: &Dataset, k: usize, seed: u64) -> Result<Dataset> {
     let n = ds.len();
     if k >= n {
-        return ds.clone();
+        return Ok(ds.clone());
     }
     // Partial Fisher–Yates over an index array.
     let mut rng = StdRng::seed_from_u64(seed);
@@ -19,26 +19,25 @@ pub fn sample(ds: &Dataset, k: usize, seed: u64) -> Dataset {
         let j = rng.gen_range(i..n);
         idx.swap(i, j);
     }
-    let mut out = Dataset::with_capacity(ds.dims(), k).expect("dims >= 1");
+    let mut out = Dataset::with_capacity(ds.dims(), k)?;
     for &i in &idx[..k] {
-        out.push(ds.point(i)).expect("valid point");
+        out.push(ds.point(i))?;
     }
-    out
+    Ok(out)
 }
 
 /// Splits a dataset into two parts: the first `left` points and the rest.
-pub fn split(ds: &Dataset, left: usize) -> (Dataset, Dataset) {
-    let mut a = Dataset::with_capacity(ds.dims(), left).expect("dims >= 1");
-    let mut b =
-        Dataset::with_capacity(ds.dims(), ds.len().saturating_sub(left)).expect("dims >= 1");
+pub fn split(ds: &Dataset, left: usize) -> Result<(Dataset, Dataset)> {
+    let mut a = Dataset::with_capacity(ds.dims(), left)?;
+    let mut b = Dataset::with_capacity(ds.dims(), ds.len().saturating_sub(left))?;
     for (i, p) in ds.iter() {
         if (i as usize) < left {
-            a.push(p).expect("valid point");
+            a.push(p)?;
         } else {
-            b.push(p).expect("valid point");
+            b.push(p)?;
         }
     }
-    (a, b)
+    Ok((a, b))
 }
 
 /// Concatenates two datasets of equal dimensionality. Indices of `b` are
@@ -97,8 +96,8 @@ mod tests {
 
     #[test]
     fn sample_is_subset_without_replacement() {
-        let ds = crate::uniform(3, 100, 1);
-        let s = sample(&ds, 30, 2);
+        let ds = crate::uniform(3, 100, 1).unwrap();
+        let s = sample(&ds, 30, 2).unwrap();
         assert_eq!(s.len(), 30);
         // Every sampled point exists in the source; no duplicates beyond
         // what the source itself contains (uniform source: none).
@@ -112,14 +111,14 @@ mod tests {
 
     #[test]
     fn sample_larger_than_source_returns_all() {
-        let ds = crate::uniform(2, 10, 1);
-        assert_eq!(sample(&ds, 50, 2), ds);
+        let ds = crate::uniform(2, 10, 1).unwrap();
+        assert_eq!(sample(&ds, 50, 2).unwrap(), ds);
     }
 
     #[test]
     fn split_and_concat_round_trip() {
-        let ds = crate::uniform(4, 57, 3);
-        let (a, b) = split(&ds, 20);
+        let ds = crate::uniform(4, 57, 3).unwrap();
+        let (a, b) = split(&ds, 20).unwrap();
         assert_eq!((a.len(), b.len()), (20, 37));
         assert_eq!(a.point(19), ds.point(19));
         assert_eq!(b.point(0), ds.point(20));
@@ -129,23 +128,23 @@ mod tests {
 
     #[test]
     fn split_beyond_len_gives_empty_tail() {
-        let ds = crate::uniform(2, 5, 4);
-        let (a, b) = split(&ds, 100);
+        let ds = crate::uniform(2, 5, 4).unwrap();
+        let (a, b) = split(&ds, 100).unwrap();
         assert_eq!(a.len(), 5);
         assert!(b.is_empty());
     }
 
     #[test]
     fn concat_rejects_dim_mismatch() {
-        let a = crate::uniform(2, 5, 1);
-        let b = crate::uniform(3, 5, 1);
+        let a = crate::uniform(2, 5, 1).unwrap();
+        let b = crate::uniform(3, 5, 1).unwrap();
         assert!(concat(&a, &b).is_err());
     }
 
     #[test]
     fn estimator_tracks_true_join_size() {
         use hdsj_core::{CountSink, JoinSpec, SimilarityJoin};
-        let ds = crate::uniform(2, 2_000, 5);
+        let ds = crate::uniform(2, 2_000, 5).unwrap();
         let eps = 0.05;
         let mut bf = hdsj_bruteforce::BruteForce::default();
         let mut sink = CountSink::default();
@@ -166,9 +165,9 @@ mod tests {
             estimate_self_join_size(&empty, Metric::L2, 0.1, 100, 1),
             0.0
         );
-        let one = crate::uniform(2, 1, 1);
+        let one = crate::uniform(2, 1, 1).unwrap();
         assert_eq!(estimate_self_join_size(&one, Metric::L2, 0.1, 100, 1), 0.0);
-        let ds = crate::uniform(2, 10, 1);
+        let ds = crate::uniform(2, 10, 1).unwrap();
         assert_eq!(estimate_self_join_size(&ds, Metric::L2, 0.1, 0, 1), 0.0);
     }
 }
@@ -201,7 +200,7 @@ pub fn eps_for_target_pairs(
         }
         dists.push(metric.distance(ds.point(i), ds.point(j)));
     }
-    dists.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    dists.sort_unstable_by(f64::total_cmp);
     let idx = ((dists.len() as f64 * frac) as usize).min(dists.len() - 1);
     dists[idx].max(1e-9)
 }
@@ -222,7 +221,8 @@ mod target_pairs_tests {
                 ..Default::default()
             },
             13,
-        );
+        )
+        .unwrap();
         let target = 5_000.0;
         let eps = eps_for_target_pairs(&ds, Metric::L2, target, 200_000, 14);
         let mut sink = CountSink::default();
@@ -238,7 +238,7 @@ mod target_pairs_tests {
 
     #[test]
     fn degenerate_inputs_fall_back() {
-        let one = crate::uniform(2, 1, 1);
+        let one = crate::uniform(2, 1, 1).unwrap();
         assert_eq!(eps_for_target_pairs(&one, Metric::L2, 10.0, 100, 1), 0.1);
     }
 }

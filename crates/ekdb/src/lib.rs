@@ -17,11 +17,12 @@
 //! footprint grows quickly as ε shrinks and as more dimensions get split —
 //! the behaviour the paper's memory experiment (E5) contrasts with MSJ's
 //! flat level files.
+#![forbid(unsafe_code)]
 
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, PairSink, Refiner, Result,
-    SimilarityJoin, Tracer,
+    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, Refiner,
+    Result, SimilarityJoin, Tracer,
 };
 
 /// One node of the ε-KDB tree.
@@ -87,12 +88,12 @@ impl Tree {
                             (0..stripes).map(|_| None).collect();
                         for pid in old {
                             let s = stripe_index(ds.point(pid)[depth], eps, stripes);
-                            match children[s]
-                                .get_or_insert_with(|| Box::new(Node::Leaf(Vec::new())))
-                                .as_mut()
-                            {
-                                Node::Leaf(v) => v.push(pid),
-                                Node::Inner { .. } => unreachable!("fresh child is a leaf"),
+                            // Children are only ever created as leaves in
+                            // this loop, so the `if let` always matches.
+                            let child = children[s]
+                                .get_or_insert_with(|| Box::new(Node::Leaf(Vec::new())));
+                            if let Node::Leaf(v) = child.as_mut() {
+                                v.push(pid);
                             }
                         }
                         *node = Node::Inner { children };
@@ -109,10 +110,7 @@ impl Tree {
             match node {
                 Node::Leaf(points) => {
                     points.sort_unstable_by(|&a, &b| {
-                        ds.point(a)[0]
-                            .partial_cmp(&ds.point(b)[0])
-                            .expect("finite coordinates")
-                            .then(a.cmp(&b))
+                        ds.point(a)[0].total_cmp(&ds.point(b)[0]).then(a.cmp(&b))
                     });
                 }
                 Node::Inner { children } => {
@@ -201,10 +199,13 @@ impl EkdbJoin {
             eps: spec.eps,
             refiner: &mut refiner,
         };
-        match kind {
-            JoinKind::SelfJoin => ctx.pair_self(&tree_a.root),
-            JoinKind::TwoSets => {
-                ctx.pair_cross(&tree_a.root, &tree_b.as_ref().expect("tree b").root)
+        match (kind, &tree_b) {
+            (JoinKind::SelfJoin, _) => ctx.pair_self(&tree_a.root),
+            (JoinKind::TwoSets, Some(tb)) => ctx.pair_cross(&tree_a.root, &tb.root),
+            (JoinKind::TwoSets, None) => {
+                return Err(Error::Internal(
+                    "two-set ε-KDB join reached traversal without tree b".into(),
+                ))
             }
         }
         let mut stats = refiner.finish(JoinStats::default());
@@ -414,7 +415,7 @@ mod tests {
     #[test]
     fn matches_brute_force_on_uniform_self_join() {
         for (dims, eps) in [(2usize, 0.05), (4, 0.2), (8, 0.3), (16, 0.5)] {
-            let ds = hdsj_data::uniform(dims, 400, dims as u64 + 100);
+            let ds = hdsj_data::uniform(dims, 400, dims as u64 + 100).unwrap();
             compare_with_bf(
                 &ds,
                 None,
@@ -426,8 +427,8 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_two_set_join() {
-        let a = hdsj_data::uniform(5, 350, 31);
-        let b = hdsj_data::uniform(5, 280, 32);
+        let a = hdsj_data::uniform(5, 350, 31).unwrap();
+        let b = hdsj_data::uniform(5, 280, 32).unwrap();
         for metric in [Metric::L1, Metric::L2, Metric::Linf] {
             compare_with_bf(
                 &a,
@@ -441,7 +442,7 @@ mod tests {
     #[test]
     fn matches_brute_force_with_tiny_leaves() {
         // Tiny leaf capacity forces deep splitting through many dimensions.
-        let ds = hdsj_data::uniform(6, 300, 77);
+        let ds = hdsj_data::uniform(6, 300, 77).unwrap();
         let mut ekdb = EkdbJoin {
             leaf_capacity: 2,
             ..Default::default()
@@ -460,7 +461,8 @@ mod tests {
                 ..Default::default()
             },
             5,
-        );
+        )
+        .unwrap();
         compare_with_bf(
             &ds,
             None,
@@ -471,7 +473,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_correlated_data() {
-        let ds = hdsj_data::correlated(8, 400, 0.05, 3);
+        let ds = hdsj_data::correlated(8, 400, 0.05, 3).unwrap();
         compare_with_bf(
             &ds,
             None,
@@ -515,7 +517,7 @@ mod tests {
     fn memory_grows_as_eps_shrinks() {
         // The ε-KDB signature: interior fan-out is ⌊1/ε⌋, so structure
         // memory explodes as ε shrinks.
-        let ds = hdsj_data::uniform(4, 2000, 8);
+        let ds = hdsj_data::uniform(4, 2000, 8).unwrap();
         let bytes = |eps: f64| {
             let mut sink = VecSink::default();
             EkdbJoin {
@@ -536,7 +538,7 @@ mod tests {
 
     #[test]
     fn reports_phases() {
-        let ds = hdsj_data::uniform(3, 100, 2);
+        let ds = hdsj_data::uniform(3, 100, 2).unwrap();
         let mut sink = VecSink::default();
         let stats = EkdbJoin::default()
             .self_join(&ds, &JoinSpec::l2(0.2), &mut sink)

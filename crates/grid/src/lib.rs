@@ -15,6 +15,7 @@
 //!
 //! Cells are kept in a hash directory (occupied cells only), so space is
 //! `O(N)` regardless of how fine the grid is.
+#![forbid(unsafe_code)]
 
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
@@ -28,7 +29,7 @@ use std::collections::HashMap;
 /// ```
 /// use hdsj_core::{JoinSpec, SimilarityJoin, CountSink};
 /// use hdsj_grid::GridJoin;
-/// let points = hdsj_data::uniform(3, 200, 7);
+/// let points = hdsj_data::uniform(3, 200, 7).unwrap();
 /// let mut sink = CountSink::default();
 /// let stats = GridJoin::default().self_join(&points, &JoinSpec::l2(0.1), &mut sink)?;
 /// assert_eq!(stats.results, sink.count);
@@ -194,7 +195,11 @@ impl GridJoin {
                 }
             }
             JoinKind::TwoSets => {
-                let dir_b = dir_b.as_ref().expect("two-set directory");
+                let Some(dir_b) = dir_b.as_ref() else {
+                    return Err(Error::Internal(
+                        "two-set grid join reached probe without directory b".into(),
+                    ));
+                };
                 for key in dir_a.sorted_keys() {
                     let points = &dir_a.cells[key];
                     for_each_offset(dims, &mut |off| {
@@ -283,15 +288,15 @@ mod tests {
     #[test]
     fn matches_brute_force_on_uniform_self_join() {
         for (dims, eps) in [(2usize, 0.05), (3, 0.15), (6, 0.4)] {
-            let ds = hdsj_data::uniform(dims, 400, dims as u64);
+            let ds = hdsj_data::uniform(dims, 400, dims as u64).unwrap();
             compare_with_bf(&ds, None, &JoinSpec::new(eps, Metric::L2));
         }
     }
 
     #[test]
     fn matches_brute_force_on_two_set_join() {
-        let a = hdsj_data::uniform(4, 300, 1);
-        let b = hdsj_data::uniform(4, 250, 2);
+        let a = hdsj_data::uniform(4, 300, 1).unwrap();
+        let b = hdsj_data::uniform(4, 250, 2).unwrap();
         for metric in [Metric::L1, Metric::L2, Metric::Linf, Metric::Lp(3.0)] {
             compare_with_bf(&a, Some(&b), &JoinSpec::new(0.25, metric));
         }
@@ -308,7 +313,8 @@ mod tests {
                 ..Default::default()
             },
             9,
-        );
+        )
+        .unwrap();
         compare_with_bf(&ds, None, &JoinSpec::new(0.05, Metric::L2));
     }
 
@@ -329,20 +335,20 @@ mod tests {
 
     #[test]
     fn large_eps_degenerates_to_single_cell() {
-        let ds = hdsj_data::uniform(2, 100, 5);
+        let ds = hdsj_data::uniform(2, 100, 5).unwrap();
         compare_with_bf(&ds, None, &JoinSpec::new(0.9, Metric::L2));
     }
 
     #[test]
     fn refuses_high_dimensionality() {
-        let ds = hdsj_data::uniform(16, 10, 1);
+        let ds = hdsj_data::uniform(16, 10, 1).unwrap();
         let mut sink = VecSink::default();
         let err = GridJoin::default()
             .self_join(&ds, &JoinSpec::l2(0.1), &mut sink)
             .unwrap_err();
         assert!(matches!(err, Error::Unsupported(_)), "{err}");
         // Raising the cap overrides the refusal.
-        let ds_small = hdsj_data::uniform(11, 50, 1);
+        let ds_small = hdsj_data::uniform(11, 50, 1).unwrap();
         GridJoin {
             max_dims: 16,
             ..GridJoin::default()
@@ -353,7 +359,7 @@ mod tests {
 
     #[test]
     fn reports_phases_and_structure_bytes() {
-        let ds = hdsj_data::uniform(3, 200, 2);
+        let ds = hdsj_data::uniform(3, 200, 2).unwrap();
         let mut sink = VecSink::default();
         let stats = GridJoin::default()
             .self_join(&ds, &JoinSpec::l2(0.1), &mut sink)

@@ -25,8 +25,7 @@
 //! cells — independent of dimensionality, which is the structural reason
 //! MSJ scales to high `d` where the ε-KDB directory and the R-tree fan-out
 //! collapse (experiments E1, E5).
-
-#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod assign;
 pub mod parallel;
@@ -303,7 +302,7 @@ mod tests {
     #[test]
     fn matches_brute_force_on_uniform_self_join() {
         for (dims, eps) in [(2usize, 0.05), (4, 0.15), (8, 0.3), (16, 0.6)] {
-            let ds = hdsj_data::uniform(dims, 400, dims as u64 + 7);
+            let ds = hdsj_data::uniform(dims, 400, dims as u64 + 7).unwrap();
             compare_with_bf(
                 &ds,
                 None,
@@ -315,8 +314,8 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_two_set_join() {
-        let a = hdsj_data::uniform(5, 350, 51);
-        let b = hdsj_data::uniform(5, 300, 52);
+        let a = hdsj_data::uniform(5, 350, 51).unwrap();
+        let b = hdsj_data::uniform(5, 300, 52).unwrap();
         for metric in [Metric::L1, Metric::L2, Metric::Linf, Metric::Lp(3.0)] {
             compare_with_bf(
                 &a,
@@ -329,7 +328,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_with_zorder_curve() {
-        let ds = hdsj_data::uniform(6, 400, 61);
+        let ds = hdsj_data::uniform(6, 400, 61).unwrap();
         let mut msj = Msj::with_curve(Curve::ZOrder);
         compare_with_bf(&ds, None, &JoinSpec::new(0.25, Metric::L2), &mut msj);
     }
@@ -345,14 +344,15 @@ mod tests {
                 ..Default::default()
             },
             71,
-        );
+        )
+        .unwrap();
         compare_with_bf(
             &clustered,
             None,
             &JoinSpec::new(0.05, Metric::L2),
             &mut Msj::default(),
         );
-        let corr = hdsj_data::correlated(8, 400, 0.04, 72);
+        let corr = hdsj_data::correlated(8, 400, 0.04, 72).unwrap();
         compare_with_bf(
             &corr,
             None,
@@ -363,7 +363,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_in_high_dimensions() {
-        let ds = hdsj_data::uniform(32, 150, 81);
+        let ds = hdsj_data::uniform(32, 150, 81).unwrap();
         compare_with_bf(
             &ds,
             None,
@@ -376,7 +376,7 @@ mod tests {
     fn shallow_depth_cap_is_still_exact() {
         // max_depth=1 pushes almost everything into levels 0/1: the sweep
         // degenerates gracefully but stays correct.
-        let ds = hdsj_data::uniform(3, 300, 91);
+        let ds = hdsj_data::uniform(3, 300, 91).unwrap();
         let mut msj = Msj {
             max_depth: 1,
             ..Msj::default()
@@ -419,7 +419,7 @@ mod tests {
 
     #[test]
     fn level_histogram_sums_to_n_and_shifts_with_eps() {
-        let ds = hdsj_data::uniform(4, 1000, 3);
+        let ds = hdsj_data::uniform(4, 1000, 3).unwrap();
         let msj = Msj::default();
         let hist_fine = msj.level_histogram(&ds, 0.01).unwrap();
         assert_eq!(hist_fine.iter().sum::<u64>(), 1000);
@@ -438,7 +438,7 @@ mod tests {
 
     #[test]
     fn reports_phases_io_and_peak_memory() {
-        let ds = hdsj_data::uniform(4, 8000, 5);
+        let ds = hdsj_data::uniform(4, 8000, 5).unwrap();
         let engine = StorageEngine::in_memory(3); // tiny pool: real I/O
         let mut msj = Msj::with_engine(engine);
         let mut sink = VecSink::default();
@@ -462,7 +462,7 @@ mod tests {
 
     #[test]
     fn storage_fault_propagates() {
-        let ds = hdsj_data::uniform(3, 200, 5);
+        let ds = hdsj_data::uniform(3, 200, 5).unwrap();
         let engine = StorageEngine::in_memory(64);
         engine.set_fault_after(Some(2));
         let mut msj = Msj::with_engine(engine);
@@ -479,7 +479,7 @@ mod parallel_tests {
     #[test]
     fn parallel_refinement_matches_serial() {
         for (dims, eps, n) in [(4usize, 0.2f64, 600usize), (8, 0.35, 400)] {
-            let ds = hdsj_data::uniform(dims, n, 1000 + dims as u64);
+            let ds = hdsj_data::uniform(dims, n, 1000 + dims as u64).unwrap();
             let spec = JoinSpec::new(eps, Metric::L2);
             let mut serial = VecSink::default();
             let s1 = Msj::default().self_join(&ds, &spec, &mut serial).unwrap();
@@ -495,8 +495,8 @@ mod parallel_tests {
 
     #[test]
     fn parallel_two_set_join_matches_serial() {
-        let a = hdsj_data::uniform(5, 400, 2001);
-        let b = hdsj_data::uniform(5, 350, 2002);
+        let a = hdsj_data::uniform(5, 400, 2001).unwrap();
+        let b = hdsj_data::uniform(5, 350, 2002).unwrap();
         let spec = JoinSpec::new(0.25, Metric::Linf);
         let mut serial = VecSink::default();
         Msj::default().join(&a, &b, &spec, &mut serial).unwrap();
@@ -511,7 +511,7 @@ mod parallel_tests {
     fn refine_worker_counters_are_exact_under_concurrency() {
         use hdsj_core::obs::{AttrValue, Tracer};
 
-        let ds = hdsj_data::uniform(6, 1200, 2004);
+        let ds = hdsj_data::uniform(6, 1200, 2004).unwrap();
         let spec = JoinSpec::new(0.3, Metric::L2);
         let (tracer, events) = Tracer::memory();
         let mut msj = Msj::with_refine_threads(4);
@@ -562,7 +562,7 @@ mod parallel_tests {
 
     #[test]
     fn worker_panic_is_contained_as_typed_error() {
-        let ds = hdsj_data::uniform(4, 500, 2005);
+        let ds = hdsj_data::uniform(4, 500, 2005).unwrap();
         let spec = JoinSpec::l2(0.2);
         let engine = StorageEngine::in_memory(64);
         let mut msj = Msj {
@@ -597,7 +597,7 @@ mod parallel_tests {
 
     #[test]
     fn single_thread_config_uses_serial_path() {
-        let ds = hdsj_data::uniform(3, 200, 2003);
+        let ds = hdsj_data::uniform(3, 200, 2003).unwrap();
         let spec = JoinSpec::l2(0.1);
         let mut sink = VecSink::default();
         Msj::with_refine_threads(1)

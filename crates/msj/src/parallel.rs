@@ -78,6 +78,9 @@ pub fn sweep_and_refine(
                 // whole join — it becomes a typed error at the join() site.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     if fail_worker == Some(worker_idx) {
+                        // The panic is contained by the catch_unwind above
+                        // and surfaces as a typed error at the join() site.
+                        // allow(hdsj::no_panic): deliberate chaos failpoint.
                         panic!("injected refine-worker failure (worker {worker_idx})");
                     }
                     let mut pairs: Vec<(u32, u32)> = Vec::new();

@@ -301,11 +301,21 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so boundaries
-                // are valid; find the next char boundary).
+                // Consume one UTF-8 scalar. The input originated as a
+                // &str, so a valid scalar starts here; decode it from its
+                // ≤4-byte prefix instead of trusting that invariant with
+                // `unsafe`. The fallback slice up to `valid_up_to()` is
+                // valid UTF-8 by construction, so the second parse cannot
+                // fail.
                 let rest = &bytes[*pos..];
-                let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                let c = s.chars().next().expect("non-empty");
+                let take = rest.len().min(4);
+                let c = match std::str::from_utf8(&rest[..take]) {
+                    Ok(s) => s.chars().next(),
+                    Err(e) => std::str::from_utf8(&rest[..e.valid_up_to()])
+                        .ok()
+                        .and_then(|s| s.chars().next()),
+                }
+                .ok_or("invalid utf-8 in string")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

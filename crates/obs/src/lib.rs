@@ -31,8 +31,10 @@
 //! `id` is unique per tracer; `parent` is absent (or `null`) for root
 //! spans; `start_us` is microseconds since the tracer's epoch; attribute
 //! values are unsigned integers, floats, or strings.
+#![forbid(unsafe_code)]
 
 pub mod json;
+pub mod names;
 pub mod report;
 
 use std::collections::BTreeMap;
@@ -42,6 +44,15 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering the data if a panicking thread poisoned it.
+/// Every mutex in this crate guards state that stays valid under partial
+/// updates (an event vector, a name→cell map, an optional tracer), so
+/// after a panic elsewhere observability keeps working — better a
+/// truncated trace than a second panic while unwinding.
+fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A typed attribute value attached to a span.
 #[derive(Clone, Debug, PartialEq)]
@@ -112,13 +123,13 @@ impl JsonlSink {
 impl TraceSink for JsonlSink {
     fn record(&self, event: &Event) {
         let line = json::encode_event(event);
-        let mut out = self.out.lock().expect("jsonl sink lock");
+        let mut out = lock_recover(&self.out);
         // A failed trace write must never fail the traced join.
         let _ = writeln!(out, "{line}");
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl sink lock").flush();
+        let _ = lock_recover(&self.out).flush();
     }
 }
 
@@ -136,7 +147,7 @@ impl MemorySink {
 
     /// A snapshot of everything recorded so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("memory sink lock").clone()
+        lock_recover(&self.events).clone()
     }
 
     /// All recorded spans, in completion order.
@@ -172,10 +183,7 @@ impl MemorySink {
 
 impl TraceSink for Arc<MemorySink> {
     fn record(&self, event: &Event) {
-        self.events
-            .lock()
-            .expect("memory sink lock")
-            .push(event.clone());
+        lock_recover(&self.events).push(event.clone());
     }
 }
 
@@ -267,7 +275,7 @@ impl Tracer {
         match &self.inner {
             None => Counter(Arc::new(AtomicU64::new(0))),
             Some(inner) => {
-                let mut registry = inner.counters.lock().expect("counter registry lock");
+                let mut registry = lock_recover(&inner.counters);
                 let cell = registry
                     .entry(name.into())
                     .or_insert_with(|| Arc::new(AtomicU64::new(0)));
@@ -290,10 +298,7 @@ impl Tracer {
     pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => inner
-                .counters
-                .lock()
-                .expect("counter registry lock")
+            Some(inner) => lock_recover(&inner.counters)
                 .iter()
                 .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
                 .collect(),
@@ -441,16 +446,12 @@ static GLOBAL: Mutex<Option<Tracer>> = Mutex::new(None);
 /// Installs `tracer` as the process-global tracer (replacing any previous
 /// one).
 pub fn set_global(tracer: Tracer) {
-    *GLOBAL.lock().expect("global tracer lock") = Some(tracer);
+    *lock_recover(&GLOBAL) = Some(tracer);
 }
 
 /// The process-global tracer; disabled unless [`set_global`] was called.
 pub fn global() -> Tracer {
-    GLOBAL
-        .lock()
-        .expect("global tracer lock")
-        .clone()
-        .unwrap_or_default()
+    lock_recover(&GLOBAL).clone().unwrap_or_default()
 }
 
 #[cfg(test)]

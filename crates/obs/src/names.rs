@@ -1,0 +1,133 @@
+//! Metric-name registry: the single source of truth for every counter and
+//! gauge name the workspace records.
+//!
+//! Counter names are stringly-typed at their call sites; a typo there (or
+//! in a test's `counter_value` assertion) silently creates a metric nobody
+//! else reads. The `hdsj-analyze` rule R6 (`counter_registry`)
+//! cross-checks every literal metric name in the workspace against the
+//! string literals in **this file** — add new names here first.
+//!
+//! Dynamically built names (`IoCounters::record_counters` emits
+//! `<prefix>.<field>`) cannot be checked lexically; their expansions for
+//! the `pool` prefix are listed here so literal references to them (tests,
+//! the trace reporter) still verify.
+
+/// Candidate pairs examined by the brute-force join.
+pub const BF_CANDIDATES: &str = "bf.candidates";
+/// Result pairs emitted by the brute-force join.
+pub const BF_RESULTS: &str = "bf.results";
+
+/// Candidate pairs examined by the ε-KDB-tree join.
+pub const EKDB_CANDIDATES: &str = "ekdb.candidates";
+/// Result pairs emitted by the ε-KDB-tree join.
+pub const EKDB_RESULTS: &str = "ekdb.results";
+
+/// Candidate pairs examined by the ε-grid join.
+pub const GRID_CANDIDATES: &str = "grid.candidates";
+/// Result pairs emitted by the ε-grid join.
+pub const GRID_RESULTS: &str = "grid.results";
+
+/// Candidate pairs examined by the multidimensional spatial join (MSJ).
+pub const MSJ_CANDIDATES: &str = "msj.candidates";
+/// Result pairs emitted by MSJ.
+pub const MSJ_RESULTS: &str = "msj.results";
+/// Candidates forwarded from MSJ's sweep phase into refinement.
+pub const MSJ_REFINE_CANDIDATES: &str = "msj.refine.candidates";
+/// Pairs surviving MSJ refinement.
+pub const MSJ_REFINE_PAIRS: &str = "msj.refine.pairs";
+/// Microseconds MSJ sweep workers spent blocked on the refine channel.
+pub const MSJ_SWEEP_SEND_WAIT_US: &str = "msj.sweep.send_wait_us";
+
+/// Candidate pairs examined by the R-tree spatial join (RSJ).
+pub const RSJ_CANDIDATES: &str = "rsj.candidates";
+/// Result pairs emitted by RSJ.
+pub const RSJ_RESULTS: &str = "rsj.results";
+
+/// Candidate pairs examined by the seeded-tree/S3J variant.
+pub const S3J_CANDIDATES: &str = "s3j.candidates";
+/// Result pairs emitted by the seeded-tree/S3J variant.
+pub const S3J_RESULTS: &str = "s3j.results";
+
+/// Candidate pairs examined by the 1-d sort-merge baseline.
+pub const SM1D_CANDIDATES: &str = "sm1d.candidates";
+/// Result pairs emitted by the 1-d sort-merge baseline.
+pub const SM1D_RESULTS: &str = "sm1d.results";
+
+/// Buffer-pool pages read from disk (`IoCounters::reads`).
+pub const POOL_READS: &str = "pool.reads";
+/// Buffer-pool pages written to disk (`IoCounters::writes`).
+pub const POOL_WRITES: &str = "pool.writes";
+/// Buffer-pool pages allocated (`IoCounters::allocs`).
+pub const POOL_ALLOCS: &str = "pool.allocs";
+/// Buffer-pool cache hits (`IoCounters::hits`).
+pub const POOL_HITS: &str = "pool.hits";
+/// Frames evicted to make room (`IoCounters::evictions`).
+pub const POOL_EVICTIONS: &str = "pool.evictions";
+/// Dirty frames written back on eviction (`IoCounters::writebacks`).
+pub const POOL_WRITEBACKS: &str = "pool.writebacks";
+/// Transient-fault retries that eventually succeeded (`IoCounters::retries`).
+pub const POOL_RETRIES: &str = "pool.retries";
+/// Injected faults observed (`IoCounters::faults`).
+pub const POOL_FAULTS: &str = "pool.faults";
+/// Checksum mismatches detected on page read (`IoCounters::corruptions`).
+pub const POOL_CORRUPTION_DETECTED: &str = "pool.corruption_detected";
+/// Buffer-pool hit rate over a run (gauge, 0.0–1.0).
+pub const POOL_HIT_RATE: &str = "pool.hit_rate";
+
+/// Every registered metric name, for exhaustiveness tests.
+pub const ALL: &[&str] = &[
+    BF_CANDIDATES,
+    BF_RESULTS,
+    EKDB_CANDIDATES,
+    EKDB_RESULTS,
+    GRID_CANDIDATES,
+    GRID_RESULTS,
+    MSJ_CANDIDATES,
+    MSJ_RESULTS,
+    MSJ_REFINE_CANDIDATES,
+    MSJ_REFINE_PAIRS,
+    MSJ_SWEEP_SEND_WAIT_US,
+    RSJ_CANDIDATES,
+    RSJ_RESULTS,
+    S3J_CANDIDATES,
+    S3J_RESULTS,
+    SM1D_CANDIDATES,
+    SM1D_RESULTS,
+    POOL_READS,
+    POOL_WRITES,
+    POOL_ALLOCS,
+    POOL_HITS,
+    POOL_EVICTIONS,
+    POOL_WRITEBACKS,
+    POOL_RETRIES,
+    POOL_FAULTS,
+    POOL_CORRUPTION_DETECTED,
+    POOL_HIT_RATE,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(name), "duplicate registry entry {name:?}");
+        }
+    }
+
+    #[test]
+    fn names_are_well_formed() {
+        for name in ALL {
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || c == '.'
+                    || c == '_'),
+                "metric name {name:?} must be lowercase dotted.snake_case"
+            );
+            assert!(!name.starts_with('.') && !name.ends_with('.'));
+        }
+    }
+}

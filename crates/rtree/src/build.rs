@@ -50,8 +50,7 @@ pub fn str_order(ds: &Dataset, leaf_fill: usize) -> Vec<u32> {
         }
         ids.sort_unstable_by(|&a, &b| {
             ds.point(a)[dim]
-                .partial_cmp(&ds.point(b)[dim])
-                .expect("finite coordinates")
+                .total_cmp(&ds.point(b)[dim])
                 .then(a.cmp(&b))
         });
         let leaves_needed = ids.len().div_ceil(leaf_fill);
@@ -411,7 +410,7 @@ fn quadratic_partition(rects: &[Rect], cap: usize) -> Vec<bool> {
                 d_b = db;
             }
         }
-        let to_a = match d_a.partial_cmp(&d_b).expect("finite") {
+        let to_a = match d_a.total_cmp(&d_b) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
             std::cmp::Ordering::Equal => count_a <= count_b,
@@ -435,7 +434,7 @@ mod tests {
 
     #[test]
     fn hilbert_order_is_a_permutation() {
-        let ds = hdsj_data::uniform(4, 200, 1);
+        let ds = hdsj_data::uniform(4, 200, 1).unwrap();
         let order = hilbert_order(&ds);
         let mut sorted = order.clone();
         sorted.sort_unstable();
@@ -461,7 +460,7 @@ mod tests {
 
     #[test]
     fn str_order_is_a_permutation() {
-        let ds = hdsj_data::uniform(3, 157, 2);
+        let ds = hdsj_data::uniform(3, 157, 2).unwrap();
         let order = str_order(&ds, 10);
         let mut sorted = order.clone();
         sorted.sort_unstable();
@@ -470,7 +469,7 @@ mod tests {
 
     #[test]
     fn str_chunks_are_spatially_tight_on_first_dim() {
-        let ds = hdsj_data::uniform(2, 1000, 3);
+        let ds = hdsj_data::uniform(2, 1000, 3).unwrap();
         let order = str_order(&ds, 50);
         // First slab's x-range must be well under the full extent.
         let first: Vec<f64> = order[..250].iter().map(|&i| ds.point(i)[0]).collect();

@@ -14,8 +14,8 @@ use crate::node::Node;
 use crate::tree::RTree;
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, IoCounters, JoinKind, JoinSpec, JoinStats, PairSink, Rect,
-    Refiner, Result, SimilarityJoin, Tracer,
+    join::validate_inputs, Dataset, Error, IoCounters, JoinKind, JoinSpec, JoinStats, PairSink,
+    Rect, Refiner, Result, SimilarityJoin, Tracer,
 };
 use hdsj_storage::{PageId, StorageEngine};
 
@@ -111,7 +111,11 @@ impl RsjJoin {
                 (JoinKind::TwoSets, Some(tb)) => {
                     traversal.cross_pairs(tree_a.root(), tb.root())?
                 }
-                (JoinKind::TwoSets, None) => unreachable!("two-set join builds tree b"),
+                (JoinKind::TwoSets, None) => {
+                    return Err(Error::Internal(
+                        "two-set join reached traversal without tree b".into(),
+                    ))
+                }
             }
         }
         let mut stats = refiner.finish(JoinStats::default());
@@ -227,12 +231,7 @@ impl Traversal<'_, '_> {
 }
 
 fn sort_by_dim0(entries: &mut [crate::node::LeafEntry]) {
-    entries.sort_unstable_by(|a, b| {
-        a.coords[0]
-            .partial_cmp(&b.coords[0])
-            .expect("finite coordinates")
-            .then(a.id.cmp(&b.id))
-    });
+    entries.sort_unstable_by(|a, b| a.coords[0].total_cmp(&b.coords[0]).then(a.id.cmp(&b.id)));
 }
 
 fn linf_within(a: &[f64], b: &[f64], eps: f64) -> bool {
@@ -293,7 +292,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_for_every_build_strategy() {
-        let ds = hdsj_data::uniform(4, 500, 11);
+        let ds = hdsj_data::uniform(4, 500, 11).unwrap();
         for strategy in [
             BuildStrategy::HilbertPack,
             BuildStrategy::Str,
@@ -306,8 +305,8 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_two_set_join() {
-        let a = hdsj_data::uniform(6, 400, 21);
-        let b = hdsj_data::uniform(6, 350, 22);
+        let a = hdsj_data::uniform(6, 400, 21).unwrap();
+        let b = hdsj_data::uniform(6, 350, 22).unwrap();
         for metric in [Metric::L1, Metric::L2, Metric::Linf, Metric::Lp(4.0)] {
             compare_with_bf(
                 &a,
@@ -320,7 +319,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_in_high_dimensions() {
-        let ds = hdsj_data::uniform(32, 200, 31);
+        let ds = hdsj_data::uniform(32, 200, 31).unwrap();
         compare_with_bf(
             &ds,
             None,
@@ -340,7 +339,8 @@ mod tests {
                 ..Default::default()
             },
             3,
-        );
+        )
+        .unwrap();
         compare_with_bf(
             &ds,
             None,
@@ -353,8 +353,8 @@ mod tests {
     fn two_set_join_with_different_tree_heights() {
         // 5 points vs 3000 points: tree heights differ, exercising the
         // mixed leaf/inner traversal arms.
-        let a = hdsj_data::uniform(3, 5, 1);
-        let b = hdsj_data::uniform(3, 3000, 2);
+        let a = hdsj_data::uniform(3, 5, 1).unwrap();
+        let b = hdsj_data::uniform(3, 3000, 2).unwrap();
         compare_with_bf(
             &a,
             Some(&b),
@@ -366,7 +366,7 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let empty = Dataset::new(4).unwrap();
-        let some = hdsj_data::uniform(4, 50, 1);
+        let some = hdsj_data::uniform(4, 50, 1).unwrap();
         let mut sink = VecSink::default();
         let stats = RsjJoin::default()
             .join(&empty, &some, &JoinSpec::l2(0.2), &mut sink)
@@ -380,7 +380,7 @@ mod tests {
 
     #[test]
     fn reports_structure_bytes_and_io() {
-        let ds = hdsj_data::uniform(8, 2000, 5);
+        let ds = hdsj_data::uniform(8, 2000, 5).unwrap();
         let mut sink = VecSink::default();
         // Tiny pool: the trees cannot stay resident, so the join must do
         // real (counted) page reads.
@@ -398,7 +398,7 @@ mod tests {
 
     #[test]
     fn candidate_counts_are_bounded_by_quadratic() {
-        let ds = hdsj_data::uniform(4, 400, 77);
+        let ds = hdsj_data::uniform(4, 400, 77).unwrap();
         let mut sink = VecSink::default();
         let stats = RsjJoin::default()
             .self_join(&ds, &JoinSpec::l2(0.05), &mut sink)

@@ -45,10 +45,7 @@ impl PartialOrd for QueueItem {
 impl Ord for QueueItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on distance: reverse the comparison.
-        other
-            .dist_sq
-            .partial_cmp(&self.dist_sq)
-            .expect("finite distances")
+        other.dist_sq.total_cmp(&self.dist_sq)
     }
 }
 
@@ -143,10 +140,7 @@ impl PartialOrd for PairItem {
 }
 impl Ord for PairItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .dist_sq
-            .partial_cmp(&self.dist_sq)
-            .expect("finite distances")
+        other.dist_sq.total_cmp(&self.dist_sq)
     }
 }
 
@@ -294,7 +288,7 @@ mod tests {
 
     #[test]
     fn knn_matches_linear_scan() {
-        let ds = hdsj_data::uniform(4, 1_000, 55);
+        let ds = hdsj_data::uniform(4, 1_000, 55).unwrap();
         let eng = StorageEngine::in_memory(256);
         for strategy in [
             BuildStrategy::HilbertPack,
@@ -320,7 +314,7 @@ mod tests {
 
     #[test]
     fn knn_of_indexed_point_finds_itself_first() {
-        let ds = hdsj_data::uniform(6, 500, 56);
+        let ds = hdsj_data::uniform(6, 500, 56).unwrap();
         let eng = StorageEngine::in_memory(256);
         let tree = RTree::build(&eng, &ds, BuildStrategy::HilbertPack, 0.7).unwrap();
         let got = tree.knn(ds.point(123), 1).unwrap();
@@ -330,7 +324,7 @@ mod tests {
 
     #[test]
     fn knn_edge_cases() {
-        let ds = hdsj_data::uniform(3, 5, 57);
+        let ds = hdsj_data::uniform(3, 5, 57).unwrap();
         let eng = StorageEngine::in_memory(64);
         let tree = RTree::build(&eng, &ds, BuildStrategy::HilbertPack, 0.7).unwrap();
         // k = 0.
@@ -347,7 +341,7 @@ mod tests {
 
     #[test]
     fn knn_results_are_sorted_by_distance() {
-        let ds = hdsj_data::uniform(5, 800, 58);
+        let ds = hdsj_data::uniform(5, 800, 58).unwrap();
         let eng = StorageEngine::in_memory(256);
         let tree = RTree::build(&eng, &ds, BuildStrategy::Str, 0.7).unwrap();
         let got = tree.knn(&[0.3, 0.7, 0.5, 0.2, 0.9], 25).unwrap();
@@ -382,7 +376,7 @@ mod closest_pair_tests {
 
     #[test]
     fn self_closest_pairs_match_brute_force() {
-        let ds = hdsj_data::uniform(4, 400, 91);
+        let ds = hdsj_data::uniform(4, 400, 91).unwrap();
         let eng = StorageEngine::in_memory(256);
         let tree = RTree::build(&eng, &ds, BuildStrategy::HilbertPack, 0.7).unwrap();
         for k in [1usize, 5, 25] {
@@ -403,8 +397,8 @@ mod closest_pair_tests {
 
     #[test]
     fn two_tree_closest_pairs_match_brute_force() {
-        let a = hdsj_data::uniform(3, 250, 92);
-        let b = hdsj_data::uniform(3, 200, 93);
+        let a = hdsj_data::uniform(3, 250, 92).unwrap();
+        let b = hdsj_data::uniform(3, 200, 93).unwrap();
         let eng = StorageEngine::in_memory(256);
         let ta = RTree::build(&eng, &a, BuildStrategy::Str, 0.7).unwrap();
         let tb = RTree::build(&eng, &b, BuildStrategy::DynamicInsert, 0.7).unwrap();
@@ -429,14 +423,14 @@ mod closest_pair_tests {
 
     #[test]
     fn closest_pairs_edge_cases() {
-        let ds = hdsj_data::uniform(2, 5, 94);
+        let ds = hdsj_data::uniform(2, 5, 94).unwrap();
         let eng = StorageEngine::in_memory(64);
         let tree = RTree::build(&eng, &ds, BuildStrategy::HilbertPack, 0.7).unwrap();
         assert!(tree.closest_pairs_self(0).unwrap().is_empty());
         // k beyond all pairs: 5 points -> 10 pairs.
         assert_eq!(tree.closest_pairs_self(100).unwrap().len(), 10);
         // Dim mismatch.
-        let other = hdsj_data::uniform(3, 5, 95);
+        let other = hdsj_data::uniform(3, 5, 95).unwrap();
         let to = RTree::build(&eng, &other, BuildStrategy::HilbertPack, 0.7).unwrap();
         assert!(tree.closest_pairs(&to, 3).is_err());
         // Results ascend.

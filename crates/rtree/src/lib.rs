@@ -17,6 +17,7 @@
 //! * [`join`] — [`RsjJoin`]: the Brinkhoff/Kriegel/Seeger synchronized
 //!   traversal, pruning node pairs by L∞ MBR mindist and sweeping leaf
 //!   pairs along dimension 0.
+#![forbid(unsafe_code)]
 
 pub mod build;
 pub mod join;

@@ -219,7 +219,7 @@ mod tests {
 
     #[test]
     fn all_strategies_build_valid_trees() {
-        let ds = hdsj_data::uniform(4, 1500, 42);
+        let ds = hdsj_data::uniform(4, 1500, 42).unwrap();
         for strategy in strategies() {
             let eng = engine();
             let tree = RTree::build(&eng, &ds, strategy, 0.7).unwrap();
@@ -251,7 +251,7 @@ mod tests {
     #[test]
     fn high_dimensional_trees_still_work() {
         // d=64: single-digit fan-out, deep tree — the stress case.
-        let ds = hdsj_data::uniform(64, 300, 9);
+        let ds = hdsj_data::uniform(64, 300, 9).unwrap();
         for strategy in strategies() {
             let eng = engine();
             let tree = RTree::build(&eng, &ds, strategy, 0.9).unwrap();
@@ -261,7 +261,7 @@ mod tests {
 
     #[test]
     fn linf_range_matches_linear_scan() {
-        let ds = hdsj_data::uniform(3, 800, 5);
+        let ds = hdsj_data::uniform(3, 800, 5).unwrap();
         let eng = engine();
         let tree = RTree::build(&eng, &ds, BuildStrategy::HilbertPack, 0.7).unwrap();
         let q = [0.4, 0.6, 0.5];
@@ -279,7 +279,7 @@ mod tests {
 
     #[test]
     fn linf_range_rejects_wrong_dims() {
-        let ds = hdsj_data::uniform(3, 10, 5);
+        let ds = hdsj_data::uniform(3, 10, 5).unwrap();
         let eng = engine();
         let tree = RTree::build(&eng, &ds, BuildStrategy::HilbertPack, 0.7).unwrap();
         assert!(tree.linf_range(&[0.5, 0.5], 0.1).is_err());
@@ -300,7 +300,7 @@ mod tests {
 
     #[test]
     fn packed_trees_use_fewer_pages_than_dynamic() {
-        let ds = hdsj_data::uniform(8, 2000, 13);
+        let ds = hdsj_data::uniform(8, 2000, 13).unwrap();
         let eng1 = engine();
         let packed = RTree::build(&eng1, &ds, BuildStrategy::HilbertPack, 0.9).unwrap();
         let eng2 = engine();

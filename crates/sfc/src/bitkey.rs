@@ -180,7 +180,11 @@ impl BitKey {
         );
         let words = bytes
             .chunks_exact(8)
-            .map(|c| u64::from_be_bytes(c.try_into().expect("chunk of 8")))
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                u64::from_be_bytes(w)
+            })
             .collect();
         BitKey { nbits, words }
     }

@@ -21,6 +21,7 @@
 //! depth `L` identify (and rank) its enclosing level-`l` cell. MSJ's level
 //! files and merge order rely on exactly this property, and the property
 //! tests in this crate pin it down.
+#![forbid(unsafe_code)]
 
 pub mod bitkey;
 pub mod grid;

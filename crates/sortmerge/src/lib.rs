@@ -15,6 +15,7 @@
 //!
 //! The projection dimension is selectable; [`SortMergeJoin::best_dimension`]
 //! picks the highest-variance one, the standard heuristic.
+#![forbid(unsafe_code)]
 
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
@@ -27,7 +28,7 @@ use hdsj_core::{
 /// ```
 /// use hdsj_core::{JoinSpec, SimilarityJoin, CountSink};
 /// use hdsj_sortmerge::SortMergeJoin;
-/// let points = hdsj_data::uniform(4, 150, 3);
+/// let points = hdsj_data::uniform(4, 150, 3).unwrap();
 /// let mut sink = CountSink::default();
 /// SortMergeJoin::default().self_join(&points, &JoinSpec::l2(0.2), &mut sink)?;
 /// # Ok::<(), hdsj_core::Error>(())
@@ -153,7 +154,7 @@ impl SortMergeJoin {
 
 fn sorted_projection(ds: &Dataset, dim: usize) -> Vec<(f64, u32)> {
     let mut proj: Vec<(f64, u32)> = ds.iter().map(|(i, p)| (p[dim], i)).collect();
-    proj.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    proj.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     proj
 }
 
@@ -216,7 +217,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_every_dimension_choice() {
-        let ds = hdsj_data::uniform(4, 400, 1);
+        let ds = hdsj_data::uniform(4, 400, 1).unwrap();
         let spec = JoinSpec::new(0.2, Metric::L2);
         for d in 0..4 {
             compare_with_bf(&ds, None, &spec, &mut SortMergeJoin::on_dimension(d));
@@ -226,8 +227,8 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_two_set_join() {
-        let a = hdsj_data::uniform(5, 300, 2);
-        let b = hdsj_data::uniform(5, 250, 3);
+        let a = hdsj_data::uniform(5, 300, 2).unwrap();
+        let b = hdsj_data::uniform(5, 250, 3).unwrap();
         for metric in [Metric::L1, Metric::L2, Metric::Linf] {
             compare_with_bf(
                 &a,
@@ -250,7 +251,7 @@ mod tests {
 
     #[test]
     fn discriminative_dimension_prunes_candidates() {
-        let ds = hdsj_data::uniform(2, 2000, 7);
+        let ds = hdsj_data::uniform(2, 2000, 7).unwrap();
         let spec = JoinSpec::new(0.01, Metric::L2);
         let mut sink = VecSink::default();
         let stats = SortMergeJoin::default()
@@ -262,7 +263,7 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_dimension() {
-        let ds = hdsj_data::uniform(3, 10, 1);
+        let ds = hdsj_data::uniform(3, 10, 1).unwrap();
         let mut sink = VecSink::default();
         assert!(SortMergeJoin::on_dimension(3)
             .self_join(&ds, &JoinSpec::l2(0.1), &mut sink)
@@ -271,7 +272,7 @@ mod tests {
 
     #[test]
     fn reports_phases() {
-        let ds = hdsj_data::uniform(3, 100, 1);
+        let ds = hdsj_data::uniform(3, 100, 1).unwrap();
         let mut sink = VecSink::default();
         let stats = SortMergeJoin::default()
             .self_join(&ds, &JoinSpec::l2(0.2), &mut sink)

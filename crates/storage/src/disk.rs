@@ -5,6 +5,7 @@
 //! [`crate::fault::FaultyDisk`] (which every [`crate::StorageEngine`]
 //! does) to schedule failures.
 
+use crate::invariants::{self, rank};
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::stats::IoStats;
 use hdsj_core::{Error, Result};
@@ -44,6 +45,7 @@ impl MemDisk {
 
 impl Disk for MemDisk {
     fn read_page(&self, id: PageId, into: &mut Page) -> Result<()> {
+        let _rank = invariants::ordered(rank::DISK, "disk.pages");
         let pages = self.pages.lock();
         let page = pages
             .get(id as usize)
@@ -54,6 +56,7 @@ impl Disk for MemDisk {
     }
 
     fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        let _rank = invariants::ordered(rank::DISK, "disk.pages");
         let mut pages = self.pages.lock();
         let slot = pages
             .get_mut(id as usize)
@@ -64,6 +67,7 @@ impl Disk for MemDisk {
     }
 
     fn alloc_page(&self) -> Result<PageId> {
+        let _rank = invariants::ordered(rank::DISK, "disk.pages");
         let mut pages = self.pages.lock();
         pages.push(Page::zeroed());
         self.stats.record_alloc();
@@ -125,6 +129,7 @@ impl FileDisk {
     #[cfg(not(unix))]
     fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
         use std::io::{Read, Seek, SeekFrom};
+        let _rank = invariants::ordered(rank::DISK, "disk.io_lock");
         let _guard = self.io_lock.lock();
         let mut f = &self.file;
         f.seek(SeekFrom::Start(offset))?;
@@ -135,6 +140,7 @@ impl FileDisk {
     #[cfg(not(unix))]
     fn write_at(&self, buf: &[u8], offset: u64) -> Result<()> {
         use std::io::{Seek, SeekFrom, Write};
+        let _rank = invariants::ordered(rank::DISK, "disk.io_lock");
         let _guard = self.io_lock.lock();
         let mut f = &self.file;
         f.seek(SeekFrom::Start(offset))?;
@@ -165,6 +171,7 @@ impl Disk for FileDisk {
     fn alloc_page(&self) -> Result<PageId> {
         // Hold the page-count lock across the zero-fill so concurrent
         // allocs get distinct ids and the file grows densely.
+        let _rank = invariants::ordered(rank::DISK, "disk.num_pages");
         let mut n = self.num_pages.lock();
         let id = *n;
         self.write_at(&[0u8; PAGE_SIZE], id * PAGE_SIZE as u64)?;

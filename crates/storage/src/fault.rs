@@ -24,6 +24,7 @@
 //! clone is seen by the disk holding another.
 
 use crate::disk::Disk;
+use crate::invariants::{self, rank};
 use crate::page::{Page, PageId, PAGE_HEADER, PAGE_SIZE};
 use crate::stats::IoStats;
 use hdsj_core::{Error, Result};
@@ -250,6 +251,7 @@ impl FaultPlan {
     /// Each operation matching `op` (`None` = any) faults as `kind` with
     /// probability `p`.
     pub fn probability(&self, op: Option<OpKind>, p: f64, kind: FaultKind) {
+        let _rank = invariants::ordered(rank::FAULT, "fault.state");
         let mut st = self.inner.state.lock();
         st.probs.push(ProbRule { op, p, kind });
         self.rearm(&st);
@@ -258,6 +260,7 @@ impl FaultPlan {
     /// The `n`-th (1-based) operation matching `op` from now faults as
     /// `kind`.
     pub fn on_nth(&self, op: Option<OpKind>, n: u64, kind: FaultKind) {
+        let _rank = invariants::ordered(rank::FAULT, "fault.state");
         let mut st = self.inner.state.lock();
         st.triggers.push(Trigger {
             op,
@@ -271,6 +274,7 @@ impl FaultPlan {
     /// of any kind fail once (transient); `None` disarms it. Replaces the
     /// old `IoStats::set_fault_after`.
     pub fn set_fault_after(&self, n: Option<u64>) {
+        let _rank = invariants::ordered(rank::FAULT, "fault.state");
         let mut st = self.inner.state.lock();
         st.one_shot = n.map(|v| v.max(1));
         self.rearm(&st);
@@ -278,6 +282,7 @@ impl FaultPlan {
 
     /// Clears every rule (probabilities, schedules, dead ops, one-shot).
     pub fn clear(&self) {
+        let _rank = invariants::ordered(rank::FAULT, "fault.state");
         let mut st = self.inner.state.lock();
         st.probs.clear();
         st.triggers.clear();
@@ -291,6 +296,7 @@ impl FaultPlan {
         if !self.is_armed() {
             return None;
         }
+        let _rank = invariants::ordered(rank::FAULT, "fault.state");
         let mut st = self.inner.state.lock();
         let fault = st.decide(op);
         self.rearm(&st);
@@ -300,6 +306,7 @@ impl FaultPlan {
     /// Flips a handful of payload bits (offsets `>= PAGE_HEADER`, so the
     /// checksum field itself stays intact and the damage is detectable).
     fn corrupt_payload(&self, page: &mut Page) {
+        let _rank = invariants::ordered(rank::FAULT, "fault.state");
         let mut st = self.inner.state.lock();
         for _ in 0..4 {
             let off = PAGE_HEADER + (st.next_u64() as usize) % (PAGE_SIZE - PAGE_HEADER);
@@ -312,6 +319,7 @@ impl FaultPlan {
     /// the page header, so the new checksum lands next to (partially) old
     /// payload — exactly the mismatch the verifier must catch.
     fn torn_cut(&self) -> usize {
+        let _rank = invariants::ordered(rank::FAULT, "fault.state");
         let mut st = self.inner.state.lock();
         PAGE_HEADER + (st.next_u64() as usize) % (PAGE_SIZE - PAGE_HEADER)
     }

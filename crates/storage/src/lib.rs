@@ -29,12 +29,12 @@
 //! [`StorageEngine`] bundles disk, fault plan, and pool behind one handle
 //! that the algorithm crates share; [`StorageEngine::builder`] configures
 //! retries and fault schedules.
-
-#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+#![forbid(unsafe_code)]
 
 pub mod disk;
 pub mod fault;
 pub mod file;
+pub mod invariants;
 pub mod page;
 pub mod points;
 pub mod pool;

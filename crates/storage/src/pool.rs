@@ -21,6 +21,7 @@
 //!   stays resident and a later attempt can still persist it.
 
 use crate::disk::Disk;
+use crate::invariants::{self, rank};
 use crate::page::{Page, PageId};
 use crate::stats::IoStats;
 use hdsj_core::{Error, Result};
@@ -198,6 +199,7 @@ impl BufferPool {
     /// Fetches page `id`, reading from disk on a miss. The guard pins the
     /// page until dropped.
     pub fn fetch(&self, id: PageId) -> Result<PinnedPage> {
+        let _rank = invariants::ordered(rank::POOL, "pool.inner");
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -224,6 +226,7 @@ impl BufferPool {
     /// Allocates a zeroed page — reusing a freed page when one is
     /// available, growing the disk otherwise — and returns it pinned.
     pub fn alloc(&self) -> Result<PinnedPage> {
+        let _rank = invariants::ordered(rank::POOL, "pool.inner");
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -241,6 +244,7 @@ impl BufferPool {
     /// Returns a page to the freelist for reuse. The caller must not hold a
     /// pin on it and must not use the id again; a pinned page is rejected.
     pub fn free(&self, id: PageId) -> Result<()> {
+        let _rank = invariants::ordered(rank::POOL, "pool.inner");
         let mut inner = self.inner.lock();
         if let Some(frame) = inner.map.get(&id) {
             if frame.pins.load(Ordering::Relaxed) > 0 {
@@ -250,6 +254,13 @@ impl BufferPool {
         }
         debug_assert!(!inner.freelist.contains(&id), "double free of page {id}");
         inner.freelist.push(id);
+        invariants::invariant(!inner.map.contains_key(&id), || {
+            format!("freed page {id} is still resident in the frame map")
+        });
+        invariants::invariant(
+            inner.freelist.iter().all(|f| !inner.map.contains_key(f)),
+            || "freelist aliases a resident frame".to_string(),
+        );
         Ok(())
     }
 
@@ -310,6 +321,9 @@ impl BufferPool {
             let written = {
                 let mut page = frame.page.write();
                 page.seal();
+                invariants::invariant(page.verify_checksum().is_ok(), || {
+                    format!("page {victim} fails checksum verification right after seal")
+                });
                 self.retrying(|| self.disk.write_page(victim, &page))
             };
             if let Err(e) = written {
@@ -327,18 +341,45 @@ impl BufferPool {
     /// resident and become clean). On failure the page keeps its dirty
     /// bit, so nothing is silently dropped and a later flush can retry.
     pub fn flush_all(&self) -> Result<()> {
+        let _rank = invariants::ordered(rank::POOL, "pool.inner");
         let inner = self.inner.lock();
         for frame in inner.map.values() {
             if frame.dirty.load(Ordering::Relaxed) {
                 {
                     let mut page = frame.page.write();
                     page.seal();
+                    invariants::invariant(page.verify_checksum().is_ok(), || {
+                        format!(
+                            "page {} fails checksum verification right after seal",
+                            frame.pid
+                        )
+                    });
                     self.retrying(|| self.disk.write_page(frame.pid, &page))?;
                 }
                 frame.dirty.store(false, Ordering::Relaxed);
             }
         }
         Ok(())
+    }
+}
+
+impl Drop for BufferPool {
+    /// Quiescence check (`debug-invariants` only): a pool must not be
+    /// torn down while pages are still pinned — a live guard would keep
+    /// mutating a frame whose pool-side bookkeeping is gone. Skipped when
+    /// already panicking so a failing test reports its own assertion.
+    fn drop(&mut self) {
+        if invariants::checks() > 0 && !std::thread::panicking() {
+            let inner = self.inner.lock();
+            let pinned = inner
+                .map
+                .values()
+                .filter(|f| f.pins.load(Ordering::Relaxed) > 0)
+                .count();
+            invariants::invariant(pinned == 0, || {
+                format!("buffer pool dropped with {pinned} frame(s) still pinned")
+            });
+        }
     }
 }
 

@@ -10,7 +10,7 @@ use hdsj::data::{gaussian_clusters, ClusterSpec};
 use hdsj::rtree::{BuildStrategy, RTree};
 use hdsj::storage::StorageEngine;
 
-fn main() {
+fn main() -> hdsj::core::Result<()> {
     // A clustered dataset: sensors scattered around a few installations.
     let sensors = gaussian_clusters(
         3,
@@ -22,10 +22,9 @@ fn main() {
             ..Default::default()
         },
         99,
-    );
+    )?;
     let engine = StorageEngine::in_memory(2048);
-    let tree =
-        RTree::build(&engine, &sensors, BuildStrategy::HilbertPack, 0.7).expect("build tree");
+    let tree = RTree::build(&engine, &sensors, BuildStrategy::HilbertPack, 0.7)?;
     println!(
         "indexed {} sensors in a {}-level R-tree ({} pages)",
         tree.len(),
@@ -35,14 +34,14 @@ fn main() {
 
     // kNN: the 5 sensors nearest an incident location.
     let incident = [0.42, 0.58, 0.33];
-    let nearest = tree.knn(&incident, 5).expect("knn");
+    let nearest = tree.knn(&incident, 5)?;
     println!("\n5 sensors nearest to {incident:?}:");
     for n in &nearest {
         println!("  sensor {:>6}  dist {:.5}", n.id, n.dist);
     }
 
     // k closest pairs: the 10 most redundant sensor placements.
-    let redundant = tree.closest_pairs_self(10).expect("closest pairs");
+    let redundant = tree.closest_pairs_self(10)?;
     println!("\n10 most redundant sensor pairs (closest placements):");
     for p in &redundant {
         println!("  {:>6} ~ {:>6}  dist {:.6}", p.i, p.j, p.dist);
@@ -58,12 +57,9 @@ fn main() {
             ..Default::default()
         },
         100,
-    );
-    let proposal_tree =
-        RTree::build(&engine, &proposals, BuildStrategy::Str, 0.7).expect("build");
-    let conflicts = proposal_tree
-        .closest_pairs(&tree, 5)
-        .expect("closest pairs");
+    )?;
+    let proposal_tree = RTree::build(&engine, &proposals, BuildStrategy::Str, 0.7)?;
+    let conflicts = proposal_tree.closest_pairs(&tree, 5)?;
     println!("\n5 proposed sites closest to an existing sensor:");
     for p in &conflicts {
         println!(
@@ -75,4 +71,5 @@ fn main() {
         "\n(all three queries ran best-first over the same paged index: {} page reads total)",
         engine.io_counters().reads
     );
+    Ok(())
 }

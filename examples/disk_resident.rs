@@ -12,14 +12,14 @@ use hdsj::msj::Msj;
 use hdsj::rtree::RsjJoin;
 use hdsj::storage::StorageEngine;
 
-fn main() {
+fn main() -> hdsj::core::Result<()> {
     let dims = 8;
     let n = 30_000;
-    let points = uniform(dims, n, 321);
+    let points = uniform(dims, n, 321)?;
     let spec = JoinSpec::new(0.12, Metric::L2);
 
     let dir = std::env::temp_dir().join(format!("hdsj-example-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::create_dir_all(&dir)?;
 
     for pool_pages in [16usize, 256] {
         println!(
@@ -28,22 +28,20 @@ fn main() {
         );
 
         let msj_engine =
-            StorageEngine::file_backed(&dir.join(format!("msj-{pool_pages}.db")), pool_pages)
-                .expect("file-backed engine");
+            StorageEngine::file_backed(&dir.join(format!("msj-{pool_pages}.db")), pool_pages)?;
         let mut msj = Msj::with_engine(msj_engine);
         let mut sink = CountSink::default();
-        let stats = msj.self_join(&points, &spec, &mut sink).expect("msj");
+        let stats = msj.self_join(&points, &spec, &mut sink)?;
         println!(
             "MSJ : {} pairs, io: {} reads / {} writes, peak sweep memory {} bytes",
             stats.results, stats.io.reads, stats.io.writes, stats.structure_bytes
         );
 
         let rsj_engine =
-            StorageEngine::file_backed(&dir.join(format!("rsj-{pool_pages}.db")), pool_pages)
-                .expect("file-backed engine");
+            StorageEngine::file_backed(&dir.join(format!("rsj-{pool_pages}.db")), pool_pages)?;
         let mut rsj = RsjJoin::with_engine(rsj_engine);
         let mut sink = CountSink::default();
-        let stats = rsj.self_join(&points, &spec, &mut sink).expect("rsj");
+        let stats = rsj.self_join(&points, &spec, &mut sink)?;
         println!(
             "RSJ : {} pairs, io: {} reads / {} writes, tree size {} pages",
             stats.results,
@@ -56,4 +54,5 @@ fn main() {
     std::fs::remove_dir_all(&dir).ok();
     println!("\nnote how MSJ's sequential level-file I/O barely notices the small pool,");
     println!("while RSJ's random tree traversal thrashes it.");
+    Ok(())
 }

@@ -16,7 +16,7 @@ use hdsj::grid::GridJoin;
 use hdsj::msj::Msj;
 use std::collections::HashMap;
 
-fn main() {
+fn main() -> hdsj::core::Result<()> {
     // 20,000 "records": duplicates cluster tightly around shared sources.
     let dims = 6;
     let spec_ds = ClusterSpec {
@@ -25,14 +25,12 @@ fn main() {
         zipf_theta: 1.2,
         noise_fraction: 0.3,
     };
-    let records = gaussian_clusters(dims, 20_000, spec_ds, 5150);
+    let records = gaussian_clusters(dims, 20_000, spec_ds, 5150)?;
     let spec = JoinSpec::new(0.01, Metric::L2);
 
     // Low dimensionality: the ε-grid is the right tool.
     let mut sink = VecSink::default();
-    let stats = GridJoin::default()
-        .self_join(&records, &spec, &mut sink)
-        .expect("grid join");
+    let stats = GridJoin::default().self_join(&records, &spec, &mut sink)?;
     println!(
         "GRID found {} near-duplicate pairs among {} records ({} candidates)",
         stats.results,
@@ -74,18 +72,17 @@ fn main() {
     );
 
     // High dimensionality: the grid refuses (3^24 neighbours!), MSJ carries on.
-    let wide = gaussian_clusters(24, 5_000, spec_ds, 5151);
+    let wide = gaussian_clusters(24, 5_000, spec_ds, 5151)?;
     let wide_spec = JoinSpec::new(0.01, Metric::L2);
     let mut count = CountSink::default();
     match GridJoin::default().self_join(&wide, &wide_spec, &mut count) {
         Err(e) => println!("\nat d=24 the grid declines: {e}"),
         Ok(_) => unreachable!("grid must refuse d=24"),
     }
-    let stats = Msj::default()
-        .self_join(&wide, &wide_spec, &mut count)
-        .expect("msj");
+    let stats = Msj::default().self_join(&wide, &wide_spec, &mut count)?;
     println!(
         "MSJ handles d=24 fine: {} near-duplicate pairs",
         stats.results
     );
+    Ok(())
 }

@@ -9,17 +9,15 @@ use hdsj::core::{JoinSpec, Metric, SimilarityJoin, VecSink};
 use hdsj::data::uniform;
 use hdsj::msj::Msj;
 
-fn main() {
+fn main() -> hdsj::core::Result<()> {
     // 5,000 uniform points in the 8-dimensional unit cube.
-    let points = uniform(8, 5_000, 1234);
+    let points = uniform(8, 5_000, 1234)?;
 
     // Find every pair within Euclidean distance 0.25.
     let spec = JoinSpec::new(0.25, Metric::L2);
 
     let mut sink = VecSink::default();
-    let stats = Msj::default()
-        .self_join(&points, &spec, &mut sink)
-        .expect("join");
+    let stats = Msj::default().self_join(&points, &spec, &mut sink)?;
 
     println!(
         "MSJ self-join of {} points (d = {}):",
@@ -44,9 +42,8 @@ fn main() {
 
     // Cross-check against the brute-force ground truth.
     let mut bf_sink = VecSink::default();
-    hdsj::bruteforce::BruteForce::default()
-        .self_join(&points, &spec, &mut bf_sink)
-        .expect("brute force");
+    hdsj::bruteforce::BruteForce::default().self_join(&points, &spec, &mut bf_sink)?;
     hdsj::core::verify::assert_same_results("MSJ", &bf_sink.pairs, &sink.pairs);
     println!("verified: MSJ result set identical to brute force ✓");
+    Ok(())
 }

@@ -11,10 +11,10 @@ use hdsj::data::analytic::{ball_volume, eps_for_expected_pairs};
 use hdsj::data::{estimate_self_join_size, uniform};
 use hdsj::msj::Msj;
 
-fn main() {
+fn main() -> hdsj::core::Result<()> {
     let dims = 6;
     let n = 20_000;
-    let points = uniform(dims, n, 777);
+    let points = uniform(dims, n, 777)?;
 
     // 1. Analytic calibration (uniform data): pick ε for ~50k result pairs.
     let target = 50_000.0;
@@ -31,9 +31,8 @@ fn main() {
 
     // 3. Ground truth.
     let mut sink = CountSink::default();
-    let stats = Msj::default()
-        .self_join(&points, &JoinSpec::new(eps, Metric::L2), &mut sink)
-        .expect("join");
+    let stats =
+        Msj::default().self_join(&points, &JoinSpec::new(eps, Metric::L2), &mut sink)?;
     println!("measured: {} pairs", stats.results);
 
     let analytic_err = (target - stats.results as f64).abs() / stats.results as f64;
@@ -51,9 +50,8 @@ fn main() {
     let est_time = t0.elapsed();
     let t1 = std::time::Instant::now();
     let mut sink = CountSink::default();
-    Msj::default()
-        .self_join(&points, &JoinSpec::new(eps, Metric::L2), &mut sink)
-        .expect("join");
+    Msj::default().self_join(&points, &JoinSpec::new(eps, Metric::L2), &mut sink)?;
     let join_time = t1.elapsed();
     println!("estimator: {est_time:?} vs join: {join_time:?}");
+    Ok(())
 }

@@ -26,14 +26,14 @@ fn boxes(n: usize, min_side: f64, max_side: f64, seed: u64) -> Vec<Rect> {
         .collect()
 }
 
-fn main() {
+fn main() -> hdsj::core::Result<()> {
     // 30,000 small parcels, 200 large zoning regions.
     let parcels = boxes(30_000, 0.001, 0.01, 1);
     let zones = boxes(200, 0.05, 0.3, 2);
 
     let s3j = S3j::default();
     let mut sink = VecSink::default();
-    let stats = s3j.join(&parcels, &zones, &mut sink).expect("join");
+    let stats = s3j.join(&parcels, &zones, &mut sink)?;
     println!(
         "parcels × zones: {} intersecting pairs ({} candidates, {:.1}% precision)",
         stats.results,
@@ -53,15 +53,16 @@ fn main() {
         .iter()
         .enumerate()
         .max_by_key(|(_, &c)| c)
-        .expect("zones");
+        .unwrap_or((0, &0));
     println!("busiest zone: #{} with {} parcels", busiest.0, busiest.1);
 
     // Self-join of the parcels: overlapping parcels are digitization errors.
     let mut overlaps = VecSink::default();
-    let stats = s3j.self_join(&parcels, &mut overlaps).expect("self join");
+    let stats = s3j.self_join(&parcels, &mut overlaps)?;
     println!(
         "\nparcel overlap check: {} overlapping parcel pairs found \
          (size separation put the quadratic work where the big boxes are)",
         stats.results
     );
+    Ok(())
 }

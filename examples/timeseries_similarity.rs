@@ -26,13 +26,13 @@ fn series_distance(a: &[f64], b: &[f64]) -> f64 {
         .sqrt()
 }
 
-fn main() {
+fn main() -> hdsj::core::Result<()> {
     let num_series = 3_000;
     let series_len = 128;
     let feature_dims = 8;
 
     // Feature extraction: 8 dims = first 4 complex DFT coefficients.
-    let features = fourier_dataset(feature_dims, num_series, series_len, 77);
+    let features = fourier_dataset(feature_dims, num_series, series_len, 77)?;
     println!(
         "{num_series} series of length {series_len} -> {feature_dims}-dimensional Fourier features"
     );
@@ -41,9 +41,7 @@ fn main() {
     // shape. ε picked to return a workable shortlist.
     let spec = JoinSpec::new(0.05, Metric::L2);
     let mut sink = VecSink::default();
-    let stats = Msj::default()
-        .self_join(&features, &spec, &mut sink)
-        .expect("join");
+    let stats = Msj::default().self_join(&features, &spec, &mut sink)?;
     println!(
         "feature-space join: {} candidate series pairs ({} filter candidates)",
         stats.results, stats.candidates
@@ -79,4 +77,5 @@ fn main() {
     }
 
     println!("\n(every pair above was found without ever comparing raw series pairwise)");
+    Ok(())
 }

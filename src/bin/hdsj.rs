@@ -38,6 +38,7 @@ fn exit_code(e: &Error) -> i32 {
         Error::Storage(_) => 4,
         Error::Corruption(_) => 5,
         Error::Io(_) => 6,
+        Error::Internal(_) => 7,
     }
 }
 
@@ -55,6 +56,7 @@ fn run(args: &[String]) -> Result<()> {
         "generate" => generate(&flags),
         "join" => join(&flags),
         "info" => info(&flags),
+        "analyze" => analyze(&flags),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -78,11 +80,18 @@ USAGE:
                 [--trace FILE] [--stats human|json]
                 [--inject-faults SPEC] [--retries N] [--pool-pages N]
   hdsj info     --input FILE
+  hdsj analyze  [--root DIR] [--format human|json]
   hdsj trace-report FILE
 
 Datasets are headerless CSV, one point per row. `join` runs a self-join of
 --input, or a two-set join against --other. Results go to --out as
 `i,j` index pairs (or are only counted with --quiet).
+
+`analyze` runs the hdsj-analyze static invariant checker over the
+workspace at --root (default `.`): panic-freedom, SAFETY comments,
+pin/unpin pairing, lock order, error-taxonomy coverage, and metric-name
+registry conformance. It exits 1 when any deny-level finding survives
+suppression — the same contract as `cargo run -p hdsj-analyze -- check`.
 
 `join` prints `algorithm`/`pairs` to stdout; detailed statistics
 (candidates, filter precision, per-phase times, I/O) go to stderr unless
@@ -105,8 +114,32 @@ FAULT INJECTION (disk-backed algorithms rsj and msj only):
 
 EXIT CODES:
   0 success        2 invalid input     3 unsupported
-  4 storage fault  5 data corruption   6 OS-level I/O error"
+  4 storage fault  5 data corruption   6 OS-level I/O error
+  7 internal invariant violated"
     );
+}
+
+/// `hdsj analyze` — the static invariant checker, embedded. Prints every
+/// finding as `path:line: level[rule] message` (or JSONL with
+/// `--format json`) and exits 1 on deny findings, mirroring the
+/// standalone `hdsj-analyze` binary so CI can gate on either.
+fn analyze(flags: &HashMap<String, String>) -> Result<()> {
+    let root = flags.get("root").map(String::as_str).unwrap_or(".");
+    let format = flags.get("format").map(String::as_str).unwrap_or("human");
+    let report = hdsj_analyze::check_workspace(Path::new(root))?;
+    match format {
+        "human" => print!("{}", report.render_human()),
+        "json" => print!("{}", report.render_json()),
+        other => {
+            return Err(Error::InvalidInput(format!(
+                "unknown --format {other:?}; expected human or json"
+            )))
+        }
+    }
+    if report.failed() {
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>> {
@@ -184,7 +217,7 @@ fn generate(flags: &HashMap<String, String>) -> Result<()> {
         other => {
             return Err(Error::InvalidInput(format!("unknown --kind {other:?}")));
         }
-    };
+    }?;
     dio::save_csv(&ds, &out)?;
     println!(
         "wrote {} points (d={}) to {}",

@@ -13,12 +13,13 @@
 //! use hdsj::data::uniform;
 //! use hdsj::msj::Msj;
 //!
-//! let points = uniform(8, 500, 42); // 500 points in [0,1)^8
+//! let points = uniform(8, 500, 42).unwrap(); // 500 points in [0,1)^8
 //! let spec = JoinSpec::new(0.4, Metric::L2);
 //! let mut sink = VecSink::default();
 //! let stats = Msj::default().self_join(&points, &spec, &mut sink).unwrap();
 //! assert_eq!(stats.results as usize, sink.pairs.len());
 //! ```
+#![forbid(unsafe_code)]
 
 pub use hdsj_bruteforce as bruteforce;
 pub use hdsj_core as core;

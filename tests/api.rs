@@ -1,5 +1,7 @@
 //! Public-API integration tests: the umbrella crate's advertised workflows
 //! work end to end as documented in the README.
+// Panicking is idiomatic in test code; see clippy.toml / analyzer policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use hdsj::all_algorithms;
 use hdsj::core::{CallbackSink, CountSink, Dataset, JoinSpec, Metric, SimilarityJoin, VecSink};
@@ -34,7 +36,7 @@ fn readme_workflow_normalize_then_join() {
 
 #[test]
 fn callback_sink_streams_pairs() {
-    let ds = hdsj::data::uniform(3, 300, 1);
+    let ds = hdsj::data::uniform(3, 300, 1).unwrap();
     let spec = JoinSpec::new(0.1, Metric::L2);
     let mut streamed = 0u64;
     {
@@ -54,8 +56,8 @@ fn callback_sink_streams_pairs() {
 fn algorithms_are_reusable_across_calls() {
     // `&mut self` lets implementations cache scratch space; repeated use of
     // one instance must keep producing correct, identical results.
-    let ds1 = hdsj::data::uniform(4, 300, 2);
-    let ds2 = hdsj::data::uniform(4, 250, 3);
+    let ds1 = hdsj::data::uniform(4, 300, 2).unwrap();
+    let ds2 = hdsj::data::uniform(4, 250, 3).unwrap();
     for mut algo in all_algorithms() {
         let spec = JoinSpec::new(0.2, Metric::L2);
         let mut first = VecSink::default();
@@ -72,8 +74,8 @@ fn algorithms_are_reusable_across_calls() {
 
 #[test]
 fn errors_are_reported_not_panicked() {
-    let ds = hdsj::data::uniform(3, 10, 4);
-    let other = hdsj::data::uniform(4, 10, 5);
+    let ds = hdsj::data::uniform(3, 10, 4).unwrap();
+    let other = hdsj::data::uniform(4, 10, 5).unwrap();
     for mut algo in all_algorithms() {
         let mut sink = CountSink::default();
         // eps <= 0
@@ -95,7 +97,7 @@ fn errors_are_reported_not_panicked() {
 
 #[test]
 fn stats_phases_are_populated_for_all_structured_algorithms() {
-    let ds = hdsj::data::uniform(4, 400, 6);
+    let ds = hdsj::data::uniform(4, 400, 6).unwrap();
     let spec = JoinSpec::new(0.2, Metric::L2);
     for mut algo in all_algorithms() {
         let mut sink = CountSink::default();

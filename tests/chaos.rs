@@ -6,6 +6,8 @@
 //!
 //! Seeds are fixed so CI is reproducible; `HDSJ_CHAOS_SEED=n` narrows the
 //! sweep to one seed (the CI chaos job fans out over several).
+// Panicking is idiomatic in test code; see clippy.toml / analyzer policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use hdsj::core::{Dataset, Error, JoinSpec, Metric, SimilarityJoin, VecSink};
 use hdsj::data::uniform;
@@ -25,7 +27,7 @@ fn seeds() -> Vec<u64> {
 }
 
 fn dataset() -> Dataset {
-    uniform(8, 4000, 42)
+    uniform(8, 4000, 42).unwrap()
 }
 
 fn spec() -> JoinSpec {
@@ -234,7 +236,7 @@ fn refine_worker_panic_is_contained_and_engine_stays_usable() {
 /// fault plans" means for them.
 #[test]
 fn memory_resident_algorithms_are_deterministic_under_the_harness() {
-    let ds = uniform(4, 800, 7);
+    let ds = uniform(4, 800, 7).unwrap();
     let spec = JoinSpec::new(0.15, Metric::L2);
     for mut algo in hdsj::all_algorithms() {
         let mut first = VecSink::default();

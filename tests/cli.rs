@@ -1,5 +1,7 @@
 //! End-to-end tests of the `hdsj` command-line tool: generate → info →
 //! join round trips through real files and real process invocations.
+// Panicking is idiomatic in test code; see clippy.toml / analyzer policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::path::PathBuf;
 use std::process::Command;

@@ -1,6 +1,8 @@
 //! Cross-algorithm equivalence: every algorithm must produce exactly the
 //! brute-force result set on every workload × metric × join-kind
 //! combination. This is the central correctness contract of the library.
+// Panicking is idiomatic in test code; see clippy.toml / analyzer policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use hdsj::all_algorithms;
 use hdsj::bruteforce::BruteForce;
@@ -66,7 +68,7 @@ fn check_all_two(a: &Dataset, b: &Dataset, spec: &JoinSpec, label: &str) {
 #[test]
 fn uniform_self_join_across_dims_and_eps() {
     for (d, eps) in [(2usize, 0.03), (3, 0.1), (6, 0.3), (12, 0.5)] {
-        let ds = uniform(d, 500, d as u64 * 31 + 1);
+        let ds = uniform(d, 500, d as u64 * 31 + 1).unwrap();
         check_all_self(
             &ds,
             &JoinSpec::new(eps, Metric::L2),
@@ -77,7 +79,7 @@ fn uniform_self_join_across_dims_and_eps() {
 
 #[test]
 fn all_metrics_agree_with_ground_truth() {
-    let ds = uniform(5, 400, 99);
+    let ds = uniform(5, 400, 99).unwrap();
     for metric in [Metric::L1, Metric::L2, Metric::Linf, Metric::Lp(2.5)] {
         check_all_self(&ds, &JoinSpec::new(0.25, metric), &format!("{metric:?}"));
     }
@@ -85,11 +87,11 @@ fn all_metrics_agree_with_ground_truth() {
 
 #[test]
 fn two_set_joins_match() {
-    let a = uniform(4, 450, 11);
-    let b = uniform(4, 380, 12);
+    let a = uniform(4, 450, 11).unwrap();
+    let b = uniform(4, 380, 12).unwrap();
     check_all_two(&a, &b, &JoinSpec::new(0.2, Metric::L2), "two-set uniform");
     // Asymmetric sizes exercise tree-height mismatches.
-    let tiny = uniform(4, 7, 13);
+    let tiny = uniform(4, 7, 13).unwrap();
     check_all_two(
         &tiny,
         &b,
@@ -116,10 +118,11 @@ fn clustered_and_skewed_workloads_match() {
             noise_fraction: 0.2,
         },
         7,
-    );
+    )
+    .unwrap();
     check_all_self(&tight, &JoinSpec::new(0.03, Metric::L2), "zipf clusters");
 
-    let corr = correlated(8, 500, 0.03, 21);
+    let corr = correlated(8, 500, 0.03, 21).unwrap();
     check_all_self(
         &corr,
         &JoinSpec::new(0.07, Metric::L2),
@@ -129,7 +132,7 @@ fn clustered_and_skewed_workloads_match() {
 
 #[test]
 fn fourier_feature_workload_matches() {
-    let ds = timeseries::fourier_dataset(6, 400, 64, 2025);
+    let ds = timeseries::fourier_dataset(6, 400, 64, 2025).unwrap();
     check_all_self(&ds, &JoinSpec::new(0.04, Metric::L2), "fourier features");
 }
 
@@ -163,7 +166,7 @@ fn degenerate_datasets_match() {
 #[test]
 fn result_sets_nest_as_eps_grows() {
     // For every algorithm: results(eps1) ⊆ results(eps2) when eps1 < eps2.
-    let ds = uniform(5, 400, 3);
+    let ds = uniform(5, 400, 3).unwrap();
     for mut algo in all_algorithms() {
         let mut small = VecSink::default();
         let mut large = VecSink::default();
@@ -193,7 +196,8 @@ fn color_histogram_workload_matches() {
             noise: 0.01,
         },
         31,
-    );
+    )
+    .unwrap();
     let eps = hdsj::data::eps_for_target_pairs(&ds, Metric::L2, 800.0, 50_000, 32);
     check_all_self(&ds, &JoinSpec::new(eps, Metric::L2), "color histograms");
 }
@@ -201,6 +205,6 @@ fn color_histogram_workload_matches() {
 #[test]
 fn high_dimensional_correlated_workload_matches() {
     // d = 24: grid declines, everything else must agree.
-    let ds = correlated(24, 300, 0.02, 41);
+    let ds = correlated(24, 300, 0.02, 41).unwrap();
     check_all_self(&ds, &JoinSpec::new(0.05, Metric::L2), "correlated d=24");
 }

@@ -1,5 +1,7 @@
 //! Property-based integration tests: randomized point sets and join
 //! parameters, with brute force as the oracle.
+// Panicking is idiomatic in test code; see clippy.toml / analyzer policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use hdsj::all_algorithms;
 use hdsj::bruteforce::BruteForce;
@@ -62,7 +64,7 @@ proptest! {
     ) {
         // Second dataset with the same dims, fixed contents derived from a.
         let dims = a.dims();
-        let b = hdsj::data::uniform(dims, 60, dims as u64 + 99);
+        let b = hdsj::data::uniform(dims, 60, dims as u64 + 99).unwrap();
         let spec = JoinSpec::new(eps, Metric::L2);
         let mut want = VecSink::default();
         BruteForce::default().join(&a, &b, &spec, &mut want).unwrap();

@@ -1,5 +1,7 @@
 //! Storage-stack integration: disk-based joins on file-backed engines,
 //! pool-size independence of results, and failure injection end to end.
+// Panicking is idiomatic in test code; see clippy.toml / analyzer policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use hdsj::core::{verify, CountSink, JoinSpec, Metric, SimilarityJoin, VecSink};
 use hdsj::data::uniform;
@@ -15,7 +17,7 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 
 #[test]
 fn file_backed_msj_matches_in_memory() {
-    let ds = uniform(6, 2_000, 77);
+    let ds = uniform(6, 2_000, 77).unwrap();
     let spec = JoinSpec::new(0.15, Metric::L2);
 
     let mut mem_sink = VecSink::default();
@@ -38,7 +40,7 @@ fn file_backed_msj_matches_in_memory() {
 
 #[test]
 fn file_backed_rsj_matches_in_memory() {
-    let ds = uniform(5, 1_500, 78);
+    let ds = uniform(5, 1_500, 78).unwrap();
     let spec = JoinSpec::new(0.12, Metric::L2);
 
     let mut mem_sink = VecSink::default();
@@ -59,7 +61,7 @@ fn file_backed_rsj_matches_in_memory() {
 
 #[test]
 fn pool_size_changes_io_but_never_results() {
-    let ds = uniform(8, 3_000, 79);
+    let ds = uniform(8, 3_000, 79).unwrap();
     let spec = JoinSpec::new(0.15, Metric::L2);
     let mut baseline: Option<Vec<(u32, u32)>> = None;
     let mut ios = Vec::new();
@@ -85,7 +87,7 @@ fn pool_size_changes_io_but_never_results() {
 
 #[test]
 fn fault_injection_aborts_cleanly_everywhere() {
-    let ds = uniform(4, 2_000, 80);
+    let ds = uniform(4, 2_000, 80).unwrap();
     let spec = JoinSpec::new(0.1, Metric::L2);
     // Measure how many disk operations a clean run performs, then inject a
     // fault at the first, middle, and last of them; the join must return an
@@ -108,7 +110,7 @@ fn fault_injection_aborts_cleanly_everywhere() {
 
 #[test]
 fn rsj_fault_injection_aborts_cleanly() {
-    let ds = uniform(4, 1_000, 81);
+    let ds = uniform(4, 1_000, 81).unwrap();
     let spec = JoinSpec::new(0.1, Metric::L2);
     let engine = StorageEngine::in_memory(16);
     let mut sink = CountSink::default();
@@ -131,7 +133,7 @@ fn shared_engine_supports_sequential_joins() {
     // One engine reused across joins (as the buffer-sweep experiment does):
     // results stay correct and counters accumulate monotonically.
     let engine = StorageEngine::in_memory(128);
-    let ds = uniform(4, 800, 82);
+    let ds = uniform(4, 800, 82).unwrap();
     let spec = JoinSpec::new(0.12, Metric::L2);
     let mut first = VecSink::default();
     Msj::with_engine(engine.clone())
