@@ -78,6 +78,7 @@ fn bench_external_sort(c: &mut Criterion) {
                     SortConfig {
                         mem_records: 8192,
                         fanin: 16,
+                        ..SortConfig::default()
                     },
                 )
                 .unwrap()

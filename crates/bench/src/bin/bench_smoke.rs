@@ -1,0 +1,254 @@
+//! `bench_smoke` — the pinned thread-scaling workload for PR 4.
+//!
+//! Runs the two parallelized algorithms (MSJ, BF) on a fixed uniform
+//! workload at `--threads {1, max}` plus a scalar-vs-kernel L2 `within`
+//! micro-benchmark, and writes `BENCH_0004.json` with the median
+//! wall-times, pairs/sec, and speedups. CI runs it with `HDSJ_QUICK=1`
+//! (n=5 000); the full workload is uniform d=16 n=50 000 ε=0.1.
+//!
+//! The report records `host_threads` (what `available_parallelism`
+//! returned) so speedups are read against the hardware that produced
+//! them: on a single-core host the parallel path cannot beat serial and
+//! the file says so honestly.
+#![forbid(unsafe_code)]
+
+use hdsj_bench::measure_self_join;
+use hdsj_bruteforce::BruteForce;
+use hdsj_core::obs::json::encode_f64;
+use hdsj_core::{kernels, Error, JoinSpec, Metric, Result, SimilarityJoin};
+use hdsj_msj::Msj;
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+const REPEATS: usize = 3;
+
+fn quick() -> bool {
+    std::env::var("HDSJ_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_unstable_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// One (algorithm, thread-count) measurement: median wall-time over
+/// `REPEATS` runs plus the result count of the last run.
+struct JoinRow {
+    algo: &'static str,
+    threads: usize,
+    median_ms: f64,
+    pairs: u64,
+    pairs_per_sec: f64,
+}
+
+fn bench_join(
+    name: &'static str,
+    make: impl Fn() -> Box<dyn SimilarityJoin>,
+    threads: usize,
+    ds: &hdsj_core::Dataset,
+    spec: &JoinSpec,
+) -> Result<JoinRow> {
+    let mut times = Vec::with_capacity(REPEATS);
+    let mut pairs = 0;
+    for _ in 0..REPEATS {
+        let mut algo = make();
+        algo.set_threads(threads);
+        let m = measure_self_join(algo.as_mut(), ds, spec)?;
+        times.push(m.elapsed_ms);
+        pairs = m.stats.results;
+    }
+    let median_ms = median(times);
+    Ok(JoinRow {
+        algo: name,
+        threads,
+        median_ms,
+        pairs,
+        pairs_per_sec: pairs as f64 / (median_ms / 1e3),
+    })
+}
+
+/// Scalar reference for the kernel micro-benchmark: the pre-kernel loop —
+/// one running sum with a per-element early-exit test against ε². The
+/// kernel reassociates the sum into four lanes, so pairs landing within an
+/// ulp of the ε boundary may flip; hit counts must agree up to that.
+fn scalar_l2_within(x: &[f64], y: &[f64], eps: f64) -> bool {
+    let budget = eps * eps;
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let d = a - b;
+        acc += d * d;
+        if acc > budget {
+            return false;
+        }
+    }
+    true
+}
+
+/// A pseudo-shuffled candidate order, so the probe loop touches points the
+/// way `within_batch` does in refinement (scattered ids, not a contiguous
+/// sweep the compiler can fuse across pairs).
+fn shuffled_ids(n: u32) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..n).collect();
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    for i in (1..ids.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ids.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    ids
+}
+
+/// Runs every probe of `ds` against the shuffled candidate list through
+/// `within`, returning (median wall ms, hit count). The hit count keeps
+/// the loop live and cross-checks the two variants against each other.
+fn bench_within(
+    ds: &hdsj_core::Dataset,
+    eps: f64,
+    within: impl Fn(&[f64], &[f64], f64) -> bool,
+) -> (f64, u64) {
+    let candidates = shuffled_ids(ds.len() as u32);
+    let mut times = Vec::with_capacity(REPEATS);
+    let mut hits = 0u64;
+    for _ in 0..REPEATS {
+        // Re-read ε through black_box each repeat so the (pure) sweep
+        // cannot be hoisted out of the repeats loop and reused.
+        let eps = black_box(eps);
+        hits = 0;
+        let start = Instant::now();
+        for (i, x) in ds.iter() {
+            for &j in &candidates {
+                if j != i && within(black_box(x), black_box(ds.point(j)), eps) {
+                    hits += 1;
+                }
+            }
+        }
+        // Force each repeat's result to be materialized: without this the
+        // optimizer sinks the (pure) sweep and only the last repeat runs.
+        hits = black_box(hits);
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(times), hits)
+}
+
+fn main() -> Result<()> {
+    let quick = quick();
+    let n = if quick { 5_000 } else { 50_000 };
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let max_threads = hdsj_exec::resolve_threads(0);
+
+    println!(
+        "bench_smoke: uniform d=16 n={n} eps=0.1 L2 (quick={quick}, host_threads={host_threads})"
+    );
+    let ds = hdsj_data::uniform(16, n, 42)?;
+    let spec = JoinSpec::new(0.1, Metric::L2);
+
+    let mut thread_counts = vec![1];
+    if max_threads > 1 {
+        thread_counts.push(max_threads);
+    }
+    let mut rows: Vec<JoinRow> = Vec::new();
+    for &t in &thread_counts {
+        rows.push(bench_join("msj", || Box::<Msj>::default(), t, &ds, &spec)?);
+        rows.push(bench_join(
+            "bf",
+            || Box::<BruteForce>::default(),
+            t,
+            &ds,
+            &spec,
+        )?);
+        for row in rows.iter().rev().take(2) {
+            println!(
+                "  {:<4} threads={:<2} median={:.1}ms pairs={} ({:.0} pairs/s)",
+                row.algo, row.threads, row.median_ms, row.pairs, row.pairs_per_sec
+            );
+        }
+    }
+
+    // Kernel micro-benchmark: scalar vs vectorized L2 `within` at d=64,
+    // the acceptance configuration. ε at the ~1% hit quantile so the
+    // early-exit path is exercised without the loop degenerating.
+    let kd = hdsj_data::uniform(64, if quick { 400 } else { 1_200 }, 7)?;
+    let keps = hdsj_bench::eps_for_sample_quantile(&kd, Metric::L2, 0.01, 50_000);
+    let (scalar_ms, scalar_hits) = bench_within(&kd, keps, scalar_l2_within);
+    let (kernel_ms, kernel_hits) = bench_within(&kd, keps, kernels::l2_within);
+    // Lane reassociation may flip ε-boundary pairs by an ulp; anything
+    // beyond a sliver of the hit set means a real kernel bug.
+    if scalar_hits.abs_diff(kernel_hits) > scalar_hits.max(kernel_hits) / 100 {
+        return Err(Error::Internal(format!(
+            "kernel changed the decision set: scalar {scalar_hits} vs kernel {kernel_hits}"
+        )));
+    }
+    let kernel_speedup = scalar_ms / kernel_ms;
+    println!(
+        "  kernel d=64: scalar={scalar_ms:.1}ms kernel={kernel_ms:.1}ms \
+         speedup={kernel_speedup:.2}x ({scalar_hits} hits)"
+    );
+
+    // Report. Speedup rows compare each algorithm's max-thread median to
+    // its serial median (1.0 when the host has a single core and the
+    // max-thread sweep collapses onto serial).
+    let speedup = |algo: &str| -> f64 {
+        let at = |t: usize| {
+            rows.iter()
+                .find(|r| r.algo == algo && r.threads == t)
+                .map(|r| r.median_ms)
+        };
+        match (at(1), at(max_threads)) {
+            (Some(serial), Some(parallel)) if parallel > 0.0 => serial / parallel,
+            _ => 1.0,
+        }
+    };
+
+    let mut json = String::from("{");
+    json.push_str("\"bench\":\"BENCH_0004\",");
+    json.push_str("\"workload\":{\"kind\":\"uniform\",\"dims\":16,");
+    json.push_str(&format!("\"n\":{n},\"eps\":0.1,\"metric\":\"l2\"}},"));
+    json.push_str(&format!("\"quick\":{quick},"));
+    json.push_str(&format!("\"host_threads\":{host_threads},"));
+    json.push_str(&format!("\"max_threads\":{max_threads},"));
+    json.push_str(&format!("\"repeats\":{REPEATS},"));
+    json.push_str("\"joins\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"algo\":\"{}\",\"threads\":{},\"median_ms\":{},\"pairs\":{},\"pairs_per_sec\":{}}}",
+            r.algo,
+            r.threads,
+            encode_f64(r.median_ms),
+            r.pairs,
+            encode_f64(r.pairs_per_sec)
+        ));
+    }
+    json.push_str("],");
+    json.push_str(&format!(
+        "\"speedup\":{{\"msj\":{},\"bf\":{}}},",
+        encode_f64(speedup("msj")),
+        encode_f64(speedup("bf"))
+    ));
+    json.push_str(&format!(
+        "\"kernel\":{{\"dims\":64,\"n\":{},\"eps\":{},\"scalar_ms\":{},\"kernel_ms\":{},\
+         \"speedup\":{},\"hits\":{}}}",
+        kd.len(),
+        encode_f64(keps),
+        encode_f64(scalar_ms),
+        encode_f64(kernel_ms),
+        encode_f64(kernel_speedup),
+        scalar_hits
+    ));
+    json.push('}');
+
+    let path = std::path::Path::new("BENCH_0004.json");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{json}")?;
+    f.flush()?;
+    println!("(report written to {})", path.display());
+    Ok(())
+}

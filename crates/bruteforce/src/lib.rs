@@ -6,16 +6,21 @@
 //! all, so its result set is correct by construction.
 //!
 //! The loops are tiled ([`BruteForce::block`]) so both operands of the inner
-//! loop stay cache-resident, and an optional thread count fans the outer
-//! tiles out over `crossbeam::scope` workers.
+//! loop stay cache-resident; each block of the inner loop runs through the
+//! vectorized `Metric::within_range` kernel with a single metric dispatch.
+//! An optional thread count fans the outer rows out over the `hdsj-exec`
+//! pool, whose chunk-ordered results keep output deterministic at every
+//! thread count.
 #![forbid(unsafe_code)]
 
-use crossbeam::thread;
+use hdsj_core::obs::Span;
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, Refiner,
-    Result, SimilarityJoin, Tracer,
+    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, PairSink, Refiner, Result,
+    SimilarityJoin, Tracer,
 };
+use hdsj_exec::Pool;
+use std::ops::Range;
 
 /// Block nested-loop join.
 #[derive(Clone, Debug)]
@@ -43,7 +48,7 @@ impl BruteForce {
     /// A parallel instance with `threads` workers.
     pub fn parallel(threads: usize) -> BruteForce {
         BruteForce {
-            threads: threads.max(1),
+            threads: hdsj_exec::resolve_threads(threads).max(1),
             ..BruteForce::default()
         }
     }
@@ -70,10 +75,12 @@ impl BruteForce {
         let timer = TracedPhase::start(&root, "join");
         let stats = if self.threads <= 1 {
             let mut refiner = Refiner::new(a, b, kind, spec, sink);
-            serial_pairs(a, b, kind, self.block, &mut |i, j| refiner.offer(i, j));
+            serial_ranges(a, b, kind, self.block, &mut |i, js| {
+                refiner.offer_range(i, js)
+            });
             refiner.finish(JoinStats::default())
         } else {
-            self.run_parallel(a, b, kind, spec, sink)?
+            self.run_parallel(a, b, kind, spec, sink, &root)?
         };
         timer.finish(&mut phases);
         if self.tracer.enabled() {
@@ -93,53 +100,40 @@ impl BruteForce {
         kind: JoinKind,
         spec: &JoinSpec,
         sink: &mut dyn PairSink,
+        parent: &Span,
     ) -> Result<JoinStats> {
         let n = a.len();
-        let chunk = n.div_ceil(self.threads).max(1);
-        // Each worker refines its slice of outer rows independently and
-        // materializes survivors; the caller's sink then sees them in one
-        // deterministic pass per worker.
-        let results: Vec<(Vec<(u32, u32)>, u64)> = thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..self.threads {
-                let lo = t * chunk;
-                if lo >= n {
-                    break;
-                }
-                let hi = (lo + chunk).min(n);
-                let block = self.block;
-                handles.push(scope.spawn(move |_| {
-                    let mut pairs = Vec::new();
-                    let mut candidates = 0u64;
-                    for i in lo as u32..hi as u32 {
-                        let start_j = match kind {
-                            JoinKind::TwoSets => 0,
-                            JoinKind::SelfJoin => i + 1,
-                        };
-                        let pi = a.point(i);
-                        let m = b.len() as u32;
-                        let mut j = start_j;
-                        while j < m {
-                            let end = (j + block as u32).min(m);
-                            for jj in j..end {
-                                candidates += 1;
-                                if spec.metric.within(pi, b.point(jj), spec.eps) {
-                                    pairs.push((i, jj));
-                                }
-                            }
-                            j = end;
-                        }
+        let pool = Pool::with_tracer(self.threads, self.tracer.clone());
+        // Several chunks per worker: self-join rows get cheaper as i grows,
+        // so finer chunks balance the tail. Chunk-ordered results keep the
+        // sink delivery deterministic at every thread count.
+        let chunk = n.div_ceil(self.threads * 4).max(1);
+        let block = self.block.max(1) as u32;
+        let metric = spec.metric.normalized();
+        let m = b.len() as u32;
+        let results = pool.map_chunks(Some(parent), n, chunk, |rows: Range<usize>| {
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            let mut candidates = 0u64;
+            let mut hits: Vec<u32> = Vec::new();
+            for i in rows.start as u32..rows.end as u32 {
+                let pi = a.point(i);
+                let mut j = match kind {
+                    JoinKind::TwoSets => 0,
+                    JoinKind::SelfJoin => i + 1,
+                };
+                while j < m {
+                    let end = (j + block).min(m);
+                    candidates += (end - j) as u64;
+                    hits.clear();
+                    metric.within_range(pi, b, j..end, spec.eps, &mut hits);
+                    for &jj in &hits {
+                        pairs.push((i, jj));
                     }
-                    (pairs, candidates)
-                }));
+                    j = end;
+                }
             }
-            handles
-                .into_iter()
-                .map(|h| h.join())
-                .collect::<std::thread::Result<Vec<_>>>()
-        })
-        .and_then(|joined| joined)
-        .map_err(|_| Error::Internal("brute-force worker thread panicked".into()))?;
+            Ok((pairs, candidates))
+        })?;
 
         let mut stats = JoinStats::default();
         for (pairs, candidates) in results {
@@ -154,13 +148,15 @@ impl BruteForce {
     }
 }
 
-/// Tiled pair enumeration shared by the serial path.
-fn serial_pairs(
+/// Tiled candidate-range enumeration shared by the serial path: emits each
+/// probe's inner-loop tile as one contiguous range, ready for a batched
+/// kernel evaluation.
+fn serial_ranges(
     a: &Dataset,
     b: &Dataset,
     kind: JoinKind,
     block: usize,
-    offer: &mut impl FnMut(u32, u32),
+    emit: &mut impl FnMut(u32, Range<u32>),
 ) {
     let n = a.len() as u32;
     let m = b.len() as u32;
@@ -179,8 +175,8 @@ fn serial_pairs(
                     JoinKind::TwoSets => bj,
                     JoinKind::SelfJoin => bj.max(i + 1),
                 };
-                for j in j_start..bj_end {
-                    offer(i, j);
+                if j_start < bj_end {
+                    emit(i, j_start..bj_end);
                 }
             }
             bj = bj_end;
@@ -196,6 +192,10 @@ impl SimilarityJoin for BruteForce {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = hdsj_exec::resolve_threads(threads).max(1);
     }
 
     fn join(
@@ -321,6 +321,39 @@ mod tests {
             .unwrap();
         assert_eq!(a.candidates, b.candidates);
         assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn parallel_output_is_deterministic_across_thread_counts() {
+        // Chunk-ordered pool results mean the sink sees pairs in the same
+        // order no matter how many workers ran or how they were scheduled.
+        let ds = hdsj_data::uniform(5, 240, 17).unwrap();
+        let spec = JoinSpec::new(0.3, Metric::L2);
+        let runs: Vec<Vec<(u32, u32)>> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&t| {
+                let mut sink = VecSink::default();
+                BruteForce::parallel(t)
+                    .self_join(&ds, &spec, &mut sink)
+                    .unwrap();
+                sink.pairs
+            })
+            .collect();
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            assert_eq!(run, &runs[0], "threads={}", [1, 2, 4, 8][i]);
+        }
+    }
+
+    #[test]
+    fn set_threads_switches_paths() {
+        let ds = grid_points();
+        let spec = JoinSpec::new(0.21, Metric::L2);
+        let mut bf = BruteForce::default();
+        bf.set_threads(4);
+        assert_eq!(bf.threads, 4);
+        let mut sink = VecSink::default();
+        let stats = bf.self_join(&ds, &spec, &mut sink).unwrap();
+        assert_eq!(stats.results, 24);
     }
 
     #[test]

@@ -110,6 +110,12 @@ pub trait SimilarityJoin {
     /// algorithms override it.
     fn set_tracer(&mut self, _tracer: crate::obs::Tracer) {}
 
+    /// Sets the worker-thread budget for subsequent runs (`0` means "use
+    /// all available parallelism", per `hdsj-exec`'s resolution rule). The
+    /// default is a no-op: inherently serial algorithms simply ignore it,
+    /// and results must be identical at every thread count.
+    fn set_threads(&mut self, _threads: usize) {}
+
     /// Joins two datasets. `a.dims() == b.dims()` is required.
     fn join(
         &mut self,

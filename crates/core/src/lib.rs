@@ -32,6 +32,7 @@
 pub mod dataset;
 pub mod error;
 pub mod join;
+pub mod kernels;
 pub mod metric;
 pub mod rect;
 pub mod refine;

@@ -5,8 +5,17 @@
 //! [`Metric::within`], which short-circuits as soon as the running distance
 //! can no longer stay under the threshold — the classic "partial distance"
 //! optimization that matters in high dimensions.
+//!
+//! Every evaluation dispatches to the 4-lane unrolled kernels in
+//! [`crate::kernels`] (one dispatch per call, or one per *batch* through
+//! [`Metric::within_batch`] / [`Metric::within_range`]), with the
+//! `Lp(2)`/`Lp(1)` exponents normalized to the specialized L2/L1 kernels
+//! first.
 
+use crate::dataset::Dataset;
 use crate::error::{Error, Result};
+use crate::kernels;
+use std::ops::Range;
 
 /// The distance function of an ε-similarity join.
 ///
@@ -40,74 +49,99 @@ impl Metric {
         }
     }
 
+    /// The same metric with `Lp` exponents that have a specialized kernel
+    /// rewritten to it: `Lp(2)` → `L2`, `Lp(1)` → `L1`. Evaluation methods
+    /// normalize internally; batch callers that dispatch once per group can
+    /// normalize up front.
+    #[inline]
+    pub fn normalized(&self) -> Metric {
+        match self {
+            Metric::Lp(p) if *p == 2.0 => Metric::L2,
+            Metric::Lp(p) if *p == 1.0 => Metric::L1,
+            m => *m,
+        }
+    }
+
     /// Full distance between two equal-length coordinate slices.
     pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        match self {
-            Metric::L1 => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
-            Metric::L2 => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f64>()
-                .sqrt(),
-            Metric::Linf => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y).abs())
-                .fold(0.0, f64::max),
-            Metric::Lp(p) => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y).abs().powf(*p))
-                .sum::<f64>()
-                .powf(1.0 / p),
+        match self.normalized() {
+            Metric::L1 => kernels::l1_distance(a, b),
+            Metric::L2 => kernels::l2_distance(a, b),
+            Metric::Linf => kernels::linf_distance(a, b),
+            Metric::Lp(p) => kernels::lp_distance(a, b, p),
         }
     }
 
     /// Early-exit test: is `distance(a, b) ≤ eps`?
     ///
     /// Comparisons are done in the metric's natural accumulation domain
-    /// (squared for L2, `ε^p` for Lp) so no root is ever taken, and the loop
-    /// exits as soon as the partial sum exceeds the budget.
+    /// (squared for L2, `ε^p` for Lp) so no root is ever taken, and the
+    /// kernel exits as soon as a partial sum exceeds the budget (checked
+    /// per 4-lane block; see [`crate::kernels`] for the exactness
+    /// argument).
     #[inline]
     pub fn within(&self, a: &[f64], b: &[f64], eps: f64) -> bool {
         debug_assert_eq!(a.len(), b.len());
-        match self {
+        match self.normalized() {
+            Metric::L1 => kernels::l1_within(a, b, eps),
+            Metric::L2 => kernels::l2_within(a, b, eps),
+            Metric::Linf => kernels::linf_within(a, b, eps),
+            Metric::Lp(p) => kernels::lp_within(a, b, eps, p),
+        }
+    }
+
+    /// Batched threshold test: appends to `out` every id in `js` whose
+    /// point in `data` is within `eps` of `probe`. One metric dispatch per
+    /// batch; the inner loop runs the monomorphized kernel over the flat
+    /// row-major layout.
+    pub fn within_batch(
+        &self,
+        probe: &[f64],
+        data: &Dataset,
+        js: &[u32],
+        eps: f64,
+        out: &mut Vec<u32>,
+    ) {
+        match self.normalized() {
             Metric::L1 => {
-                let mut acc = 0.0;
-                for (x, y) in a.iter().zip(b) {
-                    acc += (x - y).abs();
-                    if acc > eps {
-                        return false;
-                    }
-                }
-                true
+                filter_ids(probe, data, js, out, |a, b| kernels::l1_within(a, b, eps))
             }
             Metric::L2 => {
-                let budget = eps * eps;
-                let mut acc = 0.0;
-                for (x, y) in a.iter().zip(b) {
-                    let d = x - y;
-                    acc += d * d;
-                    if acc > budget {
-                        return false;
-                    }
-                }
-                true
+                filter_ids(probe, data, js, out, |a, b| kernels::l2_within(a, b, eps))
             }
-            Metric::Linf => a.iter().zip(b).all(|(x, y)| (x - y).abs() <= eps),
-            Metric::Lp(p) => {
-                let budget = eps.powf(*p);
-                let mut acc = 0.0;
-                for (x, y) in a.iter().zip(b) {
-                    acc += (x - y).abs().powf(*p);
-                    if acc > budget {
-                        return false;
-                    }
-                }
-                true
+            Metric::Linf => {
+                filter_ids(probe, data, js, out, |a, b| kernels::linf_within(a, b, eps))
             }
+            Metric::Lp(p) => filter_ids(probe, data, js, out, |a, b| {
+                kernels::lp_within(a, b, eps, p)
+            }),
+        }
+    }
+
+    /// [`Metric::within_batch`] over a contiguous id range — the shape the
+    /// nested-loop joins produce, with no id list to materialize.
+    pub fn within_range(
+        &self,
+        probe: &[f64],
+        data: &Dataset,
+        js: Range<u32>,
+        eps: f64,
+        out: &mut Vec<u32>,
+    ) {
+        match self.normalized() {
+            Metric::L1 => {
+                filter_range(probe, data, js, out, |a, b| kernels::l1_within(a, b, eps))
+            }
+            Metric::L2 => {
+                filter_range(probe, data, js, out, |a, b| kernels::l2_within(a, b, eps))
+            }
+            Metric::Linf => {
+                filter_range(probe, data, js, out, |a, b| kernels::linf_within(a, b, eps))
+            }
+            Metric::Lp(p) => filter_range(probe, data, js, out, |a, b| {
+                kernels::lp_within(a, b, eps, p)
+            }),
         }
     }
 
@@ -118,6 +152,40 @@ impl Metric {
             Metric::L2 => "L2".into(),
             Metric::Linf => "Linf".into(),
             Metric::Lp(p) => format!("L{p}"),
+        }
+    }
+}
+
+/// Monomorphized batch filter over an explicit id list: the `within`
+/// closure is a concrete kernel, so the loop body inlines with no
+/// per-candidate metric dispatch.
+#[inline(always)]
+fn filter_ids(
+    probe: &[f64],
+    data: &Dataset,
+    js: &[u32],
+    out: &mut Vec<u32>,
+    within: impl Fn(&[f64], &[f64]) -> bool,
+) {
+    for &j in js {
+        if within(probe, data.point(j)) {
+            out.push(j);
+        }
+    }
+}
+
+/// Monomorphized batch filter over a contiguous id range.
+#[inline(always)]
+fn filter_range(
+    probe: &[f64],
+    data: &Dataset,
+    js: Range<u32>,
+    out: &mut Vec<u32>,
+    within: impl Fn(&[f64], &[f64]) -> bool,
+) {
+    for j in js {
+        if within(probe, data.point(j)) {
+            out.push(j);
         }
     }
 }
@@ -188,6 +256,50 @@ mod tests {
     fn labels() {
         assert_eq!(Metric::L1.label(), "L1");
         assert_eq!(Metric::Lp(3.0).label(), "L3");
+    }
+
+    #[test]
+    fn lp_two_equals_l2_to_one_ulp() {
+        // Lp(2.0) normalizes to the L2 kernel, so the two must agree to at
+        // most 1 ulp (and in fact bit-exactly, since they share the code
+        // path) on every lane shape.
+        for dims in [1, 2, 3, 4, 5, 7, 8, 13, 16, 33, 64] {
+            let a: Vec<f64> = (0..dims).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..dims).map(|i| (i as f64 * 0.61).cos()).collect();
+            let d2 = Metric::L2.distance(&a, &b);
+            let dp = Metric::Lp(2.0).distance(&a, &b);
+            let ulps = (d2.to_bits() as i64 - dp.to_bits() as i64).abs();
+            assert!(ulps <= 1, "d={dims}: {d2} vs {dp} ({ulps} ulps apart)");
+            // Lp(1.0) likewise rides the L1 kernel.
+            let d1 = Metric::L1.distance(&a, &b);
+            let dq = Metric::Lp(1.0).distance(&a, &b);
+            assert_eq!(d1.to_bits(), dq.to_bits(), "d={dims}: L1 vs Lp(1)");
+        }
+    }
+
+    #[test]
+    fn batch_filters_agree_with_scalar_within() {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let t = i as f64 * 0.13;
+                vec![t.sin(), t.cos(), (t * 0.5).sin()]
+            })
+            .collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let probe = data.point(0).to_vec();
+        let eps = 0.8;
+        for m in [Metric::L1, Metric::L2, Metric::Linf, Metric::Lp(3.0)] {
+            let expect: Vec<u32> = (0..40u32)
+                .filter(|&j| m.within(&probe, data.point(j), eps))
+                .collect();
+            let mut got = Vec::new();
+            m.within_range(&probe, &data, 0..40, eps, &mut got);
+            assert_eq!(got, expect, "{m:?} range");
+            let ids: Vec<u32> = (0..40).collect();
+            got.clear();
+            m.within_batch(&probe, &data, &ids, eps, &mut got);
+            assert_eq!(got, expect, "{m:?} batch");
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 use crate::dataset::Dataset;
 use crate::join::{JoinKind, JoinSpec, PairSink};
 use crate::stats::JoinStats;
+use std::ops::Range;
 
 /// Verifies candidate pairs against the exact metric and forwards survivors
 /// to the caller's sink.
@@ -31,6 +32,7 @@ pub struct Refiner<'a> {
     candidates: u64,
     results: u64,
     dist_evals: u64,
+    scratch: Vec<u32>,
 }
 
 impl<'a> Refiner<'a> {
@@ -53,6 +55,7 @@ impl<'a> Refiner<'a> {
             candidates: 0,
             results: 0,
             dist_evals: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -77,6 +80,98 @@ impl<'a> Refiner<'a> {
         {
             self.results += 1;
             self.sink.push(i, j);
+        }
+    }
+
+    /// Offers a batch of candidates `(i, j)` for every `j` in `js`,
+    /// evaluated through the vectorized [`crate::metric::Metric::within_batch`]
+    /// kernel with a single metric dispatch.
+    ///
+    /// Self-join semantics match repeated [`Refiner::offer`] calls exactly:
+    /// diagonal entries (`j == i`) are dropped before counting, and
+    /// surviving pairs are emitted canonically as `(min, max)` — kernel
+    /// distances are bit-symmetric under argument swap, so evaluating
+    /// against the probe's orientation is exact.
+    pub fn offer_batch(&mut self, i: u32, js: &[u32]) {
+        self.scratch.clear();
+        let probe = self.a.point(i);
+        self.metric
+            .within_batch(probe, self.b, js, self.eps, &mut self.scratch);
+        match self.kind {
+            JoinKind::TwoSets => {
+                self.candidates += js.len() as u64;
+                self.dist_evals += js.len() as u64;
+                for &j in &self.scratch {
+                    self.results += 1;
+                    self.sink.push(i, j);
+                }
+            }
+            JoinKind::SelfJoin => {
+                let diag = js.iter().filter(|&&j| j == i).count() as u64;
+                self.candidates += js.len() as u64 - diag;
+                self.dist_evals += js.len() as u64 - diag;
+                for &j in &self.scratch {
+                    if j == i {
+                        continue;
+                    }
+                    self.results += 1;
+                    self.sink.push(i.min(j), i.max(j));
+                }
+            }
+        }
+    }
+
+    /// [`Refiner::offer_batch`] over a contiguous candidate range — the
+    /// shape block-nested-loop joins produce. For self-joins the diagonal
+    /// is skipped by splitting the range around `i` instead of testing
+    /// every element.
+    pub fn offer_range(&mut self, i: u32, js: Range<u32>) {
+        if js.end <= js.start {
+            return;
+        }
+        self.scratch.clear();
+        let probe = self.a.point(i);
+        let n = (js.end - js.start) as u64;
+        match self.kind {
+            JoinKind::TwoSets => {
+                self.candidates += n;
+                self.dist_evals += n;
+                self.metric
+                    .within_range(probe, self.b, js, self.eps, &mut self.scratch);
+                for &j in &self.scratch {
+                    self.results += 1;
+                    self.sink.push(i, j);
+                }
+            }
+            JoinKind::SelfJoin => {
+                if js.contains(&i) {
+                    self.candidates += n - 1;
+                    self.dist_evals += n - 1;
+                    self.metric.within_range(
+                        probe,
+                        self.b,
+                        js.start..i,
+                        self.eps,
+                        &mut self.scratch,
+                    );
+                    self.metric.within_range(
+                        probe,
+                        self.b,
+                        i + 1..js.end,
+                        self.eps,
+                        &mut self.scratch,
+                    );
+                } else {
+                    self.candidates += n;
+                    self.dist_evals += n;
+                    self.metric
+                        .within_range(probe, self.b, js, self.eps, &mut self.scratch);
+                }
+                for &j in &self.scratch {
+                    self.results += 1;
+                    self.sink.push(i.min(j), i.max(j));
+                }
+            }
         }
     }
 
@@ -133,6 +228,68 @@ mod tests {
         let stats = r.finish(JoinStats::default());
         assert_eq!(stats.candidates, 1);
         assert_eq!(sink.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn batch_and_range_offers_match_serial_offers() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let t = i as f64 * 0.21;
+                vec![t.sin() * 0.5 + 0.5, t.cos() * 0.5 + 0.5]
+            })
+            .collect();
+        let a = Dataset::from_rows(&rows).unwrap();
+        let spec = JoinSpec::new(0.3, Metric::L2);
+        for kind in [JoinKind::SelfJoin, JoinKind::TwoSets] {
+            let mut serial_sink = VecSink::default();
+            let mut serial = Refiner::new(&a, &a, kind, &spec, &mut serial_sink);
+            for i in 0..30u32 {
+                for j in 0..30u32 {
+                    serial.offer(i, j);
+                }
+            }
+            let serial_counters = serial.counters();
+            drop(serial);
+
+            let mut batch_sink = VecSink::default();
+            let mut batch = Refiner::new(&a, &a, kind, &spec, &mut batch_sink);
+            let ids: Vec<u32> = (0..30).collect();
+            for i in 0..15u32 {
+                batch.offer_batch(i, &ids);
+            }
+            for i in 15..30u32 {
+                batch.offer_range(i, 0..30);
+            }
+            assert_eq!(batch.counters(), serial_counters, "{kind:?} counters");
+            drop(batch);
+
+            let canon = |mut v: Vec<(u32, u32)>| {
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                canon(batch_sink.pairs),
+                canon(serial_sink.pairs),
+                "{kind:?} pairs"
+            );
+        }
+    }
+
+    #[test]
+    fn offer_range_handles_empty_and_diagonal_edges() {
+        let a = square();
+        let spec = JoinSpec::new(10.0, Metric::L2); // everything qualifies
+        let mut sink = VecSink::default();
+        let mut r = Refiner::new(&a, &a, JoinKind::SelfJoin, &spec, &mut sink);
+        r.offer_range(0, 0..0); // empty
+        #[allow(clippy::reversed_empty_ranges)]
+        r.offer_range(0, 5..3); // inverted: treated as empty
+        r.offer_range(0, 0..1); // only the diagonal: nothing offered
+        assert_eq!(r.counters(), (0, 0, 0));
+        r.offer_range(2, 0..3); // diagonal at the end of the range
+        let stats = r.finish(JoinStats::default());
+        assert_eq!(stats.candidates, 2);
+        assert_eq!(sink.pairs, vec![(0, 2), (1, 2)]);
     }
 
     #[test]

@@ -1,0 +1,509 @@
+//! # hdsj-exec — the workspace's scoped thread pool
+//!
+//! Every parallel site in the workspace used to hand-roll its own scoped
+//! threads (MSJ's refine workers, the brute-force chunker, run formation in
+//! the external sort). This crate centralizes that machinery behind three
+//! std-only primitives, all built on `std::thread::scope` so borrowed data
+//! needs no `Arc`:
+//!
+//! * [`Pool::map_chunks`] — chunked parallel-for: `0..n` is split into
+//!   fixed-size chunks which workers claim from an atomic cursor; results
+//!   come back **in chunk order**, so output is deterministic regardless of
+//!   scheduling (serial and parallel runs produce identical vectors).
+//! * [`Pool::map_reduce`] — `map_chunks` followed by a fold over the chunk
+//!   results, again in chunk order.
+//! * [`Pool::producer_consumers`] — a producer running on the calling
+//!   thread feeding worker closures (the MSJ sweep → refine-worker shape).
+//!   The channel between them belongs to the caller; the pool only owns
+//!   spawning, panic containment, and error priority.
+//!
+//! ## Panic containment and error priority
+//!
+//! Worker closures run under `catch_unwind`: a panicking metric (or a chaos
+//! failpoint) becomes a typed [`Error::Internal`] carrying the panic
+//! message, never an unwind across the scope. When several workers fail,
+//! the error of the **lowest chunk index** (`map_chunks`) or **lowest
+//! worker index** (`producer_consumers`) wins, so error reporting is as
+//! deterministic as success output. Worker errors beat producer errors:
+//! a dead worker usually *explains* the producer's failed sends.
+//!
+//! ## Observability
+//!
+//! With a tracer installed the pool reports per-worker `exec.worker` spans
+//! (children of the span passed to `map_chunks`) and three counters:
+//! `exec.tasks` (chunks dispatched), `exec.workers` (worker threads
+//! spawned), and `exec.steal_waits` (times a worker polled the cursor and
+//! found no work left — a measure of tail imbalance).
+#![forbid(unsafe_code)]
+
+use hdsj_core::obs::{names, Span, Tracer};
+use hdsj_core::{Error, Result};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Best-effort human-readable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The default worker count: `HDSJ_THREADS` when set to a positive integer,
+/// otherwise `1` (fully serial — parallelism is strictly opt-in).
+pub fn default_threads() -> usize {
+    match std::env::var("HDSJ_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => resolve_threads(n),
+            Err(_) => 1,
+        },
+        Err(_) => 1,
+    }
+}
+
+/// Normalizes a requested thread count: `0` means "all hardware threads"
+/// (via `std::thread::available_parallelism`), anything else is taken
+/// as-is.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// A scoped thread-pool handle: a worker count plus a tracer. Cheap to
+/// construct per call site — threads are spawned per operation (scoped on
+/// the caller's stack), not kept alive between calls.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+    tracer: Tracer,
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::new(default_threads())
+    }
+}
+
+impl Pool {
+    /// A pool with `threads` workers (`0` = all hardware threads) and no
+    /// tracing.
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: resolve_threads(threads).max(1),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// A pool reporting its spans and counters to `tracer`.
+    pub fn with_tracer(threads: usize, tracer: Tracer) -> Pool {
+        Pool {
+            threads: resolve_threads(threads).max(1),
+            tracer,
+        }
+    }
+
+    /// The worker count this pool fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Chunked parallel-for over `0..n`: `f` is called once per chunk (a
+    /// sub-range of length ≤ `chunk`) and the chunk results are returned
+    /// **in chunk order** — byte-for-byte the same vector a serial loop
+    /// would produce, for every thread count.
+    ///
+    /// With one worker (or one chunk) the closure runs inline on the
+    /// calling thread. On error or panic the earliest chunk's failure is
+    /// returned; remaining workers stop claiming new chunks.
+    pub fn map_chunks<R, F>(
+        &self,
+        parent: Option<&Span>,
+        n: usize,
+        chunk: usize,
+        f: F,
+    ) -> Result<Vec<R>>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> Result<R> + Sync,
+    {
+        let chunk = chunk.max(1);
+        let nchunks = n.div_ceil(chunk);
+        if nchunks == 0 {
+            return Ok(Vec::new());
+        }
+        let traced = self.tracer.enabled();
+        if traced {
+            self.tracer.counter(names::EXEC_TASKS).add(nchunks as u64);
+        }
+        let workers = self.threads.min(nchunks);
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(nchunks);
+            for c in 0..nchunks {
+                let lo = c * chunk;
+                out.push(f(lo..(lo + chunk).min(n))?);
+            }
+            return Ok(out);
+        }
+        if traced {
+            self.tracer.counter(names::EXEC_WORKERS).add(workers as u64);
+        }
+        let steal_waits = self.tracer.counter(names::EXEC_STEAL_WAITS);
+
+        // Per worker: its join result wrapping the (chunk index, chunk
+        // result) pairs it claimed.
+        type WorkerHarvest<R> = std::thread::Result<Vec<(usize, Result<R>)>>;
+        let cursor = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let joined: Vec<WorkerHarvest<R>> = std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let cursor = &cursor;
+                let stop = &stop;
+                let f = &f;
+                let steal_waits = steal_waits.clone();
+                handles.push(s.spawn(move || {
+                    let mut wspan = if traced {
+                        parent.map(|p| p.child("exec.worker"))
+                    } else {
+                        None
+                    };
+                    let mut local: Vec<(usize, Result<R>)> = Vec::new();
+                    let mut tasks = 0u64;
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= nchunks {
+                            if traced {
+                                steal_waits.incr();
+                            }
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(n);
+                        match catch_unwind(AssertUnwindSafe(|| f(lo..hi))) {
+                            Ok(Ok(r)) => {
+                                tasks += 1;
+                                local.push((c, Ok(r)));
+                            }
+                            Ok(Err(e)) => {
+                                stop.store(true, Ordering::Relaxed);
+                                local.push((c, Err(e)));
+                                break;
+                            }
+                            Err(payload) => {
+                                stop.store(true, Ordering::Relaxed);
+                                local.push((
+                                    c,
+                                    Err(Error::Internal(format!(
+                                        "exec worker panicked: {}",
+                                        panic_message(payload.as_ref())
+                                    ))),
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(span) = wspan.as_mut() {
+                        span.attr_u64("worker", w as u64);
+                        span.attr_u64("tasks", tasks);
+                    }
+                    local
+                }));
+            }
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        let mut slots: Vec<(usize, Result<R>)> = Vec::with_capacity(nchunks);
+        for worker in joined {
+            match worker {
+                Ok(local) => slots.extend(local),
+                // catch_unwind contains all user code; an escape here means
+                // the pool's own bookkeeping failed.
+                Err(payload) => {
+                    return Err(Error::Internal(format!(
+                        "exec worker died outside containment: {}",
+                        panic_message(payload.as_ref())
+                    )))
+                }
+            }
+        }
+        slots.sort_unstable_by_key(|(c, _)| *c);
+        let mut out = Vec::with_capacity(slots.len());
+        for (_, r) in slots {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    /// [`Pool::map_chunks`] followed by a fold over the chunk results, in
+    /// chunk order — so the reduction is as deterministic as the map.
+    pub fn map_reduce<R, A, F, G>(
+        &self,
+        parent: Option<&Span>,
+        n: usize,
+        chunk: usize,
+        map: F,
+        init: A,
+        mut fold: G,
+    ) -> Result<A>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> Result<R> + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        let mut acc = init;
+        for r in self.map_chunks(parent, n, chunk, map)? {
+            acc = fold(acc, r);
+        }
+        Ok(acc)
+    }
+
+    /// Runs `producer` on the calling thread while each closure in
+    /// `consumers` runs on its own worker. The channel (or other handoff)
+    /// between them belongs to the caller: each consumer closure should own
+    /// its receiver clone, and the caller must drop the original receiver
+    /// *before* calling so consumer exit terminates the producer's sends.
+    ///
+    /// Consumer panics are contained into typed errors. Error priority:
+    /// the lowest-indexed failing consumer wins, then the producer's error.
+    pub fn producer_consumers<P, C, FP, FC>(
+        &self,
+        consumers: Vec<FC>,
+        producer: FP,
+    ) -> Result<(P, Vec<C>)>
+    where
+        C: Send,
+        FP: FnOnce() -> Result<P>,
+        FC: FnOnce(usize) -> Result<C> + Send,
+    {
+        if self.tracer.enabled() {
+            self.tracer
+                .counter(names::EXEC_WORKERS)
+                .add(consumers.len() as u64);
+        }
+        let (produced, outcomes): (Result<P>, Vec<std::thread::Result<Result<C>>>) =
+            std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(consumers.len());
+                for (idx, consumer) in consumers.into_iter().enumerate() {
+                    handles.push(s.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| consumer(idx))).unwrap_or_else(
+                            |payload| {
+                                Err(Error::Internal(format!(
+                                    "exec worker {idx} panicked: {}",
+                                    panic_message(payload.as_ref())
+                                )))
+                            },
+                        )
+                    }));
+                }
+                let produced =
+                    catch_unwind(AssertUnwindSafe(producer)).unwrap_or_else(|payload| {
+                        Err(Error::Internal(format!(
+                            "exec producer panicked: {}",
+                            panic_message(payload.as_ref())
+                        )))
+                    });
+                (produced, handles.into_iter().map(|h| h.join()).collect())
+            });
+
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(Ok(c)) => results.push(c),
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    return Err(Error::Internal(format!(
+                        "exec worker {idx} died outside containment: {}",
+                        panic_message(payload.as_ref())
+                    )))
+                }
+            }
+        }
+        let p = produced?;
+        Ok((p, results))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsj_core::obs::names;
+    use hdsj_core::Tracer;
+
+    #[test]
+    fn map_chunks_is_deterministic_across_thread_counts() {
+        let n = 1003;
+        let want: Vec<Vec<usize>> = Pool::new(1)
+            .map_chunks(None, n, 17, |r| Ok(r.collect::<Vec<_>>()))
+            .unwrap();
+        for threads in [2, 3, 4, 8] {
+            let got = Pool::new(threads)
+                .map_chunks(None, n, 17, |r| Ok(r.collect::<Vec<_>>()))
+                .unwrap();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        // And the flattened output is exactly 0..n in order.
+        let flat: Vec<usize> = want.into_iter().flatten().collect();
+        assert_eq!(flat, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let out: Vec<u8> = Pool::new(4).map_chunks(None, 0, 16, |_| Ok(0u8)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn earliest_chunk_error_wins() {
+        for threads in [1, 4] {
+            let err = Pool::new(threads)
+                .map_chunks(None, 100, 10, |r| {
+                    if r.start >= 30 {
+                        Err(Error::Internal(format!("chunk at {}", r.start)))
+                    } else {
+                        Ok(r.start)
+                    }
+                })
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("chunk at 30"),
+                "threads={threads}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_typed_error() {
+        let err = Pool::new(3)
+            .map_chunks(None, 50, 5, |r| {
+                if r.start == 20 {
+                    // allow(hdsj::no_panic): the containment path under test.
+                    panic!("boom at {}", r.start);
+                }
+                Ok(r.start)
+            })
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked"), "{msg}");
+        assert!(msg.contains("boom at 20"), "{msg}");
+    }
+
+    #[test]
+    fn map_reduce_sums_in_chunk_order() {
+        let total = Pool::new(4)
+            .map_reduce(
+                None,
+                1000,
+                7,
+                |r| Ok(r.sum::<usize>()),
+                0usize,
+                |acc, s| acc + s,
+            )
+            .unwrap();
+        assert_eq!(total, (0..1000).sum::<usize>());
+    }
+
+    #[test]
+    fn counters_and_worker_spans_are_reported() {
+        let (tracer, sink) = Tracer::memory();
+        let pool = Pool::with_tracer(4, tracer.clone());
+        let root = tracer.span("root");
+        let out = pool
+            .map_chunks(Some(&root), 64, 8, |r| Ok(r.len()))
+            .unwrap();
+        assert_eq!(out.len(), 8);
+        root.finish();
+        tracer.flush();
+        assert_eq!(sink.counter_value(names::EXEC_TASKS), Some(8));
+        assert_eq!(sink.counter_value(names::EXEC_WORKERS), Some(4));
+        let workers = sink
+            .spans()
+            .iter()
+            .filter(|s| s.name == "exec.worker")
+            .count();
+        assert_eq!(workers, 4);
+    }
+
+    #[test]
+    fn producer_consumers_round_trip() {
+        let pool = Pool::new(3);
+        let (tx, rx) = crossbeam::channel::bounded::<u64>(8);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                move |_idx: usize| {
+                    let mut sum = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    Ok(sum)
+                }
+            })
+            .collect();
+        drop(rx);
+        let (count, sums) = pool
+            .producer_consumers(consumers, move || {
+                for v in 1..=100u64 {
+                    tx.send(v)
+                        .map_err(|_| Error::Internal("send failed".into()))?;
+                }
+                Ok(100u64)
+            })
+            .unwrap();
+        assert_eq!(count, 100);
+        assert_eq!(sums.iter().sum::<u64>(), (1..=100u64).sum::<u64>());
+    }
+
+    #[test]
+    fn consumer_panic_beats_producer_error() {
+        let pool = Pool::new(2);
+        let (tx, rx) = crossbeam::channel::bounded::<u64>(1);
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                move |idx: usize| -> Result<u64> {
+                    drop(rx);
+                    // allow(hdsj::no_panic): the containment path under test.
+                    panic!("injected consumer failure (worker {idx})")
+                }
+            })
+            .collect();
+        drop(rx);
+        let err = pool
+            .producer_consumers(consumers, move || {
+                // All consumers die immediately; sends fail once the ring
+                // fills and every receiver is gone.
+                for v in 0..100u64 {
+                    if tx.send(v).is_err() {
+                        return Err(Error::Internal("producer send failed".into()));
+                    }
+                }
+                Ok(0u64)
+            })
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("panicked"), "{msg}");
+        assert!(
+            msg.contains("injected consumer failure (worker 0)"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(5), 5);
+        assert_eq!(Pool::new(0).threads(), resolve_threads(0));
+    }
+}

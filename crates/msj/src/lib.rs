@@ -38,6 +38,7 @@ use hdsj_core::{
     join::validate_inputs, Dataset, IoCounters, JoinKind, JoinSpec, JoinStats, PairSink,
     Refiner, Result, SimilarityJoin, Tracer,
 };
+use hdsj_exec::Pool;
 use hdsj_sfc::Curve;
 use hdsj_storage::sort::{external_sort, SortConfig};
 use hdsj_storage::{RecordFile, StorageEngine};
@@ -59,6 +60,11 @@ pub struct Msj {
     /// Worker threads for exact-metric candidate refinement; `1` refines
     /// inline on the sweep thread.
     pub refine_threads: usize,
+    /// Worker threads for the pipeline front end (level assignment + run
+    /// formation in the external sort); `1` runs fully serial. Refinement
+    /// uses `max(threads, refine_threads)`. Results are identical at every
+    /// thread count.
+    pub threads: usize,
     engine: Option<StorageEngine>,
     /// Trace sink for spans/counters (disabled by default; see
     /// `set_tracer`).
@@ -77,6 +83,7 @@ impl Default for Msj {
             sort_mem_records: 128 * 1024,
             pool_pages: 1024,
             refine_threads: 1,
+            threads: 1,
             engine: None,
             tracer: Tracer::disabled(),
             fail_refine_worker: None,
@@ -106,6 +113,17 @@ impl Msj {
     pub fn with_refine_threads(threads: usize) -> Msj {
         Msj {
             refine_threads: threads.max(1),
+            ..Msj::default()
+        }
+    }
+
+    /// Runs the whole pipeline (assignment, sort run formation, and
+    /// refinement) on `threads` worker threads.
+    pub fn with_threads(threads: usize) -> Msj {
+        let t = hdsj_exec::resolve_threads(threads).max(1);
+        Msj {
+            threads: t,
+            refine_threads: t,
             ..Msj::default()
         }
     }
@@ -156,23 +174,39 @@ impl Msj {
         root.attr_u64("dims", dims as u64);
         root.attr_f64("eps", spec.eps);
         root.attr_u64("depth", depth as u64);
+        root.attr_u64("threads", self.threads as u64);
         root.attr_u64("refine_threads", self.refine_threads as u64);
 
         // Phase 1: level assignment, one combined file of tagged entries.
-        let assign_timer = TracedPhase::start(&root, "assign");
-        let mut file = RecordFile::create(&engine, codec.record_len())?;
-        let mut assigner = Assigner::new(dims, depth, spec.eps, self.curve)?;
-        let mut rec = vec![0u8; codec.record_len()];
-        for (i, p) in a.iter() {
-            let (key, level) = assigner.assign(p);
-            codec.encode(&key, level, assign::TAG_A, i, &mut rec);
-            file.push(&rec)?;
-        }
-        if kind == JoinKind::TwoSets {
-            for (i, p) in b.iter() {
-                let (key, level) = assigner.assign(p);
-                codec.encode(&key, level, assign::TAG_B, i, &mut rec);
-                file.push(&rec)?;
+        // Chunks of points are assigned and Hilbert-encoded on the pool
+        // (each chunk owns its Assigner and encodes into a local buffer);
+        // the file writes stay on this thread, in chunk order, so the level
+        // file is byte-identical at every thread count.
+        let mut assign_timer = TracedPhase::start(&root, "assign");
+        let rec_len = codec.record_len();
+        let mut file = RecordFile::create(&engine, rec_len)?;
+        let pool = Pool::with_tracer(self.threads, self.tracer.clone());
+        const ASSIGN_CHUNK: usize = 4096;
+        for (ds, tag) in [(a, assign::TAG_A), (b, assign::TAG_B)] {
+            if tag == assign::TAG_B && kind != JoinKind::TwoSets {
+                continue;
+            }
+            let bufs =
+                pool.map_chunks(Some(assign_timer.span_mut()), ds.len(), ASSIGN_CHUNK, |r| {
+                    let mut assigner = Assigner::new(dims, depth, spec.eps, self.curve)?;
+                    let mut local = Vec::with_capacity(r.len() * rec_len);
+                    let mut rec = vec![0u8; rec_len];
+                    for i in r {
+                        let (key, level) = assigner.assign(ds.point(i as u32));
+                        codec.encode(&key, level, tag, i as u32, &mut rec);
+                        local.extend_from_slice(&rec);
+                    }
+                    Ok(local)
+                })?;
+            for buf in bufs {
+                for rec in buf.chunks_exact(rec_len) {
+                    file.push(rec)?;
+                }
             }
         }
         file.release_tail();
@@ -180,7 +214,8 @@ impl Msj {
 
         // Phase 2: external sort by (padded cell key, level) — the DFS
         // order of the cell hierarchy. The level byte directly follows the
-        // key bytes, so one prefix comparison covers both.
+        // key bytes, so one prefix comparison covers both. Run formation
+        // fans out on the same thread budget; output stays byte-identical.
         let sort_timer = TracedPhase::start(&root, "sort");
         let sorted = external_sort(
             &engine,
@@ -188,6 +223,7 @@ impl Msj {
             codec.sort_key_len(),
             SortConfig {
                 mem_records: self.sort_mem_records,
+                threads: self.threads,
                 ..SortConfig::default()
             },
         )?;
@@ -197,9 +233,10 @@ impl Msj {
 
         // Phase 3: stack-based synchronized sweep, refining inline or on
         // worker threads.
+        let refine_threads = self.refine_threads.max(self.threads);
         let mut sweep_timer = TracedPhase::start(&root, "sweep");
         let mut stats = JoinStats::default();
-        let peak_bytes = if self.refine_threads <= 1 {
+        let peak_bytes = if refine_threads <= 1 {
             let mut refiner = Refiner::new(a, b, kind, spec, sink);
             let peak = sweep::sweep(&sorted, &codec, a, b, kind, spec.eps, &mut |i, j| {
                 refiner.offer(i, j)
@@ -214,7 +251,7 @@ impl Msj {
                 b,
                 kind,
                 spec,
-                self.refine_threads,
+                refine_threads,
                 &self.tracer,
                 sweep_timer.span_mut(),
                 self.fail_refine_worker,
@@ -254,6 +291,12 @@ impl SimilarityJoin for Msj {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        let t = hdsj_exec::resolve_threads(threads).max(1);
+        self.threads = t;
+        self.refine_threads = t;
     }
 
     fn join(
@@ -593,6 +636,54 @@ mod parallel_tests {
         let mut want = VecSink::default();
         Msj::default().self_join(&ds, &spec, &mut want).unwrap();
         verify::assert_same_results("MSJ after panic", &want.pairs, &retry_sink.pairs);
+    }
+
+    #[test]
+    fn fully_parallel_pipeline_matches_serial() {
+        // threads drives assignment, sort run formation, AND refinement;
+        // results and counters must be identical to the serial pipeline on
+        // both uniform and clustered data.
+        let uniform = hdsj_data::uniform(6, 700, 3001).unwrap();
+        let clustered = hdsj_data::gaussian_clusters(
+            4,
+            600,
+            hdsj_data::ClusterSpec {
+                clusters: 5,
+                sigma: 0.04,
+                ..Default::default()
+            },
+            3002,
+        )
+        .unwrap();
+        for (ds, eps) in [(&uniform, 0.3), (&clustered, 0.06)] {
+            let spec = JoinSpec::new(eps, Metric::L2);
+            let mut serial = VecSink::default();
+            let s1 = Msj::default().self_join(ds, &spec, &mut serial).unwrap();
+            for threads in [2usize, 4, 8] {
+                let mut par = VecSink::default();
+                let s2 = Msj::with_threads(threads)
+                    .self_join(ds, &spec, &mut par)
+                    .unwrap();
+                verify::assert_same_results("MSJ full pipeline", &serial.pairs, &par.pairs);
+                assert_eq!(s1.candidates, s2.candidates, "threads={threads}");
+                assert_eq!(s1.results, s2.results, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_threads_drives_the_whole_pipeline() {
+        let ds = hdsj_data::uniform(4, 300, 3003).unwrap();
+        let spec = JoinSpec::l2(0.15);
+        let mut msj = Msj::default();
+        msj.set_threads(3);
+        assert_eq!(msj.threads, 3);
+        assert_eq!(msj.refine_threads, 3);
+        let mut par = VecSink::default();
+        msj.self_join(&ds, &spec, &mut par).unwrap();
+        let mut want = VecSink::default();
+        Msj::default().self_join(&ds, &spec, &mut want).unwrap();
+        verify::assert_same_results("MSJ set_threads", &want.pairs, &par.pairs);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! The sweep itself is inherently sequential (it follows the sorted stream),
 //! but at large ε·d the dominant cost is evaluating the exact metric on the
 //! candidate pairs it emits (see experiment E8). This module fans that
-//! refinement out: the sweep batches candidates into a bounded crossbeam
-//! channel and worker threads verify them against the metric, each
+//! refinement out on [`hdsj_exec::Pool::producer_consumers`]: the sweep
+//! batches candidates into a bounded crossbeam channel and worker threads
+//! verify them through the vectorized `Metric::within_batch` kernel, each
 //! accumulating its own result list. Results are identical to the serial
 //! path (order of sink delivery aside), which the tests pin down.
 //!
@@ -13,11 +14,16 @@
 //! time it spent blocked on the channel, and increments the shared
 //! `msj.refine.pairs` / `msj.refine.candidates` counters; the sweep side
 //! reports its channel-send backpressure as `msj.sweep.send_wait_us`.
+//!
+//! Panic containment lives in the pool: a panicking metric (or the chaos
+//! failpoint) becomes a typed `Error::Internal` carrying the panic message,
+//! never an unwind across the join.
 
 use crate::assign::RecordCodec;
 use crate::sweep;
-use hdsj_core::obs::Span;
+use hdsj_core::obs::{names, Span};
 use hdsj_core::{Dataset, Error, JoinKind, JoinSpec, Result, Tracer};
+use hdsj_exec::Pool;
 use hdsj_storage::RecordFile;
 use std::time::{Duration, Instant};
 
@@ -28,17 +34,6 @@ const BATCH: usize = 4096;
 /// `(peak_stack_bytes, matched_pairs, candidate_count)` from a refined
 /// sweep.
 pub type RefineOutcome = (u64, Vec<(u32, u32)>, u64);
-
-/// Best-effort human-readable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
 
 /// Runs the sweep with `threads` refinement workers. `parent` is the span
 /// the per-worker spans nest under (the caller's sweep phase).
@@ -59,93 +54,101 @@ pub fn sweep_and_refine(
 ) -> Result<RefineOutcome> {
     let threads = threads.max(1);
     let eps = spec.eps;
-    let metric = spec.metric;
+    let metric = spec.metric.normalized();
     let traced = tracer.enabled();
-    let pairs_counter = tracer.counter("msj.refine.pairs");
-    let candidates_counter = tracer.counter("msj.refine.candidates");
+    let pairs_counter = tracer.counter(names::MSJ_REFINE_PAIRS);
+    let candidates_counter = tracer.counter(names::MSJ_REFINE_CANDIDATES);
+    let pool = Pool::with_tracer(threads, tracer.clone());
 
-    let scope_result = crossbeam::thread::scope(|s| -> Result<RefineOutcome> {
-        let (tx, rx) = crossbeam::channel::bounded::<Vec<(u32, u32)>>(threads * 4);
-        let mut workers = Vec::with_capacity(threads);
-        for worker_idx in 0..threads {
+    let (tx, rx) = crossbeam::channel::bounded::<Vec<(u32, u32)>>(threads * 4);
+    let consumers: Vec<_> = (0..threads)
+        .map(|_| {
             let rx = rx.clone();
             let pairs_counter = pairs_counter.clone();
             let candidates_counter = candidates_counter.clone();
-            workers.push(s.spawn(move |_| {
+            move |worker_idx: usize| -> Result<(Vec<(u32, u32)>, u64)> {
                 let mut span = parent.child("refine-worker");
-                // Panic containment: a panicking metric (or the chaos
-                // failpoint) must not unwind across the scope and abort the
-                // whole join — it becomes a typed error at the join() site.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    if fail_worker == Some(worker_idx) {
-                        // The panic is contained by the catch_unwind above
-                        // and surfaces as a typed error at the join() site.
-                        // allow(hdsj::no_panic): deliberate chaos failpoint.
-                        panic!("injected refine-worker failure (worker {worker_idx})");
-                    }
-                    let mut pairs: Vec<(u32, u32)> = Vec::new();
-                    let mut candidates = 0u64;
-                    let mut wait = Duration::ZERO;
-                    loop {
-                        let blocked = Instant::now();
-                        let batch = match rx.recv() {
-                            Ok(batch) => {
-                                wait += blocked.elapsed();
-                                batch
-                            }
-                            Err(_) => {
-                                wait += blocked.elapsed();
-                                break;
-                            }
-                        };
-                        let mut batch_pairs = 0u64;
-                        let mut batch_candidates = 0u64;
-                        for (i, j) in batch {
-                            let (i, j) = match kind {
-                                JoinKind::TwoSets => (i, j),
-                                JoinKind::SelfJoin => {
-                                    if i == j {
-                                        continue;
-                                    }
-                                    (i.min(j), i.max(j))
-                                }
-                            };
-                            batch_candidates += 1;
-                            if metric.within(a.point(i), b.point(j), eps) {
-                                pairs.push((i, j));
-                                batch_pairs += 1;
-                            }
-                        }
-                        candidates += batch_candidates;
-                        if traced {
-                            // Per-batch shared increments: concurrent with
-                            // the other workers, summing exactly to the
-                            // totals.
-                            candidates_counter.add(batch_candidates);
-                            pairs_counter.add(batch_pairs);
-                        }
-                    }
-                    (pairs, candidates, wait)
-                }));
-                match outcome {
-                    Ok((pairs, candidates, wait)) => {
-                        if traced {
-                            span.attr_u64("worker", worker_idx as u64);
-                            span.attr_u64("pairs", pairs.len() as u64);
-                            span.attr_u64("candidates", candidates);
-                            span.attr_u64("wait_us", wait.as_micros() as u64);
-                        }
-                        Ok((pairs, candidates))
-                    }
-                    Err(payload) => Err(panic_message(payload.as_ref())),
+                if fail_worker == Some(worker_idx) {
+                    // The panic is contained by the pool and surfaces as a
+                    // typed error at the join() site.
+                    // allow(hdsj::no_panic): deliberate chaos failpoint.
+                    panic!("injected refine-worker failure (worker {worker_idx})");
                 }
-            }));
-        }
-        drop(rx);
+                let mut pairs: Vec<(u32, u32)> = Vec::new();
+                let mut candidates = 0u64;
+                let mut wait = Duration::ZERO;
+                let mut js: Vec<u32> = Vec::new();
+                let mut hits: Vec<u32> = Vec::new();
+                loop {
+                    let blocked = Instant::now();
+                    let batch = match rx.recv() {
+                        Ok(batch) => {
+                            wait += blocked.elapsed();
+                            batch
+                        }
+                        Err(_) => {
+                            wait += blocked.elapsed();
+                            break;
+                        }
+                    };
+                    let mut batch_pairs = 0u64;
+                    let mut batch_candidates = 0u64;
+                    // Group consecutive candidates that share a probe so each
+                    // group runs through one monomorphized kernel dispatch.
+                    // Kernel distances are bit-symmetric under argument swap,
+                    // so evaluating in the sweep's orientation matches the
+                    // serial canonical-order evaluation exactly.
+                    let mut k = 0;
+                    while k < batch.len() {
+                        let i = batch[k].0;
+                        js.clear();
+                        while k < batch.len() && batch[k].0 == i {
+                            let j = batch[k].1;
+                            k += 1;
+                            if kind == JoinKind::SelfJoin && j == i {
+                                continue;
+                            }
+                            js.push(j);
+                        }
+                        batch_candidates += js.len() as u64;
+                        hits.clear();
+                        metric.within_batch(a.point(i), b, &js, eps, &mut hits);
+                        for &j in &hits {
+                            let pair = match kind {
+                                JoinKind::TwoSets => (i, j),
+                                JoinKind::SelfJoin => (i.min(j), i.max(j)),
+                            };
+                            pairs.push(pair);
+                            batch_pairs += 1;
+                        }
+                    }
+                    candidates += batch_candidates;
+                    if traced {
+                        // Per-batch shared increments: concurrent with the
+                        // other workers, summing exactly to the totals.
+                        candidates_counter.add(batch_candidates);
+                        pairs_counter.add(batch_pairs);
+                    }
+                }
+                if traced {
+                    span.attr_u64("worker", worker_idx as u64);
+                    span.attr_u64("pairs", pairs.len() as u64);
+                    span.attr_u64("candidates", candidates);
+                    span.attr_u64("wait_us", wait.as_micros() as u64);
+                }
+                Ok((pairs, candidates))
+            }
+        })
+        .collect();
+    // The consumers own their receiver clones; dropping the original lets
+    // worker exit terminate the producer's sends.
+    drop(rx);
 
-        // The sweep runs on this thread, batching candidates outward. The
-        // channel send only fails if all workers died, which only happens
-        // on panic — propagate as a storage error rather than unwinding.
+    // The sweep runs on the calling thread, batching candidates outward.
+    // The channel send only fails if all workers died, which only happens
+    // on panic — the pool's error priority (worker error first) then
+    // reports the panic rather than this generic error.
+    let producer = move || -> Result<u64> {
         let mut batch: Vec<(u32, u32)> = Vec::with_capacity(BATCH);
         let mut send_error = false;
         let mut send_wait = Duration::ZERO;
@@ -174,39 +177,21 @@ pub fn sweep_and_refine(
         drop(tx);
         if traced {
             tracer
-                .counter("msj.sweep.send_wait_us")
+                .counter(names::MSJ_SWEEP_SEND_WAIT_US)
                 .add(send_wait.as_micros() as u64);
-        }
-
-        let mut all_pairs = Vec::new();
-        let mut candidates = 0u64;
-        let mut worker_panic: Option<String> = None;
-        for w in workers {
-            match w.join() {
-                Ok(Ok((pairs, c))) => {
-                    all_pairs.extend(pairs);
-                    candidates += c;
-                }
-                Ok(Err(msg)) => {
-                    worker_panic.get_or_insert(msg);
-                }
-                // catch_unwind should have caught everything; if a panic
-                // still escaped (e.g. in the span machinery), contain it
-                // here too.
-                Err(_) => {
-                    worker_panic.get_or_insert_with(|| "unknown worker panic".into());
-                }
-            }
-        }
-        // A dead worker explains the closed channel, so it wins over the
-        // generic send error.
-        if let Some(msg) = worker_panic {
-            return Err(Error::Storage(format!("refine worker panicked: {msg}")));
         }
         if send_error {
             return Err(Error::Storage("refinement channel closed early".into()));
         }
-        Ok((peak, all_pairs, candidates))
-    });
-    scope_result.map_err(|_| Error::Storage("refinement scope panicked".into()))?
+        Ok(peak)
+    };
+
+    let (peak, outcomes) = pool.producer_consumers(consumers, producer)?;
+    let mut all_pairs = Vec::new();
+    let mut candidates = 0u64;
+    for (pairs, c) in outcomes {
+        all_pairs.extend(pairs);
+        candidates += c;
+    }
+    Ok((peak, all_pairs, candidates))
 }

@@ -38,6 +38,14 @@ pub const MSJ_REFINE_PAIRS: &str = "msj.refine.pairs";
 /// Microseconds MSJ sweep workers spent blocked on the refine channel.
 pub const MSJ_SWEEP_SEND_WAIT_US: &str = "msj.sweep.send_wait_us";
 
+/// Chunks dispatched by the hdsj-exec pool.
+pub const EXEC_TASKS: &str = "exec.tasks";
+/// Worker threads spawned by the hdsj-exec pool.
+pub const EXEC_WORKERS: &str = "exec.workers";
+/// Times an hdsj-exec worker polled the chunk cursor and found no work
+/// left (tail imbalance).
+pub const EXEC_STEAL_WAITS: &str = "exec.steal_waits";
+
 /// Candidate pairs examined by the R-tree spatial join (RSJ).
 pub const RSJ_CANDIDATES: &str = "rsj.candidates";
 /// Result pairs emitted by RSJ.
@@ -87,6 +95,9 @@ pub const ALL: &[&str] = &[
     MSJ_REFINE_CANDIDATES,
     MSJ_REFINE_PAIRS,
     MSJ_SWEEP_SEND_WAIT_US,
+    EXEC_TASKS,
+    EXEC_WORKERS,
+    EXEC_STEAL_WAITS,
     RSJ_CANDIDATES,
     RSJ_RESULTS,
     S3J_CANDIDATES,

@@ -10,10 +10,21 @@
 //! multi-way merge with a loser-tree-equivalent binary heap, cascading in
 //! passes when the number of runs exceeds the merge fan-in. All I/O flows
 //! through the buffer pool and is therefore counted.
+//!
+//! With [`SortConfig::threads`] > 1, run formation fans out on the
+//! `hdsj-exec` pool: the filled workspace is split into contiguous slices,
+//! each worker sorts its own slice, and every sorted slice spills as its
+//! own run. All I/O (input cursor reads, run writes) stays on the calling
+//! thread, so fault-injection schedules are identical at every thread
+//! count. The output is **byte-identical** to the serial sort: records are
+//! totally ordered (key prefix, then full-record tiebreak), so the merged
+//! result is the unique sorted sequence of the input multiset regardless of
+//! how records were partitioned into runs.
 
 use crate::file::{RecordCursor, RecordFile};
 use crate::StorageEngine;
 use hdsj_core::{Error, Result};
+use hdsj_exec::Pool;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -27,6 +38,11 @@ pub struct SortConfig {
     pub mem_records: usize,
     /// Merge fan-in (clamped to `2..=64`).
     pub fanin: usize,
+    /// Worker threads for run formation (`0` = all hardware threads, per
+    /// `hdsj-exec`'s resolution rule). `1` sorts runs on the calling
+    /// thread. The merge stage is always sequential, and output is
+    /// byte-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for SortConfig {
@@ -34,6 +50,7 @@ impl Default for SortConfig {
         SortConfig {
             mem_records: 64 * 1024,
             fanin: MAX_FANIN,
+            threads: 1,
         }
     }
 }
@@ -55,39 +72,46 @@ pub fn external_sort(
     }
     let mem_records = config.mem_records.max(2);
     let fanin = config.fanin.clamp(2, MAX_FANIN);
+    let pool = Pool::new(config.threads);
 
-    // Stage 1: run formation.
+    // Stage 1: run formation. With several workers, each filled workspace
+    // splits into contiguous slices sorted concurrently; every sorted slice
+    // spills as its own run (written here, sequentially, in slice order).
     let mut runs: Vec<RecordFile> = Vec::new();
     {
         let mut buf: Vec<u8> = Vec::with_capacity(mem_records * rec_len);
-        let mut order: Vec<u32> = Vec::with_capacity(mem_records);
         let mut cursor = input.cursor();
         loop {
             buf.clear();
-            order.clear();
-            while order.len() < mem_records {
+            while buf.len() < mem_records * rec_len {
                 match cursor.next()? {
-                    Some(rec) => {
-                        order.push((buf.len() / rec_len) as u32);
-                        buf.extend_from_slice(rec);
-                    }
+                    Some(rec) => buf.extend_from_slice(rec),
                     None => break,
                 }
             }
-            if order.is_empty() {
+            if buf.is_empty() {
                 break;
             }
-            order.sort_unstable_by(|&a, &b| {
-                let ra = &buf[a as usize * rec_len..(a as usize + 1) * rec_len];
-                let rb = &buf[b as usize * rec_len..(b as usize + 1) * rec_len];
-                cmp_records(ra, rb, key_len)
-            });
-            let mut run = RecordFile::create(engine, rec_len)?;
-            for &i in &order {
-                run.push(&buf[i as usize * rec_len..(i as usize + 1) * rec_len])?;
+            let n = buf.len() / rec_len;
+            let slice = n.div_ceil(pool.threads()).max(1);
+            let buf = &buf;
+            let sorted_slices = pool.map_chunks(None, n, slice, |range| {
+                let mut order: Vec<u32> = (range.start as u32..range.end as u32).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    let ra = &buf[a as usize * rec_len..(a as usize + 1) * rec_len];
+                    let rb = &buf[b as usize * rec_len..(b as usize + 1) * rec_len];
+                    cmp_records(ra, rb, key_len)
+                });
+                Ok(order)
+            })?;
+            for order in sorted_slices {
+                let mut run = RecordFile::create(engine, rec_len)?;
+                for &i in &order {
+                    run.push(&buf[i as usize * rec_len..(i as usize + 1) * rec_len])?;
+                }
+                run.release_tail();
+                runs.push(run);
             }
-            run.release_tail();
-            runs.push(run);
         }
     }
 
@@ -217,6 +241,7 @@ mod tests {
             SortConfig {
                 mem_records: 37,
                 fanin: 3,
+                ..SortConfig::default()
             },
         )
         .unwrap();
@@ -259,6 +284,7 @@ mod tests {
             SortConfig {
                 mem_records: 2,
                 fanin: 2,
+                ..SortConfig::default()
             },
         )
         .unwrap();
@@ -283,6 +309,7 @@ mod tests {
             SortConfig {
                 mem_records: 10,
                 fanin: 2,
+                ..SortConfig::default()
             },
         )
         .unwrap();
@@ -312,6 +339,7 @@ mod tests {
             SortConfig {
                 mem_records: 8,
                 fanin: 2,
+                ..SortConfig::default()
             },
         );
         eng.set_fault_after(None);
@@ -351,7 +379,7 @@ mod properties {
                 file.push(r).unwrap();
             }
             file.release_tail();
-            let out = external_sort(&eng, &file, key_len, SortConfig { mem_records, fanin })
+            let out = external_sort(&eng, &file, key_len, SortConfig { mem_records, fanin, ..SortConfig::default() })
                 .unwrap();
             let got = out.read_all().unwrap();
             let mut want = records.clone();
@@ -359,6 +387,37 @@ mod properties {
                 a[..key_len].cmp(&b[..key_len]).then_with(|| a[key_len..].cmp(&b[key_len..]))
             });
             prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn parallel_sort_is_byte_identical_to_serial(
+            records in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 10),
+                0..300,
+            ),
+            key_len in 1usize..=10,
+            mem_records in 2usize..48,
+        ) {
+            let sort_with = |threads: usize| {
+                let eng = StorageEngine::in_memory(64);
+                let mut file = RecordFile::create(&eng, 10).unwrap();
+                for r in &records {
+                    file.push(r).unwrap();
+                }
+                file.release_tail();
+                let out = external_sort(
+                    &eng,
+                    &file,
+                    key_len,
+                    SortConfig { mem_records, fanin: 4, threads },
+                )
+                .unwrap();
+                out.read_all().unwrap()
+            };
+            let serial = sort_with(1);
+            for threads in [2usize, 4, 8] {
+                prop_assert_eq!(&sort_with(threads), &serial, "threads={}", threads);
+            }
         }
     }
 }

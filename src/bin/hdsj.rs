@@ -75,7 +75,7 @@ USAGE:
   hdsj generate --kind <uniform|clusters|correlated|fourier|histograms>
                 --dims D --n N [--seed S] --out FILE
                 [--clusters K] [--sigma S] [--zipf Z] [--noise F]
-  hdsj join     --algo <bf|sm1d|grid|ekdb|rsj|msj> (--eps E | --target-pairs N)\n                [--metric l1|l2|linf|lp:P]
+  hdsj join     --algo <bf|sm1d|grid|ekdb|rsj|msj> (--eps E | --target-pairs N)\n                [--metric l1|l2|linf|lp:P] [--threads N]
                 --input FILE [--other FILE] [--out FILE] [--quiet]
                 [--trace FILE] [--stats human|json]
                 [--inject-faults SPEC] [--retries N] [--pool-pages N]
@@ -99,6 +99,13 @@ suppression — the same contract as `cargo run -p hdsj-analyze -- check`.
 readable JSON object. `--trace FILE` records spans and counters for the
 whole run as JSONL; `hdsj trace-report FILE` renders such a file as a
 phase tree with its top counters.
+
+THREADS:
+  --threads N           worker threads for the parallel algorithms (bf, msj).
+                        0 means all available cores. Defaults to the
+                        HDSJ_THREADS environment variable, or 1 (serial)
+                        when unset. Results are identical at every thread
+                        count; algorithms without a parallel path ignore it.
 
 FAULT INJECTION (disk-backed algorithms rsj and msj only):
   --inject-faults SPEC  seeded fault plan for the page store. SPEC is
@@ -318,6 +325,10 @@ fn make_engine(flags: &HashMap<String, String>) -> Result<Option<StorageEngine>>
 fn join(flags: &HashMap<String, String>) -> Result<()> {
     let engine = make_engine(flags)?;
     let mut algo = make_algo(req(flags, "algo")?, engine)?;
+    // --threads: explicit flag wins; otherwise HDSJ_THREADS or 1 (serial).
+    // 0 resolves to all available cores inside the exec pool.
+    let threads: usize = num(flags, "threads", hdsj::exec::default_threads())?;
+    algo.set_threads(threads);
     let metric = parse_metric(flags.get("metric").map(|s| s.as_str()).unwrap_or("l2"))?;
 
     let input = dio::load_csv(Path::new(req(flags, "input")?))?;

@@ -26,6 +26,7 @@ pub use hdsj_core as core;
 pub use hdsj_core::obs;
 pub use hdsj_data as data;
 pub use hdsj_ekdb as ekdb;
+pub use hdsj_exec as exec;
 pub use hdsj_grid as grid;
 pub use hdsj_msj as msj;
 pub use hdsj_rtree as rtree;

@@ -215,8 +215,13 @@ fn refine_worker_panic_is_contained_and_engine_stays_usable() {
     msj.fail_refine_worker = Some(1);
     let mut sink = VecSink::default();
     let err = msj.self_join(&ds, &spec(), &mut sink).unwrap_err();
-    assert!(matches!(err, Error::Storage(_)), "{err:?}");
+    // The exec pool contains worker panics as Error::Internal.
+    assert!(matches!(err, Error::Internal(_)), "{err:?}");
     assert!(err.to_string().contains("panicked"), "{err}");
+    assert!(
+        err.to_string().contains("injected refine-worker failure"),
+        "{err}"
+    );
     assert_eq!(engine.pool().pinned_frames(), 0);
     assert_eq!(
         engine.pool().free_pages(),

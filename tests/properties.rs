@@ -97,6 +97,31 @@ proptest! {
     }
 
     #[test]
+    fn thread_count_never_changes_results(
+        ds in dataset_strategy(),
+        eps in 0.05f64..0.5,
+        threads in 2usize..=8,
+    ) {
+        // `set_threads` is part of the SimilarityJoin contract: every
+        // algorithm (parallel or not) must return the same result set at
+        // every thread count. Exercised across all algorithms, with the
+        // parallel ones (BF, MSJ) taking their worker-pool paths.
+        let spec = JoinSpec::l2(eps);
+        for (mut serial, mut parallel) in all_algorithms().into_iter().zip(all_algorithms()) {
+            serial.set_threads(1);
+            parallel.set_threads(threads);
+            let mut want = VecSink::default();
+            match serial.self_join(&ds, &spec, &mut want) {
+                Ok(_) => {}
+                Err(_) => continue,
+            }
+            let mut got = VecSink::default();
+            parallel.self_join(&ds, &spec, &mut got).unwrap();
+            verify::assert_same_results(parallel.name(), &want.pairs, &got.pairs);
+        }
+    }
+
+    #[test]
     fn candidates_bound_results_and_dist_evals(
         ds in dataset_strategy(),
         eps in 0.05f64..0.5,
