@@ -83,3 +83,28 @@ pub fn check_workspace(root: &Path) -> std::io::Result<CheckReport> {
         diagnostics: ws.check(),
     })
 }
+
+/// Checks the workspace rooted at `root`, running only the rules named in
+/// `filter` (a `--rules` spec like `"r7,r8"`; ids or names).
+pub fn check_workspace_filtered(root: &Path, filter: &str) -> Result<CheckReport, String> {
+    let set = rules::parse_filter(filter)?;
+    let ws = Workspace::load(root).map_err(|e| e.to_string())?;
+    Ok(CheckReport {
+        diagnostics: ws.check_filtered(&set),
+    })
+}
+
+/// One line per rule: `id  level      name — summary` (for `--list-rules`).
+pub fn render_rule_list() -> String {
+    let mut s = String::new();
+    for r in rules::RULES {
+        s.push_str(&format!(
+            "{:<4} {:<10} {:<17} {}\n",
+            r.id,
+            r.level,
+            r.name,
+            r.summary.split_whitespace().collect::<Vec<_>>().join(" ")
+        ));
+    }
+    s
+}

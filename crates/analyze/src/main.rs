@@ -1,7 +1,8 @@
 //! `hdsj-analyze` — the static invariant checker's standalone CLI.
 //!
 //! ```text
-//! cargo run -p hdsj-analyze -- check [--root DIR] [--format human|json]
+//! cargo run -p hdsj-analyze -- check [--root DIR] [--format human|json] [--rules r7,r8]
+//! cargo run -p hdsj-analyze -- list-rules
 //! ```
 //!
 //! Exit codes: 0 clean (warnings allowed), 1 deny-level findings,
@@ -31,11 +32,16 @@ fn run(args: &[String]) -> Result<bool, String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
+    if cmd == "list-rules" {
+        print!("{}", hdsj_analyze::render_rule_list());
+        return Ok(false);
+    }
     if cmd != "check" {
         return Err(format!("unknown command {cmd:?}\n{}", usage()));
     }
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut rules: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -47,10 +53,20 @@ fn run(args: &[String]) -> Result<bool, String> {
                 Some("json") => json = true,
                 other => return Err(format!("--format {other:?}: expected human|json")),
             },
+            "--rules" => {
+                rules = Some(
+                    it.next()
+                        .ok_or("--rules needs a value (e.g. r7,r8)")?
+                        .clone(),
+                );
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    let report = hdsj_analyze::check_workspace(&root).map_err(|e| e.to_string())?;
+    let report = match &rules {
+        Some(spec) => hdsj_analyze::check_workspace_filtered(&root, spec)?,
+        None => hdsj_analyze::check_workspace(&root).map_err(|e| e.to_string())?,
+    };
     if json {
         print!("{}", report.render_json());
     } else {
@@ -60,5 +76,6 @@ fn run(args: &[String]) -> Result<bool, String> {
 }
 
 fn usage() -> String {
-    "usage: hdsj-analyze check [--root DIR] [--format human|json]".to_string()
+    "usage: hdsj-analyze check [--root DIR] [--format human|json] [--rules r7,r8] | list-rules"
+        .to_string()
 }

@@ -3,13 +3,16 @@
 //! registry) together.
 //!
 //! | rule | name | scope | default |
-//! |------|-----------------------|----------------------|---------|
-//! | R1   | `no_panic`            | per file, non-test   | deny    |
-//! | R2   | `safety_comment`      | per file             | deny    |
-//! | R3   | `pin_pairing`         | per function         | deny    |
-//! | R4   | `lock_order`          | per function         | deny    |
-//! | R5   | `error_taxonomy`      | workspace-wide       | deny/warn |
-//! | R6   | `counter_registry`    | per file + registry  | deny    |
+//! |------|-----------------------|----------------------------------|---------|
+//! | R1   | `no_panic`            | per file, non-test               | deny    |
+//! | R2   | `safety_comment`      | per file                         | deny    |
+//! | R3   | `pin_pairing`         | per function                     | deny    |
+//! | R4   | `lock_order`          | per function                     | deny    |
+//! | R5   | `error_taxonomy`      | workspace-wide                   | deny/warn |
+//! | R6   | `counter_registry`    | per file + registry              | deny    |
+//! | R7   | `atomic_ordering`     | per file + per-crate atomic table | deny   |
+//! | R8   | `determinism`         | byte-deterministic modules        | deny   |
+//! | R9   | `exec_only`           | per file, outside crates/exec     | deny   |
 //!
 //! Suppression: a comment containing `allow(hdsj::<rule>)` on the same
 //! line or up to two lines above the flagged line silences that rule
@@ -21,15 +24,139 @@ pub mod r3_pin_pairing;
 pub mod r4_lock_order;
 pub mod r5_error_taxonomy;
 pub mod r6_counter_registry;
+pub mod r7_atomic_ordering;
+pub mod r8_determinism;
+pub mod r9_exec_only;
 
 use crate::diag::Diagnostic;
 use crate::parse::FileModel;
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Static metadata for one rule, for `--list-rules` and `--rules` filters.
+pub struct RuleInfo {
+    /// Short id (`"r7"`), accepted by filters.
+    pub id: &'static str,
+    /// Rule name (`"atomic_ordering"`), also accepted by filters.
+    pub name: &'static str,
+    /// Worst level the rule emits.
+    pub level: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every rule the checker knows, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "r1",
+        name: r1_no_panic::RULE,
+        level: "deny",
+        summary: "no unwrap/expect/panic!/unreachable!/todo! outside tests",
+    },
+    RuleInfo {
+        id: "r2",
+        name: r2_safety_comment::RULE,
+        level: "deny",
+        summary: "every `unsafe` block carries a SAFETY: comment within 3 lines",
+    },
+    RuleInfo {
+        id: "r3",
+        name: r3_pin_pairing::RULE,
+        level: "deny",
+        summary: "buffer-pool pins pair with RAII guards; no mem::forget/leak of guards",
+    },
+    RuleInfo {
+        id: "r4",
+        name: r4_lock_order::RULE,
+        level: "deny",
+        summary: "blocking locks are acquired in the declared global rank order",
+    },
+    RuleInfo {
+        id: "r5",
+        name: r5_error_taxonomy::RULE,
+        level: "deny/warn",
+        summary: "Error variants must be both constructed and matched somewhere",
+    },
+    RuleInfo {
+        id: "r6",
+        name: r6_counter_registry::RULE,
+        level: "deny",
+        summary: "literal counter/gauge names must appear in obs/src/names.rs",
+    },
+    RuleInfo {
+        id: "r7",
+        name: r7_atomic_ordering::RULE,
+        level: "deny",
+        summary: "atomics are declared in the per-crate table; relaxed ops on gate \
+                  atomics carry an ORDERING: comment",
+    },
+    RuleInfo {
+        id: "r8",
+        name: r8_determinism::RULE,
+        level: "deny",
+        summary: "no HashMap/HashSet, Instant::now, RandomState, or thread-identity \
+                  branching in byte-deterministic modules",
+    },
+    RuleInfo {
+        id: "r9",
+        name: r9_exec_only::RULE,
+        level: "deny",
+        summary: "no thread::spawn/scope/Builder outside crates/exec; use the pool",
+    },
+];
+
+/// Resolves a comma-separated filter (`"r7,r8"` or `"determinism"`) into a
+/// set of rule names. Errors on unknown entries so typos fail loudly.
+pub fn parse_filter(spec: &str) -> Result<BTreeSet<&'static str>, String> {
+    let mut set = BTreeSet::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let hit = RULES
+            .iter()
+            .find(|r| r.id.eq_ignore_ascii_case(part) || r.name == part);
+        match hit {
+            Some(r) => {
+                set.insert(r.name);
+            }
+            None => {
+                let known: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+                return Err(format!(
+                    "unknown rule {part:?}; known rules: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    if set.is_empty() {
+        return Err("empty rule filter".to_string());
+    }
+    Ok(set)
+}
+
 /// Runs every rule over `files`. `registry_path_hint` names the obs
 /// registry file (matched by suffix) among `files`; when absent, R6 is
 /// skipped (fixture sets that don't care about counters).
 pub fn run_all(files: &[FileModel], registry_suffix: &str) -> Vec<Diagnostic> {
+    run_impl(files, registry_suffix, None)
+}
+
+/// Runs only the rules named in `filter` (rule names, from [`parse_filter`]).
+pub fn run_filtered(
+    files: &[FileModel],
+    registry_suffix: &str,
+    filter: &BTreeSet<&'static str>,
+) -> Vec<Diagnostic> {
+    run_impl(files, registry_suffix, Some(filter))
+}
+
+fn run_impl(
+    files: &[FileModel],
+    registry_suffix: &str,
+    filter: Option<&BTreeSet<&'static str>>,
+) -> Vec<Diagnostic> {
+    let on = |name: &str| filter.is_none_or(|f| f.contains(name));
     let mut out = Vec::new();
 
     // Cross-file context.
@@ -38,10 +165,12 @@ pub fn run_all(files: &[FileModel], registry_suffix: &str) -> Vec<Diagnostic> {
         .find(|f| f.path.to_string_lossy().ends_with(registry_suffix))
         .map(r6_counter_registry::load_registry);
     let mut variants = Vec::new();
-    for f in files {
-        let v = r5_error_taxonomy::find_error_enum(f);
-        if v.len() > variants.len() {
-            variants = v; // the workspace Error enum (richest definition wins)
+    if on(r5_error_taxonomy::RULE) {
+        for f in files {
+            let v = r5_error_taxonomy::find_error_enum(f);
+            if v.len() > variants.len() {
+                variants = v; // the workspace Error enum (richest definition wins)
+            }
         }
     }
     let mut tally: BTreeMap<String, r5_error_taxonomy::Usage> = variants
@@ -50,16 +179,39 @@ pub fn run_all(files: &[FileModel], registry_suffix: &str) -> Vec<Diagnostic> {
         .collect();
 
     for f in files {
-        r1_no_panic::check(f, &mut out);
-        r2_safety_comment::check(f, &mut out);
-        r3_pin_pairing::check(f, &mut out);
-        r4_lock_order::check(f, &mut out);
-        if let Some(reg) = &registry {
-            r6_counter_registry::check(f, reg, &mut out);
+        if on(r1_no_panic::RULE) {
+            r1_no_panic::check(f, &mut out);
         }
-        r5_error_taxonomy::scan_usage(f, &mut tally);
+        if on(r2_safety_comment::RULE) {
+            r2_safety_comment::check(f, &mut out);
+        }
+        if on(r3_pin_pairing::RULE) {
+            r3_pin_pairing::check(f, &mut out);
+        }
+        if on(r4_lock_order::RULE) {
+            r4_lock_order::check(f, &mut out);
+        }
+        if on(r6_counter_registry::RULE) {
+            if let Some(reg) = &registry {
+                r6_counter_registry::check(f, reg, &mut out);
+            }
+        }
+        if on(r7_atomic_ordering::RULE) {
+            r7_atomic_ordering::check(f, &mut out);
+        }
+        if on(r8_determinism::RULE) {
+            r8_determinism::check(f, &mut out);
+        }
+        if on(r9_exec_only::RULE) {
+            r9_exec_only::check(f, &mut out);
+        }
+        if on(r5_error_taxonomy::RULE) {
+            r5_error_taxonomy::scan_usage(f, &mut tally);
+        }
     }
-    r5_error_taxonomy::report(&variants, &tally, &mut out);
+    if on(r5_error_taxonomy::RULE) {
+        r5_error_taxonomy::report(&variants, &tally, &mut out);
+    }
 
     out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     out

@@ -68,6 +68,14 @@ impl Workspace {
     pub fn check(&self) -> Vec<crate::diag::Diagnostic> {
         crate::rules::run_all(&self.files, REGISTRY_SUFFIX)
     }
+
+    /// Runs only the rules named in `filter` (see [`crate::rules::parse_filter`]).
+    pub fn check_filtered(
+        &self,
+        filter: &std::collections::BTreeSet<&'static str>,
+    ) -> Vec<crate::diag::Diagnostic> {
+        crate::rules::run_filtered(&self.files, REGISTRY_SUFFIX, filter)
+    }
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

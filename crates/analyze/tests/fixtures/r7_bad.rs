@@ -1,0 +1,7 @@
+//! R7 fixture: an undeclared atomic and a bare relaxed gate operation.
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub fn run(stop: &AtomicBool, undeclared: &AtomicUsize) {
+    undeclared.fetch_add(1, Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed);
+}

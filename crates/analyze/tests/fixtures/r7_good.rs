@@ -1,0 +1,13 @@
+//! R7 fixture: declared atomics used correctly — a commented relaxed gate
+//! op, a stat counter, a stronger ordering, and a justified suppression.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn run(dirty: &AtomicBool, reads: &AtomicU64, scratch: &AtomicU64) {
+    // ORDERING: set under the frame lock; flush re-checks under the same
+    // lock, so relaxed only needs the store's atomicity.
+    dirty.store(true, Ordering::Relaxed);
+    reads.fetch_add(1, Ordering::Relaxed);
+    dirty.store(false, Ordering::SeqCst);
+    // allow(hdsj::atomic_ordering): fixture-local scratch cell.
+    scratch.load(Ordering::Relaxed);
+}

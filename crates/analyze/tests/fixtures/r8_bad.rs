@@ -1,0 +1,11 @@
+//! R8 fixture: nondeterministic sources in a result-producing path.
+use std::collections::HashMap;
+
+pub fn pair_counts(xs: &[u32]) -> u64 {
+    let t = std::time::Instant::now();
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.values().map(|&v| u64::from(v)).sum::<u64>() + t.elapsed().as_secs()
+}

@@ -1,0 +1,13 @@
+//! R8 fixture: the deterministic counterpart — ordered collections and a
+//! justified timing exemption.
+use std::collections::BTreeMap;
+
+pub fn pair_counts(xs: &[u32]) -> u64 {
+    // allow(hdsj::determinism): timing feeds an obs attribute only.
+    let _t = std::time::Instant::now();
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.values().map(|&v| u64::from(v)).sum()
+}

@@ -1,0 +1,7 @@
+//! R9 fixture: hand-rolled threading outside crates/exec.
+
+pub fn fanout() {
+    let handle = std::thread::spawn(|| 1 + 1);
+    std::thread::scope(|_s| {});
+    let _ = handle.join();
+}

@@ -1,0 +1,20 @@
+//! R9 fixture: allowed thread uses — non-spawning helpers, test code, and
+//! a justified suppression.
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    std::thread::yield_now();
+}
+
+pub fn watchdog() {
+    // allow(hdsj::exec_only): detached watchdog must outlive any pool scope.
+    std::thread::spawn(|| {});
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffolding_threads_are_fine() {
+        std::thread::scope(|_s| {});
+    }
+}

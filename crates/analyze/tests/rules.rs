@@ -30,6 +30,12 @@ fn bad_fixtures_produce_exactly_the_expected_diagnostics() {
         fixture("r5_bad.rs", "r5_bad.rs"),
         fixture("r6_bad.rs", "r6_bad.rs"),
         fixture("r6_names.rs", "obs/src/names.rs"),
+        // The concurrency rules key off workspace paths (per-crate atomic
+        // table, byte-deterministic module list, crates/exec exemption),
+        // so their fixtures mount at realistic crate paths.
+        fixture("r7_bad.rs", "crates/exec/src/r7_bad.rs"),
+        fixture("r8_bad.rs", "crates/msj/src/r8_bad.rs"),
+        fixture("r9_bad.rs", "crates/storage/src/r9_bad.rs"),
     ]);
     let got: Vec<(String, &str, u32, Level)> = ws
         .check()
@@ -44,6 +50,54 @@ fn bad_fixtures_produce_exactly_the_expected_diagnostics() {
         })
         .collect();
     let want: Vec<(String, &str, u32, Level)> = vec![
+        (
+            "crates/exec/src/r7_bad.rs".into(),
+            "atomic_ordering",
+            5,
+            Level::Deny,
+        ),
+        (
+            "crates/exec/src/r7_bad.rs".into(),
+            "atomic_ordering",
+            6,
+            Level::Deny,
+        ),
+        (
+            "crates/msj/src/r8_bad.rs".into(),
+            "determinism",
+            2,
+            Level::Deny,
+        ),
+        (
+            "crates/msj/src/r8_bad.rs".into(),
+            "determinism",
+            5,
+            Level::Deny,
+        ),
+        (
+            "crates/msj/src/r8_bad.rs".into(),
+            "determinism",
+            6,
+            Level::Deny,
+        ),
+        (
+            "crates/msj/src/r8_bad.rs".into(),
+            "determinism",
+            6,
+            Level::Deny,
+        ),
+        (
+            "crates/storage/src/r9_bad.rs".into(),
+            "exec_only",
+            4,
+            Level::Deny,
+        ),
+        (
+            "crates/storage/src/r9_bad.rs".into(),
+            "exec_only",
+            5,
+            Level::Deny,
+        ),
         ("r1_bad.rs".into(), "no_panic", 3, Level::Deny),
         ("r1_bad.rs".into(), "no_panic", 7, Level::Deny),
         ("r1_bad.rs".into(), "no_panic", 12, Level::Deny),
@@ -90,9 +144,54 @@ fn good_fixtures_are_clean() {
         fixture("r5_good.rs", "r5_good.rs"),
         fixture("r6_good.rs", "r6_good.rs"),
         fixture("r6_names.rs", "obs/src/names.rs"),
+        fixture("r7_good.rs", "crates/storage/src/r7_good.rs"),
+        fixture("r8_good.rs", "crates/msj/src/r8_good.rs"),
+        fixture("r9_good.rs", "crates/storage/src/r9_good.rs"),
     ]);
     let diags = ws.check();
     assert!(diags.is_empty(), "good fixtures must be clean:\n{diags:#?}");
+}
+
+#[test]
+fn rule_filter_restricts_the_run() {
+    let ws = Workspace::from_sources(&[
+        fixture("r1_bad.rs", "r1_bad.rs"),
+        fixture("r7_bad.rs", "crates/exec/src/r7_bad.rs"),
+        fixture("r8_bad.rs", "crates/msj/src/r8_bad.rs"),
+    ]);
+    let filter = hdsj_analyze::rules::parse_filter("r7,determinism").unwrap();
+    let diags = ws.check_filtered(&filter);
+    assert!(!diags.is_empty());
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.rule == "atomic_ordering" || d.rule == "determinism"),
+        "filter leaked other rules:\n{diags:#?}"
+    );
+    // The unfiltered run on the same sources does report R1.
+    assert!(ws.check().iter().any(|d| d.rule == "no_panic"));
+    // Typos fail loudly rather than silently checking nothing.
+    assert!(hdsj_analyze::rules::parse_filter("r42").is_err());
+    assert!(hdsj_analyze::rules::parse_filter("").is_err());
+}
+
+#[test]
+fn rule_list_names_all_nine_rules() {
+    let listing = hdsj_analyze::render_rule_list();
+    for (id, name) in [
+        ("r1", "no_panic"),
+        ("r7", "atomic_ordering"),
+        ("r8", "determinism"),
+        ("r9", "exec_only"),
+    ] {
+        let line = listing
+            .lines()
+            .find(|l| l.starts_with(id))
+            .unwrap_or_else(|| panic!("rule {id} missing from listing:\n{listing}"));
+        assert!(line.contains(name), "{line}");
+        assert!(line.contains("deny"), "{line}");
+    }
+    assert_eq!(listing.lines().count(), 9);
 }
 
 #[test]

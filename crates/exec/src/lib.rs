@@ -34,7 +34,17 @@
 //! `exec.tasks` (chunks dispatched), `exec.workers` (worker threads
 //! spawned), and `exec.steal_waits` (times a worker polled the cursor and
 //! found no work left — a measure of tail imbalance).
+//!
+//! ## Schedule exploration
+//!
+//! Every scheduling transition calls a [`schedule::yield_point`] hook —
+//! a no-op normally; under the `debug-schedules` feature it perturbs the
+//! OS scheduler from a seed so the explorer (`schedule::explorer`) can
+//! sweep the pool's guarantees across many reproducible interleavings
+//! (DESIGN.md §12).
 #![forbid(unsafe_code)]
+
+pub mod schedule;
 
 use hdsj_core::obs::{names, Span, Tracer};
 use hdsj_core::{Error, Result};
@@ -171,6 +181,7 @@ impl Pool {
                 let f = &f;
                 let steal_waits = steal_waits.clone();
                 handles.push(s.spawn(move || {
+                    let _live = schedule::worker_guard();
                     let mut wspan = if traced {
                         parent.map(|p| p.child("exec.worker"))
                     } else {
@@ -179,10 +190,18 @@ impl Pool {
                     let mut local: Vec<(usize, Result<R>)> = Vec::new();
                     let mut tasks = 0u64;
                     loop {
+                        schedule::yield_point(schedule::Site::StopCheck);
+                        // ORDERING: advisory early-exit hint — a missed flag
+                        // only runs extra chunks that the error discards; the
+                        // scope join publishes all worker state to the caller.
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
+                        // ORDERING: fetch_add's atomicity alone makes chunk
+                        // claims unique; claim order carries no data — results
+                        // are re-sorted by chunk index after the scope join.
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        schedule::yield_point(schedule::Site::CursorClaim);
                         if c >= nchunks {
                             if traced {
                                 steal_waits.incr();
@@ -195,13 +214,18 @@ impl Pool {
                             Ok(Ok(r)) => {
                                 tasks += 1;
                                 local.push((c, Ok(r)));
+                                schedule::yield_point(schedule::Site::ChunkDone);
                             }
                             Ok(Err(e)) => {
+                                // ORDERING: advisory stop (see the load above);
+                                // the error itself travels in `local`, published
+                                // by the scope join, not by this store.
                                 stop.store(true, Ordering::Relaxed);
                                 local.push((c, Err(e)));
                                 break;
                             }
                             Err(payload) => {
+                                // ORDERING: advisory stop (see the load above).
                                 stop.store(true, Ordering::Relaxed);
                                 local.push((
                                     c,
@@ -297,6 +321,8 @@ impl Pool {
                 let mut handles = Vec::with_capacity(consumers.len());
                 for (idx, consumer) in consumers.into_iter().enumerate() {
                     handles.push(s.spawn(move || {
+                        let _live = schedule::worker_guard();
+                        schedule::yield_point(schedule::Site::ConsumerStart);
                         catch_unwind(AssertUnwindSafe(|| consumer(idx))).unwrap_or_else(
                             |payload| {
                                 Err(Error::Internal(format!(

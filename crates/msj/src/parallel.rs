@@ -80,6 +80,8 @@ pub fn sweep_and_refine(
                 let mut js: Vec<u32> = Vec::new();
                 let mut hits: Vec<u32> = Vec::new();
                 loop {
+                    // allow(hdsj::determinism): channel-wait timing feeds the
+                    // worker's obs span only; join results never read it.
                     let blocked = Instant::now();
                     let batch = match rx.recv() {
                         Ok(batch) => {
@@ -159,6 +161,8 @@ pub fn sweep_and_refine(
                 }
                 batch.push((i, j));
                 if batch.len() == BATCH {
+                    // allow(hdsj::determinism): backpressure timing feeds the
+                    // producer's obs attrs only; join results never read it.
                     let blocked = Instant::now();
                     if tx
                         .send(std::mem::replace(&mut batch, Vec::with_capacity(BATCH)))

@@ -273,13 +273,17 @@ impl Tracer {
     /// are never emitted.
     pub fn counter(&self, name: impl Into<String>) -> Counter {
         match &self.inner {
-            None => Counter(Arc::new(AtomicU64::new(0))),
+            None => Counter {
+                cell: Arc::new(AtomicU64::new(0)),
+            },
             Some(inner) => {
                 let mut registry = lock_recover(&inner.counters);
                 let cell = registry
                     .entry(name.into())
                     .or_insert_with(|| Arc::new(AtomicU64::new(0)));
-                Counter(Arc::clone(cell))
+                Counter {
+                    cell: Arc::clone(cell),
+                }
             }
         }
     }
@@ -418,11 +422,13 @@ impl Drop for Span {
 /// A named atomic counter. Clones share the cell, so increments from many
 /// threads aggregate exactly.
 #[derive(Clone, Debug)]
-pub struct Counter(Arc<AtomicU64>);
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
 
 impl Counter {
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.cell.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn incr(&self) {
@@ -430,7 +436,7 @@ impl Counter {
     }
 
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.cell.load(Ordering::Relaxed)
     }
 }
 

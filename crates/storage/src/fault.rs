@@ -241,10 +241,16 @@ impl FaultPlan {
 
     /// True when at least one rule is active.
     pub fn is_armed(&self) -> bool {
+        // ORDERING: lock-free fast path; a stale read only means one extra
+        // (or one skipped) trip through the state mutex, which then makes
+        // the authoritative decision under its own happens-before.
         self.inner.armed.load(Ordering::Relaxed)
     }
 
     fn rearm(&self, state: &PlanState) {
+        // ORDERING: written while holding the state mutex (the `state`
+        // borrow proves it); readers that act on it re-check under that
+        // same mutex, so this flag is purely advisory.
         self.inner.armed.store(state.has_work(), Ordering::Relaxed);
     }
 

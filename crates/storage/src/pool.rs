@@ -159,6 +159,8 @@ impl BufferPool {
             .lock()
             .map
             .values()
+            // ORDERING: reading under the inner lock; pins only rise under
+            // this same lock, so a zero read here is a true quiescent frame.
             .filter(|f| f.pins.load(Ordering::Relaxed) > 0)
             .count()
     }
@@ -205,6 +207,9 @@ impl BufferPool {
         let tick = inner.tick;
         if let Some(frame) = inner.map.get(&id) {
             frame.last_used.store(tick, Ordering::Relaxed);
+            // ORDERING: the inner lock is held, and eviction decisions read
+            // pins under the same lock — the mutex supplies the ordering,
+            // the atomic only the lock-free read in PinnedPage::drop.
             frame.pins.fetch_add(1, Ordering::Relaxed);
             self.stats.record_hit();
             return Ok(PinnedPage {
@@ -247,6 +252,8 @@ impl BufferPool {
         let _rank = invariants::ordered(rank::POOL, "pool.inner");
         let mut inner = self.inner.lock();
         if let Some(frame) = inner.map.get(&id) {
+            // ORDERING: under the inner lock, and pins only rise under that
+            // lock — a zero read is stable for the rest of this call.
             if frame.pins.load(Ordering::Relaxed) > 0 {
                 return Err(Error::Storage(format!("freeing pinned page {id}")));
             }
@@ -300,6 +307,8 @@ impl BufferPool {
         let victim = inner
             .map
             .values()
+            // ORDERING: under the inner lock; pins only rise under this
+            // lock, so an unpinned victim stays unpinned until we release.
             .filter(|f| f.pins.load(Ordering::Relaxed) == 0)
             .min_by_key(|f| f.last_used.load(Ordering::Relaxed))
             .map(|f| f.pid)
@@ -317,6 +326,9 @@ impl BufferPool {
                 "eviction victim {victim} vanished from the pool map"
             )));
         };
+        // ORDERING: the frame is unpinned and the inner lock is held, so no
+        // writer can set dirty concurrently (writers hold a pin); the page
+        // RwLock below orders the body bytes themselves.
         if frame.dirty.load(Ordering::Relaxed) {
             let written = {
                 let mut page = frame.page.write();
@@ -330,6 +342,8 @@ impl BufferPool {
                 inner.map.insert(victim, frame);
                 return Err(e);
             }
+            // ORDERING: still under the inner lock with zero pins — no
+            // concurrent reader of this frame's dirty bit exists.
             frame.dirty.store(false, Ordering::Relaxed);
             self.stats.record_writeback();
         }
@@ -344,6 +358,9 @@ impl BufferPool {
         let _rank = invariants::ordered(rank::POOL, "pool.inner");
         let inner = self.inner.lock();
         for frame in inner.map.values() {
+            // ORDERING: a concurrent write guard may set dirty while we
+            // read; missing it is benign — the bit stays set and a later
+            // flush retries. The page RwLock orders the bytes we write.
             if frame.dirty.load(Ordering::Relaxed) {
                 {
                     let mut page = frame.page.write();
@@ -356,6 +373,9 @@ impl BufferPool {
                     });
                     self.retrying(|| self.disk.write_page(frame.pid, &page))?;
                 }
+                // ORDERING: clearing after the write-back completed; a
+                // racing writer re-sets it via PinnedPage::write, and
+                // either order leaves the bit conservatively correct.
                 frame.dirty.store(false, Ordering::Relaxed);
             }
         }
@@ -374,6 +394,8 @@ impl Drop for BufferPool {
             let pinned = inner
                 .map
                 .values()
+                // ORDERING: diagnostic read at teardown; &mut self means no
+                // new pins can be taken, only in-flight drops can race.
                 .filter(|f| f.pins.load(Ordering::Relaxed) > 0)
                 .count();
             invariants::invariant(pinned == 0, || {
@@ -408,6 +430,9 @@ impl PinnedPage {
 
     /// Exclusive write access; marks the page dirty.
     pub fn write(&self) -> RwLockWriteGuard<'_, Page> {
+        // ORDERING: the pin prevents eviction, so the only concurrent
+        // reader is flush_all, for which a stale read is benign (the bit
+        // stays set); the page RwLock orders the body bytes.
         self.frame.dirty.store(true, Ordering::Relaxed);
         self.frame.page.write()
     }
@@ -415,6 +440,9 @@ impl PinnedPage {
 
 impl Drop for PinnedPage {
     fn drop(&mut self) {
+        // ORDERING: decrement-only; every decision made on the count
+        // happens under the pool's inner lock, which supplies the
+        // happens-before. The RMW's atomicity is all that is needed here.
         self.frame.pins.fetch_sub(1, Ordering::Relaxed);
     }
 }

@@ -80,7 +80,8 @@ USAGE:
                 [--trace FILE] [--stats human|json]
                 [--inject-faults SPEC] [--retries N] [--pool-pages N]
   hdsj info     --input FILE
-  hdsj analyze  [--root DIR] [--format human|json]
+  hdsj analyze  [--root DIR] [--format human|json] [--rules r7,r8]
+                [--list-rules]
   hdsj trace-report FILE
 
 Datasets are headerless CSV, one point per row. `join` runs a self-join of
@@ -89,9 +90,13 @@ Datasets are headerless CSV, one point per row. `join` runs a self-join of
 
 `analyze` runs the hdsj-analyze static invariant checker over the
 workspace at --root (default `.`): panic-freedom, SAFETY comments,
-pin/unpin pairing, lock order, error-taxonomy coverage, and metric-name
-registry conformance. It exits 1 when any deny-level finding survives
+pin/unpin pairing, lock order, error-taxonomy coverage, metric-name
+registry conformance, atomic-ordering declarations, byte-determinism,
+and pool-only threading. It exits 1 when any deny-level finding survives
 suppression — the same contract as `cargo run -p hdsj-analyze -- check`.
+`--rules r7,r8` (ids or names) restricts the run to those rules;
+`--list-rules` prints each rule's id, level, and description instead of
+checking.
 
 `join` prints `algorithm`/`pairs` to stdout; detailed statistics
 (candidates, filter precision, per-phase times, I/O) go to stderr unless
@@ -131,9 +136,17 @@ EXIT CODES:
 /// `--format json`) and exits 1 on deny findings, mirroring the
 /// standalone `hdsj-analyze` binary so CI can gate on either.
 fn analyze(flags: &HashMap<String, String>) -> Result<()> {
+    if flags.contains_key("list-rules") {
+        print!("{}", hdsj_analyze::render_rule_list());
+        return Ok(());
+    }
     let root = flags.get("root").map(String::as_str).unwrap_or(".");
     let format = flags.get("format").map(String::as_str).unwrap_or("human");
-    let report = hdsj_analyze::check_workspace(Path::new(root))?;
+    let report = match flags.get("rules") {
+        Some(spec) => hdsj_analyze::check_workspace_filtered(Path::new(root), spec)
+            .map_err(Error::InvalidInput)?,
+        None => hdsj_analyze::check_workspace(Path::new(root))?,
+    };
     match format {
         "human" => print!("{}", report.render_human()),
         "json" => print!("{}", report.render_json()),
@@ -156,7 +169,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(Error::InvalidInput(format!("expected --flag, got {key:?}")));
         };
-        if name == "quiet" {
+        if name == "quiet" || name == "list-rules" {
             flags.insert(name.to_string(), "1".to_string());
             continue;
         }
