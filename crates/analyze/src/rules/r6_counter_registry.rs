@@ -1,9 +1,12 @@
-//! R6 `counter_registry` — obs counter/gauge names referenced by string
-//! literal must exist in the registry (`crates/obs/src/names.rs`).
+//! R6 `counter_registry` — obs counter/gauge/histogram names referenced
+//! by string literal must exist in the registry
+//! (`crates/obs/src/names.rs`).
 //!
-//! Counter names are stringly-typed at the call sites
-//! (`tracer.counter("msj.refine.pairs")`) and again in tests and the trace
-//! reporter (`sink.counter_value("pool.hits")`). A typo on either side
+//! Metric names are stringly-typed at the call sites
+//! (`tracer.counter("msj.refine.pairs")`,
+//! `tracer.histogram("pool.read_ns")`) and again in tests and the trace
+//! reporter (`sink.counter_value("pool.hits")`,
+//! `sink.hist_snapshot("exec.chunk_ns")`). A typo on either side
 //! silently records (or asserts on) a counter nobody else writes. The
 //! registry file is the single source of truth; this rule cross-checks
 //! every literal reference against it. Dynamically built names
@@ -17,7 +20,13 @@ use std::collections::BTreeSet;
 pub const RULE: &str = "counter_registry";
 
 /// Methods whose first string-literal argument is a metric name.
-const NAME_SINKS: &[&str] = &["counter", "counter_value", "gauge"];
+const NAME_SINKS: &[&str] = &[
+    "counter",
+    "counter_value",
+    "gauge",
+    "histogram",
+    "hist_snapshot",
+];
 
 /// Extracts the registry: every string literal in the names file.
 pub fn load_registry(names_file: &FileModel) -> BTreeSet<String> {
@@ -127,5 +136,24 @@ mod tests {
             &reg,
         );
         assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn histogram_and_hist_snapshot_are_checked() {
+        let reg = registry_of("pub const A: &str = \"pool.read_ns\";");
+        let ok = run(
+            "fn f(t: &Tracer, s: &MemorySink) { t.histogram(\"pool.read_ns\").record(1); \
+             s.hist_snapshot(\"pool.read_ns\"); }",
+            &reg,
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = run(
+            "fn f(t: &Tracer, s: &MemorySink) { t.histogram(\"pool.read_latency\").record(1); \
+             s.hist_snapshot(\"pool.reads_ns\"); }",
+            &reg,
+        );
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad[0].message.contains("pool.read_latency"));
+        assert!(bad[1].message.contains("pool.reads_ns"));
     }
 }

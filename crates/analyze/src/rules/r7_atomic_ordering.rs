@@ -61,9 +61,17 @@ pub const ATOMICS: &[(&str, &str, Class)] = &[
     ("exec", "LIVE", Class::Stat),
     ("exec", "POINTS", Class::Stat),
     ("exec", "executed", Class::Stat),
-    // hdsj-obs: span-id source and counter cells.
+    // hdsj-obs: span-id source, counter cells, and the sharded histogram
+    // cells (bucket counts, per-shard sum/min/max, shard round-robin).
     ("obs", "next_id", Class::Stat),
     ("obs", "cell", Class::Stat),
+    ("obs", "bucket", Class::Stat),
+    ("obs", "sum", Class::Stat),
+    ("obs", "min", Class::Stat),
+    ("obs", "max", Class::Stat),
+    ("obs", "smin", Class::Stat),
+    ("obs", "smax", Class::Stat),
+    ("obs", "NEXT_SHARD", Class::Stat),
     // hdsj-storage: pool frame state, fault-plan fast path, I/O counters,
     // and the debug-invariants bookkeeping.
     ("storage", "pins", Class::Gate),

@@ -1,4 +1,5 @@
-// Fixture: R6 `counter_registry` — typo'd metric name at line 3.
+// Fixture: R6 `counter_registry` — typo'd metric names at lines 3-4.
 fn record(t: &Tracer) {
     t.counter("pool.hit").add(1);
+    t.histogram("pool.read_latency").record(9);
 }

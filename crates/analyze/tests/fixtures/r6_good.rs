@@ -2,6 +2,9 @@
 fn record(t: &Tracer, s: &MemorySink, prefix: &str) {
     t.counter("pool.hits").add(1);
     t.gauge("pool.hit_rate", 0.5);
+    t.histogram("pool.read_ns").record(17);
     s.counter_value("msj.refine.pairs");
+    s.hist_snapshot("pool.read_ns");
     t.counter(format!("{prefix}.reads")).add(1);
+    t.histogram(format!("{prefix}.latency_ns")).record(1);
 }

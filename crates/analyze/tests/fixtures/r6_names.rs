@@ -3,3 +3,4 @@
 pub const POOL_HITS: &str = "pool.hits";
 pub const REFINE_PAIRS: &str = "msj.refine.pairs";
 pub const HIT_RATE: &str = "pool.hit_rate";
+pub const POOL_READ_NS: &str = "pool.read_ns";

@@ -108,6 +108,7 @@ fn bad_fixtures_produce_exactly_the_expected_diagnostics() {
         ("r4_bad.rs".into(), "lock_order", 4, Level::Deny),
         ("r5_bad.rs".into(), "error_taxonomy", 4, Level::Deny),
         ("r6_bad.rs".into(), "counter_registry", 3, Level::Deny),
+        ("r6_bad.rs".into(), "counter_registry", 4, Level::Deny),
     ];
     assert_eq!(got, want, "diagnostic set drifted");
 }
@@ -130,6 +131,12 @@ fn bad_fixture_messages_name_the_offence() {
         diags
             .iter()
             .any(|d| d.rule == "counter_registry" && d.message.contains("pool.hit")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "counter_registry" && d.message.contains("pool.read_latency")),
         "{diags:?}"
     );
 }

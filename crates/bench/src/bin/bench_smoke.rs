@@ -6,6 +6,12 @@
 //! wall-times, pairs/sec, and speedups. CI runs it with `HDSJ_QUICK=1`
 //! (n=5 000); the full workload is uniform d=16 n=50 000 ε=0.1.
 //!
+//! It also runs one traced MSJ pass (memory sink) and writes
+//! `BENCH_0005.json` with per-phase latency percentiles (p50/p90/p99/max
+//! for every `*.phase.*_ns` histogram plus the exec chunk/queue-wait
+//! distributions) and `BENCH_0005.prom`, the same metrics in Prometheus
+//! text exposition format.
+//!
 //! The report records `host_threads` (what `available_parallelism`
 //! returned) so speedups are read against the hardware that produced
 //! them: on a single-core host the parallel path cannot beat serial and
@@ -250,5 +256,76 @@ fn main() -> Result<()> {
     writeln!(f, "{json}")?;
     f.flush()?;
     println!("(report written to {})", path.display());
+
+    bench_phases(&ds, &spec, max_threads, quick, n)?;
+    Ok(())
+}
+
+/// One traced MSJ pass into a memory sink; every latency histogram the
+/// run produced (per-phase, pool, exec) goes to `BENCH_0005.json` as
+/// p50/p90/p99/max rows, and the whole metrics snapshot to
+/// `BENCH_0005.prom` in Prometheus exposition format.
+fn bench_phases(
+    ds: &hdsj_core::Dataset,
+    spec: &JoinSpec,
+    threads: usize,
+    quick: bool,
+    n: usize,
+) -> Result<()> {
+    let (tracer, _sink) = hdsj_core::obs::Tracer::memory();
+    let mut algo = Box::<Msj>::default();
+    algo.set_threads(threads);
+    algo.set_tracer(tracer.clone());
+    let mut pairs = hdsj_core::VecSink::default();
+    algo.self_join(ds, spec, &mut pairs)?;
+    let snapshot = tracer.metrics_snapshot();
+
+    let mut json = String::from("{");
+    json.push_str("\"bench\":\"BENCH_0005\",");
+    json.push_str("\"workload\":{\"kind\":\"uniform\",\"dims\":16,");
+    json.push_str(&format!("\"n\":{n},\"eps\":0.1,\"metric\":\"l2\"}},"));
+    json.push_str(&format!("\"quick\":{quick},"));
+    json.push_str(&format!("\"algo\":\"msj\",\"threads\":{threads},"));
+    json.push_str("\"phases\":[");
+    let mut first = true;
+    for (name, h) in &snapshot.hists {
+        if h.count == 0 {
+            continue;
+        }
+        if !first {
+            json.push(',');
+        }
+        first = false;
+        json.push_str(&format!(
+            "{{\"name\":\"{name}\",\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+            h.count,
+            h.percentile(0.50),
+            h.percentile(0.90),
+            h.percentile(0.99),
+            h.max
+        ));
+        println!(
+            "  phase {:<24} n={:<6} p50={} p90={} p99={} max={}",
+            name,
+            h.count,
+            h.percentile(0.50),
+            h.percentile(0.90),
+            h.percentile(0.99),
+            h.max
+        );
+    }
+    json.push_str("]}");
+
+    let path = std::path::Path::new("BENCH_0005.json");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{json}")?;
+    f.flush()?;
+    let prom_path = std::path::Path::new("BENCH_0005.prom");
+    std::fs::write(prom_path, snapshot.to_prometheus())?;
+    println!(
+        "(phase report written to {} and {})",
+        path.display(),
+        prom_path.display()
+    );
     Ok(())
 }

@@ -72,7 +72,13 @@ impl BruteForce {
         root.attr_f64("eps", spec.eps);
         root.attr_u64("threads", self.threads as u64);
 
-        let timer = TracedPhase::start(&root, "join");
+        let timer = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "join",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::BF_PHASE_JOIN_NS,
+        );
         let stats = if self.threads <= 1 {
             let mut refiner = Refiner::new(a, b, kind, spec, sink);
             serial_ranges(a, b, kind, self.block, &mut |i, js| {

@@ -212,6 +212,9 @@ impl PhaseTimer {
 pub struct TracedPhase {
     name: &'static str,
     span: hdsj_obs::Span,
+    /// Duration histogram this phase feeds on finish (nanoseconds), from
+    /// [`TracedPhase::start_classed`].
+    hist: Option<std::sync::Arc<hdsj_obs::Histogram>>,
 }
 
 impl TracedPhase {
@@ -220,6 +223,27 @@ impl TracedPhase {
         TracedPhase {
             name,
             span: parent.child(name),
+            hist: None,
+        }
+    }
+
+    /// Starts a phase that also carries a [`hdsj_obs::PhaseClass`] (for
+    /// `trace-report --phases`) and feeds its duration into `tracer`'s
+    /// `hist_name` histogram on finish — the fully instrumented variant
+    /// every join algorithm's phases use.
+    pub fn start_classed(
+        tracer: &hdsj_obs::Tracer,
+        parent: &hdsj_obs::Span,
+        name: &'static str,
+        class: hdsj_obs::PhaseClass,
+        hist_name: &'static str,
+    ) -> TracedPhase {
+        let mut span = parent.child(name);
+        span.set_phase(class);
+        TracedPhase {
+            name,
+            span,
+            hist: tracer.enabled().then(|| tracer.histogram(hist_name)),
         }
     }
 
@@ -228,9 +252,13 @@ impl TracedPhase {
         &mut self.span
     }
 
-    /// Ends the span and records the phase.
+    /// Ends the span and records the phase (and its duration histogram,
+    /// when started with [`TracedPhase::start_classed`]).
     pub fn finish(self, phases: &mut Vec<Phase>) {
         let elapsed = self.span.finish();
+        if let Some(hist) = &self.hist {
+            hist.record_duration(elapsed);
+        }
         phases.push(Phase {
             name: self.name,
             elapsed,
@@ -345,6 +373,47 @@ mod tests {
         assert_eq!(spans[0].name, "sort");
         assert_eq!(spans[1].name, "join");
         assert_eq!(spans[0].parent, Some(spans[1].id));
+    }
+
+    #[test]
+    fn classed_phase_records_class_and_histogram() {
+        let (tracer, sink) = hdsj_obs::Tracer::memory();
+        let mut phases = Vec::new();
+        {
+            let root = tracer.span("join");
+            let t = TracedPhase::start_classed(
+                &tracer,
+                &root,
+                "sort",
+                hdsj_obs::PhaseClass::Io,
+                "msj.phase.sort_ns",
+            );
+            t.finish(&mut phases);
+            root.finish();
+        }
+        tracer.flush();
+        assert_eq!(phases[0].name, "sort");
+        let spans = sink.spans();
+        assert_eq!(
+            spans[0].attrs,
+            vec![(
+                hdsj_obs::PHASE_ATTR.to_string(),
+                hdsj_obs::AttrValue::Str("io".to_string())
+            )]
+        );
+        let hist = sink.hist_snapshot("msj.phase.sort_ns").unwrap();
+        assert_eq!(hist.count, 1);
+
+        // Disabled tracer: no histogram handle is even created.
+        let t = TracedPhase::start_classed(
+            &hdsj_obs::Tracer::disabled(),
+            &hdsj_obs::Tracer::disabled().span("x"),
+            "sort",
+            hdsj_obs::PhaseClass::Cpu,
+            "msj.phase.sort_ns",
+        );
+        t.finish(&mut phases);
+        assert_eq!(phases.len(), 2);
     }
 
     #[test]

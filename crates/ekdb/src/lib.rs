@@ -182,7 +182,13 @@ impl EkdbJoin {
         root.attr_u64("dims", a.dims() as u64);
         root.attr_f64("eps", spec.eps);
 
-        let build = TracedPhase::start(&root, "build");
+        let build = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "build",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::EKDB_PHASE_BUILD_NS,
+        );
         let tree_a = Tree::build(a, spec.eps, self.leaf_capacity);
         let tree_b = match kind {
             JoinKind::SelfJoin => None,
@@ -191,7 +197,13 @@ impl EkdbJoin {
         let structure_bytes = tree_a.bytes() + tree_b.as_ref().map(|t| t.bytes()).unwrap_or(0);
         build.finish(&mut phases);
 
-        let join = TracedPhase::start(&root, "join");
+        let join = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "join",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::EKDB_PHASE_JOIN_NS,
+        );
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         let mut ctx = JoinCtx {
             a,

@@ -51,6 +51,7 @@ use hdsj_core::{Error, Result};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Best-effort human-readable message from a caught panic payload.
 pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -154,12 +155,24 @@ impl Pool {
         if traced {
             self.tracer.counter(names::EXEC_TASKS).add(nchunks as u64);
         }
+        // `lo` cannot overflow (`c < nchunks` implies `c * chunk < n`) but
+        // `lo + chunk` can when `n` is within one chunk of `usize::MAX`;
+        // saturate before clamping to `n`.
+        let chunk_range = |c: usize| {
+            let lo = c * chunk;
+            lo..lo.saturating_add(chunk).min(n)
+        };
+        let chunk_hist = traced.then(|| self.tracer.histogram(names::EXEC_CHUNK_NS));
         let workers = self.threads.min(nchunks);
         if workers <= 1 {
             let mut out = Vec::with_capacity(nchunks);
             for c in 0..nchunks {
-                let lo = c * chunk;
-                out.push(f(lo..(lo + chunk).min(n))?);
+                let started = chunk_hist.as_ref().map(|_| Instant::now());
+                let r = f(chunk_range(c))?;
+                if let (Some(h), Some(t0)) = (&chunk_hist, started) {
+                    h.record_duration(t0.elapsed());
+                }
+                out.push(r);
             }
             return Ok(out);
         }
@@ -167,6 +180,8 @@ impl Pool {
             self.tracer.counter(names::EXEC_WORKERS).add(workers as u64);
         }
         let steal_waits = self.tracer.counter(names::EXEC_STEAL_WAITS);
+        let queue_hist = traced.then(|| self.tracer.histogram(names::EXEC_QUEUE_WAIT_NS));
+        let spawn_epoch = Instant::now();
 
         // Per worker: its join result wrapping the (chunk index, chunk
         // result) pairs it claimed.
@@ -179,7 +194,10 @@ impl Pool {
                 let cursor = &cursor;
                 let stop = &stop;
                 let f = &f;
+                let chunk_range = &chunk_range;
                 let steal_waits = steal_waits.clone();
+                let chunk_hist = chunk_hist.clone();
+                let queue_hist = queue_hist.clone();
                 handles.push(s.spawn(move || {
                     let _live = schedule::worker_guard();
                     let mut wspan = if traced {
@@ -189,6 +207,7 @@ impl Pool {
                     };
                     let mut local: Vec<(usize, Result<R>)> = Vec::new();
                     let mut tasks = 0u64;
+                    let mut first_claim = queue_hist.is_some();
                     loop {
                         schedule::yield_point(schedule::Site::StopCheck);
                         // ORDERING: advisory early-exit hint — a missed flag
@@ -197,22 +216,43 @@ impl Pool {
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
-                        // ORDERING: fetch_add's atomicity alone makes chunk
-                        // claims unique; claim order carries no data — results
-                        // are re-sorted by chunk index after the scope join.
-                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        // Capping at `nchunks` (instead of fetch_add past the
+                        // end) keeps the cursor from ever wrapping when
+                        // `nchunks` is within `workers` of `usize::MAX`.
+                        // ORDERING: CAS atomicity alone makes claims unique;
+                        // claim order carries no data (results are re-sorted).
+                        let claimed =
+                            cursor.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                                if c < nchunks {
+                                    Some(c + 1)
+                                } else {
+                                    None
+                                }
+                            });
                         schedule::yield_point(schedule::Site::CursorClaim);
-                        if c >= nchunks {
-                            if traced {
-                                steal_waits.incr();
+                        let c = match claimed {
+                            Ok(c) => c,
+                            Err(_) => {
+                                if traced {
+                                    steal_waits.incr();
+                                }
+                                break;
                             }
-                            break;
+                        };
+                        if first_claim {
+                            first_claim = false;
+                            if let Some(h) = &queue_hist {
+                                h.record_duration(spawn_epoch.elapsed());
+                            }
                         }
-                        let lo = c * chunk;
-                        let hi = (lo + chunk).min(n);
+                        let Range { start: lo, end: hi } = chunk_range(c);
+                        let started = chunk_hist.as_ref().map(|_| Instant::now());
                         match catch_unwind(AssertUnwindSafe(|| f(lo..hi))) {
                             Ok(Ok(r)) => {
                                 tasks += 1;
+                                if let (Some(h), Some(t0)) = (&chunk_hist, started) {
+                                    h.record_duration(t0.elapsed());
+                                }
                                 local.push((c, Ok(r)));
                                 schedule::yield_point(schedule::Site::ChunkDone);
                             }
@@ -388,6 +428,52 @@ mod tests {
     fn empty_input_spawns_nothing() {
         let out: Vec<u8> = Pool::new(4).map_chunks(None, 0, 16, |_| Ok(0u8)).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn near_overflow_chunk_math_saturates() {
+        // `n` within one chunk of `usize::MAX`: the last chunk's naive
+        // `lo + chunk` wraps. The ranges must tile [0, n) exactly instead.
+        let n = usize::MAX;
+        let chunk = usize::MAX / 2 + 1;
+        for threads in [1, 2] {
+            let bounds: Vec<(usize, usize)> = Pool::new(threads)
+                .map_chunks(None, n, chunk, |r| Ok((r.start, r.end)))
+                .unwrap();
+            assert_eq!(bounds, vec![(0, chunk), (chunk, n)], "threads={threads}");
+        }
+        // One-short-of-MAX count with chunk 1 at the tail: hi clamps to n.
+        let bounds: Vec<(usize, usize)> = Pool::new(2)
+            .map_chunks(None, 3, usize::MAX, |r| Ok((r.start, r.end)))
+            .unwrap();
+        assert_eq!(bounds, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn chunk_and_queue_wait_histograms_are_recorded() {
+        let (tracer, sink) = Tracer::memory();
+        let pool = Pool::with_tracer(3, tracer.clone());
+        let out = pool.map_chunks(None, 90, 10, |r| Ok(r.len())).unwrap();
+        assert_eq!(out.len(), 9);
+        // Serial pools record chunk durations too.
+        Pool::with_tracer(1, tracer.clone())
+            .map_chunks(None, 20, 10, |r| Ok(r.len()))
+            .unwrap();
+        tracer.flush();
+        let chunks = sink.hist_snapshot(names::EXEC_CHUNK_NS).unwrap();
+        assert_eq!(chunks.count, 11, "9 parallel + 2 serial chunks");
+        let waits = sink.hist_snapshot(names::EXEC_QUEUE_WAIT_NS).unwrap();
+        assert!(
+            (1..=3).contains(&waits.count),
+            "each worker that claimed work records one wait, got {}",
+            waits.count
+        );
+        // Untraced pools record nothing.
+        let t = Tracer::disabled();
+        Pool::with_tracer(2, t.clone())
+            .map_chunks(None, 20, 10, |r| Ok(r.len()))
+            .unwrap();
+        assert!(t.metrics_snapshot().is_empty());
     }
 
     #[test]

@@ -214,6 +214,7 @@ pub mod explorer {
         ("map_reduce_sum", map_reduce_sum),
         ("producer_consumers_sum", producer_consumers_sum),
         ("error_priority_quiescence", error_priority_quiescence),
+        ("traced_pool_metrics", traced_pool_metrics),
     ];
 
     /// Runs every scenario under every seed in `seeds`, stopping at the
@@ -382,6 +383,45 @@ pub mod explorer {
             return Err(format!(
                 "handoff lost items: sent={sent} consumed={count} sum={total} want={want}"
             ));
+        }
+        Ok(())
+    }
+
+    /// A *traced* pool run (live memory-sink tracer) must not deadlock
+    /// under perturbation, and its metrics must stay schedule-stable:
+    /// the task counter equals the chunk count, the per-chunk latency
+    /// histogram records exactly one sample per chunk, and the results
+    /// themselves remain byte-deterministic. This guards the metric
+    /// record paths (sharded histogram cells, counter cells) against
+    /// interleaving bugs that an untraced sweep can never see.
+    fn traced_pool_metrics() -> Result<(), String> {
+        let (tracer, sink) = hdsj_core::obs::Tracer::memory();
+        let (n, chunk) = (203usize, 7usize);
+        let nchunks = n.div_ceil(chunk) as u64;
+        let expected: Vec<u64> = (0..n).map(item).collect();
+        let got = Pool::with_tracer(3, tracer.clone())
+            .map_chunks(None, n, chunk, |r: Range<usize>| {
+                Ok(r.map(item).collect::<Vec<u64>>())
+            })
+            .map_err(|e| format!("traced map_chunks failed: {e}"))?;
+        let flat: Vec<u64> = got.into_iter().flatten().collect();
+        if flat != expected {
+            return Err("traced output diverged from serial".to_string());
+        }
+        tracer.flush();
+        let tasks = sink.counter_value(hdsj_core::obs::names::EXEC_TASKS);
+        if tasks != Some(nchunks) {
+            return Err(format!("task counter {tasks:?} != chunks {nchunks}"));
+        }
+        match sink.hist_snapshot(hdsj_core::obs::names::EXEC_CHUNK_NS) {
+            Some(h) if h.count == nchunks => {}
+            Some(h) => {
+                return Err(format!(
+                    "chunk histogram saw {} samples, want {nchunks}",
+                    h.count
+                ))
+            }
+            None => return Err("chunk histogram missing from the flush".to_string()),
         }
         Ok(())
     }

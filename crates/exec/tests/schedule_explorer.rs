@@ -10,7 +10,7 @@
 
 use hdsj_exec::schedule;
 
-/// The default sweep: 250 seeds × 4 scenarios × 3 pool primitives.
+/// The default sweep: 250 seeds × 5 scenarios over the pool primitives.
 const DEFAULT_SEEDS: std::ops::Range<u64> = 0..250;
 
 fn seed_range() -> std::ops::Range<u64> {
@@ -37,7 +37,7 @@ fn all_pool_primitives_hold_under_schedule_perturbation() {
         Err(failure) => panic!("schedule explorer violation: {failure}"),
     };
     assert_eq!(report.seeds, range.end - range.start);
-    assert_eq!(report.scenarios_per_seed, 4);
+    assert_eq!(report.scenarios_per_seed, 5);
     // Liveness: the yield-point hooks actually fired during the sweep —
     // the guarantee was tested, not skipped.
     assert!(

@@ -154,7 +154,13 @@ impl GridJoin {
         root.attr_u64("dims", dims as u64);
         root.attr_f64("eps", spec.eps);
 
-        let build = TracedPhase::start(&root, "build");
+        let build = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "build",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::GRID_PHASE_BUILD_NS,
+        );
         let dir_a = Directory::build(a, spec.eps);
         let dir_b = match kind {
             JoinKind::SelfJoin => None,
@@ -163,7 +169,13 @@ impl GridJoin {
         let structure_bytes = dir_a.bytes() + dir_b.as_ref().map(|d| d.bytes()).unwrap_or(0);
         build.finish(&mut phases);
 
-        let sweep = TracedPhase::start(&root, "probe");
+        let sweep = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "probe",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::GRID_PHASE_PROBE_NS,
+        );
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         let mut neighbour = vec![0i64; dims];
         match kind {

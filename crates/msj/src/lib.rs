@@ -182,7 +182,13 @@ impl Msj {
         // (each chunk owns its Assigner and encodes into a local buffer);
         // the file writes stay on this thread, in chunk order, so the level
         // file is byte-identical at every thread count.
-        let mut assign_timer = TracedPhase::start(&root, "assign");
+        let mut assign_timer = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "assign",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::MSJ_PHASE_ASSIGN_NS,
+        );
         let rec_len = codec.record_len();
         let mut file = RecordFile::create(&engine, rec_len)?;
         let pool = Pool::with_tracer(self.threads, self.tracer.clone());
@@ -216,7 +222,13 @@ impl Msj {
         // order of the cell hierarchy. The level byte directly follows the
         // key bytes, so one prefix comparison covers both. Run formation
         // fans out on the same thread budget; output stays byte-identical.
-        let sort_timer = TracedPhase::start(&root, "sort");
+        let sort_timer = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "sort",
+            hdsj_core::obs::PhaseClass::Io,
+            hdsj_core::obs::names::MSJ_PHASE_SORT_NS,
+        );
         let sorted = external_sort(
             &engine,
             &file,
@@ -234,7 +246,13 @@ impl Msj {
         // Phase 3: stack-based synchronized sweep, refining inline or on
         // worker threads.
         let refine_threads = self.refine_threads.max(self.threads);
-        let mut sweep_timer = TracedPhase::start(&root, "sweep");
+        let mut sweep_timer = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "sweep",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::MSJ_PHASE_SWEEP_NS,
+        );
         let mut stats = JoinStats::default();
         let peak_bytes = if refine_threads <= 1 {
             let mut refiner = Refiner::new(a, b, kind, spec, sink);
@@ -277,6 +295,7 @@ impl Msj {
             self.tracer.counter("msj.candidates").add(stats.candidates);
             self.tracer.counter("msj.results").add(stats.results);
             stats.io.record_counters(&self.tracer, "pool");
+            engine.pool().stats().record_latency_metrics(&self.tracer);
             self.tracer.gauge("pool.hit_rate", stats.io.hit_rate());
         }
         root.finish();

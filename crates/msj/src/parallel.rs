@@ -58,6 +58,7 @@ pub fn sweep_and_refine(
     let traced = tracer.enabled();
     let pairs_counter = tracer.counter(names::MSJ_REFINE_PAIRS);
     let candidates_counter = tracer.counter(names::MSJ_REFINE_CANDIDATES);
+    let batch_hist = tracer.histogram(names::MSJ_REFINE_BATCH);
     let pool = Pool::with_tracer(threads, tracer.clone());
 
     let (tx, rx) = crossbeam::channel::bounded::<Vec<(u32, u32)>>(threads * 4);
@@ -66,6 +67,7 @@ pub fn sweep_and_refine(
             let rx = rx.clone();
             let pairs_counter = pairs_counter.clone();
             let candidates_counter = candidates_counter.clone();
+            let batch_hist = batch_hist.clone();
             move |worker_idx: usize| -> Result<(Vec<(u32, u32)>, u64)> {
                 let mut span = parent.child("refine-worker");
                 if fail_worker == Some(worker_idx) {
@@ -93,6 +95,9 @@ pub fn sweep_and_refine(
                             break;
                         }
                     };
+                    if traced {
+                        batch_hist.record(batch.len() as u64);
+                    }
                     let mut batch_pairs = 0u64;
                     let mut batch_candidates = 0u64;
                     // Group consecutive candidates that share a probe so each

@@ -103,7 +103,13 @@ impl S3j {
         // Phase 1: level assignment. The assigner's ε-expansion is disabled
         // (ε = 0 would be rejected by JoinSpec, but the assigner itself only
         // uses ε for the cube case; faces are passed explicitly here).
-        let assign_timer = TracedPhase::start(&root, "assign");
+        let assign_timer = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "assign",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::S3J_PHASE_ASSIGN_NS,
+        );
         let mut assigner = Assigner::new(dims, self.depth, 1.0, self.curve)?;
         let mut file = RecordFile::create(&engine, codec.record_len())?;
         let mut rec = vec![0u8; codec.record_len()];
@@ -123,7 +129,13 @@ impl S3j {
         assign_timer.finish(&mut phases);
 
         // Phase 2: DFS-order external sort (identical to the ε-join).
-        let sort_timer = TracedPhase::start(&root, "sort");
+        let sort_timer = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "sort",
+            hdsj_core::obs::PhaseClass::Io,
+            hdsj_core::obs::names::S3J_PHASE_SORT_NS,
+        );
         let sorted = external_sort(
             &engine,
             &file,
@@ -138,7 +150,13 @@ impl S3j {
         sort_timer.finish(&mut phases);
 
         // Phase 3: stack sweep with rectangle refinement.
-        let sweep_timer = TracedPhase::start(&root, "sweep");
+        let sweep_timer = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "sweep",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::S3J_PHASE_SWEEP_NS,
+        );
         let mut stats = JoinStats::default();
         let peak = rect_sweep(&sorted, &codec, a, b, kind, sink, &mut stats)?;
         sweep_timer.finish(&mut phases);
@@ -154,6 +172,7 @@ impl S3j {
             self.tracer.counter("s3j.candidates").add(stats.candidates);
             self.tracer.counter("s3j.results").add(stats.results);
             stats.io.record_counters(&self.tracer, "pool");
+            engine.pool().stats().record_latency_metrics(&self.tracer);
         }
         root.finish();
         Ok(stats)

@@ -7,7 +7,7 @@
 //! null). The parser is general enough for any well-formed JSON document,
 //! which keeps the round-trip property testable.
 
-use crate::{AttrValue, CounterEvent, Event, GaugeEvent, SpanEvent};
+use crate::{AttrValue, CounterEvent, Event, GaugeEvent, HistEvent, SpanEvent};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -102,6 +102,24 @@ pub fn encode_event(event: &Event) -> String {
             encode_str(&g.name),
             encode_f64(g.value)
         ),
+        Event::Hist(h) => {
+            let mut out = format!(
+                "{{\"t\":\"hist\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                encode_str(&h.name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            );
+            for (i, (idx, count)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{idx},{count}]");
+            }
+            out.push_str("]}");
+            out
+        }
     }
 }
 
@@ -423,6 +441,43 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
                 .and_then(Value::as_f64)
                 .ok_or("gauge.value")?,
         })),
+        "hist" => {
+            let buckets = match value.get("buckets") {
+                None => Vec::new(),
+                Some(Value::Arr(items)) => items
+                    .iter()
+                    .map(|pair| match pair {
+                        Value::Arr(kv) if kv.len() == 2 => {
+                            match (kv[0].as_u64(), kv[1].as_u64()) {
+                                (Some(idx), Some(count)) => Ok((idx, count)),
+                                _ => Err("hist.buckets entries must be u64 pairs".to_string()),
+                            }
+                        }
+                        other => {
+                            Err(format!("hist.buckets entry must be a pair, got {other:?}"))
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                Some(other) => {
+                    return Err(format!("hist.buckets must be an array, got {other:?}"))
+                }
+            };
+            Ok(Event::Hist(HistEvent {
+                name: value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("hist.name")?
+                    .to_string(),
+                count: value
+                    .get("count")
+                    .and_then(Value::as_u64)
+                    .ok_or("hist.count")?,
+                sum: value.get("sum").and_then(Value::as_u64).ok_or("hist.sum")?,
+                min: value.get("min").and_then(Value::as_u64).ok_or("hist.min")?,
+                max: value.get("max").and_then(Value::as_u64).ok_or("hist.max")?,
+                buckets,
+            }))
+        }
         other => Err(format!("unknown event tag {other:?}")),
     }
 }
@@ -492,6 +547,22 @@ mod tests {
             Event::Gauge(GaugeEvent {
                 name: "precision".to_string(),
                 value: 0.125,
+            }),
+            Event::Hist(HistEvent {
+                name: "pool.read_ns".to_string(),
+                count: 12,
+                sum: 48_000,
+                min: 900,
+                max: 9_000,
+                buckets: vec![(10, 7), (14, 5)],
+            }),
+            Event::Hist(HistEvent {
+                name: "empty".to_string(),
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                buckets: Vec::new(),
             }),
         ];
         for event in events {

@@ -26,18 +26,30 @@
 //! {"t":"span","id":2,"parent":1,"name":"sort","start_us":120,"dur_us":4567,"attrs":{"records":10000}}
 //! {"t":"counter","name":"pool.hits","value":913}
 //! {"t":"gauge","name":"filter.precision","value":0.42}
+//! {"t":"hist","name":"pool.read_ns","count":12,"sum":48000,"min":900,"max":9000,"buckets":[[10,7],[14,5]]}
 //! ```
 //!
 //! `id` is unique per tracer; `parent` is absent (or `null`) for root
 //! spans; `start_us` is microseconds since the tracer's epoch; attribute
-//! values are unsigned integers, floats, or strings.
+//! values are unsigned integers, floats, or strings. Histogram `buckets`
+//! are sparse `[bucket_index, count]` pairs over the fixed log₂ layout of
+//! [`hist::bucket_index`].
+//!
+//! Counters, gauges, and histograms all live in the tracer's
+//! [`MetricsRegistry`]; [`Tracer::metrics_snapshot`] returns them as one
+//! typed struct and [`MetricsSnapshot::to_prometheus`] renders the
+//! text exposition served by `hdsj stats --format prom`.
 #![forbid(unsafe_code)]
 
+pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod names;
 pub mod report;
 
-use std::collections::BTreeMap;
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::Path;
@@ -60,6 +72,50 @@ pub enum AttrValue {
     U64(u64),
     F64(f64),
     Str(String),
+}
+
+/// The span attribute key that carries a [`PhaseClass`].
+pub const PHASE_ATTR: &str = "phase";
+
+/// Cost class of a span, after the paper's CPU/I-O decomposition of each
+/// join phase (§6 of the evaluation splits every algorithm's time this
+/// way). `Wait` covers time blocked on other workers — the class the
+/// paper folds into CPU but a parallel implementation must separate.
+///
+/// Attached to spans as the string attribute [`PHASE_ATTR`]; children
+/// without their own class inherit the nearest classed ancestor's in
+/// `trace-report --phases`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PhaseClass {
+    Cpu,
+    Io,
+    Wait,
+}
+
+impl PhaseClass {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PhaseClass::Cpu => "cpu",
+            PhaseClass::Io => "io",
+            PhaseClass::Wait => "wait",
+        }
+    }
+
+    /// The class encoded by a `phase` attribute value, if recognized.
+    pub fn parse(s: &str) -> Option<PhaseClass> {
+        match s {
+            "cpu" => Some(PhaseClass::Cpu),
+            "io" => Some(PhaseClass::Io),
+            "wait" => Some(PhaseClass::Wait),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// A completed span, as delivered to sinks and read back by the report
@@ -90,12 +146,44 @@ pub struct GaugeEvent {
     pub value: f64,
 }
 
+/// A histogram's final state, emitted by [`Tracer::flush`]. Buckets are
+/// sparse `(bucket_index, count)` pairs over the fixed log₂ layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistEvent {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistEvent {
+    /// This event's distribution as a dense snapshot.
+    pub fn to_snapshot(&self) -> Result<HistogramSnapshot, String> {
+        HistogramSnapshot::from_sparse(self.count, self.sum, self.min, self.max, &self.buckets)
+    }
+
+    /// The flush-time encoding of `snap` under `name`.
+    pub fn from_snapshot(name: impl Into<String>, snap: &HistogramSnapshot) -> HistEvent {
+        HistEvent {
+            name: name.into(),
+            count: snap.count,
+            sum: snap.sum,
+            min: snap.min,
+            max: snap.max,
+            buckets: snap.sparse_buckets(),
+        }
+    }
+}
+
 /// Everything a sink can receive.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
     Span(SpanEvent),
     Counter(CounterEvent),
     Gauge(GaugeEvent),
+    Hist(HistEvent),
 }
 
 /// Receives trace events. Implementations must be internally synchronized:
@@ -179,6 +267,26 @@ impl MemorySink {
             .find(|c| c.name == name)
             .map(|c| c.value)
     }
+
+    /// All recorded histogram events.
+    pub fn hists(&self) -> Vec<HistEvent> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Hist(h) => Some(h),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The named histogram event's distribution, if one was recorded and
+    /// is internally consistent.
+    pub fn hist_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.hists()
+            .into_iter()
+            .find(|h| h.name == name)
+            .and_then(|h| h.to_snapshot().ok())
+    }
 }
 
 impl TraceSink for Arc<MemorySink> {
@@ -191,7 +299,7 @@ struct TracerInner {
     epoch: Instant,
     next_id: AtomicU64,
     sink: Box<dyn TraceSink>,
-    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    metrics: MetricsRegistry,
 }
 
 /// Handle to a trace session. Cloning is cheap (an `Arc` bump); all clones
@@ -225,7 +333,7 @@ impl Tracer {
                 epoch: Instant::now(),
                 next_id: AtomicU64::new(1),
                 sink: Box::new(sink),
-                counters: Mutex::new(BTreeMap::new()),
+                metrics: MetricsRegistry::default(),
             })),
         }
     }
@@ -276,25 +384,30 @@ impl Tracer {
             None => Counter {
                 cell: Arc::new(AtomicU64::new(0)),
             },
-            Some(inner) => {
-                let mut registry = lock_recover(&inner.counters);
-                let cell = registry
-                    .entry(name.into())
-                    .or_insert_with(|| Arc::new(AtomicU64::new(0)));
-                Counter {
-                    cell: Arc::clone(cell),
-                }
-            }
+            Some(inner) => Counter {
+                cell: inner.metrics.counter_cell(name),
+            },
         }
     }
 
-    /// Records a point-in-time measurement immediately.
+    /// Records a point-in-time measurement immediately and remembers its
+    /// latest value in the registry.
     pub fn gauge(&self, name: impl Into<String>, value: f64) {
         if let Some(inner) = &self.inner {
-            inner.sink.record(&Event::Gauge(GaugeEvent {
-                name: name.into(),
-                value,
-            }));
+            let name = name.into();
+            inner.metrics.set_gauge(name.clone(), value);
+            inner.sink.record(&Event::Gauge(GaugeEvent { name, value }));
+        }
+    }
+
+    /// The named histogram from the shared registry, created empty on
+    /// first use. All handles to one name share the same sharded cells.
+    /// A disabled tracer returns a private histogram that still records
+    /// but is never emitted — the same contract as [`Tracer::counter`].
+    pub fn histogram(&self, name: impl Into<String>) -> Arc<Histogram> {
+        match &self.inner {
+            None => Arc::new(Histogram::new()),
+            Some(inner) => inner.metrics.histogram(name),
         }
     }
 
@@ -302,21 +415,37 @@ impl Tracer {
     pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => lock_recover(&inner.counters)
-                .iter()
-                .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
-                .collect(),
+            Some(inner) => inner.metrics.snapshot().counters,
         }
     }
 
-    /// Emits every registered counter's current value as a counter event,
-    /// then flushes the sink. Call once at the end of a traced run.
+    /// Current values of every registered metric (counters, gauges,
+    /// histograms), sorted by name within each kind.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            None => MetricsSnapshot::default(),
+            Some(inner) => inner.metrics.snapshot(),
+        }
+    }
+
+    /// Emits every registered counter's current value as a counter event
+    /// and every non-empty histogram as a hist event, then flushes the
+    /// sink. Call once at the end of a traced run. (Gauges were already
+    /// emitted when set.)
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
-            for (name, value) in self.counter_snapshot() {
+            let snap = inner.metrics.snapshot();
+            for (name, value) in snap.counters {
                 inner
                     .sink
                     .record(&Event::Counter(CounterEvent { name, value }));
+            }
+            for (name, hist) in snap.hists {
+                if !hist.is_empty() {
+                    inner
+                        .sink
+                        .record(&Event::Hist(HistEvent::from_snapshot(name, &hist)));
+                }
             }
             inner.sink.flush();
         }
@@ -385,6 +514,13 @@ impl Span {
         if self.tracer.enabled() {
             self.attrs.push((key.into(), AttrValue::Str(value.into())));
         }
+    }
+
+    /// Classifies this span's cost as CPU, I/O, or wait time for
+    /// `trace-report --phases`. Children inherit the class unless they set
+    /// their own.
+    pub fn set_phase(&mut self, class: PhaseClass) {
+        self.attr_str(PHASE_ATTR, class.as_str());
     }
 
     /// Ends the span, records it, and returns its wall-clock duration —
@@ -536,7 +672,7 @@ mod tests {
     }
 
     #[test]
-    fn gauges_record_immediately() {
+    fn gauges_record_immediately_and_register_latest_value() {
         let (t, sink) = Tracer::memory();
         t.gauge("precision", 0.25);
         let events = sink.events();
@@ -547,6 +683,57 @@ mod tests {
                 value: 0.25
             })]
         );
+        t.gauge("precision", 0.5);
+        assert_eq!(
+            t.metrics_snapshot().gauges,
+            vec![("precision".to_string(), 0.5)]
+        );
+    }
+
+    #[test]
+    fn histogram_handles_share_cells_and_flush_emits_them() {
+        let (t, sink) = Tracer::memory();
+        let a = t.histogram("lat");
+        let b = t.histogram("lat");
+        a.record(100);
+        b.record(200);
+        t.histogram("registered.but.empty");
+        t.flush();
+        let hists = sink.hists();
+        // Empty histograms are not emitted.
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].name, "lat");
+        let snap = sink.hist_snapshot("lat").unwrap();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 300);
+        assert_eq!(snap.min, 100);
+        assert_eq!(snap.max, 200);
+        assert_eq!(snap, t.metrics_snapshot().hist("lat").unwrap().clone());
+    }
+
+    #[test]
+    fn disabled_tracer_histograms_record_privately() {
+        let t = Tracer::disabled();
+        let h = t.histogram("lat");
+        h.record(7);
+        assert_eq!(h.snapshot().count, 1);
+        assert!(t.metrics_snapshot().is_empty());
+        t.flush();
+    }
+
+    #[test]
+    fn set_phase_attaches_the_phase_attribute() {
+        let (t, sink) = Tracer::memory();
+        let mut sp = t.span("sort");
+        sp.set_phase(PhaseClass::Io);
+        sp.finish();
+        let spans = sink.spans();
+        assert_eq!(
+            spans[0].attrs,
+            vec![(PHASE_ATTR.to_string(), AttrValue::Str("io".to_string()))]
+        );
+        assert_eq!(PhaseClass::parse("io"), Some(PhaseClass::Io));
+        assert_eq!(PhaseClass::parse("gpu"), None);
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! Metric-name registry: the single source of truth for every counter and
-//! gauge name the workspace records.
+//! Metric-name registry: the single source of truth for every counter,
+//! gauge, and histogram name the workspace records.
 //!
-//! Counter names are stringly-typed at their call sites; a typo there (or
+//! Metric names are stringly-typed at their call sites; a typo there (or
 //! in a test's `counter_value` assertion) silently creates a metric nobody
 //! else reads. The `hdsj-analyze` rule R6 (`counter_registry`)
 //! cross-checks every literal metric name in the workspace against the
 //! string literals in **this file** — add new names here first.
+//!
+//! Naming convention: histograms of durations end in `_ns` (values are
+//! nanoseconds); per-phase duration histograms are
+//! `<algo>.phase.<phase>_ns`.
 //!
 //! Dynamically built names (`IoCounters::record_counters` emits
 //! `<prefix>.<field>`) cannot be checked lexically; their expansions for
@@ -82,6 +86,53 @@ pub const POOL_CORRUPTION_DETECTED: &str = "pool.corruption_detected";
 /// Buffer-pool hit rate over a run (gauge, 0.0–1.0).
 pub const POOL_HIT_RATE: &str = "pool.hit_rate";
 
+/// Disk-read latency per buffer-pool page (histogram, ns).
+pub const POOL_READ_NS: &str = "pool.read_ns";
+/// Disk-write latency per buffer-pool page (histogram, ns).
+pub const POOL_WRITE_NS: &str = "pool.write_ns";
+/// Eviction write-back latency per dirty frame (histogram, ns).
+pub const POOL_WRITEBACK_NS: &str = "pool.writeback_ns";
+
+/// Per-chunk execution time in the hdsj-exec pool (histogram, ns).
+pub const EXEC_CHUNK_NS: &str = "exec.chunk_ns";
+/// Time each hdsj-exec worker waited between spawn and its first chunk
+/// claim (histogram, ns) — queue/startup latency.
+pub const EXEC_QUEUE_WAIT_NS: &str = "exec.queue_wait_ns";
+
+/// Candidate batch sizes received by MSJ refine workers (histogram).
+pub const MSJ_REFINE_BATCH: &str = "msj.refine.batch_size";
+
+/// Brute-force join phase duration (histogram, ns).
+pub const BF_PHASE_JOIN_NS: &str = "bf.phase.join_ns";
+/// 1-d sort-merge sort-phase duration (histogram, ns).
+pub const SM1D_PHASE_SORT_NS: &str = "sm1d.phase.sort_ns";
+/// 1-d sort-merge sweep-phase duration (histogram, ns).
+pub const SM1D_PHASE_SWEEP_NS: &str = "sm1d.phase.sweep_ns";
+/// ε-grid build-phase duration (histogram, ns).
+pub const GRID_PHASE_BUILD_NS: &str = "grid.phase.build_ns";
+/// ε-grid probe-phase duration (histogram, ns).
+pub const GRID_PHASE_PROBE_NS: &str = "grid.phase.probe_ns";
+/// ε-KDB-tree build-phase duration (histogram, ns).
+pub const EKDB_PHASE_BUILD_NS: &str = "ekdb.phase.build_ns";
+/// ε-KDB-tree join-phase duration (histogram, ns).
+pub const EKDB_PHASE_JOIN_NS: &str = "ekdb.phase.join_ns";
+/// R-tree spatial join build-phase duration (histogram, ns).
+pub const RSJ_PHASE_BUILD_NS: &str = "rsj.phase.build_ns";
+/// R-tree spatial join join-phase duration (histogram, ns).
+pub const RSJ_PHASE_JOIN_NS: &str = "rsj.phase.join_ns";
+/// S3J assign-phase duration (histogram, ns).
+pub const S3J_PHASE_ASSIGN_NS: &str = "s3j.phase.assign_ns";
+/// S3J sort-phase duration (histogram, ns).
+pub const S3J_PHASE_SORT_NS: &str = "s3j.phase.sort_ns";
+/// S3J sweep-phase duration (histogram, ns).
+pub const S3J_PHASE_SWEEP_NS: &str = "s3j.phase.sweep_ns";
+/// MSJ assign-phase duration (histogram, ns).
+pub const MSJ_PHASE_ASSIGN_NS: &str = "msj.phase.assign_ns";
+/// MSJ sort-phase duration (histogram, ns).
+pub const MSJ_PHASE_SORT_NS: &str = "msj.phase.sort_ns";
+/// MSJ sweep-phase duration (histogram, ns).
+pub const MSJ_PHASE_SWEEP_NS: &str = "msj.phase.sweep_ns";
+
 /// Every registered metric name, for exhaustiveness tests.
 pub const ALL: &[&str] = &[
     BF_CANDIDATES,
@@ -114,6 +165,27 @@ pub const ALL: &[&str] = &[
     POOL_FAULTS,
     POOL_CORRUPTION_DETECTED,
     POOL_HIT_RATE,
+    POOL_READ_NS,
+    POOL_WRITE_NS,
+    POOL_WRITEBACK_NS,
+    EXEC_CHUNK_NS,
+    EXEC_QUEUE_WAIT_NS,
+    MSJ_REFINE_BATCH,
+    BF_PHASE_JOIN_NS,
+    SM1D_PHASE_SORT_NS,
+    SM1D_PHASE_SWEEP_NS,
+    GRID_PHASE_BUILD_NS,
+    GRID_PHASE_PROBE_NS,
+    EKDB_PHASE_BUILD_NS,
+    EKDB_PHASE_JOIN_NS,
+    RSJ_PHASE_BUILD_NS,
+    RSJ_PHASE_JOIN_NS,
+    S3J_PHASE_ASSIGN_NS,
+    S3J_PHASE_SORT_NS,
+    S3J_PHASE_SWEEP_NS,
+    MSJ_PHASE_ASSIGN_NS,
+    MSJ_PHASE_SORT_NS,
+    MSJ_PHASE_SWEEP_NS,
 ];
 
 #[cfg(test)]

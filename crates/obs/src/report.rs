@@ -1,12 +1,16 @@
 //! Trace-file analysis: parse a JSONL trace back into events and render a
-//! flamegraph-style phase tree with top counters.
+//! flamegraph-style phase tree with top counters, a CPU/IO/Wait phase
+//! table ([`phase_breakdown`]), and the critical path ([`critical_path`]).
 //!
 //! This is the consumer side of the [`crate::JsonlSink`] schema, used by
-//! the `hdsj trace-report` subcommand and by tests that check the JSONL
-//! round trip.
+//! the `hdsj trace-report` and `hdsj stats` subcommands and by tests that
+//! check the JSONL round trip.
 
 use crate::json;
-use crate::{CounterEvent, Event, GaugeEvent, SpanEvent};
+use crate::{
+    AttrValue, CounterEvent, Event, GaugeEvent, HistEvent, MetricsSnapshot, PhaseClass,
+    SpanEvent, PHASE_ATTR,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -16,6 +20,7 @@ pub struct Trace {
     pub spans: Vec<SpanEvent>,
     pub counters: Vec<CounterEvent>,
     pub gauges: Vec<GaugeEvent>,
+    pub hists: Vec<HistEvent>,
 }
 
 impl Trace {
@@ -31,6 +36,7 @@ impl Trace {
                 Event::Span(s) => trace.spans.push(s),
                 Event::Counter(c) => trace.counters.push(c),
                 Event::Gauge(g) => trace.gauges.push(g),
+                Event::Hist(h) => trace.hists.push(h),
             }
         }
         Ok(trace)
@@ -56,6 +62,276 @@ impl Trace {
         roots.sort_by_key(|s| s.start_us);
         roots
     }
+
+    /// The trace's metric events (counters, gauges, histograms) as one
+    /// snapshot — what `hdsj stats` renders. A gauge recorded several
+    /// times keeps its last value; a malformed hist event is an error.
+    pub fn metrics_snapshot(&self) -> Result<MetricsSnapshot, String> {
+        let mut snap = MetricsSnapshot::default();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        for c in &self.counters {
+            counters.insert(c.name.clone(), c.value);
+        }
+        snap.counters = counters.into_iter().collect();
+        let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        for g in &self.gauges {
+            gauges.insert(g.name.clone(), g.value);
+        }
+        snap.gauges = gauges.into_iter().collect();
+        let mut hists = BTreeMap::new();
+        for h in &self.hists {
+            let parsed = h
+                .to_snapshot()
+                .map_err(|e| format!("hist {:?}: {e}", h.name))?;
+            hists.insert(h.name.clone(), parsed);
+        }
+        snap.hists = hists.into_iter().collect();
+        Ok(snap)
+    }
+}
+
+/// The span's own `phase` attribute, if set and recognized.
+fn span_class(span: &SpanEvent) -> Option<PhaseClass> {
+    span.attrs.iter().find_map(|(k, v)| match v {
+        AttrValue::Str(s) if k == PHASE_ATTR => PhaseClass::parse(s),
+        _ => None,
+    })
+}
+
+/// Self-time of a span: its duration minus the duration of its direct
+/// children. Saturating, so overlapping (parallel) children attribute 0
+/// rather than underflowing.
+fn self_us(span: &SpanEvent, children: &BTreeMap<u64, Vec<&SpanEvent>>) -> u64 {
+    let child_total: u64 = children
+        .get(&span.id)
+        .map(|kids| kids.iter().map(|c| c.dur_us).sum())
+        .unwrap_or(0);
+    span.dur_us.saturating_sub(child_total)
+}
+
+fn child_index(trace: &Trace) -> BTreeMap<u64, Vec<&SpanEvent>> {
+    let mut children: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+    for span in &trace.spans {
+        if let Some(parent) = span.parent {
+            children.entry(parent).or_default().push(span);
+        }
+    }
+    for kids in children.values_mut() {
+        kids.sort_by_key(|s| s.start_us);
+    }
+    children
+}
+
+// ---------------------------------------------------------------------------
+// Phase cost attribution (`trace-report --phases`)
+
+/// One row of a [`PhaseBreakdown`]: total self-time attributed to one
+/// (span name, class) pair within a root's tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseRow {
+    pub name: String,
+    pub class: PhaseClass,
+    pub self_us: u64,
+}
+
+/// CPU/IO/Wait attribution for one root span's tree, after the paper's
+/// per-phase cost decomposition.
+#[derive(Clone, Debug)]
+pub struct PhaseBreakdown {
+    /// Root span name.
+    pub root: String,
+    /// Root span wall-clock duration.
+    pub root_dur_us: u64,
+    /// Self-time per (span name, class), largest first.
+    pub rows: Vec<PhaseRow>,
+    /// Totals per class: `[cpu, io, wait]` microseconds.
+    pub class_us: [u64; 3],
+}
+
+impl PhaseBreakdown {
+    /// Total attributed time across all classes. For a serial run with
+    /// strictly nested spans this equals `root_dur_us` exactly; parallel
+    /// children can only lose (never double-count) time.
+    pub fn total_us(&self) -> u64 {
+        self.class_us.iter().sum()
+    }
+}
+
+/// Attributes every span's *self-time* (duration minus direct children)
+/// to its phase class — its own `phase` attribute if set, else the
+/// nearest classed ancestor's, else CPU — one breakdown per root span.
+pub fn phase_breakdown(trace: &Trace) -> Vec<PhaseBreakdown> {
+    let children = child_index(trace);
+
+    fn walk<'t>(
+        span: &'t SpanEvent,
+        inherited: PhaseClass,
+        children: &BTreeMap<u64, Vec<&'t SpanEvent>>,
+        acc: &mut BTreeMap<(String, PhaseClass), u64>,
+        class_us: &mut [u64; 3],
+    ) {
+        let class = span_class(span).unwrap_or(inherited);
+        let own = self_us(span, children);
+        *acc.entry((span.name.clone(), class)).or_insert(0) += own;
+        class_us[class as usize] += own;
+        if let Some(kids) = children.get(&span.id) {
+            for child in kids {
+                walk(child, class, children, acc, class_us);
+            }
+        }
+    }
+
+    trace
+        .roots()
+        .into_iter()
+        .map(|root| {
+            let mut acc = BTreeMap::new();
+            let mut class_us = [0u64; 3];
+            walk(root, PhaseClass::Cpu, &children, &mut acc, &mut class_us);
+            let mut rows: Vec<PhaseRow> = acc
+                .into_iter()
+                .map(|((name, class), self_us)| PhaseRow {
+                    name,
+                    class,
+                    self_us,
+                })
+                .collect();
+            rows.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+            PhaseBreakdown {
+                root: root.name.clone(),
+                root_dur_us: root.dur_us,
+                rows,
+                class_us,
+            }
+        })
+        .collect()
+}
+
+/// Renders [`phase_breakdown`] as the `--phases` table.
+pub fn render_phases(trace: &Trace) -> String {
+    let mut out = String::new();
+    let breakdowns = phase_breakdown(trace);
+    if breakdowns.is_empty() {
+        let _ = writeln!(out, "(no root spans)");
+        return out;
+    }
+    for b in breakdowns {
+        let _ = writeln!(out, "{}  (wall {})", b.root, fmt_us(b.root_dur_us));
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>6} {:>12} {:>8}",
+            "phase", "class", "self", "share"
+        );
+        let total = b.total_us().max(1);
+        for row in &b.rows {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>6} {:>12} {:>7.1}%",
+                row.name,
+                row.class.as_str(),
+                fmt_us(row.self_us),
+                100.0 * row.self_us as f64 / total as f64
+            );
+        }
+        let _ = writeln!(out, "  {:-<58}", "");
+        for (class, us) in [PhaseClass::Cpu, PhaseClass::Io, PhaseClass::Wait]
+            .iter()
+            .zip(b.class_us.iter())
+        {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>6} {:>12} {:>7.1}%",
+                "total",
+                class.as_str(),
+                fmt_us(*us),
+                100.0 * *us as f64 / total as f64
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  attributed {} of {} root wall time",
+            fmt_us(b.total_us()),
+            fmt_us(b.root_dur_us)
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Critical path (`trace-report --critical-path`)
+
+/// One node on a critical path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathNode {
+    pub name: String,
+    pub dur_us: u64,
+    /// Duration minus direct children — the time this node itself adds.
+    pub self_us: u64,
+}
+
+/// The longest chain through each root's span tree, descending into the
+/// longest child at every level (ties break to the earliest start).
+pub fn critical_path(trace: &Trace) -> Vec<Vec<PathNode>> {
+    let children = child_index(trace);
+    trace
+        .roots()
+        .into_iter()
+        .map(|root| {
+            let mut path = Vec::new();
+            let mut cur = root;
+            loop {
+                path.push(PathNode {
+                    name: cur.name.clone(),
+                    dur_us: cur.dur_us,
+                    self_us: self_us(cur, &children),
+                });
+                match children
+                    .get(&cur.id)
+                    .and_then(|kids| kids.iter().max_by_key(|s| s.dur_us))
+                {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+            path
+        })
+        .collect()
+}
+
+/// Renders [`critical_path`] as the `--critical-path` listing.
+pub fn render_critical_path(trace: &Trace) -> String {
+    let mut out = String::new();
+    let paths = critical_path(trace);
+    if paths.is_empty() {
+        let _ = writeln!(out, "(no root spans)");
+        return out;
+    }
+    for path in paths {
+        let root_dur = path.first().map(|n| n.dur_us).unwrap_or(0).max(1);
+        let _ = writeln!(
+            out,
+            "critical path ({} nodes, {} wall):",
+            path.len(),
+            fmt_us(root_dur)
+        );
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>12} {:>12} {:>8}",
+            "span", "dur", "self", "self%"
+        );
+        for (depth, node) in path.iter().enumerate() {
+            let label = format!("{}{}", "  ".repeat(depth), node.name);
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>12} {:>12} {:>7.1}%",
+                label,
+                fmt_us(node.dur_us),
+                fmt_us(node.self_us),
+                100.0 * node.self_us as f64 / root_dur as f64
+            );
+        }
+    }
+    out
 }
 
 fn fmt_us(us: u64) -> String {
@@ -123,15 +399,7 @@ fn render_span(
 /// gauges.
 pub fn render(trace: &Trace, max_counters: usize) -> String {
     let mut out = String::new();
-    let mut children: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
-    for span in &trace.spans {
-        if let Some(parent) = span.parent {
-            children.entry(parent).or_default().push(span);
-        }
-    }
-    for kids in children.values_mut() {
-        kids.sort_by_key(|s| s.start_us);
-    }
+    let children = child_index(trace);
 
     let roots = trace.roots();
     if roots.is_empty() && !trace.spans.is_empty() {
@@ -157,6 +425,29 @@ pub fn render(trace: &Trace, max_counters: usize) -> String {
         let _ = writeln!(out, "\ngauges:");
         for g in &trace.gauges {
             let _ = writeln!(out, "  {:<40} {:>14.6}", g.name, g.value);
+        }
+    }
+
+    if !trace.hists.is_empty() {
+        let _ = writeln!(out, "\nhistograms:");
+        for h in &trace.hists {
+            match h.to_snapshot() {
+                Ok(s) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<40} n={:<8} p50={:<10} p90={:<10} p99={:<10} max={}",
+                        h.name,
+                        s.count,
+                        s.percentile(0.5),
+                        s.percentile(0.9),
+                        s.percentile(0.99),
+                        s.max
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  {:<40} (malformed: {e})", h.name);
+                }
+            }
         }
     }
     out
@@ -256,5 +547,105 @@ mod tests {
         let trace =
             Trace::parse("\n\n{\"t\":\"gauge\",\"name\":\"g\",\"value\":1.5}\n\n").unwrap();
         assert_eq!(trace.gauges.len(), 1);
+    }
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        start_us: u64,
+        dur_us: u64,
+        class: Option<PhaseClass>,
+    ) -> SpanEvent {
+        SpanEvent {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+            dur_us,
+            attrs: class
+                .map(|c| {
+                    vec![(
+                        PHASE_ATTR.to_string(),
+                        AttrValue::Str(c.as_str().to_string()),
+                    )]
+                })
+                .unwrap_or_default(),
+        }
+    }
+
+    /// A serial MSJ-shaped tree: join(1000) → assign(cpu,200),
+    /// sort(io,500)→merge(100, inherits io), sweep(cpu,250).
+    fn phased_trace() -> Trace {
+        Trace {
+            spans: vec![
+                span(1, None, "join", 0, 1000, None),
+                span(2, Some(1), "assign", 0, 200, Some(PhaseClass::Cpu)),
+                span(3, Some(1), "sort", 200, 500, Some(PhaseClass::Io)),
+                span(4, Some(3), "merge", 300, 100, None),
+                span(5, Some(1), "sweep", 700, 250, Some(PhaseClass::Cpu)),
+            ],
+            ..Trace::default()
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_attributes_self_time_with_inheritance() {
+        let trace = phased_trace();
+        let breakdowns = phase_breakdown(&trace);
+        assert_eq!(breakdowns.len(), 1);
+        let b = &breakdowns[0];
+        assert_eq!(b.root, "join");
+        assert_eq!(b.root_dur_us, 1000);
+        // Self-times: join 1000-950=50 (cpu, root default), assign 200,
+        // sort 400, merge 100 (inherits io), sweep 250.
+        // cpu = 50+200+250 = 500; io = 400+100 = 500; wait = 0.
+        assert_eq!(b.class_us, [500, 500, 0]);
+        // Serial nested tree: attribution is exact.
+        assert_eq!(b.total_us(), b.root_dur_us);
+        let sort_row = b.rows.iter().find(|r| r.name == "sort").expect("sort row");
+        assert_eq!(sort_row.class, PhaseClass::Io);
+        assert_eq!(sort_row.self_us, 400);
+        let merge_row = b.rows.iter().find(|r| r.name == "merge").unwrap();
+        assert_eq!(merge_row.class, PhaseClass::Io);
+
+        let text = render_phases(&trace);
+        assert!(text.contains("join"), "{text}");
+        assert!(text.contains("io"), "{text}");
+        assert!(text.contains("attributed"), "{text}");
+    }
+
+    #[test]
+    fn critical_path_follows_longest_children() {
+        let trace = phased_trace();
+        let paths = critical_path(&trace);
+        assert_eq!(paths.len(), 1);
+        let names: Vec<&str> = paths[0].iter().map(|n| n.name.as_str()).collect();
+        // sort (500) beats sweep (250) and assign (200); merge is sort's
+        // only child.
+        assert_eq!(names, vec!["join", "sort", "merge"]);
+        assert_eq!(paths[0][1].self_us, 400);
+        let text = render_critical_path(&trace);
+        assert!(text.contains("critical path (3 nodes"), "{text}");
+    }
+
+    #[test]
+    fn trace_metrics_snapshot_collects_all_kinds() {
+        let text = "\
+{\"t\":\"counter\",\"name\":\"pairs\",\"value\":5}\n\
+{\"t\":\"gauge\",\"name\":\"rate\",\"value\":0.25}\n\
+{\"t\":\"gauge\",\"name\":\"rate\",\"value\":0.75}\n\
+{\"t\":\"hist\",\"name\":\"lat\",\"count\":2,\"sum\":10,\"min\":2,\"max\":8,\"buckets\":[[2,1],[4,1]]}\n";
+        let trace = Trace::parse(text).unwrap();
+        let snap = trace.metrics_snapshot().unwrap();
+        assert_eq!(snap.counters, vec![("pairs".to_string(), 5)]);
+        assert_eq!(snap.gauges, vec![("rate".to_string(), 0.75)]);
+        assert_eq!(snap.hist("lat").unwrap().count, 2);
+        assert!(snap.to_prometheus().contains("hdsj_lat_count 2"));
+
+        // A malformed hist (bucket counts don't sum to count) is an error.
+        let bad = "{\"t\":\"hist\",\"name\":\"lat\",\"count\":9,\"sum\":10,\"min\":2,\"max\":8,\"buckets\":[[2,1]]}";
+        let trace = Trace::parse(bad).unwrap();
+        assert!(trace.metrics_snapshot().is_err());
     }
 }

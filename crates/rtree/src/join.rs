@@ -87,7 +87,13 @@ impl RsjJoin {
         root.attr_u64("dims", a.dims() as u64);
         root.attr_f64("eps", spec.eps);
 
-        let build = TracedPhase::start(&root, "build");
+        let build = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "build",
+            hdsj_core::obs::PhaseClass::Io,
+            hdsj_core::obs::names::RSJ_PHASE_BUILD_NS,
+        );
         let tree_a = RTree::build(&engine, a, self.strategy, self.fill)?;
         let tree_b = match kind {
             JoinKind::SelfJoin => None,
@@ -97,7 +103,13 @@ impl RsjJoin {
             + tree_b.as_ref().map(|t| t.structure_bytes()).unwrap_or(0);
         build.finish(&mut phases);
 
-        let join = TracedPhase::start(&root, "join");
+        let join = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "join",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::RSJ_PHASE_JOIN_NS,
+        );
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         {
             let mut traversal = Traversal {
@@ -131,6 +143,7 @@ impl RsjJoin {
             self.tracer.counter("rsj.candidates").add(stats.candidates);
             self.tracer.counter("rsj.results").add(stats.results);
             stats.io.record_counters(&self.tracer, "pool");
+            engine.pool().stats().record_latency_metrics(&self.tracer);
         }
         root.finish();
         Ok(stats)

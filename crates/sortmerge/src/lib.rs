@@ -98,7 +98,13 @@ impl SortMergeJoin {
         root.attr_f64("eps", spec.eps);
         root.attr_u64("projection_dim", dim as u64);
 
-        let sort_timer = TracedPhase::start(&root, "sort");
+        let sort_timer = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "sort",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::SM1D_PHASE_SORT_NS,
+        );
         let sorted_a = sorted_projection(a, dim);
         let sorted_b = match kind {
             JoinKind::SelfJoin => None,
@@ -108,7 +114,13 @@ impl SortMergeJoin {
             (sorted_a.len() + sorted_b.as_ref().map(|s| s.len()).unwrap_or(0)) as u64 * 12;
         sort_timer.finish(&mut phases);
 
-        let sweep_timer = TracedPhase::start(&root, "sweep");
+        let sweep_timer = TracedPhase::start_classed(
+            &self.tracer,
+            &root,
+            "sweep",
+            hdsj_core::obs::PhaseClass::Cpu,
+            hdsj_core::obs::names::SM1D_PHASE_SWEEP_NS,
+        );
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         match &sorted_b {
             None => {

@@ -12,6 +12,7 @@ use hdsj_core::{Error, Result};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A linear array of pages addressed by [`PageId`]. All traffic is counted
 /// in the shared [`IoStats`].
@@ -46,23 +47,25 @@ impl MemDisk {
 impl Disk for MemDisk {
     fn read_page(&self, id: PageId, into: &mut Page) -> Result<()> {
         let _rank = invariants::ordered(rank::DISK, "disk.pages");
+        let started = Instant::now();
         let pages = self.pages.lock();
         let page = pages
             .get(id as usize)
             .ok_or_else(|| Error::Storage(format!("read of unallocated page {id}")))?;
         into.bytes_mut().copy_from_slice(page.bytes());
-        self.stats.record_read();
+        self.stats.record_read_timed(started.elapsed());
         Ok(())
     }
 
     fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
         let _rank = invariants::ordered(rank::DISK, "disk.pages");
+        let started = Instant::now();
         let mut pages = self.pages.lock();
         let slot = pages
             .get_mut(id as usize)
             .ok_or_else(|| Error::Storage(format!("write of unallocated page {id}")))?;
         slot.bytes_mut().copy_from_slice(page.bytes());
-        self.stats.record_write();
+        self.stats.record_write_timed(started.elapsed());
         Ok(())
     }
 
@@ -154,8 +157,9 @@ impl Disk for FileDisk {
         if id >= *self.num_pages.lock() {
             return Err(Error::Storage(format!("read of unallocated page {id}")));
         }
+        let started = Instant::now();
         self.read_at(&mut into.bytes_mut()[..], id * PAGE_SIZE as u64)?;
-        self.stats.record_read();
+        self.stats.record_read_timed(started.elapsed());
         Ok(())
     }
 
@@ -163,8 +167,9 @@ impl Disk for FileDisk {
         if id >= *self.num_pages.lock() {
             return Err(Error::Storage(format!("write of unallocated page {id}")));
         }
+        let started = Instant::now();
         self.write_at(&page.bytes()[..], id * PAGE_SIZE as u64)?;
-        self.stats.record_write();
+        self.stats.record_write_timed(started.elapsed());
         Ok(())
     }
 

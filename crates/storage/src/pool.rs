@@ -330,6 +330,7 @@ impl BufferPool {
         // writer can set dirty concurrently (writers hold a pin); the page
         // RwLock below orders the body bytes themselves.
         if frame.dirty.load(Ordering::Relaxed) {
+            let started = std::time::Instant::now();
             let written = {
                 let mut page = frame.page.write();
                 page.seal();
@@ -345,7 +346,7 @@ impl BufferPool {
             // ORDERING: still under the inner lock with zero pins — no
             // concurrent reader of this frame's dirty bit exists.
             frame.dirty.store(false, Ordering::Relaxed);
-            self.stats.record_writeback();
+            self.stats.record_writeback_timed(started.elapsed());
         }
         self.stats.record_eviction();
         Ok(())

@@ -1,7 +1,9 @@
-//! Shared I/O and fault counters.
+//! Shared I/O and fault counters, plus per-operation latency histograms.
 
 use hdsj_core::IoCounters;
+use hdsj_obs::{names, Histogram, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Atomic page-transfer counters shared between a disk, its buffer pool,
 /// and any number of engine clones. Besides the plain I/O traffic it
@@ -9,6 +11,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// operations the pool retried, and checksum mismatches it detected.
 /// (Fault *scheduling* lives in [`crate::fault::FaultPlan`]; this type
 /// only observes.)
+///
+/// Reads, writes, and write-backs also feed lock-free latency histograms
+/// (nanoseconds); [`IoStats::record_latency_metrics`] folds them into a
+/// tracer's registry under the `pool.*_ns` names.
 #[derive(Debug, Default)]
 pub struct IoStats {
     reads: AtomicU64,
@@ -20,6 +26,9 @@ pub struct IoStats {
     retries: AtomicU64,
     faults: AtomicU64,
     corruptions: AtomicU64,
+    read_ns: Histogram,
+    write_ns: Histogram,
+    writeback_ns: Histogram,
 }
 
 impl IoStats {
@@ -28,9 +37,21 @@ impl IoStats {
         self.reads.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a page read that took `elapsed`.
+    pub fn record_read_timed(&self, elapsed: Duration) {
+        self.record_read();
+        self.read_ns.record_duration(elapsed);
+    }
+
     /// Records a page write.
     pub fn record_write(&self) {
         self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a page write that took `elapsed`.
+    pub fn record_write_timed(&self, elapsed: Duration) {
+        self.record_write();
+        self.write_ns.record_duration(elapsed);
     }
 
     /// Records a page allocation.
@@ -51,6 +72,12 @@ impl IoStats {
     /// Records a dirty eviction that forced a write-back.
     pub fn record_writeback(&self) {
         self.writebacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a write-back that took `elapsed`.
+    pub fn record_writeback_timed(&self, elapsed: Duration) {
+        self.record_writeback();
+        self.writeback_ns.record_duration(elapsed);
     }
 
     /// Records one retry of a transiently failed disk operation.
@@ -88,7 +115,32 @@ impl IoStats {
         }
     }
 
-    /// Zeroes the counters.
+    /// Folds the latency histograms into `tracer`'s registry under
+    /// [`names::POOL_READ_NS`] / [`names::POOL_WRITE_NS`] /
+    /// [`names::POOL_WRITEBACK_NS`]. The shared-cell companion of
+    /// `IoCounters::record_counters`; call once at the end of a traced
+    /// run.
+    pub fn record_latency_metrics(&self, tracer: &Tracer) {
+        if !tracer.enabled() {
+            return;
+        }
+        tracer
+            .histogram(names::POOL_READ_NS)
+            .merge(&self.read_ns.snapshot());
+        tracer
+            .histogram(names::POOL_WRITE_NS)
+            .merge(&self.write_ns.snapshot());
+        tracer
+            .histogram(names::POOL_WRITEBACK_NS)
+            .merge(&self.writeback_ns.snapshot());
+    }
+
+    /// Read-latency distribution so far (nanoseconds).
+    pub fn read_latency(&self) -> hdsj_obs::HistogramSnapshot {
+        self.read_ns.snapshot()
+    }
+
+    /// Zeroes the counters and latency histograms.
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
@@ -99,12 +151,42 @@ impl IoStats {
         self.retries.store(0, Ordering::Relaxed);
         self.faults.store(0, Ordering::Relaxed);
         self.corruptions.store(0, Ordering::Relaxed);
+        self.read_ns.reset();
+        self.write_ns.reset();
+        self.writeback_ns.reset();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn timed_records_feed_latency_histograms() {
+        let s = IoStats::default();
+        s.record_read_timed(Duration::from_nanos(500));
+        s.record_read_timed(Duration::from_micros(20));
+        s.record_write_timed(Duration::from_nanos(800));
+        s.record_writeback_timed(Duration::from_micros(3));
+        assert_eq!(s.snapshot().reads, 2);
+        assert_eq!(s.read_latency().count, 2);
+        assert_eq!(s.read_latency().min, 500);
+
+        let (tracer, sink) = hdsj_obs::Tracer::memory();
+        s.record_latency_metrics(&tracer);
+        tracer.flush();
+        let read = sink.hist_snapshot(names::POOL_READ_NS).unwrap();
+        assert_eq!(read.count, 2);
+        assert_eq!(sink.hist_snapshot(names::POOL_WRITE_NS).unwrap().count, 1);
+        assert_eq!(
+            sink.hist_snapshot(names::POOL_WRITEBACK_NS).unwrap().count,
+            1
+        );
+        // Disabled tracer: no-op, and reset clears the distributions.
+        s.record_latency_metrics(&hdsj_obs::Tracer::disabled());
+        s.reset();
+        assert_eq!(s.read_latency().count, 0);
+    }
 
     #[test]
     fn counters_accumulate_and_reset() {

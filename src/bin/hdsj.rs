@@ -47,9 +47,13 @@ fn run(args: &[String]) -> Result<()> {
         print_help();
         return Ok(());
     };
-    // `trace-report` takes a positional file argument, not --flag pairs.
+    // `trace-report` and `stats` take a positional file argument first,
+    // optionally followed by --flag pairs.
     if cmd == "trace-report" {
         return trace_report(&args[1..]);
+    }
+    if cmd == "stats" {
+        return stats_cmd(&args[1..]);
     }
     let flags = parse_flags(&args[1..])?;
     match cmd.as_str() {
@@ -82,7 +86,8 @@ USAGE:
   hdsj info     --input FILE
   hdsj analyze  [--root DIR] [--format human|json] [--rules r7,r8]
                 [--list-rules]
-  hdsj trace-report FILE
+  hdsj trace-report FILE [--phases] [--critical-path]
+  hdsj stats FILE [--format human|prom]
 
 Datasets are headerless CSV, one point per row. `join` runs a self-join of
 --input, or a two-set join against --other. Results go to --out as
@@ -101,9 +106,14 @@ checking.
 `join` prints `algorithm`/`pairs` to stdout; detailed statistics
 (candidates, filter precision, per-phase times, I/O) go to stderr unless
 --quiet. `--stats json` replaces the stdout summary with one machine-
-readable JSON object. `--trace FILE` records spans and counters for the
-whole run as JSONL; `hdsj trace-report FILE` renders such a file as a
-phase tree with its top counters.
+readable JSON object. `--trace FILE` records spans, counters, and
+latency histograms for the whole run as JSONL; `hdsj trace-report FILE`
+renders such a file as a phase tree with its top counters and histogram
+percentiles. `trace-report --phases` prints a per-algorithm CPU/IO/Wait
+cost-attribution table, and `--critical-path` prints the longest span
+chain with per-node self time. `hdsj stats FILE` renders the metrics in
+a trace (counters, gauges, histograms) as human-readable text or
+Prometheus exposition format (`--format prom`).
 
 THREADS:
   --threads N           worker threads for the parallel algorithms (bf, msj).
@@ -520,15 +530,68 @@ fn stats_json(
     s
 }
 
-/// `hdsj trace-report FILE`: renders a JSONL trace as a phase tree.
+/// `hdsj trace-report FILE [--phases] [--critical-path]`: renders a
+/// JSONL trace as a phase tree, a CPU/IO/Wait cost-attribution table,
+/// or the longest span chain.
 fn trace_report(args: &[String]) -> Result<()> {
-    let [path] = args else {
-        return Err(Error::InvalidInput("usage: hdsj trace-report FILE".into()));
+    let usage = "usage: hdsj trace-report FILE [--phases] [--critical-path]";
+    let Some((path, rest)) = args.split_first() else {
+        return Err(Error::InvalidInput(usage.into()));
     };
+    let mut phases = false;
+    let mut critical = false;
+    for flag in rest {
+        match flag.as_str() {
+            "--phases" => phases = true,
+            "--critical-path" => critical = true,
+            other => {
+                return Err(Error::InvalidInput(format!(
+                    "unknown trace-report flag {other:?}; {usage}"
+                )));
+            }
+        }
+    }
     let text = std::fs::read_to_string(path)?;
     let trace = hdsj::obs::report::Trace::parse(&text)
         .map_err(|e| Error::InvalidInput(format!("{path}: {e}")))?;
-    print!("{}", hdsj::obs::report::render(&trace, 10));
+    if !phases && !critical {
+        print!("{}", hdsj::obs::report::render(&trace, 10));
+        return Ok(());
+    }
+    if phases {
+        print!("{}", hdsj::obs::report::render_phases(&trace));
+    }
+    if critical {
+        print!("{}", hdsj::obs::report::render_critical_path(&trace));
+    }
+    Ok(())
+}
+
+/// `hdsj stats FILE [--format human|prom]`: renders the metrics embedded
+/// in a JSONL trace (counters, gauges, histograms) as a human-readable
+/// table or Prometheus text exposition format.
+fn stats_cmd(args: &[String]) -> Result<()> {
+    let usage = "usage: hdsj stats FILE [--format human|prom]";
+    let Some((path, rest)) = args.split_first() else {
+        return Err(Error::InvalidInput(usage.into()));
+    };
+    let flags = parse_flags(rest)?;
+    let format = flags.get("format").map(String::as_str).unwrap_or("human");
+    let text = std::fs::read_to_string(path)?;
+    let trace = hdsj::obs::report::Trace::parse(&text)
+        .map_err(|e| Error::InvalidInput(format!("{path}: {e}")))?;
+    let snapshot = trace
+        .metrics_snapshot()
+        .map_err(|e| Error::InvalidInput(format!("{path}: {e}")))?;
+    match format {
+        "human" => print!("{}", snapshot.to_human()),
+        "prom" => print!("{}", snapshot.to_prometheus()),
+        other => {
+            return Err(Error::InvalidInput(format!(
+                "unknown --format {other:?}; expected human or prom"
+            )));
+        }
+    }
     Ok(())
 }
 
