@@ -52,6 +52,14 @@ pub enum Class {
 /// The receiver is the identifier the operation is invoked on
 /// (`stop.store(…)` → `stop`, `frame.pins.fetch_add(…)` → `pins`).
 pub const ATOMICS: &[(&str, &str, Class)] = &[
+    // hdsj-core: the query-lifecycle context. The cancel flag gates
+    // whether workers keep running; the rest are usage statistics read
+    // after the join completes.
+    ("core", "cancel", Class::Gate),
+    ("core", "polls", Class::Stat),
+    ("core", "io_used", Class::Stat),
+    ("core", "pages_used", Class::Stat),
+    ("core", "checkpoints", Class::Stat),
     // hdsj-exec: the pool's work-distribution atomics and the
     // debug-schedules instrumentation.
     ("exec", "cursor", Class::Gate),

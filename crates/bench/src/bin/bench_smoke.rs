@@ -10,7 +10,10 @@
 //! `BENCH_0005.json` with per-phase latency percentiles (p50/p90/p99/max
 //! for every `*.phase.*_ns` histogram plus the exec chunk/queue-wait
 //! distributions) and `BENCH_0005.prom`, the same metrics in Prometheus
-//! text exposition format.
+//! text exposition format. The JSON report also carries a resumed-join
+//! timing row: a checkpointed MSJ run is halted at its first sealed sort
+//! level and resumed from the manifest, so the report shows what
+//! `hdsj join --resume` pays after a crash relative to a full run.
 //!
 //! The report records `host_threads` (what `available_parallelism`
 //! returned) so speedups are read against the hardware that produced
@@ -314,7 +317,9 @@ fn bench_phases(
             h.max
         );
     }
-    json.push_str("]}");
+    json.push_str("],");
+    json.push_str(&bench_resume(ds, spec, threads)?);
+    json.push('}');
 
     let path = std::path::Path::new("BENCH_0005.json");
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -328,4 +333,85 @@ fn bench_phases(
         prom_path.display()
     );
     Ok(())
+}
+
+/// One checkpointed MSJ attempt in `dir` — fresh or resumed, decided by
+/// whether a manifest already exists there — optionally halting at the
+/// given checkpoint. Returns (wall ms, pairs); pairs is 0 for a halted run.
+fn resume_attempt(
+    dir: &std::path::Path,
+    ds: &hdsj_core::Dataset,
+    spec: &JoinSpec,
+    threads: usize,
+    halt: Option<(&str, u64)>,
+) -> Result<(f64, u64)> {
+    use hdsj_storage::{Checkpointer, Manifest, ManifestState, StorageEngine};
+    let man_path = dir.join("join.manifest");
+    let data_path = dir.join("join.manifest.pages");
+    let (engine, mut ckpt, state);
+    if man_path.exists() {
+        let (man, recs) = Manifest::open_append(&man_path)?;
+        state = ManifestState::replay(&recs)?;
+        engine = StorageEngine::builder(256).file_backed_open(&data_path)?;
+        engine.adopt_freelist(state.orphan_pages(engine.pool().num_pages()))?;
+        ckpt = Checkpointer::new(&engine, man);
+    } else {
+        engine = StorageEngine::file_backed(&data_path, 256)?;
+        state = ManifestState::default();
+        ckpt = Checkpointer::new(&engine, Manifest::create(&man_path, 0)?);
+    }
+    if let Some((point, nth)) = halt {
+        ckpt.halt_at(point, nth);
+    }
+    let mut msj = Msj::with_engine(engine);
+    msj.set_threads(threads);
+    msj.set_recovery(ckpt, state);
+    let mut sink = hdsj_core::VecSink::default();
+    let start = Instant::now();
+    let res = msj.self_join(ds, spec, &mut sink);
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    match res {
+        Ok(_) => Ok((ms, sink.pairs.len() as u64)),
+        Err(Error::Canceled(_)) if halt.is_some() => Ok((ms, 0)),
+        Err(e) => Err(e),
+    }
+}
+
+/// The resumed-join timing row: one checkpointed run measured end to end,
+/// one halted at the first sealed sort level, and the resume of the halted
+/// run from its manifest. The resumed pair count must match the full run —
+/// this doubles as a smoke check that resume is exact, not just fast.
+fn bench_resume(ds: &hdsj_core::Dataset, spec: &JoinSpec, threads: usize) -> Result<String> {
+    const HALT: (&str, u64) = ("msj.sort_sealed", 1);
+    let base = std::env::temp_dir().join(format!("hdsj-bench-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let full_dir = base.join("full");
+    let crash_dir = base.join("crash");
+    std::fs::create_dir_all(&full_dir)?;
+    std::fs::create_dir_all(&crash_dir)?;
+
+    let (full_ms, pairs) = resume_attempt(&full_dir, ds, spec, threads, None)?;
+    let (halted_ms, _) = resume_attempt(&crash_dir, ds, spec, threads, Some(HALT))?;
+    let (resumed_ms, resumed_pairs) = resume_attempt(&crash_dir, ds, spec, threads, None)?;
+    let _ = std::fs::remove_dir_all(&base);
+    if resumed_pairs != pairs {
+        return Err(Error::Internal(format!(
+            "resumed join found {resumed_pairs} pairs, full run found {pairs}"
+        )));
+    }
+    println!(
+        "  resume: checkpointed full={full_ms:.1}ms halted@{}#{}={halted_ms:.1}ms \
+         resumed={resumed_ms:.1}ms ({pairs} pairs)",
+        HALT.0, HALT.1
+    );
+    Ok(format!(
+        "\"resume\":{{\"halt_point\":\"{}@{}\",\"checkpointed_full_ms\":{},\"halted_ms\":{},\
+         \"resumed_ms\":{},\"pairs\":{}}}",
+        HALT.0,
+        HALT.1,
+        encode_f64(full_ms),
+        encode_f64(halted_ms),
+        encode_f64(resumed_ms),
+        pairs
+    ))
 }

@@ -16,8 +16,8 @@
 use hdsj_core::obs::Span;
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, PairSink, Refiner, Result,
-    SimilarityJoin, Tracer,
+    join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, LifecycleCtx, PairSink,
+    Refiner, Result, SimilarityJoin, Tracer,
 };
 use hdsj_exec::Pool;
 use std::ops::Range;
@@ -29,6 +29,9 @@ pub struct BruteForce {
     pub block: usize,
     /// Worker threads; `1` runs single-threaded on the calling thread.
     pub threads: usize,
+    /// Per-query lifecycle context, polled at phase boundaries and (via
+    /// the exec pool) at chunk boundaries.
+    lifecycle: Option<LifecycleCtx>,
     /// Trace sink for spans/counters (disabled by default; see
     /// `set_tracer`).
     pub tracer: Tracer,
@@ -39,6 +42,7 @@ impl Default for BruteForce {
         BruteForce {
             block: 256,
             threads: 1,
+            lifecycle: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -79,11 +83,19 @@ impl BruteForce {
             hdsj_core::obs::PhaseClass::Cpu,
             hdsj_core::obs::names::BF_PHASE_JOIN_NS,
         );
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let stats = if self.threads <= 1 {
             let mut refiner = Refiner::new(a, b, kind, spec, sink);
-            serial_ranges(a, b, kind, self.block, &mut |i, js| {
-                refiner.offer_range(i, js)
-            });
+            serial_ranges(
+                a,
+                b,
+                kind,
+                self.block,
+                self.lifecycle.as_ref(),
+                &mut |i, js| refiner.offer_range(i, js),
+            )?;
             refiner.finish(JoinStats::default())
         } else {
             self.run_parallel(a, b, kind, spec, sink, &root)?
@@ -109,7 +121,10 @@ impl BruteForce {
         parent: &Span,
     ) -> Result<JoinStats> {
         let n = a.len();
-        let pool = Pool::with_tracer(self.threads, self.tracer.clone());
+        let mut pool = Pool::with_tracer(self.threads, self.tracer.clone());
+        if let Some(lc) = &self.lifecycle {
+            pool = pool.with_lifecycle(lc.clone());
+        }
         // Several chunks per worker: self-join rows get cheaper as i grows,
         // so finer chunks balance the tail. Chunk-ordered results keep the
         // sink delivery deterministic at every thread count.
@@ -156,19 +171,25 @@ impl BruteForce {
 
 /// Tiled candidate-range enumeration shared by the serial path: emits each
 /// probe's inner-loop tile as one contiguous range, ready for a batched
-/// kernel evaluation.
+/// kernel evaluation. The lifecycle context (if any) is polled once per
+/// outer tile, so a serial join still observes cancellation within one
+/// block granule.
 fn serial_ranges(
     a: &Dataset,
     b: &Dataset,
     kind: JoinKind,
     block: usize,
+    lifecycle: Option<&LifecycleCtx>,
     emit: &mut impl FnMut(u32, Range<u32>),
-) {
+) -> Result<()> {
     let n = a.len() as u32;
     let m = b.len() as u32;
     let block = block.max(1) as u32;
     let mut bi = 0;
     while bi < n {
+        if let Some(lc) = lifecycle {
+            lc.poll()?;
+        }
         let bi_end = (bi + block).min(n);
         let mut bj = match kind {
             JoinKind::TwoSets => 0,
@@ -189,6 +210,7 @@ fn serial_ranges(
         }
         bi = bi_end;
     }
+    Ok(())
 }
 
 impl SimilarityJoin for BruteForce {
@@ -198,6 +220,10 @@ impl SimilarityJoin for BruteForce {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_lifecycle(&mut self, ctx: LifecycleCtx) {
+        self.lifecycle = Some(ctx);
     }
 
     fn set_threads(&mut self, threads: usize) {

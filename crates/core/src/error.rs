@@ -25,6 +25,18 @@ pub enum Error {
     /// that broken invariants surface as a reportable error under the
     /// chaos suite rather than unwinding through FFI-free worker threads.
     Internal(String),
+    /// The query was cancelled cooperatively (another thread raised the
+    /// cancel flag on the query's `LifecycleCtx`). The join stopped at the
+    /// next poll point; partial statistics were still flushed.
+    Canceled(String),
+    /// The query ran past its wall-clock deadline (`--deadline-ms`). Like
+    /// cancellation this is observed cooperatively at poll points, so the
+    /// overshoot is bounded by one chunk / one page operation.
+    DeadlineExceeded(String),
+    /// The query exhausted one of its resource budgets (memory pages or
+    /// disk I/O operations) before completing. Retrying without a larger
+    /// budget would fail at the same point, so this is not transient.
+    BudgetExhausted(String),
 }
 
 /// Convenience alias used by every fallible API in the workspace.
@@ -41,6 +53,9 @@ impl Error {
             Error::Corruption(_) => "Corruption",
             Error::Io(_) => "Io",
             Error::Internal(_) => "Internal",
+            Error::Canceled(_) => "Canceled",
+            Error::DeadlineExceeded(_) => "DeadlineExceeded",
+            Error::BudgetExhausted(_) => "BudgetExhausted",
         }
     }
 
@@ -50,6 +65,18 @@ impl Error {
     /// medium.
     pub fn is_transient(&self) -> bool {
         matches!(self, Error::Storage(_) | Error::Io(_))
+    }
+
+    /// True for the cooperative-lifecycle terminations (cancellation,
+    /// deadline, budget). These are *graceful* exits: the join still
+    /// flushes its stats and tracer output, and a checkpointed run can be
+    /// resumed. None of them is transient — retrying with the same
+    /// lifecycle limits fails at the same point.
+    pub fn is_lifecycle(&self) -> bool {
+        matches!(
+            self,
+            Error::Canceled(_) | Error::DeadlineExceeded(_) | Error::BudgetExhausted(_)
+        )
     }
 }
 
@@ -62,6 +89,9 @@ impl fmt::Display for Error {
             Error::Corruption(m) => write!(f, "corruption detected: {m}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Internal(m) => write!(f, "internal invariant violated: {m}"),
+            Error::Canceled(m) => write!(f, "canceled: {m}"),
+            Error::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            Error::BudgetExhausted(m) => write!(f, "budget exhausted: {m}"),
         }
     }
 }
@@ -129,6 +159,35 @@ mod tests {
         assert!(Error::Io(std::io::Error::other("x")).is_transient());
         assert!(!Error::Corruption("x".into()).is_transient());
         assert!(!Error::InvalidInput("x".into()).is_transient());
+    }
+
+    #[test]
+    fn lifecycle_variants_format_and_classify() {
+        let cases = [
+            (
+                Error::Canceled("by user".into()),
+                "Canceled",
+                "canceled: by user",
+            ),
+            (
+                Error::DeadlineExceeded("after 5ms".into()),
+                "DeadlineExceeded",
+                "deadline exceeded: after 5ms",
+            ),
+            (
+                Error::BudgetExhausted("io ops".into()),
+                "BudgetExhausted",
+                "budget exhausted: io ops",
+            ),
+        ];
+        for (err, name, text) in cases {
+            assert_eq!(err.variant_name(), name);
+            assert_eq!(err.to_string(), text);
+            assert!(err.is_lifecycle());
+            assert!(!err.is_transient());
+        }
+        assert!(!Error::Internal("x".into()).is_lifecycle());
+        assert!(!Error::Storage("x".into()).is_lifecycle());
     }
 
     #[test]

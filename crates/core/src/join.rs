@@ -116,6 +116,15 @@ pub trait SimilarityJoin {
     /// and results must be identical at every thread count.
     fn set_threads(&mut self, _threads: usize) {}
 
+    /// Installs a lifecycle context (cancellation, deadline, budgets) for
+    /// subsequent runs. Implementations poll it at phase boundaries and
+    /// hand it to the exec pool and storage engine so a raised flag stops
+    /// the join within one chunk / one page operation, returning the
+    /// typed lifecycle error while still flushing stats. The default is a
+    /// no-op so trivial implementations stay trivial; all workspace
+    /// algorithms override it.
+    fn set_lifecycle(&mut self, _ctx: crate::lifecycle::LifecycleCtx) {}
+
     /// Joins two datasets. `a.dims() == b.dims()` is required.
     fn join(
         &mut self,

@@ -33,6 +33,7 @@ pub mod dataset;
 pub mod error;
 pub mod join;
 pub mod kernels;
+pub mod lifecycle;
 pub mod metric;
 pub mod rect;
 pub mod refine;
@@ -44,6 +45,7 @@ pub use error::{Error, Result};
 pub use join::{
     CallbackSink, CountSink, JoinKind, JoinSpec, PairSink, SimilarityJoin, VecSink,
 };
+pub use lifecycle::{CancelToken, LifecycleCtx, LifecycleStats};
 pub use metric::Metric;
 pub use rect::Rect;
 pub use refine::Refiner;

@@ -21,9 +21,12 @@
 
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, Refiner,
-    Result, SimilarityJoin, Tracer,
+    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, LifecycleCtx,
+    PairSink, Refiner, Result, SimilarityJoin, Tracer,
 };
+
+/// Leaf sweeps between lifecycle polls during the simultaneous traversal.
+const POLL_STRIDE: usize = 256;
 
 /// One node of the ε-KDB tree.
 enum Node {
@@ -149,6 +152,9 @@ fn stripe_index(x: f64, eps: f64, stripes: usize) -> usize {
 pub struct EkdbJoin {
     /// Points a leaf may hold before it splits.
     pub leaf_capacity: usize,
+    /// Per-query lifecycle context, polled at phase boundaries and every
+    /// [`POLL_STRIDE`] leaf sweeps.
+    lifecycle: Option<LifecycleCtx>,
     /// Trace sink for spans/counters (disabled by default; see
     /// `set_tracer`).
     pub tracer: Tracer,
@@ -158,6 +164,7 @@ impl Default for EkdbJoin {
     fn default() -> EkdbJoin {
         EkdbJoin {
             leaf_capacity: 64,
+            lifecycle: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -182,6 +189,9 @@ impl EkdbJoin {
         root.attr_u64("dims", a.dims() as u64);
         root.attr_f64("eps", spec.eps);
 
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let build = TracedPhase::start_classed(
             &self.tracer,
             &root,
@@ -204,16 +214,21 @@ impl EkdbJoin {
             hdsj_core::obs::PhaseClass::Cpu,
             hdsj_core::obs::names::EKDB_PHASE_JOIN_NS,
         );
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         let mut ctx = JoinCtx {
             a,
             b,
             eps: spec.eps,
             refiner: &mut refiner,
+            lifecycle: self.lifecycle.as_ref(),
+            sweeps: 0,
         };
         match (kind, &tree_b) {
-            (JoinKind::SelfJoin, _) => ctx.pair_self(&tree_a.root),
-            (JoinKind::TwoSets, Some(tb)) => ctx.pair_cross(&tree_a.root, &tb.root),
+            (JoinKind::SelfJoin, _) => ctx.pair_self(&tree_a.root)?,
+            (JoinKind::TwoSets, Some(tb)) => ctx.pair_cross(&tree_a.root, &tb.root)?,
             (JoinKind::TwoSets, None) => {
                 return Err(Error::Internal(
                     "two-set ε-KDB join reached traversal without tree b".into(),
@@ -244,40 +259,55 @@ struct JoinCtx<'a, 'r> {
     b: &'a Dataset,
     eps: f64,
     refiner: &'r mut Refiner<'a>,
+    lifecycle: Option<&'r LifecycleCtx>,
+    sweeps: usize,
 }
 
 impl JoinCtx<'_, '_> {
-    fn pair_self(&mut self, node: &Node) {
+    /// Polls the lifecycle context every [`POLL_STRIDE`] leaf sweeps so a
+    /// cancellation or deadline stops the traversal without finishing it.
+    fn maybe_poll(&mut self) -> Result<()> {
+        if self.sweeps.is_multiple_of(POLL_STRIDE) {
+            if let Some(lc) = self.lifecycle {
+                lc.poll()?;
+            }
+        }
+        self.sweeps += 1;
+        Ok(())
+    }
+
+    fn pair_self(&mut self, node: &Node) -> Result<()> {
         match node {
-            Node::Leaf(points) => self.sweep_within(points),
+            Node::Leaf(points) => self.sweep_within(points)?,
             Node::Inner { children } => {
                 for i in 0..children.len() {
                     if let Some(ci) = &children[i] {
-                        self.pair_self(ci);
+                        self.pair_self(ci)?;
                         if let Some(cj) = children.get(i + 1).and_then(|c| c.as_ref()) {
-                            self.pair_siblings(ci, cj);
+                            self.pair_siblings(ci, cj)?;
                         }
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Two distinct subtrees of the same (self-join) tree: both sides hold
     /// ids of dataset `a`, unordered-pair semantics via the refiner.
     // Indexed loops express the |i - j| <= 1 stripe adjacency directly.
     #[allow(clippy::needless_range_loop)]
-    fn pair_siblings(&mut self, x: &Node, y: &Node) {
+    fn pair_siblings(&mut self, x: &Node, y: &Node) -> Result<()> {
         match (x, y) {
-            (Node::Leaf(px), Node::Leaf(py)) => self.sweep_cross(px, py),
+            (Node::Leaf(px), Node::Leaf(py)) => self.sweep_cross(px, py)?,
             (Node::Inner { children }, leaf @ Node::Leaf(_)) => {
                 for c in children.iter().flatten() {
-                    self.pair_siblings(c, leaf);
+                    self.pair_siblings(c, leaf)?;
                 }
             }
             (leaf @ Node::Leaf(_), Node::Inner { children }) => {
                 for c in children.iter().flatten() {
-                    self.pair_siblings(leaf, c);
+                    self.pair_siblings(leaf, c)?;
                 }
             }
             (Node::Inner { children: cx }, Node::Inner { children: cy }) => {
@@ -285,28 +315,29 @@ impl JoinCtx<'_, '_> {
                     if let Some(ci) = &cx[i] {
                         for j in i.saturating_sub(1)..=(i + 1).min(cy.len() - 1) {
                             if let Some(cj) = &cy[j] {
-                                self.pair_siblings(ci, cj);
+                                self.pair_siblings(ci, cj)?;
                             }
                         }
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Two subtrees of *different* trees (two-set join).
     #[allow(clippy::needless_range_loop)]
-    fn pair_cross(&mut self, x: &Node, y: &Node) {
+    fn pair_cross(&mut self, x: &Node, y: &Node) -> Result<()> {
         match (x, y) {
-            (Node::Leaf(px), Node::Leaf(py)) => self.sweep_two_set(px, py),
+            (Node::Leaf(px), Node::Leaf(py)) => self.sweep_two_set(px, py)?,
             (Node::Inner { children }, leaf @ Node::Leaf(_)) => {
                 for c in children.iter().flatten() {
-                    self.pair_cross(c, leaf);
+                    self.pair_cross(c, leaf)?;
                 }
             }
             (leaf @ Node::Leaf(_), Node::Inner { children }) => {
                 for c in children.iter().flatten() {
-                    self.pair_cross(leaf, c);
+                    self.pair_cross(leaf, c)?;
                 }
             }
             (Node::Inner { children: cx }, Node::Inner { children: cy }) => {
@@ -314,17 +345,19 @@ impl JoinCtx<'_, '_> {
                     if let Some(ci) = &cx[i] {
                         for j in i.saturating_sub(1)..=(i + 1).min(cy.len() - 1) {
                             if let Some(cj) = &cy[j] {
-                                self.pair_cross(ci, cj);
+                                self.pair_cross(ci, cj)?;
                             }
                         }
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Unordered pairs inside one leaf, sweeping along dimension 0.
-    fn sweep_within(&mut self, points: &[u32]) {
+    fn sweep_within(&mut self, points: &[u32]) -> Result<()> {
+        self.maybe_poll()?;
         for (idx, &i) in points.iter().enumerate() {
             let xi = self.a.point(i)[0];
             for &j in &points[idx + 1..] {
@@ -334,11 +367,13 @@ impl JoinCtx<'_, '_> {
                 self.refiner.offer(i, j);
             }
         }
+        Ok(())
     }
 
     /// Pairs across two sibling leaves of a self-join tree (both lists are
     /// ids into dataset `a`, both sorted by dimension 0).
-    fn sweep_cross(&mut self, px: &[u32], py: &[u32]) {
+    fn sweep_cross(&mut self, px: &[u32], py: &[u32]) -> Result<()> {
+        self.maybe_poll()?;
         let mut start = 0usize;
         for &i in px {
             let xi = self.a.point(i)[0];
@@ -352,10 +387,12 @@ impl JoinCtx<'_, '_> {
                 self.refiner.offer(i, j);
             }
         }
+        Ok(())
     }
 
     /// Pairs across an A-leaf and a B-leaf (two-set join).
-    fn sweep_two_set(&mut self, px: &[u32], py: &[u32]) {
+    fn sweep_two_set(&mut self, px: &[u32], py: &[u32]) -> Result<()> {
+        self.maybe_poll()?;
         let mut start = 0usize;
         for &i in px {
             let xi = self.a.point(i)[0];
@@ -369,6 +406,7 @@ impl JoinCtx<'_, '_> {
                 self.refiner.offer(i, j);
             }
         }
+        Ok(())
     }
 }
 
@@ -379,6 +417,10 @@ impl SimilarityJoin for EkdbJoin {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_lifecycle(&mut self, ctx: LifecycleCtx) {
+        self.lifecycle = Some(ctx);
     }
 
     fn join(

@@ -47,7 +47,7 @@
 pub mod schedule;
 
 use hdsj_core::obs::{names, Span, Tracer};
-use hdsj_core::{Error, Result};
+use hdsj_core::{Error, LifecycleCtx, Result};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -96,6 +96,7 @@ pub fn resolve_threads(requested: usize) -> usize {
 pub struct Pool {
     threads: usize,
     tracer: Tracer,
+    lifecycle: Option<LifecycleCtx>,
 }
 
 impl Default for Pool {
@@ -111,6 +112,7 @@ impl Pool {
         Pool {
             threads: resolve_threads(threads).max(1),
             tracer: Tracer::disabled(),
+            lifecycle: None,
         }
     }
 
@@ -119,7 +121,18 @@ impl Pool {
         Pool {
             threads: resolve_threads(threads).max(1),
             tracer,
+            lifecycle: None,
         }
+    }
+
+    /// Attaches a lifecycle context: every worker polls it once per chunk
+    /// claim (and the serial path once per chunk), so cancellation,
+    /// deadlines, and budget exhaustion stop a parallel-for within one
+    /// chunk granule, surfacing the typed lifecycle error with normal
+    /// earliest-chunk priority.
+    pub fn with_lifecycle(mut self, ctx: LifecycleCtx) -> Pool {
+        self.lifecycle = Some(ctx);
+        self
     }
 
     /// The worker count this pool fans out to.
@@ -167,6 +180,9 @@ impl Pool {
         if workers <= 1 {
             let mut out = Vec::with_capacity(nchunks);
             for c in 0..nchunks {
+                if let Some(lc) = &self.lifecycle {
+                    lc.poll()?;
+                }
                 let started = chunk_hist.as_ref().map(|_| Instant::now());
                 let r = f(chunk_range(c))?;
                 if let (Some(h), Some(t0)) = (&chunk_hist, started) {
@@ -188,6 +204,7 @@ impl Pool {
         type WorkerHarvest<R> = std::thread::Result<Vec<(usize, Result<R>)>>;
         let cursor = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
+        let lifecycle = self.lifecycle.as_ref();
         let joined: Vec<WorkerHarvest<R>> = std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
@@ -243,6 +260,17 @@ impl Pool {
                             first_claim = false;
                             if let Some(h) = &queue_hist {
                                 h.record_duration(spawn_epoch.elapsed());
+                            }
+                        }
+                        // Lifecycle poll per claimed chunk: attributing the
+                        // failure to chunk `c` keeps the earliest-chunk error
+                        // priority deterministic.
+                        if let Some(lc) = lifecycle {
+                            if let Err(e) = lc.poll() {
+                                // ORDERING: advisory stop (see the load above).
+                                stop.store(true, Ordering::Relaxed);
+                                local.push((c, Err(e)));
+                                break;
                             }
                         }
                         let Range { start: lo, end: hi } = chunk_range(c);
@@ -351,6 +379,12 @@ impl Pool {
         FP: FnOnce() -> Result<P>,
         FC: FnOnce(usize) -> Result<C> + Send,
     {
+        // One poll before fan-out: a query already canceled (or past its
+        // deadline) never spawns the consumer stage at all. In-flight
+        // cancellation is observed by the producer's own poll sites.
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         if self.tracer.enabled() {
             self.tracer
                 .counter(names::EXEC_WORKERS)
@@ -610,6 +644,63 @@ mod tests {
             msg.contains("injected consumer failure (worker 0)"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn cross_thread_cancel_stops_within_one_chunk() {
+        use hdsj_core::LifecycleCtx;
+        let ctx = LifecycleCtx::unbounded();
+        let token = ctx.cancel_token();
+        let pool = Pool::new(4).with_lifecycle(ctx);
+        let executed = AtomicUsize::new(0);
+        let (started_tx, started_rx) = crossbeam::channel::bounded::<()>(1);
+        let canceler = std::thread::spawn(move || {
+            // Wait for the first chunk to start, then cancel from outside.
+            started_rx.recv().ok();
+            token.cancel();
+        });
+        let err = pool
+            .map_chunks(None, 4000, 1, |r| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if r.start == 0 {
+                    started_tx.send(()).ok();
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                Ok(r.start)
+            })
+            .unwrap_err();
+        canceler.join().unwrap();
+        assert!(matches!(err, Error::Canceled(_)), "{err}");
+        // Workers poll at every claim: once the flag is visible each worker
+        // finishes at most the chunk it already holds, so the run stops far
+        // short of the full input.
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(ran < 4000, "canceled run executed all {ran} chunks");
+    }
+
+    #[test]
+    fn serial_pool_observes_deadline_per_chunk() {
+        use hdsj_core::LifecycleCtx;
+        let ctx = LifecycleCtx::builder().deadline_ms(5).build();
+        let pool = Pool::new(1).with_lifecycle(ctx);
+        let err = pool
+            .map_chunks(None, 1000, 1, |r| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                Ok(r.start)
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded(_)), "{err}");
+    }
+
+    #[test]
+    fn canceled_lifecycle_blocks_producer_consumers() {
+        use hdsj_core::LifecycleCtx;
+        let ctx = LifecycleCtx::unbounded();
+        ctx.cancel_token().cancel();
+        let pool = Pool::new(2).with_lifecycle(ctx);
+        let consumers: Vec<_> = (0..2).map(|_| |_idx: usize| Ok(0u64)).collect();
+        let err = pool.producer_consumers(consumers, || Ok(0u64)).unwrap_err();
+        assert!(matches!(err, Error::Canceled(_)), "{err}");
     }
 
     #[test]

@@ -19,10 +19,14 @@
 
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, Refiner,
-    Result, SimilarityJoin, Tracer,
+    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, LifecycleCtx,
+    PairSink, Refiner, Result, SimilarityJoin, Tracer,
 };
 use std::collections::HashMap;
+
+/// Occupied cells probed between lifecycle polls. Each cell visits up to
+/// `3^d` neighbours, so the stride is lower than the sweep-based joins'.
+const POLL_STRIDE: usize = 256;
 
 /// ε-grid hash join.
 ///
@@ -39,6 +43,9 @@ use std::collections::HashMap;
 pub struct GridJoin {
     /// Refuse dimensionalities above this (3^d neighbour enumeration).
     pub max_dims: usize,
+    /// Per-query lifecycle context, polled at phase boundaries and every
+    /// [`POLL_STRIDE`] probed cells.
+    lifecycle: Option<LifecycleCtx>,
     /// Trace sink for spans/counters (disabled by default; see
     /// `set_tracer`).
     pub tracer: Tracer,
@@ -48,6 +55,7 @@ impl Default for GridJoin {
     fn default() -> GridJoin {
         GridJoin {
             max_dims: 10,
+            lifecycle: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -154,6 +162,9 @@ impl GridJoin {
         root.attr_u64("dims", dims as u64);
         root.attr_f64("eps", spec.eps);
 
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let build = TracedPhase::start_classed(
             &self.tracer,
             &root,
@@ -176,11 +187,19 @@ impl GridJoin {
             hdsj_core::obs::PhaseClass::Cpu,
             hdsj_core::obs::names::GRID_PHASE_PROBE_NS,
         );
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         let mut neighbour = vec![0i64; dims];
         match kind {
             JoinKind::SelfJoin => {
-                for key in dir_a.sorted_keys() {
+                for (idx, key) in dir_a.sorted_keys().into_iter().enumerate() {
+                    if idx % POLL_STRIDE == 0 {
+                        if let Some(lc) = &self.lifecycle {
+                            lc.poll()?;
+                        }
+                    }
                     let points = &dir_a.cells[key];
                     // Within-cell pairs.
                     for (x, &i) in points.iter().enumerate() {
@@ -212,7 +231,12 @@ impl GridJoin {
                         "two-set grid join reached probe without directory b".into(),
                     ));
                 };
-                for key in dir_a.sorted_keys() {
+                for (idx, key) in dir_a.sorted_keys().into_iter().enumerate() {
+                    if idx % POLL_STRIDE == 0 {
+                        if let Some(lc) = &self.lifecycle {
+                            lc.poll()?;
+                        }
+                    }
                     let points = &dir_a.cells[key];
                     for_each_offset(dims, &mut |off| {
                         for ((n, &k), &o) in neighbour.iter_mut().zip(key.iter()).zip(off) {
@@ -251,6 +275,10 @@ impl SimilarityJoin for GridJoin {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_lifecycle(&mut self, ctx: LifecycleCtx) {
+        self.lifecycle = Some(ctx);
     }
 
     fn join(

@@ -35,13 +35,31 @@ pub mod sweep;
 use assign::{Assigner, RecordCodec};
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, IoCounters, JoinKind, JoinSpec, JoinStats, PairSink,
-    Refiner, Result, SimilarityJoin, Tracer,
+    join::validate_inputs, Dataset, Error, IoCounters, JoinKind, JoinSpec, JoinStats,
+    LifecycleCtx, PairSink, Refiner, Result, SimilarityJoin, Tracer,
 };
 use hdsj_exec::Pool;
 use hdsj_sfc::Curve;
-use hdsj_storage::sort::{external_sort, SortConfig};
-use hdsj_storage::{RecordFile, StorageEngine};
+use hdsj_storage::sort::{external_sort, external_sort_resumable, SortConfig};
+use hdsj_storage::{Checkpointer, ManifestState, RecordFile, StorageEngine};
+use std::sync::{Arc, Mutex};
+
+/// Manifest tag of the unsorted level file (assignment output).
+const ASSIGN_TAG: &str = "msj.assign";
+/// Manifest tag of the fully sorted level file (`{prefix}.out` of the
+/// resumable sort under the `msj.sort` prefix).
+const SORT_OUT_TAG: &str = "msj.sort.out";
+
+/// Checkpoint/resume context for one resumable MSJ execution: the
+/// checkpoint writer (owning the manifest journal) plus the replayed
+/// state of a prior incarnation (empty on a fresh run).
+pub struct Recovery {
+    /// Writes `FileSealed`/`FileDropped`/`Mark` records with the
+    /// flush→fsync→append→fsync protocol.
+    pub ckpt: Checkpointer,
+    /// Live files and marks recovered from the manifest.
+    pub state: ManifestState,
+}
 
 /// The Multidimensional Spatial Join.
 #[derive(Clone)]
@@ -66,6 +84,13 @@ pub struct Msj {
     /// thread count.
     pub threads: usize,
     engine: Option<StorageEngine>,
+    /// Per-query lifecycle context: polled at phase boundaries, by the
+    /// exec pool at chunk boundaries, and by the buffer pool on every
+    /// disk operation (see `set_lifecycle`).
+    lifecycle: Option<LifecycleCtx>,
+    /// Checkpoint/resume context (see [`Msj::set_recovery`]). Shared so
+    /// the configured join stays cloneable; locked once per run.
+    recovery: Option<Arc<Mutex<Recovery>>>,
     /// Trace sink for spans/counters (disabled by default; see
     /// `set_tracer`).
     pub tracer: Tracer,
@@ -85,6 +110,8 @@ impl Default for Msj {
             refine_threads: 1,
             threads: 1,
             engine: None,
+            lifecycle: None,
+            recovery: None,
             tracer: Tracer::disabled(),
             fail_refine_worker: None,
         }
@@ -128,6 +155,14 @@ impl Msj {
         }
     }
 
+    /// Arms checkpoint/resume: every phase boundary seals its output into
+    /// `ckpt`'s manifest, and work already live in `state` (from a prior
+    /// crashed incarnation) is reused instead of recomputed. The resumed
+    /// result is byte-identical to a fresh run.
+    pub fn set_recovery(&mut self, ckpt: Checkpointer, state: ManifestState) {
+        self.recovery = Some(Arc::new(Mutex::new(Recovery { ckpt, state })));
+    }
+
     /// The hierarchy depth used for a given ε. A cube of side ε only fits in
     /// cells of side ≥ ε, i.e. levels `l ≤ log2(1/ε)`, so deeper levels
     /// would stay empty and only lengthen the sort keys.
@@ -162,10 +197,12 @@ impl Msj {
             Some(e) => e.clone(),
             None => StorageEngine::in_memory(self.pool_pages),
         };
+        if let Some(lc) = &self.lifecycle {
+            engine.set_lifecycle(lc.clone());
+        }
         let io_before = engine.io_counters();
         let depth = self.effective_depth(spec.eps);
         let codec = RecordCodec::new(dims, depth);
-        let mut phases = Vec::new();
 
         let mut root = self.tracer.span("msj.join");
         root.attr_str("algo", "MSJ");
@@ -177,78 +214,240 @@ impl Msj {
         root.attr_u64("threads", self.threads as u64);
         root.attr_u64("refine_threads", self.refine_threads as u64);
 
+        let mut resumed_files = 0u64;
+        let result = self.pipeline(
+            &engine,
+            &codec,
+            dims,
+            depth,
+            &root,
+            a,
+            b,
+            kind,
+            spec,
+            sink,
+            &mut resumed_files,
+        );
+
+        // Observability flushes on *every* exit, including cancellation,
+        // deadline/budget exhaustion, and storage faults: partial metrics
+        // are the point of terminating gracefully instead of tearing down.
+        let io = IoCounters::diff(&engine.io_counters(), &io_before);
+        if self.tracer.enabled() {
+            io.record_counters(&self.tracer, "pool");
+            engine.pool().stats().record_latency_metrics(&self.tracer);
+            self.tracer.gauge("pool.hit_rate", io.hit_rate());
+            if let Some(lc) = &self.lifecycle {
+                let ls = lc.stats();
+                self.tracer
+                    .counter(hdsj_core::obs::names::LIFECYCLE_CANCEL_POLLS)
+                    .add(ls.polls);
+                self.tracer
+                    .counter(hdsj_core::obs::names::LIFECYCLE_CHECKPOINTS)
+                    .add(ls.checkpoints);
+            }
+            if resumed_files > 0 {
+                self.tracer
+                    .counter(hdsj_core::obs::names::JOIN_RESUMED_LEVELS)
+                    .add(resumed_files);
+            }
+            match &result {
+                Ok(stats) => {
+                    root.attr_u64("candidates", stats.candidates);
+                    root.attr_u64("results", stats.results);
+                    self.tracer.counter("msj.candidates").add(stats.candidates);
+                    self.tracer.counter("msj.results").add(stats.results);
+                }
+                Err(e) => root.attr_str("error", e.variant_name()),
+            }
+        }
+        root.finish();
+        engine.clear_lifecycle();
+        let mut stats = result?;
+        stats.io = io;
+        Ok(stats)
+    }
+
+    /// The three MSJ phases. Split from [`Msj::run`] so the caller can
+    /// flush tracing/metrics uniformly on success *and* error exits.
+    #[allow(clippy::too_many_arguments)]
+    fn pipeline(
+        &self,
+        engine: &StorageEngine,
+        codec: &RecordCodec,
+        dims: usize,
+        depth: u32,
+        root: &hdsj_core::obs::Span,
+        a: &Dataset,
+        b: &Dataset,
+        kind: JoinKind,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+        resumed_files: &mut u64,
+    ) -> Result<JoinStats> {
+        let mut phases = Vec::new();
+        let mut recovery = match &self.recovery {
+            Some(r) => Some(
+                r.lock()
+                    .map_err(|_| Error::Internal("msj recovery lock poisoned".into()))?,
+            ),
+            None => None,
+        };
+        // Every live manifest file is work a previous incarnation already
+        // finished — count them before any of it is consumed.
+        if let Some(r) = recovery.as_ref() {
+            *resumed_files = r.state.files.len() as u64;
+        }
+        let sort_done = recovery
+            .as_ref()
+            .is_some_and(|r| r.state.files.contains_key(SORT_OUT_TAG));
+
         // Phase 1: level assignment, one combined file of tagged entries.
         // Chunks of points are assigned and Hilbert-encoded on the pool
         // (each chunk owns its Assigner and encodes into a local buffer);
         // the file writes stay on this thread, in chunk order, so the level
-        // file is byte-identical at every thread count.
+        // file is byte-identical at every thread count. Skipped entirely
+        // when a durable sorted file (or the sealed level file itself)
+        // survives from a crashed run.
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let mut assign_timer = TracedPhase::start_classed(
             &self.tracer,
-            &root,
+            root,
             "assign",
             hdsj_core::obs::PhaseClass::Cpu,
             hdsj_core::obs::names::MSJ_PHASE_ASSIGN_NS,
         );
         let rec_len = codec.record_len();
-        let mut file = RecordFile::create(&engine, rec_len)?;
-        let pool = Pool::with_tracer(self.threads, self.tracer.clone());
-        const ASSIGN_CHUNK: usize = 4096;
-        for (ds, tag) in [(a, assign::TAG_A), (b, assign::TAG_B)] {
-            if tag == assign::TAG_B && kind != JoinKind::TwoSets {
-                continue;
-            }
-            let bufs =
-                pool.map_chunks(Some(assign_timer.span_mut()), ds.len(), ASSIGN_CHUNK, |r| {
-                    let mut assigner = Assigner::new(dims, depth, spec.eps, self.curve)?;
-                    let mut local = Vec::with_capacity(r.len() * rec_len);
-                    let mut rec = vec![0u8; rec_len];
-                    for i in r {
-                        let (key, level) = assigner.assign(ds.point(i as u32));
-                        codec.encode(&key, level, tag, i as u32, &mut rec);
-                        local.extend_from_slice(&rec);
-                    }
-                    Ok(local)
-                })?;
-            for buf in bufs {
-                for rec in buf.chunks_exact(rec_len) {
-                    file.push(rec)?;
+        let mut file: Option<RecordFile> = None;
+        if !sort_done {
+            if let Some(spec_file) = recovery
+                .as_ref()
+                .and_then(|r| r.state.files.get(ASSIGN_TAG))
+            {
+                file = Some(spec_file.open(engine)?);
+            } else {
+                let mut f = RecordFile::create(engine, rec_len)?;
+                let mut pool = Pool::with_tracer(self.threads, self.tracer.clone());
+                if let Some(lc) = &self.lifecycle {
+                    pool = pool.with_lifecycle(lc.clone());
                 }
+                const ASSIGN_CHUNK: usize = 4096;
+                for (ds, tag) in [(a, assign::TAG_A), (b, assign::TAG_B)] {
+                    if tag == assign::TAG_B && kind != JoinKind::TwoSets {
+                        continue;
+                    }
+                    let bufs = pool.map_chunks(
+                        Some(assign_timer.span_mut()),
+                        ds.len(),
+                        ASSIGN_CHUNK,
+                        |r| {
+                            let mut assigner =
+                                Assigner::new(dims, depth, spec.eps, self.curve)?;
+                            let mut local = Vec::with_capacity(r.len() * rec_len);
+                            let mut rec = vec![0u8; rec_len];
+                            for i in r {
+                                let (key, level) = assigner.assign(ds.point(i as u32));
+                                codec.encode(&key, level, tag, i as u32, &mut rec);
+                                local.extend_from_slice(&rec);
+                            }
+                            Ok(local)
+                        },
+                    )?;
+                    for buf in bufs {
+                        for rec in buf.chunks_exact(rec_len) {
+                            f.push(rec)?;
+                        }
+                    }
+                }
+                f.release_tail();
+                if let Some(r) = recovery.as_mut() {
+                    r.ckpt.seal_file("msj.assign_sealed", ASSIGN_TAG, &f, &[])?;
+                }
+                file = Some(f);
             }
         }
-        file.release_tail();
         assign_timer.finish(&mut phases);
 
         // Phase 2: external sort by (padded cell key, level) — the DFS
         // order of the cell hierarchy. The level byte directly follows the
         // key bytes, so one prefix comparison covers both. Run formation
         // fans out on the same thread budget; output stays byte-identical.
+        // With recovery, every spilled run and merge output checkpoints,
+        // and a completed sort is reused outright.
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let sort_timer = TracedPhase::start_classed(
             &self.tracer,
-            &root,
+            root,
             "sort",
             hdsj_core::obs::PhaseClass::Io,
             hdsj_core::obs::names::MSJ_PHASE_SORT_NS,
         );
-        let sorted = external_sort(
-            &engine,
-            &file,
-            codec.sort_key_len(),
-            SortConfig {
-                mem_records: self.sort_mem_records,
-                threads: self.threads,
-                ..SortConfig::default()
-            },
-        )?;
-        // The unsorted level file is consumed; return its pages for reuse.
-        file.destroy()?;
+        let sort_config = SortConfig {
+            mem_records: self.sort_mem_records,
+            threads: self.threads,
+            ..SortConfig::default()
+        };
+        let sorted = match recovery.as_mut() {
+            None => {
+                let f = file
+                    .as_ref()
+                    .ok_or_else(|| Error::Internal("msj lost its level file".into()))?;
+                let sorted = external_sort(engine, f, codec.sort_key_len(), sort_config)?;
+                // The unsorted level file is consumed; return its pages.
+                if let Some(f) = file.take() {
+                    f.destroy()?;
+                }
+                sorted
+            }
+            Some(r) => {
+                if sort_done {
+                    // Crash landed between the sort's final seal and the
+                    // level-file drop: retire the stale level file now.
+                    if let Some(spec_file) = r.state.files.get(ASSIGN_TAG) {
+                        let stale = spec_file.open(engine)?;
+                        r.ckpt.drop_file("msj.assign_dropped", ASSIGN_TAG)?;
+                        stale.destroy()?;
+                    }
+                    r.state.files[SORT_OUT_TAG].open(engine)?
+                } else {
+                    let f = file
+                        .as_ref()
+                        .ok_or_else(|| Error::Internal("msj lost its level file".into()))?;
+                    let Recovery { ckpt, state } = &mut **r;
+                    let sorted = external_sort_resumable(
+                        engine,
+                        f,
+                        codec.sort_key_len(),
+                        sort_config,
+                        ckpt,
+                        "msj.sort",
+                        "msj.sort_sealed",
+                        state,
+                    )?;
+                    r.ckpt.drop_file("msj.assign_dropped", ASSIGN_TAG)?;
+                    if let Some(f) = file.take() {
+                        f.destroy()?;
+                    }
+                    sorted
+                }
+            }
+        };
         sort_timer.finish(&mut phases);
 
         // Phase 3: stack-based synchronized sweep, refining inline or on
-        // worker threads.
+        // worker threads. Not checkpointed: the sweep is deterministic, so
+        // a crash mid-sweep redoes it from the durable sorted file.
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let refine_threads = self.refine_threads.max(self.threads);
         let mut sweep_timer = TracedPhase::start_classed(
             &self.tracer,
-            &root,
+            root,
             "sweep",
             hdsj_core::obs::PhaseClass::Cpu,
             hdsj_core::obs::names::MSJ_PHASE_SWEEP_NS,
@@ -256,7 +455,7 @@ impl Msj {
         let mut stats = JoinStats::default();
         let peak_bytes = if refine_threads <= 1 {
             let mut refiner = Refiner::new(a, b, kind, spec, sink);
-            let peak = sweep::sweep(&sorted, &codec, a, b, kind, spec.eps, &mut |i, j| {
+            let peak = sweep::sweep(&sorted, codec, a, b, kind, spec.eps, &mut |i, j| {
                 refiner.offer(i, j)
             })?;
             stats = refiner.finish(stats);
@@ -264,7 +463,7 @@ impl Msj {
         } else {
             let (peak, pairs, candidates) = parallel::sweep_and_refine(
                 &sorted,
-                &codec,
+                codec,
                 a,
                 b,
                 kind,
@@ -283,22 +482,16 @@ impl Msj {
             peak
         };
         sweep_timer.finish(&mut phases);
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
+        if let Some(r) = recovery.as_mut() {
+            r.ckpt.drop_file("msj.done", SORT_OUT_TAG)?;
+        }
         sorted.destroy()?;
 
         stats.phases = phases;
         stats.structure_bytes = peak_bytes;
-        let io_after = engine.io_counters();
-        stats.io = IoCounters::diff(&io_after, &io_before);
-        if self.tracer.enabled() {
-            root.attr_u64("candidates", stats.candidates);
-            root.attr_u64("results", stats.results);
-            self.tracer.counter("msj.candidates").add(stats.candidates);
-            self.tracer.counter("msj.results").add(stats.results);
-            stats.io.record_counters(&self.tracer, "pool");
-            engine.pool().stats().record_latency_metrics(&self.tracer);
-            self.tracer.gauge("pool.hit_rate", stats.io.hit_rate());
-        }
-        root.finish();
         Ok(stats)
     }
 }
@@ -310,6 +503,10 @@ impl SimilarityJoin for Msj {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_lifecycle(&mut self, ctx: LifecycleCtx) {
+        self.lifecycle = Some(ctx);
     }
 
     fn set_threads(&mut self, threads: usize) {
@@ -530,6 +727,182 @@ mod tests {
         let mut msj = Msj::with_engine(engine);
         let mut sink = VecSink::default();
         assert!(msj.self_join(&ds, &JoinSpec::l2(0.1), &mut sink).is_err());
+    }
+}
+
+#[cfg(test)]
+mod lifecycle_tests {
+    use super::*;
+    use hdsj_core::VecSink;
+
+    #[test]
+    fn pre_canceled_join_returns_canceled_not_panic() {
+        let ds = hdsj_data::uniform(4, 300, 41).unwrap();
+        let lc = LifecycleCtx::unbounded();
+        lc.cancel_token().cancel();
+        let mut msj = Msj::default();
+        msj.set_lifecycle(lc);
+        let mut sink = VecSink::default();
+        let err = msj
+            .self_join(&ds, &JoinSpec::l2(0.1), &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, Error::Canceled(_)), "{err:?}");
+    }
+
+    #[test]
+    fn exhausted_io_budget_surfaces_as_typed_error() {
+        let ds = hdsj_data::uniform(4, 2000, 42).unwrap();
+        let lc = LifecycleCtx::builder().io_budget(3).build();
+        let engine = StorageEngine::in_memory(4); // tiny pool: plenty of I/O
+        let mut msj = Msj::with_engine(engine.clone());
+        msj.set_lifecycle(lc);
+        let mut sink = VecSink::default();
+        let err = msj
+            .self_join(&ds, &JoinSpec::l2(0.1), &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, Error::BudgetExhausted(_)), "{err:?}");
+        // Graceful exit: no pins leaked, and the lifecycle ctx was removed
+        // so the engine is reusable.
+        assert_eq!(engine.pool().pinned_frames(), 0);
+        let mut retry = VecSink::default();
+        Msj::with_engine(engine)
+            .self_join(&ds, &JoinSpec::l2(0.1), &mut retry)
+            .unwrap();
+        assert!(!retry.pairs.is_empty());
+    }
+
+    #[test]
+    fn lifecycle_error_still_flushes_metrics() {
+        use hdsj_core::obs::Tracer;
+        let ds = hdsj_data::uniform(4, 2000, 43).unwrap();
+        let lc = LifecycleCtx::builder().io_budget(3).build();
+        let (tracer, events) = Tracer::memory();
+        let mut msj = Msj::with_engine(StorageEngine::in_memory(4));
+        msj.set_lifecycle(lc);
+        msj.set_tracer(tracer.clone());
+        let mut sink = VecSink::default();
+        assert!(msj.self_join(&ds, &JoinSpec::l2(0.1), &mut sink).is_err());
+        tracer.flush();
+        // Partial metrics survive the failed join: the poll counter is
+        // non-zero and the root span records the error variant.
+        let polls = events
+            .counter_value(hdsj_core::obs::names::LIFECYCLE_CANCEL_POLLS)
+            .unwrap_or(0);
+        assert!(polls > 0, "lifecycle polls must be flushed on error");
+        let spans = events.spans();
+        let root = spans.iter().find(|s| s.name == "msj.join").unwrap();
+        assert!(
+            root.attrs.iter().any(|(k, v)| k == "error"
+                && matches!(v, hdsj_core::obs::AttrValue::Str(s) if s == "BudgetExhausted")),
+            "root span must carry the error variant: {:?}",
+            root.attrs
+        );
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use hdsj_core::{Metric, VecSink};
+    use hdsj_storage::Manifest;
+    use std::path::Path;
+
+    fn attempt(
+        dir: &Path,
+        ds: &Dataset,
+        spec: &JoinSpec,
+        halt: Option<(&str, u64)>,
+    ) -> Result<Vec<(u32, u32)>> {
+        let man_path = dir.join("join.manifest");
+        let data_path = dir.join("join.manifest.pages");
+        let (eng, mut ckpt, state);
+        if man_path.exists() {
+            let (man, recs) = Manifest::open_append(&man_path)?;
+            state = ManifestState::replay(&recs)?;
+            eng = StorageEngine::builder(64).file_backed_open(&data_path)?;
+            eng.adopt_freelist(state.orphan_pages(eng.pool().num_pages()))?;
+            ckpt = Checkpointer::new(&eng, man);
+        } else {
+            eng = StorageEngine::file_backed(&data_path, 64)?;
+            state = ManifestState::default();
+            ckpt = Checkpointer::new(&eng, Manifest::create(&man_path, 99)?);
+        }
+        if let Some((point, n)) = halt {
+            ckpt.halt_at(point, n);
+        }
+        let mut msj = Msj {
+            sort_mem_records: 64,
+            ..Msj::with_engine(eng.clone())
+        };
+        msj.set_recovery(ckpt, state);
+        let mut sink = VecSink::default();
+        msj.self_join(ds, spec, &mut sink)?;
+        assert_eq!(eng.pool().pinned_frames(), 0, "leaked pins");
+        assert_eq!(
+            eng.pool().free_pages(),
+            eng.pool().num_pages() as usize,
+            "completed resumable join must leave every page free"
+        );
+        Ok(sink.pairs)
+    }
+
+    fn fresh_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hdsj-rmsj-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpointed_join_without_crash_matches_plain_join() {
+        let ds = hdsj_data::uniform(4, 400, 123).unwrap();
+        let spec = JoinSpec::new(0.15, Metric::L2);
+        let mut want = VecSink::default();
+        Msj::default().self_join(&ds, &spec, &mut want).unwrap();
+        let dir = fresh_dir("fresh");
+        let got = attempt(&dir, &ds, &spec, None).unwrap();
+        assert_eq!(got, want.pairs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn halted_join_resumes_to_byte_identical_pairs() {
+        for seed in [1u64, 7, 31] {
+            let ds = hdsj_data::uniform(4, 350 + seed as usize * 29, seed).unwrap();
+            let spec = JoinSpec::new(0.12, Metric::L2);
+            let mut want = VecSink::default();
+            Msj::default().self_join(&ds, &spec, &mut want).unwrap();
+            for (point, nth) in [
+                ("msj.assign_sealed", 1),
+                ("sort.run_sealed", 1),
+                ("sort.run_sealed", 3),
+                ("sort.merge_sealed", 1),
+                ("msj.sort_sealed", 1),
+            ] {
+                let dir = fresh_dir(&format!("{seed}-{point}-{nth}"));
+                let err = attempt(&dir, &ds, &spec, Some((point, nth))).unwrap_err();
+                assert!(matches!(err, Error::Canceled(_)), "{point}@{nth}: {err:?}");
+                let got = attempt(&dir, &ds, &spec, None)
+                    .unwrap_or_else(|e| panic!("resume {point}@{nth} seed {seed}: {e:?}"));
+                assert_eq!(got, want.pairs, "{point}@{nth} seed {seed}");
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_crashes_at_different_phases_still_converge() {
+        let ds = hdsj_data::uniform(5, 500, 77).unwrap();
+        let spec = JoinSpec::new(0.2, Metric::Linf);
+        let mut want = VecSink::default();
+        Msj::default().self_join(&ds, &spec, &mut want).unwrap();
+        let dir = fresh_dir("multi");
+        assert!(attempt(&dir, &ds, &spec, Some(("msj.assign_sealed", 1))).is_err());
+        assert!(attempt(&dir, &ds, &spec, Some(("sort.run_sealed", 2))).is_err());
+        assert!(attempt(&dir, &ds, &spec, Some(("msj.sort_sealed", 1))).is_err());
+        let got = attempt(&dir, &ds, &spec, None).unwrap();
+        assert_eq!(got, want.pairs);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

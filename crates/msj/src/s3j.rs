@@ -14,7 +14,8 @@
 use crate::assign::{prefix_bits_equal, Assigner, RecordCodec, TAG_A, TAG_B};
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    Error, IoCounters, JoinKind, JoinSpec, JoinStats, Metric, PairSink, Rect, Result, Tracer,
+    Error, IoCounters, JoinKind, JoinSpec, JoinStats, LifecycleCtx, Metric, PairSink, Rect,
+    Result, Tracer,
 };
 use hdsj_sfc::Curve;
 use hdsj_storage::sort::{external_sort, SortConfig};
@@ -33,6 +34,9 @@ pub struct S3j {
     /// Buffer-pool frames of the owned engine (when none is supplied).
     pub pool_pages: usize,
     engine: Option<StorageEngine>,
+    /// Per-query lifecycle context, polled at phase boundaries and (via the
+    /// engine) charged on every page op.
+    lifecycle: Option<LifecycleCtx>,
     /// Trace sink for spans/counters (disabled by default; see
     /// `set_tracer`).
     pub tracer: Tracer,
@@ -46,6 +50,7 @@ impl Default for S3j {
             sort_mem_records: 128 * 1024,
             pool_pages: 1024,
             engine: None,
+            lifecycle: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -63,6 +68,12 @@ impl S3j {
     /// Installs a tracer; subsequent runs record spans and counters.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs a lifecycle context; subsequent runs poll it at phase
+    /// boundaries and charge page I/O against its budgets.
+    pub fn set_lifecycle(&mut self, ctx: LifecycleCtx) {
+        self.lifecycle = Some(ctx);
     }
 
     /// Intersection join of two rectangle sets: every `(i, j)` with
@@ -89,6 +100,23 @@ impl S3j {
             Some(e) => e.clone(),
             None => StorageEngine::in_memory(self.pool_pages),
         };
+        if let Some(lc) = &self.lifecycle {
+            engine.set_lifecycle(lc.clone());
+        }
+        let result = self.run_inner(&engine, a, b, kind, dims, sink);
+        engine.clear_lifecycle();
+        result
+    }
+
+    fn run_inner(
+        &self,
+        engine: &StorageEngine,
+        a: &[Rect],
+        b: &[Rect],
+        kind: JoinKind,
+        dims: usize,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
         let io_before = engine.io_counters();
         let codec = RecordCodec::new(dims, self.depth);
         let mut phases = Vec::new();
@@ -110,8 +138,11 @@ impl S3j {
             hdsj_core::obs::PhaseClass::Cpu,
             hdsj_core::obs::names::S3J_PHASE_ASSIGN_NS,
         );
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let mut assigner = Assigner::new(dims, self.depth, 1.0, self.curve)?;
-        let mut file = RecordFile::create(&engine, codec.record_len())?;
+        let mut file = RecordFile::create(engine, codec.record_len())?;
         let mut rec = vec![0u8; codec.record_len()];
         for (i, r) in a.iter().enumerate() {
             let (key, level) = assigner.assign_faces(r.lo(), r.hi());
@@ -136,8 +167,11 @@ impl S3j {
             hdsj_core::obs::PhaseClass::Io,
             hdsj_core::obs::names::S3J_PHASE_SORT_NS,
         );
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let sorted = external_sort(
-            &engine,
+            engine,
             &file,
             codec.sort_key_len(),
             SortConfig {
@@ -157,6 +191,9 @@ impl S3j {
             hdsj_core::obs::PhaseClass::Cpu,
             hdsj_core::obs::names::S3J_PHASE_SWEEP_NS,
         );
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let mut stats = JoinStats::default();
         let peak = rect_sweep(&sorted, &codec, a, b, kind, sink, &mut stats)?;
         sweep_timer.finish(&mut phases);

@@ -133,6 +133,15 @@ pub const MSJ_PHASE_SORT_NS: &str = "msj.phase.sort_ns";
 /// MSJ sweep-phase duration (histogram, ns).
 pub const MSJ_PHASE_SWEEP_NS: &str = "msj.phase.sweep_ns";
 
+/// Cooperative cancellation/deadline polls observed by a query's
+/// lifecycle context (`LifecycleStats::polls`).
+pub const LIFECYCLE_CANCEL_POLLS: &str = "lifecycle.cancel_polls";
+/// Durable checkpoints written by a resumable query
+/// (`LifecycleStats::checkpoints`).
+pub const LIFECYCLE_CHECKPOINTS: &str = "lifecycle.checkpoints";
+/// Manifest files reused (not recomputed) by a resumed join.
+pub const JOIN_RESUMED_LEVELS: &str = "join.resumed_levels";
+
 /// Every registered metric name, for exhaustiveness tests.
 pub const ALL: &[&str] = &[
     BF_CANDIDATES,
@@ -186,6 +195,9 @@ pub const ALL: &[&str] = &[
     MSJ_PHASE_ASSIGN_NS,
     MSJ_PHASE_SORT_NS,
     MSJ_PHASE_SWEEP_NS,
+    LIFECYCLE_CANCEL_POLLS,
+    LIFECYCLE_CHECKPOINTS,
+    JOIN_RESUMED_LEVELS,
 ];
 
 #[cfg(test)]

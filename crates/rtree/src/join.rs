@@ -14,10 +14,13 @@ use crate::node::Node;
 use crate::tree::RTree;
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, Error, IoCounters, JoinKind, JoinSpec, JoinStats, PairSink,
-    Rect, Refiner, Result, SimilarityJoin, Tracer,
+    join::validate_inputs, Dataset, Error, IoCounters, JoinKind, JoinSpec, JoinStats,
+    LifecycleCtx, PairSink, Rect, Refiner, Result, SimilarityJoin, Tracer,
 };
 use hdsj_storage::{PageId, StorageEngine};
+
+/// Node visits between lifecycle polls during the synchronized traversal.
+const POLL_STRIDE: usize = 256;
 
 /// R-tree spatial join (build-and-join).
 #[derive(Clone)]
@@ -29,6 +32,9 @@ pub struct RsjJoin {
     /// Buffer-pool frames of the owned engine (when none is supplied).
     pub pool_pages: usize,
     engine: Option<StorageEngine>,
+    /// Per-query lifecycle context, polled at phase boundaries, every
+    /// [`POLL_STRIDE`] node visits, and (via the engine) on every page op.
+    lifecycle: Option<LifecycleCtx>,
     /// Trace sink for spans/counters (disabled by default; see
     /// `set_tracer`).
     pub tracer: Tracer,
@@ -41,6 +47,7 @@ impl Default for RsjJoin {
             fill: 0.7,
             pool_pages: 1024,
             engine: None,
+            lifecycle: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -77,6 +84,23 @@ impl RsjJoin {
             Some(e) => e.clone(),
             None => StorageEngine::in_memory(self.pool_pages),
         };
+        if let Some(lc) = &self.lifecycle {
+            engine.set_lifecycle(lc.clone());
+        }
+        let result = self.run_inner(&engine, a, b, kind, spec, sink);
+        engine.clear_lifecycle();
+        result
+    }
+
+    fn run_inner(
+        &self,
+        engine: &StorageEngine,
+        a: &Dataset,
+        b: &Dataset,
+        kind: JoinKind,
+        spec: &JoinSpec,
+        sink: &mut dyn PairSink,
+    ) -> Result<JoinStats> {
         let io_before = engine.io_counters();
         let mut phases = Vec::new();
 
@@ -87,6 +111,9 @@ impl RsjJoin {
         root.attr_u64("dims", a.dims() as u64);
         root.attr_f64("eps", spec.eps);
 
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let build = TracedPhase::start_classed(
             &self.tracer,
             &root,
@@ -94,10 +121,10 @@ impl RsjJoin {
             hdsj_core::obs::PhaseClass::Io,
             hdsj_core::obs::names::RSJ_PHASE_BUILD_NS,
         );
-        let tree_a = RTree::build(&engine, a, self.strategy, self.fill)?;
+        let tree_a = RTree::build(engine, a, self.strategy, self.fill)?;
         let tree_b = match kind {
             JoinKind::SelfJoin => None,
-            JoinKind::TwoSets => Some(RTree::build(&engine, b, self.strategy, self.fill)?),
+            JoinKind::TwoSets => Some(RTree::build(engine, b, self.strategy, self.fill)?),
         };
         let structure_bytes = tree_a.structure_bytes()
             + tree_b.as_ref().map(|t| t.structure_bytes()).unwrap_or(0);
@@ -110,13 +137,18 @@ impl RsjJoin {
             hdsj_core::obs::PhaseClass::Cpu,
             hdsj_core::obs::names::RSJ_PHASE_JOIN_NS,
         );
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         {
             let mut traversal = Traversal {
-                engine: &engine,
+                engine,
                 dims: a.dims(),
                 eps: spec.eps,
                 refiner: &mut refiner,
+                lifecycle: self.lifecycle.as_ref(),
+                visits: 0,
             };
             match (&kind, &tree_b) {
                 (JoinKind::SelfJoin, _) => traversal.self_pairs(tree_a.root())?,
@@ -155,11 +187,26 @@ struct Traversal<'a, 'r> {
     dims: usize,
     eps: f64,
     refiner: &'r mut Refiner<'a>,
+    lifecycle: Option<&'r LifecycleCtx>,
+    visits: usize,
 }
 
 impl Traversal<'_, '_> {
+    /// Polls the lifecycle context every [`POLL_STRIDE`] node visits so
+    /// cancellation or a deadline stops the traversal mid-descent.
+    fn maybe_poll(&mut self) -> Result<()> {
+        if self.visits.is_multiple_of(POLL_STRIDE) {
+            if let Some(lc) = self.lifecycle {
+                lc.poll()?;
+            }
+        }
+        self.visits += 1;
+        Ok(())
+    }
+
     /// Unordered pairs within one subtree (self-join).
     fn self_pairs(&mut self, pid: PageId) -> Result<()> {
+        self.maybe_poll()?;
         match Node::load(self.engine, pid, self.dims)? {
             Node::Leaf(mut entries) => {
                 sort_by_dim0(&mut entries);
@@ -191,6 +238,7 @@ impl Traversal<'_, '_> {
     /// Pairs across two distinct subtrees (of the same tree or of two
     /// trees; the refiner knows which reporting convention applies).
     fn cross_pairs(&mut self, pa: PageId, pb: PageId) -> Result<()> {
+        self.maybe_poll()?;
         let na = Node::load(self.engine, pa, self.dims)?;
         let nb = Node::load(self.engine, pb, self.dims)?;
         match (na, nb) {
@@ -258,6 +306,10 @@ impl SimilarityJoin for RsjJoin {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_lifecycle(&mut self, ctx: LifecycleCtx) {
+        self.lifecycle = Some(ctx);
     }
 
     fn join(

@@ -19,9 +19,14 @@
 
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
-    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, PairSink, Refiner,
-    Result, SimilarityJoin, Tracer,
+    join::validate_inputs, Dataset, Error, JoinKind, JoinSpec, JoinStats, LifecycleCtx,
+    PairSink, Refiner, Result, SimilarityJoin, Tracer,
 };
+
+/// Sweep probes between lifecycle polls: frequent enough that a canceled
+/// query stops within a few thousand window probes, rare enough that the
+/// poll never shows up in a profile.
+const POLL_STRIDE: usize = 4096;
 
 /// Sort-merge join over one projected dimension.
 ///
@@ -38,6 +43,9 @@ pub struct SortMergeJoin {
     /// Projection dimension; `None` selects the highest-variance dimension
     /// of the (left) input at run time.
     pub dimension: Option<usize>,
+    /// Per-query lifecycle context, polled at phase boundaries and every
+    /// [`POLL_STRIDE`] sweep probes.
+    lifecycle: Option<LifecycleCtx>,
     /// Trace sink for spans/counters (disabled by default; see
     /// `set_tracer`).
     pub tracer: Tracer,
@@ -98,6 +106,9 @@ impl SortMergeJoin {
         root.attr_f64("eps", spec.eps);
         root.attr_u64("projection_dim", dim as u64);
 
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let sort_timer = TracedPhase::start_classed(
             &self.tracer,
             &root,
@@ -121,10 +132,18 @@ impl SortMergeJoin {
             hdsj_core::obs::PhaseClass::Cpu,
             hdsj_core::obs::names::SM1D_PHASE_SWEEP_NS,
         );
+        if let Some(lc) = &self.lifecycle {
+            lc.poll()?;
+        }
         let mut refiner = Refiner::new(a, b, kind, spec, sink);
         match &sorted_b {
             None => {
                 for (idx, &(x, i)) in sorted_a.iter().enumerate() {
+                    if idx % POLL_STRIDE == 0 {
+                        if let Some(lc) = &self.lifecycle {
+                            lc.poll()?;
+                        }
+                    }
                     for &(y, j) in &sorted_a[idx + 1..] {
                         if y - x > spec.eps {
                             break;
@@ -135,7 +154,12 @@ impl SortMergeJoin {
             }
             Some(sorted_b) => {
                 let mut start = 0usize;
-                for &(x, i) in &sorted_a {
+                for (idx, &(x, i)) in sorted_a.iter().enumerate() {
+                    if idx % POLL_STRIDE == 0 {
+                        if let Some(lc) = &self.lifecycle {
+                            lc.poll()?;
+                        }
+                    }
                     while start < sorted_b.len() && sorted_b[start].0 < x - spec.eps {
                         start += 1;
                     }
@@ -177,6 +201,10 @@ impl SimilarityJoin for SortMergeJoin {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_lifecycle(&mut self, ctx: LifecycleCtx) {
+        self.lifecycle = Some(ctx);
     }
 
     fn join(

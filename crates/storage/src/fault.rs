@@ -100,11 +100,21 @@ struct ProbRule {
     kind: FaultKind,
 }
 
+/// A seeded crash fault: the `countdown`-th hit of the named checkpoint
+/// aborts the process (no unwinding, no destructors — the hardest kill a
+/// test can deliver in-process). Exercised only through child processes
+/// by the kill-and-restart chaos harness.
+struct CrashRule {
+    name: String,
+    countdown: u64,
+}
+
 struct PlanState {
     rng: u64,
     probs: Vec<ProbRule>,
     triggers: Vec<Trigger>,
     dead: Vec<OpKind>,
+    crashes: Vec<CrashRule>,
     /// Legacy one-shot: remaining any-op operations until a single
     /// transient fault.
     one_shot: Option<u64>,
@@ -129,6 +139,7 @@ impl PlanState {
         !self.probs.is_empty()
             || !self.triggers.is_empty()
             || !self.dead.is_empty()
+            || !self.crashes.is_empty()
             || self.one_shot.is_some()
     }
 
@@ -228,6 +239,7 @@ impl FaultPlan {
                     probs: Vec::new(),
                     triggers: Vec::new(),
                     dead: Vec::new(),
+                    crashes: Vec::new(),
                     one_shot: None,
                 }),
             }),
@@ -286,15 +298,71 @@ impl FaultPlan {
         self.rearm(&st);
     }
 
-    /// Clears every rule (probabilities, schedules, dead ops, one-shot).
+    /// Clears every rule (probabilities, schedules, dead ops, crash
+    /// points, one-shot).
     pub fn clear(&self) {
         let _rank = invariants::ordered(rank::FAULT, "fault.state");
         let mut st = self.inner.state.lock();
         st.probs.clear();
         st.triggers.clear();
         st.dead.clear();
+        st.crashes.clear();
         st.one_shot = None;
         self.rearm(&st);
+    }
+
+    /// Arms a crash fault: the `n`-th (1-based) hit of the checkpoint
+    /// named `name` aborts the process. See [`FaultPlan::crash_point`].
+    pub fn crash_at(&self, name: &str, n: u64) {
+        let _rank = invariants::ordered(rank::FAULT, "fault.state");
+        let mut st = self.inner.state.lock();
+        st.crashes.push(CrashRule {
+            name: name.to_string(),
+            countdown: n.max(1),
+        });
+        self.rearm(&st);
+    }
+
+    /// Remaining hits before the crash rule for `name` fires, if armed —
+    /// introspection for tests (the firing itself is untestable
+    /// in-process).
+    pub fn crash_countdown(&self, name: &str) -> Option<u64> {
+        let _rank = invariants::ordered(rank::FAULT, "fault.state");
+        let st = self.inner.state.lock();
+        st.crashes
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.countdown)
+    }
+
+    /// A named checkpoint in the checkpoint/recovery machinery. With a
+    /// matching armed crash rule whose countdown reaches zero, the
+    /// process dies on the spot via `std::process::abort` — no
+    /// destructors, no flushes, exactly the torn state a power cut or
+    /// SIGKILL leaves behind. Call sites name the durability boundaries
+    /// (`msj.assign_sealed`, `sort.run_sealed`, `sort.merge_sealed`,
+    /// `msj.sort_sealed`) so the chaos harness can kill a child `hdsj` at
+    /// every one of them.
+    pub fn crash_point(&self, name: &str) {
+        if !self.is_armed() {
+            return;
+        }
+        let _rank = invariants::ordered(rank::FAULT, "fault.state");
+        let mut st = self.inner.state.lock();
+        let mut fire = false;
+        for c in &mut st.crashes {
+            if c.name == name {
+                c.countdown -= 1;
+                if c.countdown == 0 {
+                    fire = true;
+                }
+            }
+        }
+        if fire {
+            drop(st);
+            eprintln!("fault: crash point `{name}` reached, aborting");
+            std::process::abort();
+        }
     }
 
     /// Consulted by [`FaultyDisk`] before each operation.
@@ -336,12 +404,14 @@ impl FaultPlan {
     /// * `<op>=<p>[:<kind>]` — probabilistic rule, `kind` defaults to
     ///   `transient`;
     /// * `<op>@<n>=<kind>` — the `n`-th op of that kind faults;
+    /// * `crash=<point>@<n>` — the `n`-th hit of the named checkpoint
+    ///   aborts the process (see [`FaultPlan::crash_point`]);
     ///
     /// with `<op>` one of `read`, `write`, `alloc`, `any` and `<kind>`
     /// one of `transient`, `persistent`, `torn`, `corrupt`. `torn` is
     /// write-only; `corrupt` applies to reads and writes.
     ///
-    /// Example: `seed=7,read=0.01,write@3=torn`.
+    /// Example: `seed=7,read=0.01,write@3=torn,crash=sort.run_sealed@2`.
     pub fn parse(spec: &str) -> Result<FaultPlan> {
         fn bad(part: &str, why: &str) -> Error {
             Error::InvalidInput(format!("fault spec `{part}`: {why}"))
@@ -380,6 +450,7 @@ impl FaultPlan {
 
         let mut seed = 0u64;
         let mut rules: Vec<(Option<OpKind>, Rule)> = Vec::new();
+        let mut crashes: Vec<(String, u64)> = Vec::new();
         enum Rule {
             Prob(f64, FaultKind),
             Nth(u64, FaultKind),
@@ -396,6 +467,22 @@ impl FaultPlan {
                 seed = rhs
                     .parse()
                     .map_err(|_| bad(part, "seed must be an integer"))?;
+                continue;
+            }
+            if lhs == "crash" {
+                let (name, n_s) = rhs
+                    .split_once('@')
+                    .ok_or_else(|| bad(part, "crash needs point@N"))?;
+                if name.is_empty() {
+                    return Err(bad(part, "crash point name is empty"));
+                }
+                let n: u64 = n_s
+                    .parse()
+                    .map_err(|_| bad(part, "crash point@N needs an integer N"))?;
+                if n == 0 {
+                    return Err(bad(part, "N is 1-based"));
+                }
+                crashes.push((name.to_string(), n));
                 continue;
             }
             if let Some((op_s, n_s)) = lhs.split_once('@') {
@@ -432,6 +519,9 @@ impl FaultPlan {
                 Rule::Prob(p, kind) => plan.probability(op, p, kind),
                 Rule::Nth(n, kind) => plan.on_nth(op, n, kind),
             }
+        }
+        for (name, n) in crashes {
+            plan.crash_at(&name, n);
         }
         Ok(plan)
     }
@@ -530,6 +620,10 @@ impl Disk for FaultyDisk {
 
     fn num_pages(&self) -> u64 {
         self.inner.num_pages()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
     }
 }
 
@@ -711,6 +805,34 @@ mod tests {
             "alloc=0.1:corrupt", // corrupt needs a payload
             "seed=abc",
         ] {
+            assert!(
+                FaultPlan::parse(bad).is_err(),
+                "spec `{bad}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_rules_parse_and_count_down() {
+        let plan = FaultPlan::parse("crash=sort.run_sealed@3").unwrap();
+        assert!(plan.is_armed());
+        assert_eq!(plan.crash_countdown("sort.run_sealed"), Some(3));
+        // Hits below the threshold only count down (firing aborts the
+        // process, which only the child-process chaos harness exercises).
+        plan.crash_point("sort.run_sealed");
+        plan.crash_point("other.point");
+        assert_eq!(plan.crash_countdown("sort.run_sealed"), Some(2));
+        assert_eq!(plan.crash_countdown("other.point"), None);
+        plan.clear();
+        assert!(!plan.is_armed());
+        // Disarmed plans ignore crash points entirely.
+        plan.crash_point("sort.run_sealed");
+        assert_eq!(plan.crash_countdown("sort.run_sealed"), None);
+    }
+
+    #[test]
+    fn crash_spec_rejects_malformed_forms() {
+        for bad in ["crash=name", "crash=@1", "crash=x@0", "crash=x@y"] {
             assert!(
                 FaultPlan::parse(bad).is_err(),
                 "spec `{bad}` must be rejected"

@@ -50,6 +50,31 @@ impl RecordFile {
         })
     }
 
+    /// Reconstructs a file from a manifest record: the page directory and
+    /// record count of a file that an earlier (crashed or checkpointed)
+    /// run already wrote and flushed. The reconstructed file owns its
+    /// pages exactly like a freshly written one — `destroy` (or drop)
+    /// returns them to the freelist.
+    pub fn from_parts(
+        engine: &StorageEngine,
+        record_len: usize,
+        pages: Vec<PageId>,
+        len: u64,
+    ) -> Result<RecordFile> {
+        let mut file = RecordFile::create(engine, record_len)?;
+        let expected = len.div_ceil(file.per_page as u64) as usize;
+        if pages.len() != expected {
+            return Err(Error::Corruption(format!(
+                "manifest file spec: {len} records of {record_len} bytes need \
+                 {expected} pages, got {}",
+                pages.len()
+            )));
+        }
+        file.pages = pages;
+        file.len = len;
+        Ok(file)
+    }
+
     /// Record length in bytes.
     pub fn record_len(&self) -> usize {
         self.record_len

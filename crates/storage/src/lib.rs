@@ -35,6 +35,7 @@ pub mod disk;
 pub mod fault;
 pub mod file;
 pub mod invariants;
+pub mod manifest;
 pub mod page;
 pub mod points;
 pub mod pool;
@@ -43,6 +44,7 @@ pub mod stats;
 
 pub use fault::{FaultKind, FaultPlan, FaultyDisk, OpKind};
 pub use file::{RecordCursor, RecordFile};
+pub use manifest::{Checkpointer, FileSpec, Manifest, ManifestRecord, ManifestState};
 pub use page::{crc32, Page, PageId, PAGE_HEADER, PAGE_SIZE};
 pub use points::{disk_block_nested_loops, PointFile};
 pub use pool::{BufferPool, PinnedPage, RetryPolicy};
@@ -94,6 +96,16 @@ impl EngineBuilder {
     pub fn file_backed(self, path: &std::path::Path) -> Result<StorageEngine> {
         let stats = Arc::new(IoStats::default());
         let inner = Box::new(disk::FileDisk::create(path, Arc::clone(&stats))?);
+        Ok(self.finish(inner, stats))
+    }
+
+    /// Builds an engine over an *existing* file at `path` without
+    /// truncating it — the recovery path. Pair with
+    /// [`StorageEngine::adopt_freelist`] to hand back the pages a
+    /// crashed run left unreferenced.
+    pub fn file_backed_open(self, path: &std::path::Path) -> Result<StorageEngine> {
+        let stats = Arc::new(IoStats::default());
+        let inner = Box::new(disk::FileDisk::open(path, Arc::clone(&stats))?);
         Ok(self.finish(inner, stats))
     }
 
@@ -165,6 +177,31 @@ impl StorageEngine {
     /// Flushes every dirty page back to the disk.
     pub fn flush_all(&self) -> Result<()> {
         self.pool.flush_all()
+    }
+
+    /// Forces flushed pages down to durable storage (`fsync` on
+    /// file-backed engines; a no-op in memory).
+    pub fn sync(&self) -> Result<()> {
+        self.pool.sync()
+    }
+
+    /// Installs a per-query lifecycle context: every disk operation polls
+    /// it and charges its budgets. See [`BufferPool::set_lifecycle`].
+    pub fn set_lifecycle(&self, ctx: hdsj_core::LifecycleCtx) {
+        self.pool.set_lifecycle(ctx)
+    }
+
+    /// Removes the lifecycle context (between queries on a shared
+    /// engine).
+    pub fn clear_lifecycle(&self) {
+        self.pool.clear_lifecycle()
+    }
+
+    /// Replaces the pool freelist — the recovery path after
+    /// [`EngineBuilder::file_backed_open`]. See
+    /// [`BufferPool::adopt_freelist`].
+    pub fn adopt_freelist(&self, pages: Vec<PageId>) -> Result<()> {
+        self.pool.adopt_freelist(pages)
     }
 
     /// Returns page `id` to the freelist for reuse by later allocations.

@@ -24,7 +24,7 @@ use crate::disk::Disk;
 use crate::invariants::{self, rank};
 use crate::page::{Page, PageId};
 use crate::stats::IoStats;
-use hdsj_core::{Error, Result};
+use hdsj_core::{Error, LifecycleCtx, Result};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -107,6 +107,9 @@ pub struct BufferPool {
     capacity: usize,
     retry: RetryPolicy,
     inner: Mutex<PoolInner>,
+    /// Per-query lifecycle context, polled/charged on every disk
+    /// operation (misses, write-backs, allocs — never on pool hits).
+    lifecycle: Mutex<Option<LifecycleCtx>>,
 }
 
 impl BufferPool {
@@ -133,7 +136,27 @@ impl BufferPool {
                 tick: 0,
                 freelist: Vec::new(),
             }),
+            lifecycle: Mutex::new(None),
         }
+    }
+
+    /// Installs (or replaces) the lifecycle context. Every disk operation
+    /// from now on polls it (cancellation, deadline) and charges one I/O
+    /// op against its budget; disk-growing allocations additionally
+    /// charge one page against the memory budget.
+    pub fn set_lifecycle(&self, ctx: LifecycleCtx) {
+        *self.lifecycle.lock() = Some(ctx);
+    }
+
+    /// Removes the lifecycle context (e.g. between queries on a shared
+    /// engine).
+    pub fn clear_lifecycle(&self) {
+        *self.lifecycle.lock() = None;
+    }
+
+    /// The current lifecycle context, if any (cheap clone of an `Arc`).
+    fn lifecycle_ctx(&self) -> Option<LifecycleCtx> {
+        self.lifecycle.lock().clone()
     }
 
     /// Number of frames.
@@ -178,7 +201,16 @@ impl BufferPool {
     /// Runs a disk operation, retrying transient failures under the
     /// pool's policy. Corruption and non-storage errors propagate
     /// unretried.
+    ///
+    /// This is the single choke point every disk operation flows through,
+    /// so it is also where the lifecycle contract lives: one poll
+    /// (cancellation, deadline) and one I/O-budget charge per logical
+    /// operation — charged once, not once per retry attempt.
     fn retrying<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        if let Some(lc) = self.lifecycle_ctx() {
+            lc.poll()?;
+            lc.charge_io(1)?;
+        }
         let mut attempt = 0u32;
         loop {
             match op() {
@@ -241,6 +273,11 @@ impl BufferPool {
             // resident copy is dirty.
             return Ok(self.install(&mut inner, id, Page::zeroed(), true, tick));
         }
+        // Only disk growth counts against the memory-page budget —
+        // freelist reuse returns capacity the query already paid for.
+        if let Some(lc) = self.lifecycle_ctx() {
+            lc.charge_pages(1)?;
+        }
         let id = self.retrying(|| self.disk.alloc_page())?;
         // The disk wrote zeros; the resident copy matches, so not dirty.
         Ok(self.install(&mut inner, id, Page::zeroed(), false, tick))
@@ -274,6 +311,39 @@ impl BufferPool {
     /// Pages currently on the freelist.
     pub fn free_pages(&self) -> usize {
         self.inner.lock().freelist.len()
+    }
+
+    /// Replaces the freelist wholesale — the recovery path. After
+    /// reopening a file-backed disk, the manifest names the live pages;
+    /// everything else on the disk (pages a crashed run allocated but
+    /// never sealed into the manifest) is handed back here so nothing
+    /// leaks. Rejected while any page is resident: adoption is a
+    /// construction-time step, before the first fetch.
+    pub fn adopt_freelist(&self, pages: Vec<PageId>) -> Result<()> {
+        let _rank = invariants::ordered(rank::POOL, "pool.inner");
+        let mut inner = self.inner.lock();
+        if !inner.map.is_empty() {
+            return Err(Error::Storage(format!(
+                "adopt_freelist on a warm pool ({} resident pages)",
+                inner.map.len()
+            )));
+        }
+        let num_pages = self.disk.num_pages();
+        if let Some(&bad) = pages.iter().find(|&&p| p >= num_pages) {
+            return Err(Error::Storage(format!(
+                "adopted free page {bad} is beyond the disk ({num_pages} pages)"
+            )));
+        }
+        inner.freelist = pages;
+        Ok(())
+    }
+
+    /// Forces written pages down to durable storage (`fsync` on the
+    /// file-backed disk). Counts as a disk operation for the lifecycle
+    /// budget; called by the checkpoint machinery before a manifest
+    /// record may reference the pages.
+    pub fn sync(&self) -> Result<()> {
+        self.retrying(|| self.disk.sync())
     }
 
     fn install(
@@ -727,6 +797,95 @@ mod tests {
         assert_eq!(p.delay_for(8), Duration::from_millis(10), "capped");
         assert_eq!(p.delay_for(40), Duration::from_millis(10), "no overflow");
         assert_eq!(RetryPolicy::none().delay_for(1), Duration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod lifecycle_tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use hdsj_core::LifecycleCtx;
+
+    fn pool(frames: usize) -> BufferPool {
+        let stats = Arc::new(IoStats::default());
+        BufferPool::new(Box::new(MemDisk::new(Arc::clone(&stats))), frames, stats)
+    }
+
+    #[test]
+    fn canceled_ctx_stops_disk_ops() {
+        let p = pool(4);
+        let ctx = LifecycleCtx::unbounded();
+        p.set_lifecycle(ctx.clone());
+        let a = p.alloc().unwrap();
+        let a_id = a.id();
+        drop(a);
+        ctx.cancel_token().cancel();
+        let err = p.alloc().unwrap_err();
+        assert!(matches!(err, Error::Canceled(_)), "{err}");
+        // Pool *hits* stay free — no disk op, no poll — so an already
+        // resident page can still be read while the error unwinds.
+        assert!(p.fetch(a_id).is_ok());
+        p.clear_lifecycle();
+        assert!(p.alloc().is_ok(), "context removed, ops resume");
+    }
+
+    #[test]
+    fn io_budget_bounds_disk_operations() {
+        let p = pool(4);
+        p.set_lifecycle(LifecycleCtx::builder().io_budget(2).build());
+        drop(p.alloc().unwrap()); // io op 1 (disk grow)
+        drop(p.alloc().unwrap()); // io op 2
+        let err = p.alloc().unwrap_err();
+        assert!(matches!(err, Error::BudgetExhausted(_)), "{err}");
+    }
+
+    #[test]
+    fn page_budget_counts_growth_not_reuse() {
+        let p = pool(4);
+        p.set_lifecycle(LifecycleCtx::builder().page_budget(1).build());
+        let a = p.alloc().unwrap();
+        let id = a.id();
+        drop(a);
+        let err = p.alloc().unwrap_err();
+        assert!(matches!(err, Error::BudgetExhausted(_)), "{err}");
+        // Freed pages are capacity already paid for: reuse succeeds.
+        p.free(id).unwrap();
+        assert_eq!(p.alloc().unwrap().id(), id);
+    }
+
+    #[test]
+    fn adopt_freelist_recycles_orphaned_pages() {
+        let stats = Arc::new(IoStats::default());
+        let disk = MemDisk::new(Arc::clone(&stats));
+        for _ in 0..4 {
+            disk.alloc_page().unwrap();
+        }
+        let p = BufferPool::new(Box::new(disk), 4, stats);
+        // Pages 1 and 3 are "live" per some manifest; 0 and 2 leaked.
+        p.adopt_freelist(vec![0, 2]).unwrap();
+        assert_eq!(p.free_pages(), 2);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        assert_eq!((a.id(), b.id()), (2, 0), "leaked pages reused first");
+        assert_eq!(p.num_pages(), 4, "no growth while the freelist lasts");
+    }
+
+    #[test]
+    fn adopt_freelist_rejects_warm_or_bogus_state() {
+        let p = pool(4);
+        let err = p.adopt_freelist(vec![7]).unwrap_err();
+        assert!(err.to_string().contains("beyond the disk"), "{err}");
+        let _a = p.alloc().unwrap();
+        let err = p.adopt_freelist(vec![]).unwrap_err();
+        assert!(err.to_string().contains("warm pool"), "{err}");
+    }
+
+    #[test]
+    fn sync_reaches_the_disk() {
+        let p = pool(2);
+        drop(p.alloc().unwrap());
+        p.flush_all().unwrap();
+        p.sync().unwrap();
     }
 }
 

@@ -10,9 +10,11 @@
 //! Flags are `--name value` pairs; see `hdsj help` for the full list. CSV
 //! datasets are headerless, one point per row (`#` comments allowed).
 
-use hdsj::core::{Error, JoinSpec, Metric, Result, SimilarityJoin, VecSink};
+use hdsj::core::{Error, JoinSpec, LifecycleCtx, Metric, Result, SimilarityJoin, VecSink};
 use hdsj::data::{self, io as dio, ClusterSpec, HistogramSpec};
-use hdsj::storage::{FaultPlan, RetryPolicy, StorageEngine};
+use hdsj::storage::{
+    Checkpointer, FaultPlan, Manifest, ManifestState, RetryPolicy, StorageEngine,
+};
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -39,6 +41,9 @@ fn exit_code(e: &Error) -> i32 {
         Error::Corruption(_) => 5,
         Error::Io(_) => 6,
         Error::Internal(_) => 7,
+        Error::Canceled(_) => 8,
+        Error::DeadlineExceeded(_) => 9,
+        Error::BudgetExhausted(_) => 10,
     }
 }
 
@@ -83,6 +88,8 @@ USAGE:
                 --input FILE [--other FILE] [--out FILE] [--quiet]
                 [--trace FILE] [--stats human|json]
                 [--inject-faults SPEC] [--retries N] [--pool-pages N]
+                [--deadline-ms N] [--mem-budget-pages N] [--resume MANIFEST]
+                [--sort-mem-records N]
   hdsj info     --input FILE
   hdsj analyze  [--root DIR] [--format human|json] [--rules r7,r8]
                 [--list-rules]
@@ -134,10 +141,28 @@ FAULT INJECTION (disk-backed algorithms rsj and msj only):
                         exponential backoff (default 0: fail fast)
   --pool-pages N        buffer pool capacity in pages (default 256)
 
+LIFECYCLE & RECOVERY:
+  --deadline-ms N       abort the join with `deadline exceeded` (exit 9)
+                        once N milliseconds of wall clock have elapsed
+  --mem-budget-pages N  abort with `budget exhausted` (exit 10) once the
+                        join has allocated N pages of disk-backed memory
+  --resume MANIFEST     (msj only) checkpoint durable progress to MANIFEST
+                        and keep page data in MANIFEST.pages; when MANIFEST
+                        already exists, completed sort runs and level files
+                        are reused instead of recomputed. The manifest is
+                        bound to the join's parameters — resuming with a
+                        different input/eps/metric is rejected. Composes
+                        with --inject-faults crash=<point>@<n> for
+                        kill-and-restart testing.
+  --sort-mem-records N  (msj only) in-memory workspace of the external
+                        sort, in records; small values force multi-run
+                        sorts with more checkpoints
+
 EXIT CODES:
   0 success        2 invalid input     3 unsupported
   4 storage fault  5 data corruption   6 OS-level I/O error
-  7 internal invariant violated"
+  7 internal invariant violated        8 canceled
+  9 deadline exceeded                 10 budget exhausted"
     );
 }
 
@@ -280,7 +305,11 @@ fn parse_metric(s: &str) -> Result<Metric> {
     }
 }
 
-fn make_algo(name: &str, engine: Option<StorageEngine>) -> Result<Box<dyn SimilarityJoin>> {
+fn make_algo(
+    name: &str,
+    engine: Option<StorageEngine>,
+    sort_mem: Option<usize>,
+) -> Result<Box<dyn SimilarityJoin>> {
     // Engine flags (--inject-faults / --retries / --pool-pages) only make
     // sense for the disk-backed algorithms; reject them elsewhere instead
     // of silently ignoring the request.
@@ -288,6 +317,11 @@ fn make_algo(name: &str, engine: Option<StorageEngine>) -> Result<Box<dyn Simila
         return Err(Error::Unsupported(format!(
             "--inject-faults/--retries/--pool-pages need a disk-backed \
              algorithm (rsj, msj), not {name:?}"
+        )));
+    }
+    if sort_mem.is_some() && name != "msj" {
+        return Err(Error::Unsupported(format!(
+            "--sort-mem-records configures the external sort (msj), not {name:?}"
         )));
     }
     Ok(match name {
@@ -299,10 +333,16 @@ fn make_algo(name: &str, engine: Option<StorageEngine>) -> Result<Box<dyn Simila
             Some(engine) => Box::new(hdsj::rtree::RsjJoin::with_engine(engine)),
             None => Box::new(hdsj::rtree::RsjJoin::default()),
         },
-        "msj" => match engine {
-            Some(engine) => Box::new(hdsj::msj::Msj::with_engine(engine)),
-            None => Box::new(hdsj::msj::Msj::default()),
-        },
+        "msj" => {
+            let mut msj = match engine {
+                Some(engine) => hdsj::msj::Msj::with_engine(engine),
+                None => hdsj::msj::Msj::default(),
+            };
+            if let Some(records) = sort_mem {
+                msj.sort_mem_records = records;
+            }
+            Box::new(msj)
+        }
         other => {
             return Err(Error::InvalidInput(format!(
                 "unknown --algo {other:?} (bf, sm1d, grid, ekdb, rsj, msj)"
@@ -345,13 +385,137 @@ fn make_engine(flags: &HashMap<String, String>) -> Result<Option<StorageEngine>>
     ))
 }
 
+/// Builds the query's lifecycle context from `--deadline-ms` /
+/// `--mem-budget-pages`, or `None` when neither limit is requested.
+fn make_lifecycle(flags: &HashMap<String, String>) -> Result<Option<LifecycleCtx>> {
+    let deadline_ms: Option<u64> = match flags.get("deadline-ms") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| Error::InvalidInput(format!("--deadline-ms {v:?}: {e}")))?,
+        ),
+        None => None,
+    };
+    let page_budget: Option<u64> = match flags.get("mem-budget-pages") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| Error::InvalidInput(format!("--mem-budget-pages {v:?}: {e}")))?,
+        ),
+        None => None,
+    };
+    if deadline_ms.is_none() && page_budget.is_none() {
+        return Ok(None);
+    }
+    let mut builder = LifecycleCtx::builder();
+    if let Some(ms) = deadline_ms {
+        builder = builder.deadline_ms(ms);
+    }
+    if let Some(pages) = page_budget {
+        builder = builder.page_budget(pages);
+    }
+    Ok(Some(builder.build()))
+}
+
+/// A stable fingerprint of the join parameters, stored in the manifest so
+/// `--resume` refuses to mix checkpoints from a different query (FNV-1a;
+/// intentionally independent of `std`'s hasher, whose output may change
+/// across toolchains while manifests persist on disk).
+fn join_fingerprint(
+    spec: &JoinSpec,
+    input: &hdsj::core::Dataset,
+    other: &Option<hdsj::core::Dataset>,
+) -> u64 {
+    let desc = format!(
+        "msj|eps={:016x}|metric={:?}|n={}|d={}|other={}",
+        spec.eps.to_bits(),
+        spec.metric,
+        input.len(),
+        input.dims(),
+        other.as_ref().map(|d| d.len() as i64).unwrap_or(-1),
+    );
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in desc.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the checkpointing MSJ for `--resume MANIFEST`: page data lives in
+/// `MANIFEST.pages`; an existing manifest is replayed (reusing completed
+/// sort runs and level files), a missing one starts a fresh checkpointed
+/// run. The chaos flags (`--inject-faults`, `--retries`, `--pool-pages`)
+/// compose so a crash-fault run and its resume share one configuration.
+#[allow(clippy::too_many_arguments)]
+fn make_resumable_msj(
+    flags: &HashMap<String, String>,
+    algo_name: &str,
+    manifest_path: &Path,
+    spec: &JoinSpec,
+    input: &hdsj::core::Dataset,
+    other: &Option<hdsj::core::Dataset>,
+    sort_mem: Option<usize>,
+) -> Result<Box<dyn SimilarityJoin>> {
+    if algo_name != "msj" {
+        return Err(Error::Unsupported(format!(
+            "--resume needs the checkpointing algorithm (msj), not {algo_name:?}"
+        )));
+    }
+    let pool_pages: usize = num(flags, "pool-pages", 256)?;
+    if pool_pages == 0 {
+        return Err(Error::InvalidInput(
+            "--pool-pages must be at least 1".into(),
+        ));
+    }
+    let retries: u32 = num(flags, "retries", 0)?;
+    let retry = if retries > 0 {
+        RetryPolicy::backoff(retries)
+    } else {
+        RetryPolicy::none()
+    };
+    let plan = match flags.get("inject-faults") {
+        Some(spec) => FaultPlan::parse(spec)?,
+        None => FaultPlan::new(0),
+    };
+    let mut data_path = manifest_path.as_os_str().to_owned();
+    data_path.push(".pages");
+    let data_path = PathBuf::from(data_path);
+    let fingerprint = join_fingerprint(spec, input, other);
+
+    let (engine, ckpt, state);
+    if manifest_path.exists() {
+        let (manifest, records) = Manifest::open_append(manifest_path)?;
+        state = ManifestState::replay(&records)?;
+        if state.fingerprint != Some(fingerprint) {
+            return Err(Error::InvalidInput(format!(
+                "manifest {} belongs to a different join (input/eps/metric \
+                 changed since it was written); delete it to start over",
+                manifest_path.display()
+            )));
+        }
+        engine = StorageEngine::builder(pool_pages)
+            .retry(retry)
+            .faults(plan)
+            .file_backed_open(&data_path)?;
+        engine.adopt_freelist(state.orphan_pages(engine.pool().num_pages()))?;
+        ckpt = Checkpointer::new(&engine, manifest);
+    } else {
+        engine = StorageEngine::builder(pool_pages)
+            .retry(retry)
+            .faults(plan)
+            .file_backed(&data_path)?;
+        state = ManifestState::default();
+        ckpt = Checkpointer::new(&engine, Manifest::create(manifest_path, fingerprint)?);
+    }
+    let mut msj = hdsj::msj::Msj::with_engine(engine);
+    if let Some(records) = sort_mem {
+        msj.sort_mem_records = records;
+    }
+    msj.set_recovery(ckpt, state);
+    Ok(Box::new(msj))
+}
+
 fn join(flags: &HashMap<String, String>) -> Result<()> {
-    let engine = make_engine(flags)?;
-    let mut algo = make_algo(req(flags, "algo")?, engine)?;
-    // --threads: explicit flag wins; otherwise HDSJ_THREADS or 1 (serial).
-    // 0 resolves to all available cores inside the exec pool.
-    let threads: usize = num(flags, "threads", hdsj::exec::default_threads())?;
-    algo.set_threads(threads);
+    let algo_name = req(flags, "algo")?;
     let metric = parse_metric(flags.get("metric").map(|s| s.as_str()).unwrap_or("l2"))?;
 
     let input = dio::load_csv(Path::new(req(flags, "input")?))?;
@@ -392,6 +556,41 @@ fn join(flags: &HashMap<String, String>) -> Result<()> {
             "{e}\nhint: hdsj joins run on [0,1)^d data; rescale your CSV first"
         ))
     })?;
+    let other = match flags.get("other") {
+        Some(path) => {
+            let ds = dio::load_csv(Path::new(path))?;
+            ds.check_unit_domain()?;
+            Some(ds)
+        }
+        None => None,
+    };
+
+    let sort_mem: Option<usize> = match flags.get("sort-mem-records") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| Error::InvalidInput(format!("--sort-mem-records {v:?}: {e}")))?,
+        ),
+        None => None,
+    };
+    let mut algo = match flags.get("resume") {
+        Some(manifest) => make_resumable_msj(
+            flags,
+            algo_name,
+            Path::new(manifest),
+            &spec,
+            &input,
+            &other,
+            sort_mem,
+        )?,
+        None => make_algo(algo_name, make_engine(flags)?, sort_mem)?,
+    };
+    // --threads: explicit flag wins; otherwise HDSJ_THREADS or 1 (serial).
+    // 0 resolves to all available cores inside the exec pool.
+    let threads: usize = num(flags, "threads", hdsj::exec::default_threads())?;
+    algo.set_threads(threads);
+    if let Some(lc) = make_lifecycle(flags)? {
+        algo.set_lifecycle(lc);
+    }
 
     // --trace installs a JSONL tracer for the whole run: the algorithm's
     // spans/counters plus (via the process global) any generator spans.
@@ -409,12 +608,8 @@ fn join(flags: &HashMap<String, String>) -> Result<()> {
 
     let mut sink = VecSink::default();
     let started = std::time::Instant::now();
-    let stats = match flags.get("other") {
-        Some(other_path) => {
-            let other = dio::load_csv(Path::new(other_path))?;
-            other.check_unit_domain()?;
-            algo.join(&input, &other, &spec, &mut sink)?
-        }
+    let stats = match &other {
+        Some(other) => algo.join(&input, other, &spec, &mut sink)?,
         None => algo.self_join(&input, &spec, &mut sink)?,
     };
     let elapsed = started.elapsed();

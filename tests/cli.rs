@@ -353,6 +353,28 @@ fn exit_codes_reflect_error_families() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("Corruption"), "{stderr}");
     assert!(stderr.contains("checksum"), "{stderr}");
+
+    // 9: an already-expired deadline stops the join before any phase.
+    let out = hdsj()
+        .args(["join", "--algo", "msj", "--eps", "0.25", "--quiet"])
+        .args(input)
+        .args(["--deadline-ms", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(9));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("DeadlineExceeded"), "{stderr}");
+
+    // 10: a one-page memory budget cannot hold the level files.
+    let out = hdsj()
+        .args(["join", "--algo", "msj", "--eps", "0.25", "--quiet"])
+        .args(input)
+        .args(["--mem-budget-pages", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(10));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("BudgetExhausted"), "{stderr}");
 }
 
 /// The acceptance schedule end to end: a transient fault plan that kills
