@@ -6,9 +6,10 @@
 //! locks follow one global order, that the error taxonomy has no dead
 //! variants, and that obs metric names match the registry. This crate is a
 //! std-only diagnostics engine — hand-rolled lexer, light structural
-//! parser, six rules — that enforces exactly those, with `file:line`
-//! output, deny/warn levels, and comment-based suppression
-//! (`// allow(hdsj::<rule>): why`).
+//! parser, a workspace symbol table and conservative call graph
+//! ([`symbols`], [`callgraph`]), twelve rules — that enforces exactly
+//! those, with `file:line` output, deny/warn levels, and comment-based
+//! suppression (`// allow(hdsj::<rule>): why`).
 //!
 //! Entry points: `cargo run -p hdsj-analyze -- check` (CI gate), the
 //! `hdsj analyze` CLI subcommand, and [`Workspace::check`] for tests.
@@ -17,10 +18,12 @@
 //! feature.
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
 pub mod parse;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
 pub use diag::{Diagnostic, Level};
@@ -74,6 +77,45 @@ impl CheckReport {
         }
         s
     }
+
+    /// SARIF 2.1.0 rendering — the minimal subset code-review UIs ingest:
+    /// one run, a driver with the rule catalog, one result per finding.
+    /// String escaping reuses the repo's `{:?}` idiom from `Diagnostic::to_json`.
+    pub fn render_sarif(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"version\":\"2.1.0\",\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"hdsj-analyze\",\"rules\":[");
+        for (i, r) in rules::RULES.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"id\":{:?},\"name\":{:?},\"shortDescription\":{{\"text\":{:?}}}}}",
+                format!("hdsj::{}", r.name),
+                r.name,
+                r.summary
+            ));
+        }
+        s.push_str("]}},\"results\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let level = match d.level {
+                Level::Deny => "error",
+                Level::Warn => "warning",
+            };
+            s.push_str(&format!(
+                "{{\"ruleId\":{:?},\"level\":{:?},\"message\":{{\"text\":{:?}}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{:?}}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+                format!("hdsj::{}", d.rule),
+                level,
+                d.message,
+                d.path.to_string_lossy(),
+                d.line
+            ));
+        }
+        s.push_str("]}]}\n");
+        s
+    }
 }
 
 /// Checks the workspace rooted at `root`.
@@ -92,6 +134,37 @@ pub fn check_workspace_filtered(root: &Path, filter: &str) -> Result<CheckReport
     Ok(CheckReport {
         diagnostics: ws.check_filtered(&set),
     })
+}
+
+/// Long-form documentation for one rule (for `explain <rule>`): the
+/// rationale, a fixture excerpt that trips it, and the suppression syntax.
+pub fn render_explain(rule: &str) -> Result<String, String> {
+    let key = rule.trim().to_ascii_lowercase();
+    let Some(r) = rules::RULES
+        .iter()
+        .find(|r| r.id == key || r.name == key || format!("hdsj::{}", r.name) == key)
+    else {
+        let known = rules::RULES
+            .iter()
+            .map(|r| r.id)
+            .collect::<Vec<_>>()
+            .join(", ");
+        return Err(format!("unknown rule {rule:?}; known: {known}"));
+    };
+    let mut s = String::new();
+    s.push_str(&format!("{} hdsj::{} ({})\n\n", r.id, r.name, r.level));
+    s.push_str(r.doc.trim_end());
+    s.push_str("\n\nExample (from the rule's fixture; every line marked here is denied):\n\n");
+    for line in r.example.trim_end().lines() {
+        s.push_str("    ");
+        s.push_str(line);
+        s.push('\n');
+    }
+    s.push_str(&format!(
+        "\nSuppress a finding with a justified comment on or just above the line:\n\n    // allow(hdsj::{}): <reason>\n",
+        r.name
+    ));
+    Ok(s)
 }
 
 /// One line per rule: `id  level      name — summary` (for `--list-rules`).

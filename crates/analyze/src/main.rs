@@ -1,8 +1,9 @@
 //! `hdsj-analyze` — the static invariant checker's standalone CLI.
 //!
 //! ```text
-//! cargo run -p hdsj-analyze -- check [--root DIR] [--format human|json] [--rules r7,r8]
+//! cargo run -p hdsj-analyze -- check [--root DIR] [--format human|json|sarif] [--rules r7,r8]
 //! cargo run -p hdsj-analyze -- list-rules
+//! cargo run -p hdsj-analyze -- explain <rule>
 //! ```
 //!
 //! Exit codes: 0 clean (warnings allowed), 1 deny-level findings,
@@ -10,6 +11,12 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,11 +43,18 @@ fn run(args: &[String]) -> Result<bool, String> {
         print!("{}", hdsj_analyze::render_rule_list());
         return Ok(false);
     }
+    if cmd == "explain" {
+        let rule = args
+            .get(1)
+            .ok_or("explain needs a rule (e.g. r10 or lifecycle_poll)")?;
+        print!("{}", hdsj_analyze::render_explain(rule)?);
+        return Ok(false);
+    }
     if cmd != "check" {
         return Err(format!("unknown command {cmd:?}\n{}", usage()));
     }
     let mut root = PathBuf::from(".");
-    let mut json = false;
+    let mut format = Format::Human;
     let mut rules: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -49,9 +63,10 @@ fn run(args: &[String]) -> Result<bool, String> {
                 root = PathBuf::from(it.next().ok_or("--root needs a value")?);
             }
             "--format" => match it.next().map(String::as_str) {
-                Some("human") => json = false,
-                Some("json") => json = true,
-                other => return Err(format!("--format {other:?}: expected human|json")),
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => return Err(format!("--format {other:?}: expected human|json|sarif")),
             },
             "--rules" => {
                 rules = Some(
@@ -67,15 +82,15 @@ fn run(args: &[String]) -> Result<bool, String> {
         Some(spec) => hdsj_analyze::check_workspace_filtered(&root, spec)?,
         None => hdsj_analyze::check_workspace(&root).map_err(|e| e.to_string())?,
     };
-    if json {
-        print!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_human());
+    match format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => print!("{}", report.render_json()),
+        Format::Sarif => print!("{}", report.render_sarif()),
     }
     Ok(report.failed())
 }
 
 fn usage() -> String {
-    "usage: hdsj-analyze check [--root DIR] [--format human|json] [--rules r7,r8] | list-rules"
+    "usage: hdsj-analyze check [--root DIR] [--format human|json|sarif] [--rules r7,r8] | list-rules | explain <rule>"
         .to_string()
 }

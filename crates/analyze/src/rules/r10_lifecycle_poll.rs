@@ -1,0 +1,334 @@
+//! R10 `lifecycle_poll` — input-sized loops in the algorithm, exec, and
+//! storage-sort crates must reach a lifecycle `poll()`.
+//!
+//! PR 7's cancellation contract is cooperative: a cancel flag, deadline,
+//! or exhausted budget only fires at a `poll()` site. A loop whose trip
+//! count scales with the input and never reaches one makes the query
+//! uncancelable for the duration of that loop — exactly the bug class a
+//! long-running join server cannot afford. The rule:
+//!
+//! * **Scope** — the algorithm crates (bruteforce, msj, sortmerge, ekdb,
+//!   grid, rtree), the exec pool, and the external sort's resume path.
+//!   The kernels are deliberately out of scope: their loops are
+//!   per-dimension (d ≤ a few hundred), bounded by the point layout, not
+//!   the dataset.
+//! * **Input-sized** — a `for`/`while` whose header names any
+//!   identifier that is not ALL_CAPS (a tuning const) — `for p in
+//!   points`, `while i < n`, `while let Some(x) = heap.pop()` — plus
+//!   every bare `loop`. Literal ranges (`0..4`) and const bounds
+//!   (`0..SUPER_BLOCK`) are exempt. Only *outermost* input-sized loops
+//!   are checked: an inner loop is covered by whatever poll its outer
+//!   loop reaches, and a poll anywhere in the outer body (including
+//!   inside the inner loop) satisfies the outer loop.
+//! * **Reachable poll** — the loop body contains a direct `poll(…)`
+//!   call, or calls some function whose transitive closure (call graph)
+//!   contains one. The buffer pool polls on every disk op via
+//!   `retrying`, so loops that do I/O through the pool pass without
+//!   annotation.
+//!
+//! Loops that are genuinely bounded (spins on a condvar-free handshake,
+//! retry loops bounded by a constant) carry
+//! `// allow(hdsj::lifecycle_poll): <why this loop is not input-sized>`.
+
+use crate::diag::{Diagnostic, Level};
+use crate::rules::Analysis;
+use crate::symbols::FnSym;
+
+pub const RULE: &str = "lifecycle_poll";
+
+/// Path fragments selecting the crates whose loops must stay cancelable.
+const SCOPE: &[&str] = &[
+    "crates/bruteforce/src",
+    "crates/msj/src",
+    "crates/sortmerge/src",
+    "crates/ekdb/src",
+    "crates/grid/src",
+    "crates/rtree/src",
+    "crates/exec/src",
+    "crates/storage/src/sort",
+];
+
+/// Header identifiers that never make a loop input-sized.
+const HEADER_KEYWORDS: &[&str] = &[
+    "in", "let", "mut", "ref", "as", "Some", "None", "Ok", "Err", "usize", "u8", "u16", "u32",
+    "u64", "i8", "i16", "i32", "i64", "f32", "f64", "true", "false",
+];
+
+struct Loop {
+    /// Token index of the `for`/`while`/`loop` keyword.
+    kw: usize,
+    line: u32,
+    /// Token index of the body's `{`.
+    body_open: usize,
+    /// One past the body's `}`.
+    body_end: usize,
+    input_sized: bool,
+}
+
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for (fid, f) in a.symbols.fns.iter().enumerate() {
+        let file = &a.files[f.file];
+        let path = file.path.to_string_lossy();
+        if !SCOPE.iter().any(|frag| path.contains(frag)) {
+            continue;
+        }
+        if f.is_test {
+            continue;
+        }
+        let loops = find_loops(a, f);
+        for (li, l) in loops.iter().enumerate() {
+            if !l.input_sized {
+                continue;
+            }
+            // A fn's span contains any fn nested inside it; attribute each
+            // loop to the *innermost* enclosing fn so it is checked (and
+            // reported) exactly once.
+            let innermost = a
+                .symbols
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.file == f.file && g.body_start <= l.kw && l.kw < g.body_end)
+                .max_by_key(|(_, g)| g.body_start)
+                .map(|(gi, _)| gi);
+            if innermost != Some(fid) {
+                continue;
+            }
+            // Outermost only: skip loops nested inside another loop of
+            // this function (any kind — a counted outer loop still bounds
+            // its inner loops' cadence through its own check).
+            let nested = loops
+                .iter()
+                .enumerate()
+                .any(|(lj, o)| lj != li && o.body_open < l.kw && l.body_end <= o.body_end);
+            if nested {
+                continue;
+            }
+            if file.is_test_line(l.line) || file.suppressed(RULE, l.line) {
+                continue;
+            }
+            if body_reaches_poll(a, fid, l) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: RULE,
+                level: Level::Deny,
+                path: file.path.clone(),
+                line: l.line,
+                message: format!(
+                    "input-sized loop in `{}` never reaches a lifecycle `poll()`: \
+                     cancellation, deadlines, and budgets cannot fire here; poll at a \
+                     stride or justify with `// allow(hdsj::lifecycle_poll): <reason>`",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+/// All `for`/`while`/`loop` constructs in `f`'s body.
+fn find_loops(a: &Analysis, f: &FnSym) -> Vec<Loop> {
+    let file = &a.files[f.file];
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = f.body_start + 1;
+    let end = f.body_end.saturating_sub(1).min(toks.len());
+    while i < end {
+        let t = &toks[i];
+        let kind = if t.is_ident("for") || t.is_ident("while") || t.is_ident("loop") {
+            t.text.as_str()
+        } else {
+            i += 1;
+            continue;
+        };
+        // `loop` as a method/field name (`x.loop`) can't occur (keyword),
+        // but `for` also appears in `impl Trait for T` — not inside fn
+        // bodies we scan. Find the body `{`.
+        let mut j = i + 1;
+        while j < end && !toks[j].is_punct('{') {
+            // A `;` before any `{` means this wasn't a loop header after
+            // all (defensive; shouldn't happen with real code).
+            if toks[j].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        if j >= end || !toks[j].is_punct('{') {
+            i += 1;
+            continue;
+        }
+        let body_end = file.skip_group(j);
+        let input_sized = match kind {
+            "loop" => true,
+            _ => header_is_input_sized(file, kind, i + 1, j),
+        };
+        out.push(Loop {
+            kw: i,
+            line: t.line,
+            body_open: j,
+            body_end,
+            input_sized,
+        });
+        i += 1; // keep scanning inside the body for nested loops
+    }
+    out
+}
+
+/// True when the loop header (tokens `start..open`) mentions a non-const
+/// data identifier — the loop's trip count depends on runtime data.
+fn header_is_input_sized(
+    file: &crate::parse::FileModel,
+    kind: &str,
+    start: usize,
+    open: usize,
+) -> bool {
+    let toks = &file.tokens;
+    // In a `for pat in expr` header, pattern idents are fresh bindings —
+    // only the bound expression after `in` matters.
+    let mut begin = start;
+    if kind == "for" {
+        if let Some(j) = (start..open).find(|&j| toks[j].is_ident("in")) {
+            begin = j + 1;
+        }
+    }
+    for j in begin..open {
+        let t = &toks[j];
+        if t.kind != crate::lexer::TokenKind::Ident {
+            continue;
+        }
+        if HEADER_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `.method(` idents describe *how* to iterate, not over what.
+        if j > 0 && toks[j - 1].is_punct('.') {
+            continue;
+        }
+        // ALL_CAPS names are tuning constants, not input.
+        if t.text
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        {
+            continue;
+        }
+        return true;
+    }
+    false
+}
+
+/// True when the loop body contains a direct `poll(` call or calls a
+/// function whose transitive closure contains one.
+fn body_reaches_poll(a: &Analysis, fid: usize, l: &Loop) -> bool {
+    let f = &a.symbols.fns[fid];
+    let file = &a.files[f.file];
+    let toks = &file.tokens;
+    for i in l.body_open..l.body_end.min(toks.len()) {
+        if toks[i].is_ident("poll") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            return true;
+        }
+    }
+    let polls = |g: usize| a.graph.calls_name(g, "poll");
+    a.graph.calls[fid]
+        .iter()
+        .filter(|s| l.body_open < s.tok && s.tok < l.body_end)
+        .flat_map(|s| s.targets.iter())
+        .any(|&g| a.graph.reaches(g, polls))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::FileModel;
+    use crate::rules::Analysis;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let files = vec![FileModel::parse(PathBuf::from("crates/msj/src/x.rs"), src)];
+        let a = Analysis::build(&files);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn unpolled_input_loop_is_flagged() {
+        let d = run(
+            "fn scan(points: &[P]) { for p in points { touch(p); } }\nfn touch(_p: &P) {}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("poll"), "{d:?}");
+    }
+
+    #[test]
+    fn direct_poll_satisfies() {
+        let d = run("fn scan(lc: &LifecycleCtx, points: &[P]) {\n\
+                 for (i, p) in points.iter().enumerate() {\n\
+                     if i % 64 == 0 { let _ = lc.poll(); }\n\
+                 }\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn transitive_poll_through_a_callee_satisfies() {
+        let d = run(
+            "fn scan(lc: &LifecycleCtx, points: &[P]) { for p in points { tick(lc); } }\n\
+             fn tick(lc: &LifecycleCtx) { let _ = lc.poll(); }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn literal_and_const_bounds_are_exempt() {
+        let d = run(
+            "fn fixed() { for i in 0..4 { let _ = i; } for j in 0..SUPER_BLOCK { let _ = j; } }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn bare_loop_is_input_sized() {
+        let d = run("fn spin(q: &Q) { loop { if q.ready() { break; } } }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn inner_loops_are_covered_by_the_outer_check() {
+        // Only the outer loop is checked; the poll inside the inner loop
+        // satisfies it.
+        let d = run("fn nest(lc: &LifecycleCtx, points: &[P]) {\n\
+                 for p in points {\n\
+                     for q in points {\n\
+                         let _ = lc.poll();\n\
+                     }\n\
+                 }\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_comment_with_reason_is_honoured() {
+        let d = run("fn bounded(points: &[P]) {\n\
+                 // allow(hdsj::lifecycle_poll): at most MAX_RETRIES spins, not input-sized.\n\
+                 for p in points { let _ = p; }\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let files = vec![FileModel::parse(
+            PathBuf::from("crates/obs/src/x.rs"),
+            "fn scan(points: &[P]) { for p in points { let _ = p; } }",
+        )];
+        let a = Analysis::build(&files);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_fns_are_exempt() {
+        let d = run("#[cfg(test)]\nmod t { fn scan(points: &[P]) { for p in points { let _ = p; } } }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

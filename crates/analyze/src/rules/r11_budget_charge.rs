@@ -1,0 +1,262 @@
+//! R11 `budget_charge` — storage functions that touch disk primitives
+//! must charge the I/O budget, directly or through every caller.
+//!
+//! PR 7 added `LifecycleCtx::charge_io` / `charge_pages` so a query's
+//! disk traffic is metered against its budget and its deadline check
+//! fires on the I/O path. A raw `read_page`/`write_all` that bypasses
+//! the charge makes the budget a lie: the query does unmetered I/O and
+//! the accounting in `hdsj-analyze`'s own metrics under-reports. This is
+//! inherently a *call-graph* property — the charge does not have to sit
+//! next to the syscall; it is fine for `Pool::retrying` to charge once
+//! and for everything below it to stay raw. The rule:
+//!
+//! * **Scope** — `crates/storage/src`. Only storage owns raw disk
+//!   handles; other crates reach disk through the pool, which charges.
+//! * **Primitives** — `read_page`, `write_page`, `read_exact_at`,
+//!   `write_all_at`, `read_exact`, `write_all`, `read_to_end`,
+//!   `sync_all` call sites.
+//! * **Covered** — a function is covered when (a) its own transitive
+//!   closure reaches `charge_io`/`charge_pages`, (b) it *is* a named
+//!   boundary (`read_page`/`write_page`/`sync` — the `Disk` trait
+//!   surface, whose callers charge by construction and which the pool
+//!   wraps), or (c) every non-test caller is covered. A function with
+//!   primitives and *no* callers at all is uncovered — dead entry
+//!   points must still declare their budget story.
+//!
+//! Resume-time and bootstrap paths that legitimately run before a
+//! budget is armed carry `// allow(hdsj::budget_charge): <reason>`.
+
+use crate::diag::{Diagnostic, Level};
+use crate::rules::Analysis;
+
+pub const RULE: &str = "budget_charge";
+
+const SCOPE: &str = "crates/storage/src";
+
+/// Raw disk primitives whose call sites must be budget-covered.
+const PRIMS: &[&str] = &[
+    "read_page",
+    "write_page",
+    "read_exact_at",
+    "write_all_at",
+    "read_exact",
+    "write_all",
+    "read_to_end",
+    "sync_all",
+];
+
+/// Functions that *are* the metered boundary: the `Disk` trait surface.
+/// Their callers (the pool's `retrying`, the engine) charge by
+/// construction, and charging inside each impl would double-count.
+const BOUNDARY: &[&str] = &["read_page", "write_page", "sync"];
+
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let n = a.symbols.fns.len();
+    let mut covered: Vec<Option<bool>> = vec![None; n];
+    for fid in 0..n {
+        let f = &a.symbols.fns[fid];
+        let file = &a.files[f.file];
+        if f.is_test || !file.path.to_string_lossy().contains(SCOPE) {
+            continue;
+        }
+        let prims: Vec<&crate::callgraph::CallSite> = a.graph.calls[fid]
+            .iter()
+            .filter(|s| PRIMS.contains(&s.name.as_str()))
+            .collect();
+        if prims.is_empty() {
+            continue;
+        }
+        if is_covered(a, fid, &mut covered, &mut Vec::new()) {
+            continue;
+        }
+        let witness = root_caller(a, fid, &mut covered);
+        for s in &prims {
+            if file.is_test_line(s.line) || file.suppressed(RULE, s.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: RULE,
+                level: Level::Deny,
+                path: file.path.clone(),
+                line: s.line,
+                message: format!(
+                    "`{}` calls disk primitive `{}` but no path through it charges the \
+                     I/O budget (reached from `{}` without `charge_io`/`charge_pages`); \
+                     charge here, charge in every caller, or justify with \
+                     `// allow(hdsj::budget_charge): <reason>`",
+                    f.name, s.name, witness
+                ),
+            });
+        }
+    }
+}
+
+/// Does `fid` charge itself, sit on the metered boundary, or have only
+/// covered callers? Memoized; on-stack queries (caller cycles) resolve
+/// to `true` so a recursive pair whose entry charges stays accepted.
+fn is_covered(
+    a: &Analysis,
+    fid: usize,
+    memo: &mut Vec<Option<bool>>,
+    stack: &mut Vec<usize>,
+) -> bool {
+    if let Some(v) = memo[fid] {
+        return v;
+    }
+    if stack.contains(&fid) {
+        return true;
+    }
+    let f = &a.symbols.fns[fid];
+    let charges =
+        |g: usize| a.graph.calls_name(g, "charge_io") || a.graph.calls_name(g, "charge_pages");
+    let v = if a.graph.reaches(fid, charges) || BOUNDARY.contains(&f.name.as_str()) {
+        true
+    } else {
+        let callers: Vec<usize> = a.graph.callers[fid]
+            .iter()
+            .copied()
+            .filter(|&c| !a.symbols.fns[c].is_test)
+            .collect();
+        if callers.is_empty() {
+            // No non-test caller: either dead code or an entry point —
+            // neither establishes a charge, so demand one here. A fn
+            // reached only from tests is covered (tests run unbudgeted).
+            !a.graph.callers[fid].is_empty()
+        } else {
+            stack.push(fid);
+            let all = callers.iter().all(|&c| is_covered(a, c, memo, stack));
+            stack.pop();
+            all
+        }
+    };
+    memo[fid] = Some(v);
+    v
+}
+
+/// A caller-chain witness for the diagnostic: walk up caller edges,
+/// preferring uncovered callers (the chain that actually breaks coverage),
+/// until a root with no further callers is reached.
+fn root_caller(a: &Analysis, fid: usize, memo: &mut Vec<Option<bool>>) -> String {
+    let mut cur = fid;
+    let mut seen = vec![fid];
+    loop {
+        let candidates: Vec<usize> = a.graph.callers[cur]
+            .iter()
+            .copied()
+            .filter(|c| !a.symbols.fns[*c].is_test && !seen.contains(c))
+            .collect();
+        let next = candidates
+            .iter()
+            .copied()
+            .find(|&c| !is_covered(a, c, memo, &mut Vec::new()))
+            .or_else(|| candidates.first().copied());
+        match next {
+            Some(c) => {
+                seen.push(c);
+                cur = c;
+            }
+            None => return a.symbols.fns[cur].name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::FileModel;
+    use crate::rules::Analysis;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let files = vec![FileModel::parse(
+            PathBuf::from("crates/storage/src/x.rs"),
+            src,
+        )];
+        let a = Analysis::build(&files);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn uncharged_primitive_is_flagged_with_a_root_witness() {
+        let d = run(
+            "fn spill(file: &File, buf: &[u8]) { file.write_all(buf); }\n\
+             fn driver(file: &File, buf: &[u8]) { spill(file, buf); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("`driver`"), "{d:?}");
+    }
+
+    #[test]
+    fn direct_charge_covers() {
+        let d = run("fn spill(lc: &LifecycleCtx, file: &File, buf: &[u8]) {\n\
+                 lc.charge_io(1);\n\
+                 file.write_all(buf);\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn charging_caller_covers_a_raw_helper() {
+        let d = run("fn raw(file: &File, buf: &[u8]) { file.write_all(buf); }\n\
+             fn driver(lc: &LifecycleCtx, file: &File, buf: &[u8]) {\n\
+                 lc.charge_io(1);\n\
+                 raw(file, buf);\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn one_uncharged_caller_breaks_coverage() {
+        let d = run(
+            "fn raw(file: &File, buf: &[u8]) { file.write_all(buf); }\n\
+             fn good(lc: &LifecycleCtx, file: &File, buf: &[u8]) { lc.charge_io(1); raw(file, buf); }\n\
+             fn bad(file: &File, buf: &[u8]) { raw(file, buf); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`bad`"), "{d:?}");
+    }
+
+    #[test]
+    fn boundary_fns_are_exempt() {
+        let d = run("impl FileDisk {\n\
+                 fn read_page(&self, buf: &mut [u8]) { self.file.read_exact_at(buf, 0); }\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_only_callers_cover() {
+        let src = "fn raw(file: &File, buf: &[u8]) { file.write_all(buf); }\n\
+                   #[cfg(test)]\n\
+                   mod t {\n\
+                       fn exercise(file: &File, buf: &[u8]) { super::raw(file, buf); }\n\
+                   }\n";
+        let d = run(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_comment_is_honoured() {
+        let d = run("fn replay(file: &mut File, buf: &mut Vec<u8>) {\n\
+                 // allow(hdsj::budget_charge): replay runs before a budget is armed.\n\
+                 file.read_to_end(buf);\n\
+             }\n\
+             fn open(file: &mut File, buf: &mut Vec<u8>) { replay(file, buf); }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let files = vec![FileModel::parse(
+            PathBuf::from("crates/obs/src/x.rs"),
+            "fn dump(file: &File, buf: &[u8]) { file.write_all(buf); }",
+        )];
+        let a = Analysis::build(&files);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

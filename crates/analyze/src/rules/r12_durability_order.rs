@@ -1,0 +1,208 @@
+//! R12 `durability_order` — in the manifest module, data must be durable
+//! before the manifest record that promises it.
+//!
+//! The checkpoint protocol (DESIGN.md §14) is: flush dirty pages →
+//! fsync the data file → append the checkpoint record → fsync the
+//! manifest. Replay trusts the record: if the record reaches disk
+//! before the data it describes, a crash in the window replays to a
+//! checkpoint whose pages never made it — silent corruption, the exact
+//! failure the write-ahead manifest exists to prevent. The rule checks
+//! the *straight-line order* of calls inside each sealing function:
+//!
+//! * **Scope** — `crates/storage/src/manifest` only. That module owns
+//!   the protocol; elsewhere `append`/`sync` mean other things.
+//! * **Sealing function** — any non-test fn whose body contains both a
+//!   data-sync call (`.sync()`/`.flush_all()` on a receiver resolving
+//!   to the storage engine) and a manifest append (`.append(` on a
+//!   receiver resolving to a `Manifest`).
+//! * **Violation** — a manifest append whose call site precedes the
+//!   first data-sync in token order. Token order is a conservative
+//!   stand-in for program order: reordering across an `if` would move
+//!   the append textually too.
+//!
+//! Functions that only append (no data to seal — e.g. recording a run
+//! file that was synced by the sort) are out of scope by construction;
+//! deliberate unsealed appends carry
+//! `// allow(hdsj::durability_order): <reason>`.
+
+use crate::diag::{Diagnostic, Level};
+use crate::rules::Analysis;
+use crate::symbols::resolve_receiver;
+
+pub const RULE: &str = "durability_order";
+
+const SCOPE: &str = "storage/src/manifest";
+
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    for (fid, f) in a.symbols.fns.iter().enumerate() {
+        let file = &a.files[f.file];
+        if f.is_test || !file.path.to_string_lossy().contains(SCOPE) {
+            continue;
+        }
+        let mut appends: Vec<&crate::callgraph::CallSite> = Vec::new();
+        let mut first_data_sync: Option<usize> = None;
+        for s in &a.graph.calls[fid] {
+            match s.name.as_str() {
+                "append" if receiver_is(a, f, s, "Manifest") => appends.push(s),
+                "flush_all" => {
+                    first_data_sync.get_or_insert(s.tok);
+                }
+                "sync" if receiver_is(a, f, s, "StorageEngine") => {
+                    first_data_sync.get_or_insert(s.tok);
+                }
+                _ => {}
+            }
+        }
+        let Some(sync_tok) = first_data_sync else {
+            continue; // not a sealing function
+        };
+        for s in appends {
+            if s.tok >= sync_tok {
+                continue;
+            }
+            if file.is_test_line(s.line) || file.suppressed(RULE, s.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: RULE,
+                level: Level::Deny,
+                path: file.path.clone(),
+                line: s.line,
+                message: format!(
+                    "`{}` appends a manifest record before the data fsync: a crash in \
+                     between replays to a checkpoint whose pages never reached disk; \
+                     fsync data first, or justify with \
+                     `// allow(hdsj::durability_order): <reason>`",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+/// Does the method call site's receiver resolve to a type mentioning
+/// `ty`? Unresolved receivers answer `false` — R12 only fires on calls
+/// it can attribute, so helper `append`s on vectors stay out of scope.
+fn receiver_is(
+    a: &Analysis,
+    f: &crate::symbols::FnSym,
+    s: &crate::callgraph::CallSite,
+    ty: &str,
+) -> bool {
+    let file = &a.files[f.file];
+    // `recv . name (` — the receiver chain ends two tokens before the name.
+    if s.tok < 2 || !file.tokens[s.tok - 1].is_punct('.') {
+        return false;
+    }
+    resolve_receiver(&a.symbols, file, f, s.tok - 2).ty_mentions(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::FileModel;
+    use crate::rules::Analysis;
+    use std::path::PathBuf;
+
+    const PRELUDE: &str = "struct StorageEngine { x: u32 }\n\
+                           struct Manifest { y: u32 }\n\
+                           struct Ckpt { engine: StorageEngine, manifest: Manifest }\n";
+
+    fn run(body: &str) -> Vec<Diagnostic> {
+        let src = format!("{PRELUDE}{body}");
+        let files = vec![FileModel::parse(
+            PathBuf::from("crates/storage/src/manifest/x.rs"),
+            &src,
+        )];
+        let a = Analysis::build(&files);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn append_before_data_sync_is_flagged() {
+        let d = run("impl Ckpt {\n\
+                 fn seal(&mut self, rec: &[u8]) {\n\
+                     self.manifest.append(rec);\n\
+                     self.engine.sync();\n\
+                 }\n\
+             }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`seal`"), "{d:?}");
+    }
+
+    #[test]
+    fn the_correct_protocol_order_is_clean() {
+        let d = run("impl Ckpt {\n\
+                 fn seal(&mut self, rec: &[u8]) {\n\
+                     self.engine.flush_all();\n\
+                     self.engine.sync();\n\
+                     self.manifest.append(rec);\n\
+                     self.manifest.sync();\n\
+                 }\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flush_all_counts_as_the_data_sync() {
+        let d = run("impl Ckpt {\n\
+                 fn seal(&mut self, rec: &[u8]) {\n\
+                     self.manifest.append(rec);\n\
+                     self.engine.flush_all();\n\
+                 }\n\
+             }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn append_only_functions_are_not_sealing() {
+        let d = run("impl Ckpt {\n\
+                 fn note(&mut self, rec: &[u8]) {\n\
+                     self.manifest.append(rec);\n\
+                     self.manifest.sync();\n\
+                 }\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn vec_appends_do_not_count() {
+        let d = run("impl Ckpt {\n\
+                 fn seal(&mut self, recs: &mut Vec<u8>, rec: u8) {\n\
+                     recs.append(&mut vec![rec]);\n\
+                     self.engine.sync();\n\
+                     self.manifest.append(&[rec]);\n\
+                 }\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_comment_is_honoured() {
+        let d = run("impl Ckpt {\n\
+                 fn seal(&mut self, rec: &[u8]) {\n\
+                     // allow(hdsj::durability_order): intent record, invalidated on replay.\n\
+                     self.manifest.append(rec);\n\
+                     self.engine.sync();\n\
+                 }\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn outside_the_manifest_module_is_ignored() {
+        let src = format!(
+            "{PRELUDE}impl Ckpt {{ fn seal(&mut self, rec: &[u8]) {{ self.manifest.append(rec); self.engine.sync(); }} }}"
+        );
+        let files = vec![FileModel::parse(
+            PathBuf::from("crates/storage/src/pool.rs"),
+            &src,
+        )];
+        let a = Analysis::build(&files);
+        let mut out = Vec::new();
+        check(&a, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

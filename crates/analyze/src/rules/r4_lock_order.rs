@@ -1,4 +1,5 @@
-//! R4 `lock_order` — mutex acquisitions follow the declared global order.
+//! R4 `lock_order` — mutex acquisitions follow the declared global order,
+//! within a function *and* across calls.
 //!
 //! The workspace's blocking locks are few and named consistently; deadlock
 //! freedom comes from acquiring them in one global order:
@@ -14,16 +15,30 @@
 //! held while reaching the disk or the obs registry, but code that holds a
 //! sink or registry lock must not reach back into the pool.
 //!
-//! The check is lexical and per-function: a `let g = x.lock()` binding
-//! *holds* `x`'s rank until its scope closes (or `drop(g)`); any later
-//! acquisition of a strictly lower rank inside that scope is a violation.
-//! Un-bound acquisitions (`x.lock().field`) are temporaries — checked
-//! against currently held ranks but releasing immediately. The
-//! `debug-invariants` feature provides the complementary runtime check
-//! across function boundaries.
+//! Two checks share one walk over each function body:
+//!
+//! * **Lexical** (unchanged from the per-file pass): a `let g = x.lock()`
+//!   binding *holds* `x`'s rank until its scope closes (or `drop(g)`); any
+//!   later acquisition of a strictly lower rank inside that scope is a
+//!   violation. Un-bound acquisitions are temporaries — checked but
+//!   releasing immediately. Same-rank nesting is allowed here because the
+//!   named locks are demonstrably distinct mutexes.
+//! * **Interprocedural** (the call-graph upgrade): a call made while
+//!   holding rank k is denied when any candidate callee's *transitive
+//!   acquire set* contains a lock ranked strictly below k — or the very
+//!   lock the caller holds (self-deadlock on a non-reentrant `Mutex`;
+//!   distinct same-rank locks remain legal nesting, as in the lexical
+//!   check). Acquire sets are a monotone fixed point over the call
+//!   graph's precisely-resolved edges, so recursion cycles terminate
+//!   and are fully covered.
+//!
+//! The `debug-invariants` feature provides the complementary runtime
+//! check for receivers the lexical resolution cannot see.
 
 use crate::diag::{Diagnostic, Level};
-use crate::parse::{FileModel, FnSpan};
+use crate::parse::FileModel;
+use crate::rules::Analysis;
+use crate::symbols::FnSym;
 
 pub const RULE: &str = "lock_order";
 
@@ -53,16 +68,147 @@ struct Held {
     depth: u32,
 }
 
-pub fn check(file: &FileModel, out: &mut Vec<Diagnostic>) {
-    for f in &file.fns {
-        check_fn(file, f, out);
+/// One direct acquisition inside a function body. The lock's rank is
+/// recovered from [`LOCK_ORDER`] by name when the transitive sets are
+/// built.
+#[derive(Clone, Debug)]
+struct Acquire {
+    name: String,
+}
+
+pub fn check(a: &Analysis, out: &mut Vec<Diagnostic>) {
+    // Direct acquire sets, one per function, feeding the transitive check.
+    let direct: Vec<Vec<Acquire>> = a
+        .symbols
+        .fns
+        .iter()
+        .map(|f| direct_acquires(&a.files[f.file], f))
+        .collect();
+    let trans = transitive_acquires(a, &direct);
+    for (fid, f) in a.symbols.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        check_fn(a, fid, f, &trans, out);
     }
 }
 
-fn check_fn(file: &FileModel, f: &FnSpan, out: &mut Vec<Diagnostic>) {
+/// Every ranked `<recv>.lock(` in `f`'s body.
+fn direct_acquires(file: &FileModel, f: &FnSym) -> Vec<Acquire> {
     let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in f.body_start..f.body_end.min(toks.len()) {
+        let t = &toks[i];
+        let is_lock = t.is_ident("lock")
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !is_lock {
+            continue;
+        }
+        let recv = &toks[i - 2];
+        if rank_of(&recv.text).is_some() {
+            out.push(Acquire {
+                name: recv.text.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Index of `name` in [`LOCK_ORDER`].
+fn lock_idx(name: &str) -> Option<usize> {
+    LOCK_ORDER.iter().position(|(n, _)| *n == name)
+}
+
+/// Per-function transitive acquire sets — one bit per named lock, plus a
+/// witness fn for each bit — as a monotone fixed point over *precisely
+/// resolved* call edges only. The keep-every-method fallback edges are
+/// excluded here: R4 denies on reachability, and the fallback's
+/// over-approximation (every `.store(…)`, `.push(…)` edging to every
+/// same-named method in the workspace) would condemn nearly every call
+/// made under a lock. Precise edges keep the check honest; the
+/// `debug-invariants` runtime layer covers what resolution cannot.
+struct TransAcquires {
+    /// `mask[f]` — bit `i` set when `f` transitively acquires
+    /// `LOCK_ORDER[i]`.
+    mask: Vec<u16>,
+    /// `owner[f][i]` — the function whose *direct* acquire set bit `i`,
+    /// for the "via `…`" witness in diagnostics.
+    owner: Vec<Vec<usize>>,
+}
+
+fn transitive_acquires(a: &Analysis, direct: &[Vec<Acquire>]) -> TransAcquires {
+    let n = direct.len();
+    let nlocks = LOCK_ORDER.len();
+    let mut t = TransAcquires {
+        mask: vec![0u16; n],
+        owner: vec![vec![0usize; nlocks]; n],
+    };
+    for (f, acqs) in direct.iter().enumerate() {
+        for acq in acqs {
+            if let Some(i) = lock_idx(&acq.name) {
+                t.mask[f] |= 1 << i;
+                t.owner[f][i] = f;
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for f in 0..n {
+            for site in &a.graph.calls[f] {
+                if !site.resolved {
+                    continue;
+                }
+                for &g in &site.targets {
+                    let new = t.mask[g] & !t.mask[f];
+                    if new == 0 {
+                        continue;
+                    }
+                    for i in 0..nlocks {
+                        if new & (1 << i) != 0 {
+                            t.owner[f][i] = t.owner[g][i];
+                        }
+                    }
+                    t.mask[f] |= new;
+                    changed = true;
+                }
+            }
+        }
+    }
+    t
+}
+
+fn check_fn(
+    a: &Analysis,
+    fid: usize,
+    f: &FnSym,
+    trans: &TransAcquires,
+    out: &mut Vec<Diagnostic>,
+) {
+    let file = &a.files[f.file];
+    let toks = &file.tokens;
+    let sites = &a.graph.calls[fid];
+    let mut next_site = 0usize;
     let mut held: Vec<Held> = Vec::new();
     for i in f.body_start..f.body_end.min(toks.len()) {
+        // Interprocedural: a resolved call made while holding a rank.
+        while next_site < sites.len() && sites[next_site].tok < i {
+            next_site += 1;
+        }
+        if next_site < sites.len() && sites[next_site].tok == i {
+            let site = &sites[next_site];
+            next_site += 1;
+            if !held.is_empty()
+                && site.resolved
+                && !site.targets.is_empty()
+                && !file.is_test_line(site.line)
+                && !file.suppressed(RULE, site.line)
+            {
+                check_call(a, f, trans, site, &held, out);
+            }
+        }
         let t = &toks[i];
         // Scope close: release bindings from deeper scopes.
         if t.is_punct('}') {
@@ -138,15 +284,82 @@ fn check_fn(file: &FileModel, f: &FnSpan, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Denies `site` when some candidate callee transitively acquires a lock
+/// ranked strictly below one the caller holds, or re-acquires the *same
+/// named lock* (self-deadlock on a non-reentrant `Mutex`). Distinct locks
+/// of equal rank are legal nesting, exactly as in the lexical check.
+fn check_call(
+    a: &Analysis,
+    f: &FnSym,
+    trans: &TransAcquires,
+    site: &crate::callgraph::CallSite,
+    held: &[Held],
+    out: &mut Vec<Diagnostic>,
+) {
+    let file = &a.files[f.file];
+    for &g in &site.targets {
+        let mask = trans.mask[g];
+        if mask == 0 {
+            continue;
+        }
+        // The worst violation: highest held rank first, then the
+        // lowest-ranked acquired lock as the reported witness.
+        let mut hit: Option<(&Held, usize)> = None;
+        for h in held {
+            for (i, &(lname, lrank)) in LOCK_ORDER.iter().enumerate() {
+                if mask & (1 << i) == 0 {
+                    continue;
+                }
+                if lrank < h.rank || lname == h.name {
+                    let better = hit.is_none_or(|(ph, pi)| {
+                        h.rank > ph.rank || (h.rank == ph.rank && lrank < LOCK_ORDER[pi].1)
+                    });
+                    if better {
+                        hit = Some((h, i));
+                    }
+                }
+            }
+        }
+        let Some((h, i)) = hit else {
+            continue;
+        };
+        let (lname, lrank) = LOCK_ORDER[i];
+        let owner = trans.owner[g][i];
+        let callee = &a.symbols.fns[g];
+        let via = if owner == g {
+            String::new()
+        } else {
+            format!(" (via `{}`)", a.symbols.fns[owner].name)
+        };
+        out.push(Diagnostic {
+            rule: RULE,
+            level: Level::Deny,
+            path: file.path.clone(),
+            line: site.line,
+            message: format!(
+                "lock-order violation in `{}`: calling `{}` while holding `{}` \
+                 (rank {}); `{}` transitively acquires `{}` (rank {lrank}){via} — \
+                 declared order is pool < fault < disk < obs",
+                f.name, site.name, h.name, h.rank, callee.name, lname
+            ),
+        });
+        // One diagnostic per call site keeps the output readable even when
+        // several candidate impls all violate.
+        return;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::Analysis;
     use std::path::PathBuf;
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        let m = FileModel::parse(PathBuf::from("t.rs"), src);
+        let files = vec![FileModel::parse(PathBuf::from("t.rs"), src)];
+        let a = Analysis::build(&files);
         let mut out = Vec::new();
-        check(&m, &mut out);
+        check(&a, &mut out);
         out
     }
 
@@ -197,6 +410,69 @@ mod tests {
     fn unknown_receivers_are_ignored() {
         let d =
             run("fn ok(&self) { let a = self.whatever.lock(); let p = self.inner.lock(); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cross_function_violation_is_caught() {
+        let d = run(
+            "fn top(pool: &Pool) { let s = pool.counters.lock(); enter(pool); drop(s); }\n\
+             fn enter(pool: &Pool) { let g = pool.inner.lock(); drop(g); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("calling `enter`"), "{d:?}");
+        assert!(d[0].message.contains("rank 0"), "{d:?}");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn downward_rank_calls_are_clean() {
+        // Holding the pool lock (rank 0) while the callee reaches the obs
+        // sink (rank 3) follows the declared order.
+        let d = run(
+            "fn top(pool: &Pool) { let g = pool.inner.lock(); note(pool); drop(g); }\n\
+             fn note(pool: &Pool) { let s = pool.counters.lock(); drop(s); }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cycles_terminate_with_the_right_diagnostic() {
+        let d = run(
+            "fn top(pool: &Pool) { let s = pool.counters.lock(); enter(pool, 0); drop(s); }\n\
+             fn enter(pool: &Pool, depth: usize) { reenter(pool, depth); }\n\
+             fn reenter(pool: &Pool, depth: usize) {\n\
+                 let g = pool.inner.lock();\n\
+                 drop(g);\n\
+                 enter(pool, depth + 1);\n\
+             }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("calling `enter`"), "{d:?}");
+        assert!(d[0].message.contains("via `reenter`"), "{d:?}");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn same_rank_across_calls_is_denied() {
+        // The callee may be locking the very mutex the caller holds.
+        let d = run(
+            "fn top(pool: &Pool) { let g = pool.inner.lock(); again(pool); drop(g); }\n\
+             fn again(pool: &Pool) { let g = pool.inner.lock(); drop(g); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("rank 0"), "{d:?}");
+    }
+
+    #[test]
+    fn suppressed_call_sites_are_honoured() {
+        let d = run("fn top(pool: &Pool) {\n\
+                 let s = pool.counters.lock();\n\
+                 // allow(hdsj::lock_order): enter only reads, lock is uncontended in tests.\n\
+                 enter(pool);\n\
+                 drop(s);\n\
+             }\n\
+             fn enter(pool: &Pool) { let g = pool.inner.lock(); drop(g); }\n");
         assert!(d.is_empty(), "{d:?}");
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! Why a table: memory orderings are a contract between *all* the code
 //! touching one atomic, so the reviewable unit is the atomic, not the call
-//! site. The table names each atomic (by receiver identifier, per crate)
+//! site. The table names each atomic (by canonical receiver, per crate)
 //! and classifies it:
 //!
 //! * [`Class::Gate`] — the value gates access to shared state: the exec
@@ -22,6 +22,14 @@
 //!   is the atomicity of the RMW itself; `Relaxed` is self-justifying and
 //!   needs no per-site comment.
 //!
+//! Receivers are **resolved through the symbol table**, not taken at
+//! face value: `self.cursor`, a `let c = &self.cursor;` alias, a typed
+//! parameter, or a static all resolve to their canonical field/static
+//! name before the table lookup, so renaming a binding can neither dodge
+//! the table nor trip it falsely. When the resolved declared type is
+//! known and is *not* an atomic, an Ordering-shaped call on it (a user
+//! `load(x, Ordering::…)`-alike) is skipped instead of denied.
+//!
 //! An atomic operation on a receiver **not** in its crate's table is a
 //! deny: new atomics are a concurrency-surface change and must be
 //! declared (and classified) here first, exactly as new metric names must
@@ -31,6 +39,8 @@
 
 use crate::diag::{Diagnostic, Level};
 use crate::parse::FileModel;
+use crate::rules::Analysis;
+use crate::symbols::resolve_receiver;
 
 pub const RULE: &str = "atomic_ordering";
 
@@ -49,8 +59,9 @@ pub enum Class {
 }
 
 /// The per-crate atomic ordering table: `(crate, receiver, class)`.
-/// The receiver is the identifier the operation is invoked on
-/// (`stop.store(…)` → `stop`, `frame.pins.fetch_add(…)` → `pins`).
+/// The receiver is the *canonical* identifier the operation resolves to
+/// (`stop.store(…)` → `stop`, `frame.pins.fetch_add(…)` → `pins`, and a
+/// `let c = &self.cursor; c.fetch_add(…)` alias → `cursor`).
 pub const ATOMICS: &[(&str, &str, Class)] = &[
     // hdsj-core: the query-lifecycle context. The cancel flag gates
     // whether workers keep running; the rest are usage statistics read
@@ -136,7 +147,8 @@ fn crate_of(file: &FileModel) -> Option<String> {
     None
 }
 
-pub fn check(file: &FileModel, out: &mut Vec<Diagnostic>) {
+pub fn check(a: &Analysis, fi: usize, out: &mut Vec<Diagnostic>) {
+    let file = &a.files[fi];
     let Some(krate) = crate_of(file) else {
         return;
     };
@@ -164,22 +176,46 @@ pub fn check(file: &FileModel, out: &mut Vec<Diagnostic>) {
         if orderings.is_empty() {
             continue;
         }
-        let receiver = &toks[i - 2];
+        // Resolve the receiver to its canonical name and declared type.
+        let recv_tok = i - 2;
+        let (canonical, declared_ty) = if toks[recv_tok].kind == crate::lexer::TokenKind::Ident
+        {
+            let sym = file
+                .enclosing_fn(i)
+                .and_then(|span| a.symbols.fn_at(fi, span.body_start));
+            match sym {
+                Some(f) => {
+                    let res = resolve_receiver(&a.symbols, file, f, recv_tok);
+                    (res.name, res.ty)
+                }
+                None => (toks[recv_tok].text.clone(), None),
+            }
+        } else {
+            (toks[recv_tok].text.clone(), None)
+        };
+        // A receiver whose declared type is known and not an atomic is
+        // not an atomic operation at all (an Ordering-taking method on a
+        // user type) — skip rather than deny.
+        if declared_ty
+            .as_deref()
+            .is_some_and(|ty| !crate::symbols::ty_mentions(ty, "Atomic"))
+        {
+            continue;
+        }
         let line = t.line;
         if file.is_test_line(line) || file.suppressed(RULE, line) {
             continue;
         }
-        match class_of(&krate, &receiver.text) {
+        match class_of(&krate, &canonical) {
             None => out.push(Diagnostic {
                 rule: RULE,
                 level: Level::Deny,
                 path: file.path.clone(),
                 line,
                 message: format!(
-                    "atomic `{}` is not declared in the R7 per-crate ordering table \
+                    "atomic `{canonical}` is not declared in the R7 per-crate ordering table \
                      (crates/analyze/src/rules/r7_atomic_ordering.rs): classify it as \
-                     Gate or Stat there before using it",
-                    receiver.text
+                     Gate or Stat there before using it"
                 ),
             }),
             Some(Class::Gate) if orderings.contains(&"Relaxed") => {
@@ -194,9 +230,8 @@ pub fn check(file: &FileModel, out: &mut Vec<Diagnostic>) {
                         path: file.path.clone(),
                         line,
                         message: format!(
-                            "`Ordering::Relaxed` on gate atomic `{}` without an \
-                             `// ORDERING:` comment explaining why relaxed is enough",
-                            receiver.text
+                            "`Ordering::Relaxed` on gate atomic `{canonical}` without an \
+                             `// ORDERING:` comment explaining why relaxed is enough"
                         ),
                     });
                 }
@@ -209,12 +244,14 @@ pub fn check(file: &FileModel, out: &mut Vec<Diagnostic>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::Analysis;
     use std::path::PathBuf;
 
     fn run(path: &str, src: &str) -> Vec<Diagnostic> {
-        let m = FileModel::parse(PathBuf::from(path), src);
+        let files = vec![FileModel::parse(PathBuf::from(path), src)];
+        let a = Analysis::build(&files);
         let mut out = Vec::new();
-        check(&m, &mut out);
+        check(&a, 0, &mut out);
         out
     }
 
@@ -288,6 +325,50 @@ mod tests {
         let d = run(
             "crates/exec/src/x.rs",
             "#[cfg(test)]\nmod tests {\n    fn t(a: &AtomicUsize) { a.load(Ordering::Relaxed); }\n}\nfn g(b: &AtomicU64) {\n    // allow(hdsj::atomic_ordering): scratch cell local to this fn.\n    b.load(Ordering::Relaxed);\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn aliased_receivers_resolve_to_the_declared_atomic() {
+        // The carried item from PR 5: `let c = &self.cursor;` used to look
+        // up `c` (a false "not declared"); it now resolves to `cursor`,
+        // a Gate, whose commented relaxed use is clean.
+        let d = run(
+            "crates/exec/src/x.rs",
+            "struct Pool { cursor: AtomicUsize }\n\
+             impl Pool {\n\
+                 fn f(&self) {\n\
+                     let c = &self.cursor;\n\
+                     // ORDERING: claims are idempotent; the scope join publishes results.\n\
+                     c.fetch_add(1, Ordering::Relaxed);\n\
+                 }\n\
+             }\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // Without the comment the alias is still recognized as the gate.
+        let d = run(
+            "crates/exec/src/x.rs",
+            "struct Pool { cursor: AtomicUsize }\n\
+             impl Pool {\n\
+                 fn f(&self) {\n\
+                     let c = &self.cursor;\n\
+                     c.fetch_add(1, Ordering::Relaxed);\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`cursor`"), "{d:?}");
+    }
+
+    #[test]
+    fn known_non_atomic_receiver_types_are_skipped() {
+        // An Ordering-shaped call on a receiver whose declared type is not
+        // an atomic is a user method, not an atomic op.
+        let d = run(
+            "crates/exec/src/x.rs",
+            "struct Ring { slots: SlotMap }\n\
+             impl Ring { fn f(&self) { self.slots.swap(1, Ordering::Relaxed); } }\n",
         );
         assert!(d.is_empty(), "{d:?}");
     }

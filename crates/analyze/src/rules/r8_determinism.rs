@@ -24,12 +24,17 @@ use crate::parse::FileModel;
 
 pub const RULE: &str = "determinism";
 
-/// Path fragments selecting the byte-deterministic modules.
+/// Path fragments selecting the byte-deterministic modules. PR 7's
+/// resume paths joined the list: lifecycle checkpoint decisions and
+/// manifest replay must be a function of the recorded state alone, or a
+/// resumed run diverges from the run it claims to continue.
 const SCOPE: &[&str] = &[
     "crates/core/src/kernels",
+    "crates/core/src/lifecycle",
     "crates/bruteforce/src",
     "crates/msj/src",
     "crates/sortmerge/src",
+    "crates/storage/src/manifest",
     "crates/storage/src/sort",
 ];
 
@@ -171,6 +176,20 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    fn t() { let t = std::time::Instant::now(); }\n}",
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn lifecycle_and_manifest_resume_paths_are_in_scope() {
+        let d = run(
+            "crates/core/src/lifecycle.rs",
+            "fn f() { let t = std::time::Instant::now(); }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        let d = run(
+            "crates/storage/src/manifest.rs",
+            "use std::collections::HashMap;",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
     }
 
     #[test]

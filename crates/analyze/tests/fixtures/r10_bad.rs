@@ -1,0 +1,21 @@
+// Fixture: R10 `lifecycle_poll` — input-sized loops that never reach a
+// lifecycle poll (lines 5 and 12).
+fn r10_scan(points: &[Point]) -> usize {
+    let mut n = 0;
+    for p in points {
+        n += r10_touch(p);
+    }
+    n
+}
+
+fn r10_spin(q: &Queue) {
+    loop {
+        if q.ready() {
+            break;
+        }
+    }
+}
+
+fn r10_touch(_p: &Point) -> usize {
+    1
+}

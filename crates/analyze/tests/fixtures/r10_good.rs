@@ -1,0 +1,43 @@
+// Fixture: R10 `lifecycle_poll` — strided and transitive polls, const
+// bounds, and a justified bounded spin.
+fn r10g_scan(lc: &LifecycleCtx, points: &[Point]) -> usize {
+    let mut n = 0;
+    for (i, p) in points.iter().enumerate() {
+        if i % 64 == 0 {
+            let _ = lc.poll();
+        }
+        n += r10g_weigh(p);
+    }
+    n
+}
+
+fn r10g_drain(lc: &LifecycleCtx, points: &[Point]) {
+    for p in points {
+        r10g_tick(lc, p);
+    }
+}
+
+fn r10g_tick(lc: &LifecycleCtx, _p: &Point) {
+    let _ = lc.poll();
+}
+
+fn r10g_warmup() -> usize {
+    let mut n = 0;
+    for i in 0..SUPER_BLOCK {
+        n += i;
+    }
+    n
+}
+
+fn r10g_handshake(q: &Queue) {
+    // allow(hdsj::lifecycle_poll): bounded by the pool's two-phase close.
+    loop {
+        if q.ready() {
+            break;
+        }
+    }
+}
+
+fn r10g_weigh(_p: &Point) -> usize {
+    1
+}

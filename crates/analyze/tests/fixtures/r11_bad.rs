@@ -1,0 +1,15 @@
+// Fixture: R11 `budget_charge` — a raw spill write that no caller meters
+// (line 9): neither `r11_flush` nor its only caller charges the budget.
+struct R11Spill {
+    file: File,
+}
+
+impl R11Spill {
+    fn r11_flush(&mut self, buf: &[u8]) {
+        self.file.write_all(buf);
+    }
+}
+
+fn r11_driver(spill: &mut R11Spill, buf: &[u8]) {
+    spill.r11_flush(buf);
+}

@@ -1,0 +1,16 @@
+// Fixture: R11 `budget_charge` — the driver charges once at the top; the
+// raw helper below it stays unmetered by design.
+struct R11Pool {
+    file: File,
+}
+
+impl R11Pool {
+    fn r11g_driver(&mut self, lc: &LifecycleCtx, buf: &[u8]) {
+        lc.charge_io(1);
+        self.r11g_write(buf);
+    }
+
+    fn r11g_write(&mut self, buf: &[u8]) {
+        self.file.write_all(buf);
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: R12 `durability_order` — the checkpoint record is appended
+// before the data fsync (line 19), so a crash in between replays to
+// pages that never reached disk.
+struct StorageEngine {
+    dirty: u32,
+}
+
+struct Manifest {
+    len: u32,
+}
+
+struct R12Ckpt {
+    engine: StorageEngine,
+    manifest: Manifest,
+}
+
+impl R12Ckpt {
+    fn r12_seal(&mut self, rec: &[u8]) {
+        self.manifest.append(rec);
+        self.engine.sync();
+        self.manifest.sync();
+    }
+}

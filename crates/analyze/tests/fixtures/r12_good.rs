@@ -1,0 +1,29 @@
+// Fixture: R12 `durability_order` — the full protocol order (flush, data
+// fsync, append, manifest fsync), plus an append-only function that seals
+// no data and is out of scope by construction.
+struct StorageEngine {
+    dirty: u32,
+}
+
+struct Manifest {
+    len: u32,
+}
+
+struct R12gCkpt {
+    engine: StorageEngine,
+    manifest: Manifest,
+}
+
+impl R12gCkpt {
+    fn r12g_seal(&mut self, rec: &[u8]) {
+        self.engine.flush_all();
+        self.engine.sync();
+        self.manifest.append(rec);
+        self.manifest.sync();
+    }
+
+    fn r12g_note(&mut self, rec: &[u8]) {
+        self.manifest.append(rec);
+        self.manifest.sync();
+    }
+}

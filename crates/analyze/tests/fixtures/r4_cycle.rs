@@ -1,0 +1,31 @@
+// Fixture: R4 `lock_order` interprocedural — the obs sink (rank 3) is held
+// across a call that re-enters the pool lock (rank 0) through a recursion
+// knot (line 6). The lexical pass alone cannot see this.
+fn r4x_sink_then_pool(pool: &Pool) {
+    let sink = pool.counters.lock();
+    r4x_enter(pool, 0);
+    drop(sink);
+}
+
+fn r4x_enter(pool: &Pool, depth: usize) {
+    r4x_reenter(pool, depth);
+}
+
+fn r4x_reenter(pool: &Pool, depth: usize) {
+    let g = pool.inner.lock();
+    drop(g);
+    r4x_enter(pool, depth + 1);
+}
+
+// The declared order — pool lock held while the callee reaches the obs
+// sink — stays clean.
+fn r4x_pool_then_sink(pool: &Pool) {
+    let g = pool.inner.lock();
+    r4x_note(pool);
+    drop(g);
+}
+
+fn r4x_note(pool: &Pool) {
+    let s = pool.counters.lock();
+    drop(s);
+}

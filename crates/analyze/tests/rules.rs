@@ -27,15 +27,22 @@ fn bad_fixtures_produce_exactly_the_expected_diagnostics() {
         fixture("r2_bad.rs", "r2_bad.rs"),
         fixture("r3_bad.rs", "r3_bad.rs"),
         fixture("r4_bad.rs", "r4_bad.rs"),
+        fixture("r4_cycle.rs", "r4_cycle.rs"),
         fixture("r5_bad.rs", "r5_bad.rs"),
         fixture("r6_bad.rs", "r6_bad.rs"),
         fixture("r6_names.rs", "obs/src/names.rs"),
-        // The concurrency rules key off workspace paths (per-crate atomic
-        // table, byte-deterministic module list, crates/exec exemption),
-        // so their fixtures mount at realistic crate paths.
+        // The concurrency and lifecycle rules key off workspace paths
+        // (per-crate atomic table, byte-deterministic module list,
+        // crates/exec exemption, storage/manifest protocol scope), so
+        // their fixtures mount at realistic crate paths. The r8 fixture
+        // mounts under kernels — in R8's scope but outside R10's — so
+        // its loops exercise exactly one rule.
         fixture("r7_bad.rs", "crates/exec/src/r7_bad.rs"),
-        fixture("r8_bad.rs", "crates/msj/src/r8_bad.rs"),
+        fixture("r8_bad.rs", "crates/core/src/kernels/r8_bad.rs"),
         fixture("r9_bad.rs", "crates/storage/src/r9_bad.rs"),
+        fixture("r10_bad.rs", "crates/msj/src/r10_bad.rs"),
+        fixture("r11_bad.rs", "crates/storage/src/r11_bad.rs"),
+        fixture("r12_bad.rs", "crates/storage/src/manifest/r12_bad.rs"),
     ]);
     let got: Vec<(String, &str, u32, Level)> = ws
         .check()
@@ -51,39 +58,63 @@ fn bad_fixtures_produce_exactly_the_expected_diagnostics() {
         .collect();
     let want: Vec<(String, &str, u32, Level)> = vec![
         (
-            "crates/exec/src/r7_bad.rs".into(),
-            "atomic_ordering",
-            5,
-            Level::Deny,
-        ),
-        (
-            "crates/exec/src/r7_bad.rs".into(),
-            "atomic_ordering",
-            6,
-            Level::Deny,
-        ),
-        (
-            "crates/msj/src/r8_bad.rs".into(),
+            "crates/core/src/kernels/r8_bad.rs".into(),
             "determinism",
             2,
             Level::Deny,
         ),
         (
-            "crates/msj/src/r8_bad.rs".into(),
+            "crates/core/src/kernels/r8_bad.rs".into(),
             "determinism",
             5,
             Level::Deny,
         ),
         (
-            "crates/msj/src/r8_bad.rs".into(),
+            "crates/core/src/kernels/r8_bad.rs".into(),
             "determinism",
             6,
             Level::Deny,
         ),
         (
-            "crates/msj/src/r8_bad.rs".into(),
+            "crates/core/src/kernels/r8_bad.rs".into(),
             "determinism",
             6,
+            Level::Deny,
+        ),
+        (
+            "crates/exec/src/r7_bad.rs".into(),
+            "atomic_ordering",
+            5,
+            Level::Deny,
+        ),
+        (
+            "crates/exec/src/r7_bad.rs".into(),
+            "atomic_ordering",
+            6,
+            Level::Deny,
+        ),
+        (
+            "crates/msj/src/r10_bad.rs".into(),
+            "lifecycle_poll",
+            5,
+            Level::Deny,
+        ),
+        (
+            "crates/msj/src/r10_bad.rs".into(),
+            "lifecycle_poll",
+            12,
+            Level::Deny,
+        ),
+        (
+            "crates/storage/src/manifest/r12_bad.rs".into(),
+            "durability_order",
+            19,
+            Level::Deny,
+        ),
+        (
+            "crates/storage/src/r11_bad.rs".into(),
+            "budget_charge",
+            9,
             Level::Deny,
         ),
         (
@@ -106,6 +137,7 @@ fn bad_fixtures_produce_exactly_the_expected_diagnostics() {
         ("r3_bad.rs".into(), "pin_pairing", 4, Level::Deny),
         ("r3_bad.rs".into(), "pin_pairing", 7, Level::Deny),
         ("r4_bad.rs".into(), "lock_order", 4, Level::Deny),
+        ("r4_cycle.rs".into(), "lock_order", 6, Level::Deny),
         ("r5_bad.rs".into(), "error_taxonomy", 4, Level::Deny),
         ("r6_bad.rs".into(), "counter_registry", 3, Level::Deny),
         ("r6_bad.rs".into(), "counter_registry", 4, Level::Deny),
@@ -152,8 +184,11 @@ fn good_fixtures_are_clean() {
         fixture("r6_good.rs", "r6_good.rs"),
         fixture("r6_names.rs", "obs/src/names.rs"),
         fixture("r7_good.rs", "crates/storage/src/r7_good.rs"),
-        fixture("r8_good.rs", "crates/msj/src/r8_good.rs"),
+        fixture("r8_good.rs", "crates/core/src/kernels/r8_good.rs"),
         fixture("r9_good.rs", "crates/storage/src/r9_good.rs"),
+        fixture("r10_good.rs", "crates/msj/src/r10_good.rs"),
+        fixture("r11_good.rs", "crates/storage/src/r11_good.rs"),
+        fixture("r12_good.rs", "crates/storage/src/manifest/r12_good.rs"),
     ]);
     let diags = ws.check();
     assert!(diags.is_empty(), "good fixtures must be clean:\n{diags:#?}");
@@ -183,22 +218,57 @@ fn rule_filter_restricts_the_run() {
 }
 
 #[test]
-fn rule_list_names_all_nine_rules() {
+fn rule_list_names_all_twelve_rules() {
     let listing = hdsj_analyze::render_rule_list();
     for (id, name) in [
         ("r1", "no_panic"),
         ("r7", "atomic_ordering"),
         ("r8", "determinism"),
         ("r9", "exec_only"),
+        ("r10", "lifecycle_poll"),
+        ("r11", "budget_charge"),
+        ("r12", "durability_order"),
     ] {
         let line = listing
             .lines()
-            .find(|l| l.starts_with(id))
+            .find(|l| l.split_whitespace().next() == Some(id))
             .unwrap_or_else(|| panic!("rule {id} missing from listing:\n{listing}"));
         assert!(line.contains(name), "{line}");
         assert!(line.contains("deny"), "{line}");
     }
-    assert_eq!(listing.lines().count(), 9);
+    assert_eq!(listing.lines().count(), 12);
+}
+
+#[test]
+fn explain_renders_doc_example_and_suppression() {
+    for key in ["r4", "lifecycle_poll", "hdsj::budget_charge"] {
+        let text =
+            hdsj_analyze::render_explain(key).unwrap_or_else(|e| panic!("explain {key}: {e}"));
+        assert!(text.contains("allow(hdsj::"), "{text}");
+        assert!(text.contains("Example"), "{text}");
+    }
+    assert!(hdsj_analyze::render_explain("r42").is_err());
+}
+
+#[test]
+fn sarif_rendering_carries_rules_and_results() {
+    let ws = Workspace::from_sources(&[fixture("r2_bad.rs", "r2_bad.rs")]);
+    let report = hdsj_analyze::CheckReport {
+        diagnostics: ws.check(),
+    };
+    let sarif = report.render_sarif();
+    assert!(sarif.contains("\"version\":\"2.1.0\""), "{sarif}");
+    assert!(
+        sarif.contains("\"ruleId\":\"hdsj::safety_comment\""),
+        "{sarif}"
+    );
+    assert!(sarif.contains("\"startLine\":3"), "{sarif}");
+    assert!(sarif.contains("\"level\":\"error\""), "{sarif}");
+    // Every rule in the catalog is declared in the driver section.
+    assert!(
+        sarif.contains("\"id\":\"hdsj::durability_order\""),
+        "{sarif}"
+    );
 }
 
 #[test]

@@ -109,6 +109,8 @@ impl LifecycleBuilder {
         LifecycleCtx {
             shared: Arc::new(Shared {
                 cancel: AtomicBool::new(false),
+                // allow(hdsj::determinism): arming a deadline is wall-clock
+                // by definition; it gates *when* a query stops, not output.
                 deadline: self.deadline.map(|d| Instant::now() + d),
                 io_budget: self.io_budget,
                 page_budget: self.page_budget,
@@ -161,6 +163,8 @@ impl LifecycleCtx {
             return Err(Error::Canceled("query canceled".into()));
         }
         if let Some(deadline) = self.shared.deadline {
+            // allow(hdsj::determinism): the deadline check is wall-clock by
+            // definition; it decides whether to stop, never output bytes.
             if Instant::now() >= deadline {
                 return Err(Error::DeadlineExceeded("wall-clock deadline passed".into()));
             }

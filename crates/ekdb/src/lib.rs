@@ -117,6 +117,8 @@ impl Tree {
                     });
                 }
                 Node::Inner { children } => {
+                    // allow(hdsj::lifecycle_poll): per-node fan-out bounded
+                    // by split arity; the traversal polls per leaf sweep.
                     for c in children.iter_mut().flatten() {
                         rec(c, ds);
                     }

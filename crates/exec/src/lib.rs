@@ -317,6 +317,8 @@ impl Pool {
         });
 
         let mut slots: Vec<(usize, Result<R>)> = Vec::with_capacity(nchunks);
+        // allow(hdsj::lifecycle_poll): one iteration per worker handle,
+        // bounded by pool width; the workers themselves polled per chunk.
         for worker in joined {
             match worker {
                 Ok(local) => slots.extend(local),
@@ -355,6 +357,8 @@ impl Pool {
         G: FnMut(A, R) -> A,
     {
         let mut acc = init;
+        // allow(hdsj::lifecycle_poll): folds already-computed per-chunk
+        // results; the workers that produced them polled per chunk.
         for r in self.map_chunks(parent, n, chunk, map)? {
             acc = fold(acc, r);
         }

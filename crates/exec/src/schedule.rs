@@ -132,6 +132,8 @@ mod imp {
         let h = mix(SEED.load(Ordering::Relaxed)
             ^ ((site as u64) << 32)
             ^ step.wrapping_mul(0x9E37));
+        // allow(hdsj::lifecycle_poll): at most three yields (h % 4), a
+        // perturbation knob, not an input-sized loop.
         for _ in 0..(h % 4) {
             std::thread::yield_now();
         }
@@ -333,6 +335,8 @@ pub mod explorer {
 
         fn pop(&self) -> Option<u64> {
             let mut g = self.guard();
+            // allow(hdsj::lifecycle_poll): condvar wait loop — sleeps until
+            // notified, terminates when the queue closes.
             loop {
                 if let Some(v) = g.0.pop_front() {
                     return Some(v);
@@ -359,6 +363,8 @@ pub mod explorer {
                 move |_idx: usize| {
                     let mut sum = 0u64;
                     let mut count = 0u64;
+                    // allow(hdsj::lifecycle_poll): explorer scenario drains
+                    // a fixed, small item count; not a query path.
                     while let Some(v) = q.pop() {
                         sum += v;
                         count += 1;

@@ -98,6 +98,8 @@ impl Directory {
 /// Calls `f` for every offset in `{-1,0,1}^d`, including the zero offset.
 fn for_each_offset(d: usize, f: &mut impl FnMut(&[i64])) {
     let mut offset = vec![-1i64; d];
+    // allow(hdsj::lifecycle_poll): 3^d odometer over the neighbourhood —
+    // bounded by dimensionality, not by the dataset.
     loop {
         f(&offset);
         // Odometer increment over {-1,0,1}.
@@ -120,6 +122,7 @@ fn for_each_offset(d: usize, f: &mut impl FnMut(&[i64])) {
 /// `+1`) — the half-neighbourhood used by self-joins so each cell pair is
 /// visited once.
 fn is_positive(offset: &[i64]) -> bool {
+    // allow(hdsj::lifecycle_poll): d entries, bounded by dimensionality.
     for &o in offset {
         if o > 0 {
             return true;

@@ -116,6 +116,8 @@ impl Assigner {
     pub fn assign(&mut self, p: &[f64]) -> (BitKey, u8) {
         debug_assert_eq!(p.len(), self.dims);
         let mut level = self.depth;
+        // allow(hdsj::lifecycle_poll): per-dimension loop over one point's
+        // coordinates (d entries), bounded by the layout not the dataset.
         for (i, &x) in p.iter().enumerate() {
             self.lo[i] = grid::quantize(x - self.half, self.depth);
             self.hi[i] = grid::quantize(x + self.half, self.depth);

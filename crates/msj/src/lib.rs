@@ -177,7 +177,12 @@ impl Msj {
         let depth = self.effective_depth(eps);
         let mut assigner = Assigner::new(ds.dims(), depth, eps, self.curve)?;
         let mut hist = vec![0u64; depth as usize + 1];
-        for (_, p) in ds.iter() {
+        for (n, (_, p)) in ds.iter().enumerate() {
+            if n % 4096 == 0 {
+                if let Some(lc) = &self.lifecycle {
+                    lc.poll()?;
+                }
+            }
             let (_, level) = assigner.assign(p);
             hist[level as usize] += 1;
         }

@@ -198,6 +198,8 @@ pub fn sweep_and_refine(
     let (peak, outcomes) = pool.producer_consumers(consumers, producer)?;
     let mut all_pairs = Vec::new();
     let mut candidates = 0u64;
+    // allow(hdsj::lifecycle_poll): one outcome per consumer, bounded by
+    // the worker count; the consumers polled while refining.
     for (pairs, c) in outcomes {
         all_pairs.extend(pairs);
         candidates += c;

@@ -222,6 +222,8 @@ fn validate_rects(a: &[Rect], b: &[Rect]) -> Result<usize> {
         .or_else(|| b.first())
         .map(|r| r.dims())
         .unwrap_or(1);
+    // allow(hdsj::lifecycle_poll): single O(n) validation pass before any
+    // phase begins; the join polls at the next phase boundary.
     for r in a.iter().chain(b) {
         if r.dims() != dims {
             return Err(Error::InvalidInput(format!(

@@ -118,12 +118,16 @@ fn process_cell(
     match kind {
         JoinKind::SelfJoin => {
             sweep_within(&cell.a, eps, offer);
+            // allow(hdsj::lifecycle_poll): ancestor stack depth ≤ curve
+            // depth (20); the cursor feeding cells polls per page.
             for anc in stack.iter() {
                 sweep_pair(&cell.a, &anc.a, eps, offer);
             }
         }
         JoinKind::TwoSets => {
             sweep_pair(&cell.a, &cell.b, eps, offer);
+            // allow(hdsj::lifecycle_poll): ancestor stack depth ≤ curve
+            // depth, see the self-join arm.
             for anc in stack.iter() {
                 // Left points of the new cell × right points of ancestors,
                 // and vice versa; orientation is always (a-id, b-id).
@@ -140,6 +144,8 @@ fn process_cell(
 
 /// Unordered pairs within one sorted list whose `x0` differ by at most ε.
 fn sweep_within(xs: &[(f64, u32)], eps: f64, offer: &mut dyn FnMut(u32, u32)) {
+    // allow(hdsj::lifecycle_poll): ε-window scan inside one cell; the
+    // cursor that fills cells polls on every page fetch.
     for (idx, &(x0, i)) in xs.iter().enumerate() {
         for &(y0, j) in &xs[idx + 1..] {
             if y0 - x0 > eps {
@@ -153,6 +159,8 @@ fn sweep_within(xs: &[(f64, u32)], eps: f64, offer: &mut dyn FnMut(u32, u32)) {
 /// Cross pairs of two sorted lists whose `x0` differ by at most ε.
 fn sweep_pair(xs: &[(f64, u32)], ys: &[(f64, u32)], eps: f64, offer: &mut dyn FnMut(u32, u32)) {
     let mut start = 0usize;
+    // allow(hdsj::lifecycle_poll): ε-window scan across two cells' points;
+    // bounded by per-cell occupancy, polled at the cursor feeding them.
     for &(x0, i) in xs {
         while start < ys.len() && ys[start].0 < x0 - eps {
             start += 1;

@@ -87,11 +87,15 @@ impl Node {
         let mut mbr = Rect::empty(dims);
         match self {
             Node::Leaf(entries) => {
+                // allow(hdsj::lifecycle_poll): per-node entries, bounded
+                // by the page fan-out.
                 for e in entries {
                     mbr.grow_point(&e.coords);
                 }
             }
             Node::Inner(entries) => {
+                // allow(hdsj::lifecycle_poll): per-node entries, bounded
+                // by the page fan-out.
                 for e in entries {
                     mbr.grow_rect(&e.mbr);
                 }
@@ -116,6 +120,8 @@ impl Node {
         let mut off = HEADER;
         match self {
             Node::Leaf(entries) => {
+                // allow(hdsj::lifecycle_poll): serializes one page's
+                // entries, bounded by the page fan-out.
                 for e in entries {
                     debug_assert_eq!(e.coords.len(), dims);
                     page.put_u32(off, e.id);
@@ -127,6 +133,8 @@ impl Node {
                 }
             }
             Node::Inner(entries) => {
+                // allow(hdsj::lifecycle_poll): serializes one page's
+                // entries, bounded by the page fan-out.
                 for e in entries {
                     debug_assert_eq!(e.mbr.dims(), dims);
                     page.put_u64(off, e.child);

@@ -91,8 +91,8 @@ USAGE:
                 [--deadline-ms N] [--mem-budget-pages N] [--resume MANIFEST]
                 [--sort-mem-records N]
   hdsj info     --input FILE
-  hdsj analyze  [--root DIR] [--format human|json] [--rules r7,r8]
-                [--list-rules]
+  hdsj analyze  [--root DIR] [--format human|json|sarif] [--rules r7,r8]
+                [--list-rules] [--explain RULE]
   hdsj trace-report FILE [--phases] [--critical-path]
   hdsj stats FILE [--format human|prom]
 
@@ -102,13 +102,15 @@ Datasets are headerless CSV, one point per row. `join` runs a self-join of
 
 `analyze` runs the hdsj-analyze static invariant checker over the
 workspace at --root (default `.`): panic-freedom, SAFETY comments,
-pin/unpin pairing, lock order, error-taxonomy coverage, metric-name
-registry conformance, atomic-ordering declarations, byte-determinism,
-and pool-only threading. It exits 1 when any deny-level finding survives
-suppression — the same contract as `cargo run -p hdsj-analyze -- check`.
-`--rules r7,r8` (ids or names) restricts the run to those rules;
-`--list-rules` prints each rule's id, level, and description instead of
-checking.
+pin/unpin pairing, interprocedural lock order, error-taxonomy coverage,
+metric-name registry conformance, atomic-ordering declarations,
+byte-determinism, pool-only threading, lifecycle-poll coverage, budget
+charging, and manifest durability order. It exits 1 when any deny-level
+finding survives suppression — the same contract as
+`cargo run -p hdsj-analyze -- check`. `--rules r7,r8` (ids or names)
+restricts the run to those rules; `--list-rules` prints each rule's id,
+level, and description; `--explain RULE` prints one rule's doc, example,
+and suppression syntax.
 
 `join` prints `algorithm`/`pairs` to stdout; detailed statistics
 (candidates, filter precision, per-phase times, I/O) go to stderr unless
@@ -168,11 +170,18 @@ EXIT CODES:
 
 /// `hdsj analyze` — the static invariant checker, embedded. Prints every
 /// finding as `path:line: level[rule] message` (or JSONL with
-/// `--format json`) and exits 1 on deny findings, mirroring the
-/// standalone `hdsj-analyze` binary so CI can gate on either.
+/// `--format json`, SARIF 2.1.0 with `--format sarif`) and exits 1 on
+/// deny findings, mirroring the standalone `hdsj-analyze` binary so CI
+/// can gate on either. `--explain RULE` prints one rule's documentation,
+/// a fixture example, and its suppression syntax instead of checking.
 fn analyze(flags: &HashMap<String, String>) -> Result<()> {
     if flags.contains_key("list-rules") {
         print!("{}", hdsj_analyze::render_rule_list());
+        return Ok(());
+    }
+    if let Some(rule) = flags.get("explain") {
+        let text = hdsj_analyze::render_explain(rule).map_err(Error::InvalidInput)?;
+        print!("{text}");
         return Ok(());
     }
     let root = flags.get("root").map(String::as_str).unwrap_or(".");
@@ -185,9 +194,10 @@ fn analyze(flags: &HashMap<String, String>) -> Result<()> {
     match format {
         "human" => print!("{}", report.render_human()),
         "json" => print!("{}", report.render_json()),
+        "sarif" => print!("{}", report.render_sarif()),
         other => {
             return Err(Error::InvalidInput(format!(
-                "unknown --format {other:?}; expected human or json"
+                "unknown --format {other:?}; expected human, json, or sarif"
             )))
         }
     }
