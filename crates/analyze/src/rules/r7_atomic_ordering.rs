@@ -71,6 +71,10 @@ pub const ATOMICS: &[(&str, &str, Class)] = &[
     ("core", "io_used", Class::Stat),
     ("core", "pages_used", Class::Stat),
     ("core", "checkpoints", Class::Stat),
+    // The SIMD dispatch probe: gates which kernel tier every distance
+    // evaluation takes, so each relaxed site must justify why that is
+    // sound (idempotent probe — all racers store the same value).
+    ("core", "DISPATCH", Class::Gate),
     // hdsj-exec: the pool's work-distribution atomics and the
     // debug-schedules instrumentation.
     ("exec", "cursor", Class::Gate),

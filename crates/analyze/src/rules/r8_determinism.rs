@@ -27,10 +27,16 @@ pub const RULE: &str = "determinism";
 /// Path fragments selecting the byte-deterministic modules. PR 7's
 /// resume paths joined the list: lifecycle checkpoint decisions and
 /// manifest replay must be a function of the recorded state alone, or a
-/// resumed run diverges from the run it claims to continue.
+/// resumed run diverges from the run it claims to continue. The SIMD
+/// dispatch and kernel tiers joined with the vectorization PR: every
+/// tier's output is part of the byte-determinism promise (results must
+/// not depend on which tier ran), and the SoA tiling must not braid any
+/// nondeterministic source into lane order.
 const SCOPE: &[&str] = &[
     "crates/core/src/kernels",
     "crates/core/src/lifecycle",
+    "crates/core/src/simd",
+    "crates/core/src/soa",
     "crates/bruteforce/src",
     "crates/msj/src",
     "crates/sortmerge/src",
@@ -176,6 +182,17 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    fn t() { let t = std::time::Instant::now(); }\n}",
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn simd_dispatch_and_soa_are_in_scope() {
+        let d = run(
+            "crates/core/src/simd/mod.rs",
+            "fn f() { let t = std::time::Instant::now(); }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        let d = run("crates/core/src/soa.rs", "use std::collections::HashMap;");
+        assert_eq!(d.len(), 1, "{d:?}");
     }
 
     #[test]

@@ -1,0 +1,20 @@
+// Fixture: R2 passes on the SIMD-kernel shape — a `#[target_feature]`
+// helper whose intrinsics sit in an `unsafe` block with an adjacent
+// SAFETY comment, plus the dispatch-guarded entry wrapper. Mounted
+// under `crates/core/src/simd/`, so R8's determinism scope also covers
+// it: no banned identifiers may appear.
+use std::arch::x86_64::{__m128d, _mm_loadu_pd, _mm_sub_pd};
+
+#[target_feature(enable = "sse2")]
+#[inline]
+fn diff2(a: &[f64], b: &[f64], at: usize) -> __m128d {
+    // SAFETY: the caller's loop bound guarantees `at + 2 <= len` for
+    // both slices, so the two unaligned 16-byte loads stay in bounds.
+    unsafe { _mm_sub_pd(_mm_loadu_pd(a.as_ptr().add(at)), _mm_loadu_pd(b.as_ptr().add(at))) }
+}
+
+pub fn entry(a: &[f64], b: &[f64]) -> __m128d {
+    // SAFETY: SSE2 is part of the x86-64 baseline ABI, so the kernel's
+    // required target feature is always present on this architecture.
+    unsafe { diff2(a, b, 0) }
+}

@@ -178,6 +178,7 @@ fn good_fixtures_are_clean() {
     let ws = Workspace::from_sources(&[
         fixture("r1_good.rs", "r1_good.rs"),
         fixture("r2_good.rs", "r2_good.rs"),
+        fixture("r2_intrinsics.rs", "crates/core/src/simd/r2_intrinsics.rs"),
         fixture("r3_good.rs", "r3_good.rs"),
         fixture("r4_good.rs", "r4_good.rs"),
         fixture("r5_good.rs", "r5_good.rs"),

@@ -4,7 +4,22 @@
 //! workload at `--threads {1, max}` plus a scalar-vs-kernel L2 `within`
 //! micro-benchmark, and writes `BENCH_0004.json` with the median
 //! wall-times, pairs/sec, and speedups. CI runs it with `HDSJ_QUICK=1`
-//! (n=5 000); the full workload is uniform d=16 n=50 000 ε=0.1.
+//! (n=5 000); the full workload is uniform d=16 n=50 000.
+//!
+//! ε is *derived*, not fixed: the 10⁻⁴ pair quantile of sampled pair
+//! distances. The original fixed ε=0.1 selected zero pairs at d=16
+//! (uniform pair distances concentrate near √(d/6) ≈ 1.63), so the
+//! "join" timings measured pure filtering with an empty refinement
+//! phase. Every timed join is now required to produce pairs — a
+//! zero-pair workload fails the run rather than silently recording a
+//! vacuous number.
+//!
+//! The SIMD dispatch sweep (`BENCH_0006.json`) times the d=64 L2
+//! `within` kernel at every tier the host supports — the single-chain
+//! scalar reference, the 4-lane scalar kernel, and the dispatched
+//! pair/block kernels per tier — pinning exact hit-count equality across
+//! tiers (the bit-exactness contract) and recording speedups against the
+//! 4-lane kernel along with the honest host dispatch level.
 //!
 //! It also runs one traced MSJ pass (memory sink) and writes
 //! `BENCH_0005.json` with per-phase latency percentiles (p50/p90/p99/max
@@ -151,11 +166,15 @@ fn main() -> Result<()> {
         .unwrap_or(1);
     let max_threads = hdsj_exec::resolve_threads(0);
 
-    println!(
-        "bench_smoke: uniform d=16 n={n} eps=0.1 L2 (quick={quick}, host_threads={host_threads})"
-    );
     let ds = hdsj_data::uniform(16, n, 42)?;
-    let spec = JoinSpec::new(0.1, Metric::L2);
+    // ε at the 10⁻⁴ pair quantile: a per-dimension threshold derived from
+    // the data, so the timed joins refine real candidate sets instead of
+    // the zero-pair workload a fixed ε=0.1 selects at d=16.
+    let eps = hdsj_bench::eps_for_sample_quantile(&ds, Metric::L2, 1e-4, 50_000);
+    let spec = JoinSpec::new(eps, Metric::L2);
+    println!(
+        "bench_smoke: uniform d=16 n={n} eps={eps:.4} L2 (quick={quick}, host_threads={host_threads})"
+    );
 
     let mut thread_counts = vec![1];
     if max_threads > 1 {
@@ -178,11 +197,25 @@ fn main() -> Result<()> {
             );
         }
     }
+    // A zero-pair join times filtering with an empty refinement phase —
+    // a vacuous workload that must fail the run, not be recorded.
+    for row in &rows {
+        if row.pairs == 0 {
+            return Err(Error::Internal(format!(
+                "{} at {} threads timed a zero-pair workload (eps={eps}); \
+                 the benchmark is vacuous",
+                row.algo, row.threads
+            )));
+        }
+    }
 
     // Kernel micro-benchmark: scalar vs vectorized L2 `within` at d=64,
     // the acceptance configuration. ε at the ~1% hit quantile so the
-    // early-exit path is exercised without the loop degenerating.
-    let kd = hdsj_data::uniform(64, if quick { 400 } else { 1_200 }, 7)?;
+    // early-exit path is exercised without the loop degenerating. n is
+    // sized so each timed repeat runs tens of milliseconds — the old
+    // n=400 sweep finished in well under a millisecond, inside timer
+    // jitter.
+    let kd = hdsj_data::uniform(64, if quick { 2_000 } else { 4_000 }, 7)?;
     let keps = hdsj_bench::eps_for_sample_quantile(&kd, Metric::L2, 0.01, 50_000);
     let (scalar_ms, scalar_hits) = bench_within(&kd, keps, scalar_l2_within);
     let (kernel_ms, kernel_hits) = bench_within(&kd, keps, kernels::l2_within);
@@ -217,7 +250,10 @@ fn main() -> Result<()> {
     let mut json = String::from("{");
     json.push_str("\"bench\":\"BENCH_0004\",");
     json.push_str("\"workload\":{\"kind\":\"uniform\",\"dims\":16,");
-    json.push_str(&format!("\"n\":{n},\"eps\":0.1,\"metric\":\"l2\"}},"));
+    json.push_str(&format!(
+        "\"n\":{n},\"eps\":{},\"eps_quantile\":1e-4,\"metric\":\"l2\"}},",
+        encode_f64(eps)
+    ));
     json.push_str(&format!("\"quick\":{quick},"));
     json.push_str(&format!("\"host_threads\":{host_threads},"));
     json.push_str(&format!("\"max_threads\":{max_threads},"));
@@ -260,7 +296,218 @@ fn main() -> Result<()> {
     f.flush()?;
     println!("(report written to {})", path.display());
 
+    bench_kernel_sweep(&kd, quick)?;
     bench_phases(&ds, &spec, max_threads, quick, n)?;
+    Ok(())
+}
+
+/// Candidates per probe in the dispatch sweep: 64 points at d=64 is
+/// 32 KiB — L1-resident, the way refinement tiles are used — so the sweep
+/// measures kernel throughput. (A full n×n sweep streams the whole
+/// dataset per probe and every variant collapses onto memory bandwidth;
+/// the join rows in BENCH_0004 already capture that regime.)
+const SWEEP_CANDS: u32 = 64;
+
+/// Times `reps` passes of every probe against the fixed candidate set
+/// through a pair kernel, returning (median wall ms, hits excluding
+/// self-pairs).
+fn sweep_pair(
+    ds: &hdsj_core::Dataset,
+    eps: f64,
+    reps: usize,
+    within: impl Fn(&[f64], &[f64], f64) -> bool,
+) -> (f64, u64) {
+    let candidates = shuffled_ids(SWEEP_CANDS);
+    let mut times = Vec::with_capacity(REPEATS);
+    let mut hits = 0u64;
+    for _ in 0..REPEATS {
+        let eps = black_box(eps);
+        hits = 0;
+        let start = Instant::now();
+        for _ in 0..reps {
+            for (i, x) in ds.iter() {
+                for &j in &candidates {
+                    if j != i && within(black_box(x), black_box(ds.point(j)), eps) {
+                        hits += 1;
+                    }
+                }
+            }
+        }
+        hits = black_box(hits);
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(times), hits / reps as u64)
+}
+
+/// The block-kernel counterpart of [`sweep_pair`]: the same candidate set
+/// transposed once into SoA tiles (tile width from the L1 probe) and
+/// reused across probes, exactly how the cache-blocked join loops use it.
+fn sweep_block(ds: &hdsj_core::Dataset, eps: f64, reps: usize) -> (f64, u64) {
+    use hdsj_core::soa::SoABlock;
+    let head = SoABlock::from_range(ds, 0..SWEEP_CANDS);
+    let tile_w = hdsj_core::simd::tile::soa_tile_width(ds.dims());
+    let tiles: Vec<SoABlock> = (0..head.len())
+        .step_by(tile_w.max(1))
+        .map(|s| {
+            let e = (s + tile_w).min(head.len()) as u32;
+            SoABlock::from_range(ds, s as u32..e)
+        })
+        .collect();
+    let mut times = Vec::with_capacity(REPEATS);
+    let mut hits = 0u64;
+    let mut out: Vec<u32> = Vec::new();
+    for _ in 0..REPEATS {
+        let eps = black_box(eps);
+        hits = 0;
+        let start = Instant::now();
+        for _ in 0..reps {
+            for (i, x) in ds.iter() {
+                for tile in &tiles {
+                    out.clear();
+                    hdsj_core::simd::l2_within_block(
+                        black_box(x),
+                        tile,
+                        0..tile.len(),
+                        eps,
+                        &mut out,
+                    );
+                    hits += out.iter().filter(|&&j| j != i).count() as u64;
+                }
+            }
+        }
+        hits = black_box(hits);
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (median(times), hits / reps as u64)
+}
+
+/// The BENCH_0006 dispatch sweep: d=64 L2 `within` through every kernel
+/// tier the host supports, pair and block forms, against the single-chain
+/// scalar reference and the 4-lane scalar kernel. Hit counts across the
+/// 4-lane kernel and every SIMD tier must agree *exactly* — that is the
+/// bit-exactness contract, enforced here on real workload data, not just
+/// in unit tests. ε sits at the 25% pair quantile so most candidates
+/// survive deep into the dimension loop and the sweep measures kernel
+/// throughput rather than early-exit latency.
+fn bench_kernel_sweep(kd: &hdsj_core::Dataset, quick: bool) -> Result<()> {
+    use hdsj_core::simd;
+    let eps = hdsj_bench::eps_for_sample_quantile(kd, Metric::L2, 0.25, 50_000);
+    let reps = if quick { 16 } else { 24 };
+
+    struct SweepRow {
+        variant: String,
+        ms: f64,
+        hits: u64,
+    }
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let (scalar_ms, scalar_hits) = sweep_pair(kd, eps, reps, scalar_l2_within);
+    rows.push(SweepRow {
+        variant: "scalar_chain".into(),
+        ms: scalar_ms,
+        hits: scalar_hits,
+    });
+    let (lanes4_ms, lanes4_hits) = sweep_pair(kd, eps, reps, kernels::l2_within);
+    rows.push(SweepRow {
+        variant: "lanes4".into(),
+        ms: lanes4_ms,
+        hits: lanes4_hits,
+    });
+
+    let saved = simd::level();
+    let supported = simd::supported();
+    for &tier in &supported {
+        simd::set_level(tier);
+        let (ms, hits) = sweep_pair(kd, eps, reps, simd::l2_within);
+        if hits != lanes4_hits {
+            simd::set_level(saved);
+            return Err(Error::Internal(format!(
+                "pair kernel at {tier:?} broke the bit-exactness contract: \
+                 {hits} hits vs 4-lane {lanes4_hits}"
+            )));
+        }
+        rows.push(SweepRow {
+            variant: format!("pair_{}", tier.name()),
+            ms,
+            hits,
+        });
+        let (bms, bhits) = sweep_block(kd, eps, reps);
+        if bhits != lanes4_hits {
+            simd::set_level(saved);
+            return Err(Error::Internal(format!(
+                "block kernel at {tier:?} broke the bit-exactness contract: \
+                 {bhits} hits vs 4-lane {lanes4_hits}"
+            )));
+        }
+        rows.push(SweepRow {
+            variant: format!("block_{}", tier.name()),
+            ms: bms,
+            hits: bhits,
+        });
+    }
+    simd::set_level(saved);
+
+    let mut best_speedup = 0.0f64;
+    for row in &rows {
+        let speedup = lanes4_ms / row.ms;
+        if row.variant.starts_with("pair_") || row.variant.starts_with("block_") {
+            best_speedup = best_speedup.max(speedup);
+        }
+        println!(
+            "  sweep d=64 {:<14} median={:.1}ms speedup_vs_lanes4={:.2}x ({} hits)",
+            row.variant, row.ms, speedup, row.hits
+        );
+    }
+    println!(
+        "  sweep d=64 best SIMD speedup over 4-lane kernels: {best_speedup:.2}x \
+         (dispatch={})",
+        simd::best().name()
+    );
+
+    let mut json = String::from("{");
+    json.push_str("\"bench\":\"BENCH_0006\",");
+    json.push_str("\"workload\":{\"kind\":\"uniform\",\"dims\":64,");
+    json.push_str(&format!(
+        "\"n\":{},\"cands\":{SWEEP_CANDS},\"reps\":{reps},\
+         \"eps\":{},\"eps_quantile\":0.25,\"metric\":\"l2\"}},",
+        kd.len(),
+        encode_f64(eps)
+    ));
+    json.push_str(&format!("\"quick\":{quick},"));
+    json.push_str(&format!("\"repeats\":{REPEATS},"));
+    json.push_str(&format!(
+        "\"dispatch\":{{\"best\":\"{}\",\"supported\":[{}]}},",
+        simd::best().name(),
+        supported
+            .iter()
+            .map(|l| format!("\"{}\"", l.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    json.push_str("\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"variant\":\"{}\",\"median_ms\":{},\"hits\":{},\"speedup_vs_lanes4\":{}}}",
+            r.variant,
+            encode_f64(r.ms),
+            r.hits,
+            encode_f64(lanes4_ms / r.ms)
+        ));
+    }
+    json.push_str("],");
+    json.push_str(&format!(
+        "\"best_simd_speedup_vs_lanes4\":{}",
+        encode_f64(best_speedup)
+    ));
+    json.push('}');
+
+    let path = std::path::Path::new("BENCH_0006.json");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{json}")?;
+    f.flush()?;
+    println!("(dispatch sweep written to {})", path.display());
     Ok(())
 }
 
@@ -286,7 +533,10 @@ fn bench_phases(
     let mut json = String::from("{");
     json.push_str("\"bench\":\"BENCH_0005\",");
     json.push_str("\"workload\":{\"kind\":\"uniform\",\"dims\":16,");
-    json.push_str(&format!("\"n\":{n},\"eps\":0.1,\"metric\":\"l2\"}},"));
+    json.push_str(&format!(
+        "\"n\":{n},\"eps\":{},\"metric\":\"l2\"}},",
+        encode_f64(spec.eps)
+    ));
     json.push_str(&format!("\"quick\":{quick},"));
     json.push_str(&format!("\"algo\":\"msj\",\"threads\":{threads},"));
     json.push_str("\"phases\":[");

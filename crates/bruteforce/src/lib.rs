@@ -5,19 +5,26 @@
 //! metric on all `N·M` (or `N(N−1)/2`) pairs with no filter structure at
 //! all, so its result set is correct by construction.
 //!
-//! The loops are tiled ([`BruteForce::block`]) so both operands of the inner
-//! loop stay cache-resident; each block of the inner loop runs through the
-//! vectorized `Metric::within_range` kernel with a single metric dispatch.
-//! An optional thread count fans the outer rows out over the `hdsj-exec`
-//! pool, whose chunk-ordered results keep output deterministic at every
-//! thread count.
+//! The loops are cache-blocked: the inner set is transposed **once** into
+//! L1-sized structure-of-arrays tiles ([`hdsj_core::SoABlock`]), outer
+//! rows walk in L2-sized blocks, and every (probe, tile) pair runs the
+//! across-candidate SIMD kernel through `Refiner::offer_block` /
+//! `Metric::within_block` with a single metric dispatch per tile. Tile
+//! sizes come from the host cache probe (`hdsj_core::simd::tile`) when
+//! [`BruteForce::block`] is `0` (the default); an explicit block size is
+//! honoured for both loops. Tiling changes only loop chunking — the
+//! kernels are bit-exact across dispatch levels and tile widths — so
+//! results never depend on the blocking. An optional thread count fans
+//! the outer rows out over the `hdsj-exec` pool, whose chunk-ordered
+//! results keep output deterministic at every thread count.
 #![forbid(unsafe_code)]
 
 use hdsj_core::obs::Span;
+use hdsj_core::simd::tile;
 use hdsj_core::stats::TracedPhase;
 use hdsj_core::{
     join::validate_inputs, Dataset, JoinKind, JoinSpec, JoinStats, LifecycleCtx, PairSink,
-    Refiner, Result, SimilarityJoin, Tracer,
+    Refiner, Result, SimilarityJoin, SoABlock, Tracer,
 };
 use hdsj_exec::Pool;
 use std::ops::Range;
@@ -25,12 +32,15 @@ use std::ops::Range;
 /// Block nested-loop join.
 #[derive(Clone, Debug)]
 pub struct BruteForce {
-    /// Points per tile of the blocked loops.
+    /// Points per tile of the blocked loops; `0` (the default) sizes the
+    /// candidate tile for L1d and the probe block for L2 from the host
+    /// cache probe.
     pub block: usize,
     /// Worker threads; `1` runs single-threaded on the calling thread.
     pub threads: usize,
-    /// Per-query lifecycle context, polled at phase boundaries and (via
-    /// the exec pool) at chunk boundaries.
+    /// Per-query lifecycle context, polled at phase boundaries, at every
+    /// probe-block/tile boundary of the serial loops, and (via the exec
+    /// pool) at chunk boundaries.
     lifecycle: Option<LifecycleCtx>,
     /// Trace sink for spans/counters (disabled by default; see
     /// `set_tracer`).
@@ -40,11 +50,22 @@ pub struct BruteForce {
 impl Default for BruteForce {
     fn default() -> BruteForce {
         BruteForce {
-            block: 256,
+            block: 0,
             threads: 1,
             lifecycle: None,
             tracer: Tracer::disabled(),
         }
+    }
+}
+
+/// Effective (candidate-tile width, probe-block rows) for a join over
+/// `dims`-dimensional points: the explicit `block` when non-zero, else
+/// the cache-derived sizes.
+fn blocking(block: usize, dims: usize) -> (usize, usize) {
+    if block > 0 {
+        (block, block)
+    } else {
+        (tile::soa_tile_width(dims), tile::probe_block_rows(dims))
     }
 }
 
@@ -88,13 +109,13 @@ impl BruteForce {
         }
         let stats = if self.threads <= 1 {
             let mut refiner = Refiner::new(a, b, kind, spec, sink);
-            serial_ranges(
+            serial_tiles(
                 a,
                 b,
                 kind,
                 self.block,
                 self.lifecycle.as_ref(),
-                &mut |i, js| refiner.offer_range(i, js),
+                &mut |i, tile, lanes| refiner.offer_block(i, tile, lanes),
             )?;
             refiner.finish(JoinStats::default())
         } else {
@@ -129,28 +150,27 @@ impl BruteForce {
         // so finer chunks balance the tail. Chunk-ordered results keep the
         // sink delivery deterministic at every thread count.
         let chunk = n.div_ceil(self.threads * 4).max(1);
-        let block = self.block.max(1) as u32;
+        let (tile_w, _) = blocking(self.block, b.dims());
         let metric = spec.metric.normalized();
-        let m = b.len() as u32;
+        // One SoA transpose of the inner set, shared read-only by every
+        // worker; each tile covers a contiguous ascending id range.
+        let tiles = SoABlock::partition(b, tile_w);
         let results = pool.map_chunks(Some(parent), n, chunk, |rows: Range<usize>| {
             let mut pairs: Vec<(u32, u32)> = Vec::new();
             let mut candidates = 0u64;
             let mut hits: Vec<u32> = Vec::new();
             for i in rows.start as u32..rows.end as u32 {
                 let pi = a.point(i);
-                let mut j = match kind {
-                    JoinKind::TwoSets => 0,
-                    JoinKind::SelfJoin => i + 1,
-                };
-                while j < m {
-                    let end = (j + block).min(m);
-                    candidates += (end - j) as u64;
+                for tile in &tiles {
+                    let Some(lanes) = tile_lanes(kind, i, tile) else {
+                        continue;
+                    };
+                    candidates += (lanes.end - lanes.start) as u64;
                     hits.clear();
-                    metric.within_range(pi, b, j..end, spec.eps, &mut hits);
+                    metric.within_block(pi, tile, lanes, spec.eps, &mut hits);
                     for &jj in &hits {
                         pairs.push((i, jj));
                     }
-                    j = end;
                 }
             }
             Ok((pairs, candidates))
@@ -169,44 +189,53 @@ impl BruteForce {
     }
 }
 
-/// Tiled candidate-range enumeration shared by the serial path: emits each
-/// probe's inner-loop tile as one contiguous range, ready for a batched
-/// kernel evaluation. The lifecycle context (if any) is polled once per
-/// outer tile, so a serial join still observes cancellation within one
-/// block granule.
-fn serial_ranges(
+/// The candidate lane range of `tile` for probe row `i`: every lane for
+/// two-set joins, only lanes with id `> i` for self-joins (each unordered
+/// pair is enumerated once, from its smaller row). Tiles cover contiguous
+/// ascending id ranges, so the self-join cut is a lane-index clamp.
+/// Returns `None` when no lane qualifies.
+fn tile_lanes(kind: JoinKind, i: u32, tile: &SoABlock) -> Option<Range<usize>> {
+    if tile.is_empty() {
+        return None;
+    }
+    let start = match kind {
+        JoinKind::TwoSets => 0usize,
+        JoinKind::SelfJoin => {
+            let first = tile.ids()[0];
+            (i + 1).saturating_sub(first) as usize
+        }
+    };
+    (start < tile.len()).then(|| start..tile.len())
+}
+
+/// Cache-blocked serial enumeration: the inner set is transposed once into
+/// L1-sized SoA tiles, outer rows walk in L2-sized blocks, and each
+/// (probe, tile) pair is emitted for one across-candidate kernel pass.
+/// The lifecycle context (if any) is polled at every probe-block × tile
+/// boundary, so a serial join observes cancellation within one tile sweep.
+fn serial_tiles(
     a: &Dataset,
     b: &Dataset,
     kind: JoinKind,
     block: usize,
     lifecycle: Option<&LifecycleCtx>,
-    emit: &mut impl FnMut(u32, Range<u32>),
+    emit: &mut impl FnMut(u32, &SoABlock, Range<usize>),
 ) -> Result<()> {
     let n = a.len() as u32;
-    let m = b.len() as u32;
-    let block = block.max(1) as u32;
+    let (tile_w, probe_rows) = blocking(block, b.dims());
+    let tiles = SoABlock::partition(b, tile_w);
     let mut bi = 0;
     while bi < n {
-        if let Some(lc) = lifecycle {
-            lc.poll()?;
-        }
-        let bi_end = (bi + block).min(n);
-        let mut bj = match kind {
-            JoinKind::TwoSets => 0,
-            JoinKind::SelfJoin => bi,
-        };
-        while bj < m {
-            let bj_end = (bj + block).min(m);
+        let bi_end = (bi + probe_rows.max(1) as u32).min(n);
+        for tile in &tiles {
+            if let Some(lc) = lifecycle {
+                lc.poll()?;
+            }
             for i in bi..bi_end {
-                let j_start = match kind {
-                    JoinKind::TwoSets => bj,
-                    JoinKind::SelfJoin => bj.max(i + 1),
-                };
-                if j_start < bj_end {
-                    emit(i, j_start..bj_end);
+                if let Some(lanes) = tile_lanes(kind, i, tile) {
+                    emit(i, tile, lanes);
                 }
             }
-            bj = bj_end;
         }
         bi = bi_end;
     }

@@ -38,7 +38,7 @@
 /// association means partial and final sums are comparable and `distance`
 /// and `within` round identically.
 #[inline(always)]
-fn fold4(acc: &[f64; 4]) -> f64 {
+pub(crate) fn fold4(acc: &[f64; 4]) -> f64 {
     (acc[0] + acc[1]) + (acc[2] + acc[3])
 }
 
@@ -67,7 +67,7 @@ fn sum4(a: &[f64], b: &[f64], term: impl Fn(f64, f64) -> f64) -> f64 {
 /// Small enough that high-d rejections still short-circuit most of the
 /// work, large enough that the branch-free inner blocks autovectorize
 /// instead of stalling on a fold-and-compare every 4 lanes.
-const SUPER_BLOCK: usize = 16;
+pub(crate) const SUPER_BLOCK: usize = 16;
 
 /// Shared 4-lane threshold test: `Σ term(aᵢ, bᵢ) ≤ budget`, exiting after
 /// the first 4-element block or any later super-block whose partial fold

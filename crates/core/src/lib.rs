@@ -27,7 +27,18 @@
 //! filtering happens on the L∞ ε-cube (which contains the ε-ball of every
 //! `Lp` metric) and every candidate is refined with the exact metric through
 //! [`Refiner`], so results are identical across algorithms.
-#![forbid(unsafe_code)]
+//!
+//! ## Unsafe policy
+//!
+//! The crate is `#![deny(unsafe_code)]`. Exactly two files override it
+//! with a file-level `allow`: `simd/x86.rs` and `simd/neon.rs`, which
+//! hold the explicit vector kernels. Every `unsafe` block there is an
+//! unaligned vector load/store on an in-bounds slice region or a
+//! feature-gated kernel call behind the runtime dispatch probe, each with
+//! a `SAFETY:` comment (lint R2 enforces the comment discipline, and the
+//! analyze suite pins the expected shape). All other workspace crates
+//! keep `#![forbid(unsafe_code)]`.
+#![deny(unsafe_code)]
 
 pub mod dataset;
 pub mod error;
@@ -37,6 +48,8 @@ pub mod lifecycle;
 pub mod metric;
 pub mod rect;
 pub mod refine;
+pub mod simd;
+pub mod soa;
 pub mod stats;
 pub mod verify;
 
@@ -49,6 +62,7 @@ pub use lifecycle::{CancelToken, LifecycleCtx, LifecycleStats};
 pub use metric::Metric;
 pub use rect::Rect;
 pub use refine::Refiner;
+pub use soa::SoABlock;
 pub use stats::{IoCounters, JoinStats, Phase, PhaseTimer, TracedPhase};
 
 /// Structured tracing and metrics (re-exported from `hdsj-obs` so the

@@ -6,15 +6,19 @@
 //! can no longer stay under the threshold — the classic "partial distance"
 //! optimization that matters in high dimensions.
 //!
-//! Every evaluation dispatches to the 4-lane unrolled kernels in
-//! [`crate::kernels`] (one dispatch per call, or one per *batch* through
-//! [`Metric::within_batch`] / [`Metric::within_range`]), with the
+//! Every evaluation dispatches through [`crate::simd`] to the best kernel
+//! tier the host supports (explicit AVX2/SSE2/NEON, falling back to the
+//! 4-lane scalar kernels in [`crate::kernels`]) — one dispatch per call,
+//! or one per *batch* through [`Metric::within_batch`] /
+//! [`Metric::within_range`] / [`Metric::within_block`] — with the
 //! `Lp(2)`/`Lp(1)` exponents normalized to the specialized L2/L1 kernels
-//! first.
+//! first. All tiers are bit-exact with each other (see [`crate::simd`]),
+//! so routing here changes speed, never results.
 
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
-use crate::kernels;
+use crate::simd;
+use crate::soa::SoABlock;
 use std::ops::Range;
 
 /// The distance function of an ε-similarity join.
@@ -66,10 +70,10 @@ impl Metric {
     pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
         match self.normalized() {
-            Metric::L1 => kernels::l1_distance(a, b),
-            Metric::L2 => kernels::l2_distance(a, b),
-            Metric::Linf => kernels::linf_distance(a, b),
-            Metric::Lp(p) => kernels::lp_distance(a, b, p),
+            Metric::L1 => simd::l1_distance(a, b),
+            Metric::L2 => simd::l2_distance(a, b),
+            Metric::Linf => simd::linf_distance(a, b),
+            Metric::Lp(p) => simd::lp_distance(a, b, p),
         }
     }
 
@@ -84,10 +88,10 @@ impl Metric {
     pub fn within(&self, a: &[f64], b: &[f64], eps: f64) -> bool {
         debug_assert_eq!(a.len(), b.len());
         match self.normalized() {
-            Metric::L1 => kernels::l1_within(a, b, eps),
-            Metric::L2 => kernels::l2_within(a, b, eps),
-            Metric::Linf => kernels::linf_within(a, b, eps),
-            Metric::Lp(p) => kernels::lp_within(a, b, eps, p),
+            Metric::L1 => simd::l1_within(a, b, eps),
+            Metric::L2 => simd::l2_within(a, b, eps),
+            Metric::Linf => simd::linf_within(a, b, eps),
+            Metric::Lp(p) => simd::lp_within(a, b, eps, p),
         }
     }
 
@@ -104,18 +108,14 @@ impl Metric {
         out: &mut Vec<u32>,
     ) {
         match self.normalized() {
-            Metric::L1 => {
-                filter_ids(probe, data, js, out, |a, b| kernels::l1_within(a, b, eps))
-            }
-            Metric::L2 => {
-                filter_ids(probe, data, js, out, |a, b| kernels::l2_within(a, b, eps))
-            }
+            Metric::L1 => filter_ids(probe, data, js, out, |a, b| simd::l1_within(a, b, eps)),
+            Metric::L2 => filter_ids(probe, data, js, out, |a, b| simd::l2_within(a, b, eps)),
             Metric::Linf => {
-                filter_ids(probe, data, js, out, |a, b| kernels::linf_within(a, b, eps))
+                filter_ids(probe, data, js, out, |a, b| simd::linf_within(a, b, eps))
             }
-            Metric::Lp(p) => filter_ids(probe, data, js, out, |a, b| {
-                kernels::lp_within(a, b, eps, p)
-            }),
+            Metric::Lp(p) => {
+                filter_ids(probe, data, js, out, |a, b| simd::lp_within(a, b, eps, p))
+            }
         }
     }
 
@@ -130,18 +130,38 @@ impl Metric {
         out: &mut Vec<u32>,
     ) {
         match self.normalized() {
-            Metric::L1 => {
-                filter_range(probe, data, js, out, |a, b| kernels::l1_within(a, b, eps))
-            }
-            Metric::L2 => {
-                filter_range(probe, data, js, out, |a, b| kernels::l2_within(a, b, eps))
-            }
+            Metric::L1 => filter_range(probe, data, js, out, |a, b| simd::l1_within(a, b, eps)),
+            Metric::L2 => filter_range(probe, data, js, out, |a, b| simd::l2_within(a, b, eps)),
             Metric::Linf => {
-                filter_range(probe, data, js, out, |a, b| kernels::linf_within(a, b, eps))
+                filter_range(probe, data, js, out, |a, b| simd::linf_within(a, b, eps))
             }
-            Metric::Lp(p) => filter_range(probe, data, js, out, |a, b| {
-                kernels::lp_within(a, b, eps, p)
-            }),
+            Metric::Lp(p) => {
+                filter_range(probe, data, js, out, |a, b| simd::lp_within(a, b, eps, p))
+            }
+        }
+    }
+
+    /// Block threshold test over a structure-of-arrays candidate tile:
+    /// appends to `out` the dataset row id of every lane in `lanes` whose
+    /// candidate is within `eps` of `probe`, in lane order. This is the
+    /// across-candidate vector path — the kernels broadcast one probe
+    /// coordinate and stream the tile's contiguous dimension columns.
+    /// Decisions are bit-exact with [`Metric::within`] (see
+    /// [`crate::simd`]), so swapping a batch for a block never changes
+    /// join results.
+    pub fn within_block(
+        &self,
+        probe: &[f64],
+        block: &SoABlock,
+        lanes: Range<usize>,
+        eps: f64,
+        out: &mut Vec<u32>,
+    ) {
+        match self.normalized() {
+            Metric::L1 => simd::l1_within_block(probe, block, lanes, eps, out),
+            Metric::L2 => simd::l2_within_block(probe, block, lanes, eps, out),
+            Metric::Linf => simd::linf_within_block(probe, block, lanes, eps, out),
+            Metric::Lp(p) => simd::lp_within_block(probe, block, lanes, eps, p, out),
         }
     }
 
@@ -299,6 +319,10 @@ mod tests {
             got.clear();
             m.within_batch(&probe, &data, &ids, eps, &mut got);
             assert_eq!(got, expect, "{m:?} batch");
+            let block = SoABlock::from_range(&data, 0..40);
+            got.clear();
+            m.within_block(&probe, &block, 0..40, eps, &mut got);
+            assert_eq!(got, expect, "{m:?} block");
         }
     }
 }

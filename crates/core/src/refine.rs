@@ -10,8 +10,13 @@
 
 use crate::dataset::Dataset;
 use crate::join::{JoinKind, JoinSpec, PairSink};
+use crate::soa::SoABlock;
 use crate::stats::JoinStats;
 use std::ops::Range;
+
+/// Smallest batch worth transposing into a SoA scratch block: below this,
+/// the gather overhead outweighs the across-candidate kernel's gain.
+const BLOCK_BATCH_MIN: usize = 16;
 
 /// Verifies candidate pairs against the exact metric and forwards survivors
 /// to the caller's sink.
@@ -33,6 +38,7 @@ pub struct Refiner<'a> {
     results: u64,
     dist_evals: u64,
     scratch: Vec<u32>,
+    soa: SoABlock,
 }
 
 impl<'a> Refiner<'a> {
@@ -56,7 +62,17 @@ impl<'a> Refiner<'a> {
             results: 0,
             dist_evals: 0,
             scratch: Vec::new(),
+            soa: SoABlock::empty(b.dims()),
         }
+    }
+
+    /// True when a batch of `n` candidates should take the SoA block path:
+    /// large enough to amortize the transpose, a vector tier is active,
+    /// and the metric has an across-candidate kernel (`Lp` does not).
+    fn batch_wants_block(&self, n: usize) -> bool {
+        n >= BLOCK_BATCH_MIN
+            && crate::simd::level() > crate::simd::Level::Scalar
+            && !matches!(self.metric.normalized(), crate::metric::Metric::Lp(_))
     }
 
     /// Offers a candidate pair; evaluates the exact metric and forwards the
@@ -95,8 +111,23 @@ impl<'a> Refiner<'a> {
     pub fn offer_batch(&mut self, i: u32, js: &[u32]) {
         self.scratch.clear();
         let probe = self.a.point(i);
-        self.metric
-            .within_batch(probe, self.b, js, self.eps, &mut self.scratch);
+        if self.batch_wants_block(js.len()) {
+            // Transpose the batch into the reusable SoA scratch block and
+            // run the across-candidate kernel. Decisions are bit-exact
+            // with `within_batch` (see `crate::simd`), and the gather
+            // preserves js order, so counters and emission are unchanged.
+            self.soa.gather_into(self.b, js);
+            self.metric.within_block(
+                probe,
+                &self.soa,
+                0..js.len(),
+                self.eps,
+                &mut self.scratch,
+            );
+        } else {
+            self.metric
+                .within_batch(probe, self.b, js, self.eps, &mut self.scratch);
+        }
         match self.kind {
             JoinKind::TwoSets => {
                 self.candidates += js.len() as u64;
@@ -168,6 +199,50 @@ impl<'a> Refiner<'a> {
                         .within_range(probe, self.b, js, self.eps, &mut self.scratch);
                 }
                 for &j in &self.scratch {
+                    self.results += 1;
+                    self.sink.push(i.min(j), i.max(j));
+                }
+            }
+        }
+    }
+
+    /// Offers the candidate lanes `lanes` of a pre-built SoA `block`
+    /// against probe row `i`, evaluated through the across-candidate
+    /// [`crate::metric::Metric::within_block`] kernel.
+    ///
+    /// Semantics mirror [`Refiner::offer_batch`] over
+    /// `&block.ids()[lanes]` exactly: same counters (self-join diagonal
+    /// lanes dropped before counting), same canonical `(min, max)`
+    /// emission, same candidate order. Algorithms that tile their inner
+    /// set once per join (blocked nested loops) use this to skip the
+    /// per-batch gather.
+    pub fn offer_block(&mut self, i: u32, block: &SoABlock, lanes: Range<usize>) {
+        debug_assert!(lanes.end <= block.len());
+        if lanes.end <= lanes.start {
+            return;
+        }
+        let n = (lanes.end - lanes.start) as u64;
+        self.scratch.clear();
+        let probe = self.a.point(i);
+        self.metric
+            .within_block(probe, block, lanes.clone(), self.eps, &mut self.scratch);
+        match self.kind {
+            JoinKind::TwoSets => {
+                self.candidates += n;
+                self.dist_evals += n;
+                for &j in &self.scratch {
+                    self.results += 1;
+                    self.sink.push(i, j);
+                }
+            }
+            JoinKind::SelfJoin => {
+                let diag = block.ids()[lanes].iter().filter(|&&j| j == i).count() as u64;
+                self.candidates += n - diag;
+                self.dist_evals += n - diag;
+                for &j in &self.scratch {
+                    if j == i {
+                        continue;
+                    }
                     self.results += 1;
                     self.sink.push(i.min(j), i.max(j));
                 }
@@ -263,14 +338,33 @@ mod tests {
             assert_eq!(batch.counters(), serial_counters, "{kind:?} counters");
             drop(batch);
 
+            let mut block_sink = VecSink::default();
+            let mut blocked = Refiner::new(&a, &a, kind, &spec, &mut block_sink);
+            let tile = crate::soa::SoABlock::from_range(&a, 0..30);
+            for i in 0..30u32 {
+                blocked.offer_block(i, &tile, 0..15);
+                blocked.offer_block(i, &tile, 15..30);
+            }
+            assert_eq!(
+                blocked.counters(),
+                serial_counters,
+                "{kind:?} block counters"
+            );
+            drop(blocked);
+
             let canon = |mut v: Vec<(u32, u32)>| {
                 v.sort_unstable();
                 v
             };
             assert_eq!(
                 canon(batch_sink.pairs),
-                canon(serial_sink.pairs),
+                canon(serial_sink.pairs.clone()),
                 "{kind:?} pairs"
+            );
+            assert_eq!(
+                canon(block_sink.pairs),
+                canon(serial_sink.pairs),
+                "{kind:?} block pairs"
             );
         }
     }

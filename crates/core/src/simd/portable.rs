@@ -1,0 +1,245 @@
+//! Portable strided block kernels — the scalar dispatch level's SoA path
+//! and the fallback for metrics without a vector implementation (`Lp`).
+//!
+//! These walk a [`SoABlock`] one candidate lane at a time with **exactly**
+//! the accumulation scheme of [`crate::kernels`]: four dimension-lane
+//! accumulators (`acc[k]` collects dimensions `≡ k (mod 4)`), the
+//! canonical monotone fold `(acc0 + acc1) + (acc2 + acc3)`, a separately
+//! chained scalar tail for `d mod 4`, and the first-4 / per-16 early-exit
+//! cadence. The per-candidate sum is therefore bit-identical to what
+//! `kernels::*_within(probe, row)` computes on the row-major layout, so
+//! decisions — and hence join results — cannot depend on which path ran.
+
+use crate::kernels::{fold4, SUPER_BLOCK};
+use crate::soa::SoABlock;
+use std::ops::Range;
+
+/// `Σ term(probe[dim], lane t's dim) ≤ budget` for one candidate lane,
+/// with the canonical lane decomposition and early-exit cadence.
+#[inline(always)]
+fn sum_within_at(
+    probe: &[f64],
+    block: &SoABlock,
+    t: usize,
+    budget: f64,
+    term: impl Fn(f64, f64) -> f64,
+) -> bool {
+    let d = probe.len();
+    let mut acc = [0.0f64; 4];
+    let mut dim = 0;
+    if d >= 4 {
+        for k in 0..4 {
+            acc[k] += term(probe[k], block.value(k, t));
+        }
+        if fold4(&acc) > budget {
+            return false;
+        }
+        dim = 4;
+    }
+    while dim + SUPER_BLOCK <= d {
+        for c in 0..SUPER_BLOCK / 4 {
+            for (k, a) in acc.iter_mut().enumerate() {
+                let at = dim + 4 * c + k;
+                *a += term(probe[at], block.value(at, t));
+            }
+        }
+        if fold4(&acc) > budget {
+            return false;
+        }
+        dim += SUPER_BLOCK;
+    }
+    while dim + 4 <= d {
+        for k in 0..4 {
+            acc[k] += term(probe[dim + k], block.value(dim + k, t));
+        }
+        dim += 4;
+    }
+    let mut tail = 0.0;
+    while dim < d {
+        tail += term(probe[dim], block.value(dim, t));
+        dim += 1;
+    }
+    fold4(&acc) + tail <= budget
+}
+
+/// `max term(probe[dim], lane t's dim) ≤ eps` for one candidate lane.
+/// `max` over non-negative finite terms is order-independent, so any exit
+/// schedule yields the full-max decision.
+#[inline(always)]
+fn max_within_at(probe: &[f64], block: &SoABlock, t: usize, eps: f64) -> bool {
+    let d = probe.len();
+    let mut m = 0.0f64;
+    let mut dim = 0;
+    while dim < d {
+        let stop = (dim + SUPER_BLOCK).min(d);
+        while dim < stop {
+            m = m.max((probe[dim] - block.value(dim, t)).abs());
+            dim += 1;
+        }
+        if m > eps {
+            return false;
+        }
+    }
+    true
+}
+
+/// Budget-domain single-lane test used by the vector block kernels for
+/// their ragged tail lanes (`SQ` selects the squared L2 term; the budget
+/// is already in the accumulation domain, e.g. `eps²`).
+#[inline]
+pub(crate) fn sum_within_budget<const SQ: bool>(
+    probe: &[f64],
+    block: &SoABlock,
+    t: usize,
+    budget: f64,
+) -> bool {
+    if SQ {
+        sum_within_at(probe, block, t, budget, |x, y| (x - y) * (x - y))
+    } else {
+        sum_within_at(probe, block, t, budget, |x, y| (x - y).abs())
+    }
+}
+
+/// Single-lane L∞ test for the vector block kernels' ragged tail lanes.
+#[inline]
+pub(crate) fn max_within_budget(probe: &[f64], block: &SoABlock, t: usize, eps: f64) -> bool {
+    max_within_at(probe, block, t, eps)
+}
+
+/// Generic lane loop shared by the per-metric entry points below: pushes
+/// `block.ids()[t]` for every qualifying lane in `lanes`, in lane order.
+#[inline(always)]
+fn filter_lanes(
+    block: &SoABlock,
+    lanes: Range<usize>,
+    out: &mut Vec<u32>,
+    within_at: impl Fn(usize) -> bool,
+) {
+    debug_assert!(lanes.end <= block.len());
+    for t in lanes {
+        if within_at(t) {
+            out.push(block.ids()[t]);
+        }
+    }
+}
+
+/// L1 block filter: `Σ |pᵢ − cᵢ| ≤ eps`.
+pub fn l1_within_block(
+    probe: &[f64],
+    block: &SoABlock,
+    lanes: Range<usize>,
+    eps: f64,
+    out: &mut Vec<u32>,
+) {
+    filter_lanes(block, lanes, out, |t| {
+        sum_within_at(probe, block, t, eps, |x, y| (x - y).abs())
+    });
+}
+
+/// L2 block filter in the squared domain: `Σ (pᵢ − cᵢ)² ≤ eps²`.
+pub fn l2_within_block(
+    probe: &[f64],
+    block: &SoABlock,
+    lanes: Range<usize>,
+    eps: f64,
+    out: &mut Vec<u32>,
+) {
+    filter_lanes(block, lanes, out, |t| {
+        sum_within_at(probe, block, t, eps * eps, |x, y| (x - y) * (x - y))
+    });
+}
+
+/// L∞ block filter: `max |pᵢ − cᵢ| ≤ eps`.
+pub fn linf_within_block(
+    probe: &[f64],
+    block: &SoABlock,
+    lanes: Range<usize>,
+    eps: f64,
+    out: &mut Vec<u32>,
+) {
+    filter_lanes(block, lanes, out, |t| max_within_at(probe, block, t, eps));
+}
+
+/// Lp block filter in the `ε^p` domain. `powf` has no vector ISA, so every
+/// dispatch level routes Lp blocks here.
+pub fn lp_within_block(
+    probe: &[f64],
+    block: &SoABlock,
+    lanes: Range<usize>,
+    eps: f64,
+    p: f64,
+    out: &mut Vec<u32>,
+) {
+    filter_lanes(block, lanes, out, |t| {
+        sum_within_at(probe, block, t, eps.powf(p), |x, y| (x - y).abs().powf(p))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::kernels;
+
+    fn ds(n: usize, dims: usize) -> Dataset {
+        let flat: Vec<f64> = (0..n * dims)
+            .map(|i| ((i as f64 * 0.61).sin() * 0.5 + 0.5).abs())
+            .collect();
+        Dataset::from_flat(dims, flat).unwrap()
+    }
+
+    #[test]
+    fn strided_decisions_match_row_major_kernels() {
+        for dims in [1, 3, 4, 5, 16, 17, 64, 65] {
+            let d = ds(13, dims);
+            let block = crate::soa::SoABlock::from_range(&d, 0..13);
+            let probe = d.point(6).to_vec();
+            for eps in [0.05, 0.3, 1.0, 3.0] {
+                let expect = |within: &dyn Fn(&[f64], &[f64]) -> bool| -> Vec<u32> {
+                    (0..13u32).filter(|&j| within(&probe, d.point(j))).collect()
+                };
+                let mut got = Vec::new();
+                l2_within_block(&probe, &block, 0..13, eps, &mut got);
+                assert_eq!(
+                    got,
+                    expect(&|a, b| kernels::l2_within(a, b, eps)),
+                    "l2 d={dims} eps={eps}"
+                );
+                got.clear();
+                l1_within_block(&probe, &block, 0..13, eps, &mut got);
+                assert_eq!(
+                    got,
+                    expect(&|a, b| kernels::l1_within(a, b, eps)),
+                    "l1 d={dims} eps={eps}"
+                );
+                got.clear();
+                linf_within_block(&probe, &block, 0..13, eps, &mut got);
+                assert_eq!(
+                    got,
+                    expect(&|a, b| kernels::linf_within(a, b, eps)),
+                    "linf d={dims} eps={eps}"
+                );
+                got.clear();
+                lp_within_block(&probe, &block, 0..13, eps, 3.0, &mut got);
+                assert_eq!(
+                    got,
+                    expect(&|a, b| kernels::lp_within(a, b, eps, 3.0)),
+                    "lp d={dims} eps={eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_subranges_restrict_emission() {
+        let d = ds(10, 4);
+        let block = crate::soa::SoABlock::from_range(&d, 0..10);
+        let probe = d.point(0).to_vec();
+        let mut all = Vec::new();
+        l2_within_block(&probe, &block, 0..10, 10.0, &mut all);
+        assert_eq!(all, (0..10).collect::<Vec<u32>>());
+        let mut sub = Vec::new();
+        l2_within_block(&probe, &block, 3..7, 10.0, &mut sub);
+        assert_eq!(sub, vec![3, 4, 5, 6]);
+    }
+}

@@ -460,9 +460,29 @@ impl Msj {
         let mut stats = JoinStats::default();
         let peak_bytes = if refine_threads <= 1 {
             let mut refiner = Refiner::new(a, b, kind, spec, sink);
-            let peak = sweep::sweep(&sorted, codec, a, b, kind, spec.eps, &mut |i, j| {
-                refiner.offer(i, j)
-            })?;
+            // Batch consecutive candidates that share a probe into one
+            // `offer_batch` call, so runs long enough for the SoA
+            // across-candidate kernel take it (semantics match per-pair
+            // `offer` exactly: same counters, same canonical emission).
+            const RUN_CAP: usize = 256;
+            let mut run_i = 0u32;
+            let mut run: Vec<u32> = Vec::with_capacity(RUN_CAP);
+            let peak = {
+                let mut emit = |i: u32, j: u32| {
+                    if i != run_i || run.len() >= RUN_CAP {
+                        if !run.is_empty() {
+                            refiner.offer_batch(run_i, &run);
+                            run.clear();
+                        }
+                        run_i = i;
+                    }
+                    run.push(j);
+                };
+                sweep::sweep(&sorted, codec, a, b, kind, spec.eps, &mut emit)?
+            };
+            if !run.is_empty() {
+                refiner.offer_batch(run_i, &run);
+            }
             stats = refiner.finish(stats);
             peak
         } else {

@@ -22,7 +22,7 @@
 use crate::assign::RecordCodec;
 use crate::sweep;
 use hdsj_core::obs::{names, Span};
-use hdsj_core::{Dataset, Error, JoinKind, JoinSpec, Result, Tracer};
+use hdsj_core::{Dataset, Error, JoinKind, JoinSpec, Metric, Result, SoABlock, Tracer};
 use hdsj_exec::Pool;
 use hdsj_storage::RecordFile;
 use std::time::{Duration, Instant};
@@ -30,6 +30,11 @@ use std::time::{Duration, Instant};
 /// Candidate pairs per channel message: large enough to amortize channel
 /// overhead, small enough to keep workers busy.
 const BATCH: usize = 4096;
+
+/// Smallest per-probe candidate group worth transposing into a worker's
+/// SoA scratch block for the across-candidate kernel (mirrors the
+/// refiner's batch threshold).
+const SOA_GROUP_MIN: usize = 16;
 
 /// `(peak_stack_bytes, matched_pairs, candidate_count)` from a refined
 /// sweep.
@@ -81,6 +86,7 @@ pub fn sweep_and_refine(
                 let mut wait = Duration::ZERO;
                 let mut js: Vec<u32> = Vec::new();
                 let mut hits: Vec<u32> = Vec::new();
+                let mut soa = SoABlock::empty(b.dims());
                 loop {
                     // allow(hdsj::determinism): channel-wait timing feeds the
                     // worker's obs span only; join results never read it.
@@ -119,7 +125,18 @@ pub fn sweep_and_refine(
                         }
                         batch_candidates += js.len() as u64;
                         hits.clear();
-                        metric.within_batch(a.point(i), b, &js, eps, &mut hits);
+                        // Large probe groups take the across-candidate SoA
+                        // kernel (bit-exact with within_batch, so results
+                        // are unchanged); small ones skip the transpose.
+                        if js.len() >= SOA_GROUP_MIN
+                            && hdsj_core::simd::level() > hdsj_core::simd::Level::Scalar
+                            && !matches!(metric, Metric::Lp(_))
+                        {
+                            soa.gather_into(b, &js);
+                            metric.within_block(a.point(i), &soa, 0..js.len(), eps, &mut hits);
+                        } else {
+                            metric.within_batch(a.point(i), b, &js, eps, &mut hits);
+                        }
                         for &j in &hits {
                             let pair = match kind {
                                 JoinKind::TwoSets => (i, j),

@@ -105,20 +105,37 @@ proptest! {
         // `set_threads` is part of the SimilarityJoin contract: every
         // algorithm (parallel or not) must return the same result set at
         // every thread count. Exercised across all algorithms, with the
-        // parallel ones (BF, MSJ) taking their worker-pool paths.
+        // parallel ones (BF, MSJ) taking their worker-pool paths — and
+        // swept across every SIMD dispatch tier the host supports, so
+        // results provably depend on neither the worker count nor the
+        // kernel tier (the serial-scalar run is the single baseline).
+        use hdsj::core::simd;
         let spec = JoinSpec::l2(eps);
-        for (mut serial, mut parallel) in all_algorithms().into_iter().zip(all_algorithms()) {
+        let saved = simd::level();
+        for (mut serial, parallel_name) in all_algorithms()
+            .into_iter()
+            .zip(all_algorithms().iter().map(|a| a.name().to_string()))
+        {
+            simd::set_level(simd::Level::Scalar);
             serial.set_threads(1);
-            parallel.set_threads(threads);
             let mut want = VecSink::default();
             match serial.self_join(&ds, &spec, &mut want) {
                 Ok(_) => {}
                 Err(_) => continue,
             }
-            let mut got = VecSink::default();
-            parallel.self_join(&ds, &spec, &mut got).unwrap();
-            verify::assert_same_results(parallel.name(), &want.pairs, &got.pairs);
+            for tier in simd::supported() {
+                simd::set_level(tier);
+                let mut parallel = all_algorithms()
+                    .into_iter()
+                    .find(|a| a.name() == parallel_name)
+                    .unwrap();
+                parallel.set_threads(threads);
+                let mut got = VecSink::default();
+                parallel.self_join(&ds, &spec, &mut got).unwrap();
+                verify::assert_same_results(parallel.name(), &want.pairs, &got.pairs);
+            }
         }
+        simd::set_level(saved);
     }
 
     #[test]
