@@ -1,0 +1,1665 @@
+//! Pass 3: an intraprocedural dataflow engine over the token stream.
+//!
+//! The bounds rules (R13/R15) need more than structure: they must decide
+//! whether the offset fed to a raw-pointer `.add(e)` is *provably* inside
+//! the slice it indexes, and whether the arithmetic producing it can wrap.
+//! This module supplies that reasoning without growing a real SSA IR:
+//!
+//! - **Values** are linear-ish polynomials ([`Poly`]) over opaque *atoms*
+//!   (`at`, `xs.len()`, `lanes.end`, `$base`) with `i64` coefficients.
+//!   Anything the expression grammar cannot handle (`/`, `%`, shifts,
+//!   chained calls on parenthesized groups) collapses to a single opaque
+//!   atom, which is always sound: an opaque atom proves nothing.
+//! - **Facts** are normalized inequalities `lhs <= rhs` (strict for `<`)
+//!   harvested from `assert!`/`debug_assert!`(`_eq`) conjuncts, `while`/
+//!   `if` guards, `for v in a..b` ranges, and `.clamp(lo, hi)` bindings.
+//! - **Defs** are `let` bindings; substitution resolves a variable to its
+//!   defining polynomial when the binding still dominates the use.
+//! - **Dominance** is approximated lexically: a fact born at token `i`
+//!   covers later tokens of its innermost enclosing block, truncated by
+//!   any assignment to a mentioned variable and at the entry of any loop
+//!   that reassigns one (a loop's own guard is exempt — it re-establishes
+//!   itself every iteration). An `if cmp { return; }` with no `else`
+//!   contributes the negated comparison to the code after the block.
+//!
+//! Known imprecision (documented in DESIGN.md §17): facts do not compose
+//! transitively (`a <= b` and `b <= c` does not conclude `a <= c` unless
+//! substitution makes it syntactic), guards are assumed to evaluate
+//! without wrapping (R15 separately flags `at + k <= len`-style guards),
+//! and dominance is lexical, not CFG-accurate. All three err toward
+//! *failing* to prove, never toward a false proof.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parse::{skip_group, FileModel, FnSpan};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Largest atom product tracked by [`Poly::mul`]; larger degrees collapse.
+const MAX_MONO_LEN: usize = 4;
+/// Most terms a product may produce before collapsing to an opaque atom.
+const MAX_TERMS: usize = 24;
+/// Definition-substitution recursion budget.
+const SUBST_DEPTH: u32 = 3;
+
+/// A polynomial over opaque atoms: `mono -> coefficient`, where a mono is
+/// a sorted product of atom names and the empty mono is the constant term.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Poly {
+    terms: BTreeMap<Vec<String>, i64>,
+}
+
+impl Poly {
+    pub fn constant(c: i64) -> Poly {
+        let mut p = Poly::default();
+        if c != 0 {
+            p.terms.insert(Vec::new(), c);
+        }
+        p
+    }
+
+    pub fn atom(name: impl Into<String>) -> Poly {
+        let mut p = Poly::default();
+        p.terms.insert(vec![name.into()], 1);
+        p
+    }
+
+    fn from_mono(mono: Vec<String>, coeff: i64) -> Poly {
+        let mut p = Poly::default();
+        if coeff != 0 {
+            p.terms.insert(mono, coeff);
+        }
+        p
+    }
+
+    fn insert(&mut self, mono: Vec<String>, coeff: i64) {
+        let e = self.terms.entry(mono).or_insert(0);
+        *e = e.saturating_add(coeff);
+    }
+
+    fn normalized(mut self) -> Poly {
+        self.terms.retain(|_, c| *c != 0);
+        self
+    }
+
+    pub fn add(&self, o: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &o.terms {
+            out.insert(m.clone(), *c);
+        }
+        out.normalized()
+    }
+
+    pub fn sub(&self, o: &Poly) -> Poly {
+        self.add(&o.neg())
+    }
+
+    pub fn neg(&self) -> Poly {
+        let mut out = Poly::default();
+        for (m, c) in &self.terms {
+            out.terms.insert(m.clone(), -*c);
+        }
+        out
+    }
+
+    /// Distributing product; `None` when the result would exceed the
+    /// degree/size caps or overflow a coefficient.
+    pub fn mul(&self, o: &Poly) -> Option<Poly> {
+        let mut out = Poly::default();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &o.terms {
+                if ma.len() + mb.len() > MAX_MONO_LEN {
+                    return None;
+                }
+                let c = ca.checked_mul(*cb)?;
+                let mut m = ma.clone();
+                m.extend(mb.iter().cloned());
+                m.sort();
+                out.insert(m, c);
+            }
+        }
+        let out = out.normalized();
+        if out.terms.len() > MAX_TERMS {
+            return None;
+        }
+        Some(out)
+    }
+
+    pub fn as_const(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => self.terms.get(&Vec::new()).copied(),
+            _ => None,
+        }
+    }
+
+    pub fn is_const(&self) -> bool {
+        self.as_const().is_some()
+    }
+
+    fn const_term(&self) -> i64 {
+        self.terms.get(&Vec::new()).copied().unwrap_or(0)
+    }
+
+    /// True when any atom in any mono contains `var` as a path segment
+    /// (`dim`, `self.dim`, `dim.min(x)` all mention `dim`).
+    pub fn mentions(&self, var: &str) -> bool {
+        self.terms.keys().flatten().any(|atom| {
+            atom.split(|c: char| !c.is_alphanumeric() && c != '_')
+                .any(|seg| seg == var)
+        })
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (mono, &c) in &self.terms {
+            if c == 0 {
+                continue;
+            }
+            let mag = c.unsigned_abs();
+            if first {
+                if c < 0 {
+                    write!(f, "-")?;
+                }
+                first = false;
+            } else {
+                write!(f, " {} ", if c < 0 { "-" } else { "+" })?;
+            }
+            if mono.is_empty() {
+                write!(f, "{mag}")?;
+            } else if mag == 1 {
+                write!(f, "{}", mono.join("*"))?;
+            } else {
+                write!(f, "{}*{}", mag, mono.join("*"))?;
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operators the fact extractor understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// A top-level comparison inside a condition: operand token ranges.
+pub struct Cmp {
+    pub lhs: (usize, usize),
+    pub rhs: (usize, usize),
+    pub op: CmpOp,
+}
+
+fn value_end(t: &Token) -> bool {
+    matches!(
+        t.kind,
+        TokenKind::Ident | TokenKind::Number | TokenKind::Str | TokenKind::Char
+    ) || t.is_punct(')')
+        || t.is_punct(']')
+}
+
+/// Splits `[lo, hi)` at top-level `&&`. Returns `None` when a top-level
+/// `||` makes the conjunct decomposition unsound.
+pub fn conjunct_ranges(toks: &[Token], lo: usize, hi: usize) -> Option<Vec<(usize, usize)>> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = lo;
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && i + 1 < hi && i > lo && value_end(&toks[i - 1]) {
+            if t.is_punct('&') && toks[i + 1].is_punct('&') {
+                out.push((start, i));
+                i += 2;
+                start = i;
+                continue;
+            }
+            if t.is_punct('|') && toks[i + 1].is_punct('|') {
+                return None;
+            }
+        }
+        i += 1;
+    }
+    out.push((start, hi));
+    out.retain(|(a, b)| a < b);
+    Some(out)
+}
+
+/// Splits `[lo, hi)` at top-level commas (macro/call argument lists).
+pub fn split_args(toks: &[Token], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = lo;
+    for (i, t) in toks.iter().enumerate().take(hi).skip(lo) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(',') {
+            out.push((start, i));
+            start = i + 1;
+        }
+    }
+    if start < hi {
+        out.push((start, hi));
+    }
+    out
+}
+
+/// Finds the first top-level comparison in `[lo, hi)`, skipping shifts,
+/// arrows (`->`, `=>`), and turbofish (`::<`).
+pub fn find_cmp(toks: &[Token], lo: usize, hi: usize) -> Option<Cmp> {
+    let mut depth = 0i64;
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 {
+            let prev = if i > lo { Some(&toks[i - 1]) } else { None };
+            let next = if i + 1 < hi { Some(&toks[i + 1]) } else { None };
+            let prev_is = |c: char| prev.is_some_and(|p| p.is_punct(c));
+            let next_is = |c: char| next.is_some_and(|n| n.is_punct(c));
+            if t.is_punct('<') && !prev_is(':') && !prev_is('<') && !next_is('<') {
+                let (op, w) = if next_is('=') {
+                    (CmpOp::Le, 2)
+                } else {
+                    (CmpOp::Lt, 1)
+                };
+                return Some(Cmp {
+                    lhs: (lo, i),
+                    rhs: (i + w, hi),
+                    op,
+                });
+            }
+            if t.is_punct('>')
+                && !prev_is('-')
+                && !prev_is('=')
+                && !prev_is('>')
+                && !next_is('>')
+            {
+                let (op, w) = if next_is('=') {
+                    (CmpOp::Ge, 2)
+                } else {
+                    (CmpOp::Gt, 1)
+                };
+                return Some(Cmp {
+                    lhs: (lo, i),
+                    rhs: (i + w, hi),
+                    op,
+                });
+            }
+            if t.is_punct('=') && next_is('=') {
+                return Some(Cmp {
+                    lhs: (lo, i),
+                    rhs: (i + 2, hi),
+                    op: CmpOp::Eq,
+                });
+            }
+            if t.is_punct('!') && next_is('=') {
+                return Some(Cmp {
+                    lhs: (lo, i),
+                    rhs: (i + 2, hi),
+                    op: CmpOp::Ne,
+                });
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Renders `[lo, hi)` close to its source spelling, for diagnostics.
+pub fn render(toks: &[Token], lo: usize, hi: usize) -> String {
+    let mut s = String::new();
+    let mut prev: Option<&str> = None;
+    for t in toks.iter().take(hi.min(toks.len())).skip(lo) {
+        let tx = t.text.as_str();
+        let tight = prev.is_none()
+            || matches!(tx, ")" | "]" | "," | ";" | "." | "(" | "[" | ":")
+            || matches!(
+                prev,
+                Some("(") | Some("[") | Some(".") | Some("$") | Some("!") | Some("#")
+            )
+            || (tx == "="
+                && matches!(
+                    prev,
+                    Some("<")
+                        | Some(">")
+                        | Some("=")
+                        | Some("!")
+                        | Some("+")
+                        | Some("-")
+                        | Some("*")
+                        | Some("/")
+                ))
+            || prev == Some(":")
+            || (tx == "&" && prev == Some("&"))
+            || (tx == "|" && prev == Some("|"))
+            || (tx == "." && prev == Some("."));
+        if !tight && !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(tx);
+        prev = Some(tx);
+    }
+    s
+}
+
+/// Parses an integer literal token (`4096`, `0xFF_u64`); `None` for
+/// floats, exponents, and unknown suffixes.
+fn parse_int(text: &str) -> Option<i64> {
+    let t = text.replace('_', "");
+    if t.contains('.') {
+        return None;
+    }
+    let (radix, rest) = if let Some(r) = t.strip_prefix("0x") {
+        (16, r)
+    } else if let Some(r) = t.strip_prefix("0b") {
+        (2, r)
+    } else if let Some(r) = t.strip_prefix("0o") {
+        (8, r)
+    } else {
+        (10, t.as_str())
+    };
+    let cut = rest
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    let (digits, suffix) = rest.split_at(cut);
+    if digits.is_empty() {
+        return None;
+    }
+    match suffix {
+        "" | "usize" | "isize" | "u8" | "u16" | "u32" | "u64" | "u128" | "i8" | "i16"
+        | "i32" | "i64" | "i128" => {}
+        _ => return None,
+    }
+    i64::from_str_radix(digits, radix).ok()
+}
+
+/// Parsed expression: its polynomial value plus the proof obligations the
+/// parse discovered (subtractions that may underflow, `+`/`*` nodes that
+/// may overflow).
+pub struct ExprInfo {
+    pub poly: Poly,
+    /// Each `l - r` node (unsigned underflow obligation: need `l >= r`).
+    pub subs: Vec<(Poly, Poly)>,
+    /// Each non-constant `+`/`*` node: value and source rendering.
+    pub arith: Vec<(Poly, String)>,
+}
+
+/// Parses `[lo, hi)`; on any unsupported construct the whole range
+/// collapses to one opaque atom with no recorded obligations.
+pub fn parse_expr(toks: &[Token], lo: usize, hi: usize) -> ExprInfo {
+    let mut p = Parser {
+        toks,
+        pos: lo,
+        hi,
+        subs: Vec::new(),
+        arith: Vec::new(),
+        failed: false,
+    };
+    let poly = p.sum();
+    if p.failed || p.pos != hi {
+        ExprInfo {
+            poly: Poly::atom(render(toks, lo, hi)),
+            subs: Vec::new(),
+            arith: Vec::new(),
+        }
+    } else {
+        ExprInfo {
+            poly,
+            subs: p.subs,
+            arith: p.arith,
+        }
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    hi: usize,
+    subs: Vec<(Poly, Poly)>,
+    arith: Vec<(Poly, String)>,
+    failed: bool,
+}
+
+impl Parser<'_> {
+    fn peek(&self, k: usize) -> Option<&Token> {
+        if self.pos + k < self.hi {
+            self.toks.get(self.pos + k)
+        } else {
+            None
+        }
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek(0).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn sum(&mut self) -> Poly {
+        let start = self.pos;
+        let mut acc = self.product();
+        loop {
+            if self.failed {
+                return acc;
+            }
+            // `as <ty>` casts are value-preserving for index reasoning.
+            while self.peek(0).is_some_and(|t| t.is_ident("as"))
+                && self.peek(1).is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                self.pos += 2;
+            }
+            if self.at_punct('+') && !self.peek(1).is_some_and(|t| t.is_punct('=')) {
+                self.pos += 1;
+                let r = self.product();
+                let node = acc.add(&r);
+                if !(acc.is_const() && r.is_const()) {
+                    self.arith
+                        .push((node.clone(), render(self.toks, start, self.pos)));
+                }
+                acc = node;
+            } else if self.at_punct('-') && !self.peek(1).is_some_and(|t| t.is_punct('=')) {
+                self.pos += 1;
+                let r = self.product();
+                if !(acc.is_const() && r.is_const()) {
+                    self.subs.push((acc.clone(), r.clone()));
+                }
+                acc = acc.sub(&r);
+            } else {
+                break;
+            }
+        }
+        acc
+    }
+
+    fn product(&mut self) -> Poly {
+        let start = self.pos;
+        let mut acc = self.factor();
+        while !self.failed
+            && self.at_punct('*')
+            && !self.peek(1).is_some_and(|t| t.is_punct('='))
+        {
+            self.pos += 1;
+            let r = self.factor();
+            let node = match acc.mul(&r) {
+                Some(p) => p,
+                None => Poly::atom(render(self.toks, start, self.pos)),
+            };
+            if !(acc.is_const() && r.is_const()) {
+                self.arith
+                    .push((node.clone(), render(self.toks, start, self.pos)));
+            }
+            acc = node;
+        }
+        acc
+    }
+
+    fn factor(&mut self) -> Poly {
+        let Some(t) = self.peek(0) else {
+            self.failed = true;
+            return Poly::default();
+        };
+        if t.is_punct('-') {
+            self.pos += 1;
+            return self.factor().neg();
+        }
+        if t.is_punct('&') {
+            self.pos += 1;
+            return self.factor();
+        }
+        if t.is_punct('(') {
+            let start = self.pos;
+            let close = skip_group(self.toks, self.pos);
+            if close > self.hi {
+                self.failed = true;
+                return Poly::default();
+            }
+            if self
+                .toks
+                .get(close)
+                .filter(|_| close < self.hi)
+                .is_some_and(|n| n.is_punct('.'))
+            {
+                // `(…).method(…)` postfix chain: opaque.
+                self.pos = close;
+                return self.chain(render(self.toks, start, close), start);
+            }
+            self.pos += 1;
+            let inner = self.sum();
+            if !self.at_punct(')') {
+                self.failed = true;
+                return inner;
+            }
+            self.pos += 1;
+            return inner;
+        }
+        if t.kind == TokenKind::Number {
+            let start = self.pos;
+            let text = t.text.clone();
+            self.pos += 1;
+            if self.at_punct('.') && self.peek(1).is_some_and(|n| n.kind == TokenKind::Ident) {
+                // `1.max(x)`-style method on a literal: opaque chain.
+                return self.chain(text, start);
+            }
+            return match parse_int(&text) {
+                Some(c) => Poly::constant(c),
+                None => Poly::atom(text),
+            };
+        }
+        if t.is_punct('$') {
+            let start = self.pos;
+            if self.peek(1).is_some_and(|n| n.kind == TokenKind::Ident) {
+                let name = format!("${}", self.toks[self.pos + 1].text);
+                self.pos += 2;
+                return self.chain(name, start);
+            }
+            self.failed = true;
+            return Poly::default();
+        }
+        if t.kind == TokenKind::Ident {
+            let start = self.pos;
+            let head = t.text.clone();
+            self.pos += 1;
+            return self.chain(head, start);
+        }
+        self.failed = true;
+        Poly::default()
+    }
+
+    /// Continues a postfix chain (`::seg`, `.field`, `.method(args)`,
+    /// `[idx]`, `(args)`) into one opaque atom.
+    fn chain(&mut self, mut s: String, _start: usize) -> Poly {
+        loop {
+            if self.at_punct(':')
+                && self.peek(1).is_some_and(|t| t.is_punct(':'))
+                && self.peek(2).is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                s.push_str("::");
+                s.push_str(&self.toks[self.pos + 2].text);
+                self.pos += 3;
+                continue;
+            }
+            if self.at_punct('.') && self.peek(1).is_some_and(|t| t.kind == TokenKind::Ident) {
+                s.push('.');
+                s.push_str(&self.toks[self.pos + 1].text);
+                self.pos += 2;
+                if self.at_punct('(') {
+                    let close = skip_group(self.toks, self.pos);
+                    if close > self.hi {
+                        self.failed = true;
+                        return Poly::atom(s);
+                    }
+                    s.push_str(&render(self.toks, self.pos, close));
+                    self.pos = close;
+                }
+                continue;
+            }
+            if self.at_punct('.') && self.peek(1).is_some_and(|t| t.kind == TokenKind::Number) {
+                s.push('.');
+                s.push_str(&self.toks[self.pos + 1].text);
+                self.pos += 2;
+                continue;
+            }
+            if self.at_punct('[') || self.at_punct('(') {
+                let close = skip_group(self.toks, self.pos);
+                if close > self.hi {
+                    self.failed = true;
+                    return Poly::atom(s);
+                }
+                s.push_str(&render(self.toks, self.pos, close));
+                self.pos = close;
+                continue;
+            }
+            break;
+        }
+        Poly::atom(s)
+    }
+}
+
+/// A dominating inequality `lhs <= rhs` (strict for `<`), active over the
+/// token range `(start, end)`.
+#[derive(Clone, Debug)]
+pub struct Fact {
+    pub lhs: Poly,
+    pub rhs: Poly,
+    pub strict: bool,
+    /// Token index where the fact is established (conjunct start).
+    pub start: usize,
+    /// Exclusive token index where it stops dominating.
+    pub end: usize,
+    pub line: u32,
+    /// Source rendering of the originating condition (proof witness).
+    pub text: String,
+    /// For loop guards: the loop body's `{` index (exempt from that
+    /// loop's entry truncation — the guard re-establishes each iteration).
+    loop_guard_of: Option<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct Def {
+    var: String,
+    poly: Poly,
+    has_arith: bool,
+    rhs: (usize, usize),
+    start: usize,
+    end: usize,
+    line: u32,
+}
+
+/// A discharged proof: which check witnessed the bound, and where.
+#[derive(Debug)]
+pub struct Proof {
+    pub witness: String,
+    pub line: u32,
+}
+
+/// Public view of an active `let` binding (for R15's def-site reporting).
+pub struct DefView {
+    pub line: u32,
+    /// Token range of the binding's right-hand side.
+    pub rhs: (usize, usize),
+    /// True when the right-hand side contains `+`/`*`/`-` arithmetic.
+    pub has_arith: bool,
+}
+
+/// Per-function dataflow result: facts and defs with dominance ranges.
+pub struct FnFlow {
+    facts: Vec<Fact>,
+    defs: Vec<Def>,
+}
+
+impl FnFlow {
+    /// Analyzes the body of `f` in `file`.
+    pub fn analyze(file: &FileModel, f: &FnSpan) -> FnFlow {
+        Builder {
+            toks: &file.tokens,
+            depth: &file.depth,
+            body_end: f.body_end,
+            facts: Vec::new(),
+            defs: Vec::new(),
+            loops: Vec::new(),
+            kills: Vec::new(),
+            scopes: Vec::new(),
+        }
+        .run(f.body_start)
+    }
+
+    /// All facts (for tests and rule messages).
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    fn active_facts(&self, pos: usize) -> impl Iterator<Item = &Fact> {
+        self.facts
+            .iter()
+            .filter(move |fa| fa.start < pos && pos < fa.end)
+    }
+
+    fn active_def(&self, var: &str, pos: usize) -> Option<&Def> {
+        self.defs
+            .iter()
+            .filter(|d| d.var == var && d.start < pos && pos < d.end)
+            .max_by_key(|d| d.start)
+    }
+
+    /// The active `let` binding of `var` at `pos`, if any.
+    pub fn def_of(&self, var: &str, pos: usize) -> Option<DefView> {
+        self.active_def(var, pos).map(|d| DefView {
+            line: d.line,
+            rhs: d.rhs,
+            has_arith: d.has_arith,
+        })
+    }
+
+    /// Substitutes active definitions into `p` (recursively, bounded).
+    fn subst(&self, p: &Poly, pos: usize, depth: u32) -> Poly {
+        if depth == 0 {
+            return p.clone();
+        }
+        let mut out = Poly::default();
+        for (mono, &coeff) in &p.terms {
+            let mut prod = Poly::constant(coeff);
+            let mut ok = true;
+            for atom in mono {
+                let is_plain = !atom.is_empty()
+                    && atom.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    && !atom.starts_with(|c: char| c.is_ascii_digit());
+                let fpoly = if is_plain {
+                    match self.active_def(atom, pos) {
+                        Some(d) => self.subst(&d.poly, pos, depth - 1),
+                        None => Poly::atom(atom.clone()),
+                    }
+                } else {
+                    Poly::atom(atom.clone())
+                };
+                match prod.mul(&fpoly) {
+                    Some(np) => prod = np,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                out = out.add(&prod);
+            } else {
+                out = out.add(&Poly::from_mono(mono.clone(), coeff));
+            }
+        }
+        out
+    }
+
+    /// Least upper bound of a single atom at `pos`, from active facts of
+    /// the shape `atom + c <= R` with constant `R`.
+    fn upper_atom(&self, atom: &str, pos: usize) -> Option<i64> {
+        let ap = Poly::atom(atom.to_string());
+        let mut best: Option<i64> = None;
+        for fa in self.active_facts(pos) {
+            let l = self.subst(&fa.lhs, pos, SUBST_DEPTH);
+            let r = self.subst(&fa.rhs, pos, SUBST_DEPTH);
+            let (Some(c), Some(rc)) = (l.sub(&ap).as_const(), r.as_const()) else {
+                continue;
+            };
+            let bound = rc - c - i64::from(fa.strict);
+            best = Some(best.map_or(bound, |b| b.min(bound)));
+        }
+        best
+    }
+
+    fn upper_mono(&self, mono: &[String], pos: usize) -> Option<i64> {
+        let mut acc: i64 = 1;
+        for atom in mono {
+            let u = self.upper_atom(atom, pos)?.max(0);
+            acc = acc.checked_mul(u)?;
+        }
+        Some(acc)
+    }
+
+    /// Guaranteed minimum of `p` at `pos` under `atom >= 0` for every atom
+    /// and fact-derived upper bounds; `None` when a negative-coefficient
+    /// mono has no finite upper bound.
+    fn worst_min(&self, p: &Poly, pos: usize) -> Option<i64> {
+        let mut min = p.const_term();
+        for (mono, &c) in &p.terms {
+            if mono.is_empty() || c >= 0 {
+                continue; // nonneg monos bottom out at 0
+            }
+            let u = self.upper_mono(mono, pos)?;
+            min = min.saturating_add(c.saturating_mul(u));
+        }
+        Some(min)
+    }
+
+    /// True when `p >= 0` is provable, either by worst-case interval
+    /// arithmetic or assisted by one active fact (`p >= p - (R-L) + strict`).
+    /// `exclude_start` skips the fact born at that token index, so an
+    /// assert's own conjunct cannot discharge its internal arithmetic.
+    fn nonneg(&self, p: &Poly, pos: usize, exclude_start: Option<usize>) -> bool {
+        if self.worst_min(p, pos).is_some_and(|m| m >= 0) {
+            return true;
+        }
+        for fa in self.active_facts(pos) {
+            if Some(fa.start) == exclude_start {
+                continue;
+            }
+            let gap = self.subst(&fa.rhs, pos, SUBST_DEPTH).sub(&self.subst(
+                &fa.lhs,
+                pos,
+                SUBST_DEPTH,
+            ));
+            let q = p.sub(&gap);
+            if self
+                .worst_min(&q, pos)
+                .is_some_and(|m| m + i64::from(fa.strict) >= 0)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A fact whose (substituted) left side dominates `p` — evidence that
+    /// a dominating check already evaluated a quantity at least as large.
+    fn checked(&self, p: &Poly, pos: usize, exclude_start: Option<usize>) -> Option<&Fact> {
+        self.active_facts(pos).find(|fa| {
+            if Some(fa.start) == exclude_start {
+                return false;
+            }
+            let l = self.subst(&fa.lhs, pos, SUBST_DEPTH);
+            self.worst_min(&l.sub(p), pos).is_some_and(|m| m >= 0)
+        })
+    }
+
+    /// Discharges the offset expression `[lo, hi)` used at `pos` against
+    /// `recv.len()`: finds an active fact `L <= R` with `E <= L` (by
+    /// worst-case slack) and `R <= recv.len() + c`, `c` constant, such
+    /// that the combined margin proves `E < recv.len()`.
+    pub fn discharge_index(
+        &self,
+        file: &FileModel,
+        lo: usize,
+        hi: usize,
+        pos: usize,
+        recv: &str,
+    ) -> Result<Proof, String> {
+        let e_info = parse_expr(&file.tokens, lo, hi);
+        let e = self.subst(&e_info.poly, pos, SUBST_DEPTH);
+        let len_atom = Poly::atom(format!("{recv}.len()"));
+        for fa in self.active_facts(pos) {
+            let l = self.subst(&fa.lhs, pos, SUBST_DEPTH);
+            let r = self.subst(&fa.rhs, pos, SUBST_DEPTH);
+            let Some(slack) = self.worst_min(&l.sub(&e), pos) else {
+                continue;
+            };
+            if slack < 0 {
+                continue;
+            }
+            let Some(c) = r.sub(&len_atom).as_const() else {
+                continue;
+            };
+            if slack + (-c) + i64::from(fa.strict) >= 1 {
+                return Ok(Proof {
+                    witness: fa.text.clone(),
+                    line: fa.line,
+                });
+            }
+        }
+        Err(format!(
+            "offset `{}` (= {}) has no dominating check proving `{} < {recv}.len()`",
+            render(&file.tokens, lo, hi),
+            e,
+            e
+        ))
+    }
+
+    /// Proves the arithmetic in `[lo, hi)` non-wrapping at `pos`: every
+    /// subtraction must be nonnegative and every `+`/`*` node must have a
+    /// finite interval bound or be covered by a dominating check.
+    pub fn prove_arith(
+        &self,
+        file: &FileModel,
+        lo: usize,
+        hi: usize,
+        pos: usize,
+        exclude_start: Option<usize>,
+    ) -> Result<(), String> {
+        let info = parse_expr(&file.tokens, lo, hi);
+        for (l, r) in &info.subs {
+            let d = self
+                .subst(l, pos, SUBST_DEPTH)
+                .sub(&self.subst(r, pos, SUBST_DEPTH));
+            if !self.nonneg(&d, pos, exclude_start) {
+                return Err(format!(
+                    "subtraction `{l} - {r}` may underflow: no dominating fact proves `{l} >= {r}`"
+                ));
+            }
+        }
+        for (n, src) in &info.arith {
+            let ns = self.subst(n, pos, SUBST_DEPTH);
+            if ns.as_const().is_some() {
+                continue;
+            }
+            let bounded = ns
+                .terms
+                .keys()
+                .filter(|m| !m.is_empty())
+                .all(|m| self.upper_mono(m, pos).is_some());
+            if bounded || self.checked(&ns, pos, exclude_start).is_some() {
+                continue;
+            }
+            return Err(format!(
+                "arithmetic `{src}` (= {ns}) has no finite interval bound and no dominating check covers it"
+            ));
+        }
+        Ok(())
+    }
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    depth: &'a [u32],
+    body_end: usize,
+    facts: Vec<Fact>,
+    defs: Vec<Def>,
+    /// Loop bodies: `(body '{' index, exclusive close)`.
+    loops: Vec<(usize, usize)>,
+    /// Assignments / rebindings: `(var, token index)`.
+    kills: Vec<(String, usize)>,
+    /// Exclusive ends of currently-open brace groups.
+    scopes: Vec<usize>,
+}
+
+impl Builder<'_> {
+    fn run(mut self, body_start: usize) -> FnFlow {
+        let mut i = body_start;
+        while i < self.body_end {
+            while self.scopes.last().is_some_and(|&e| e <= i) {
+                self.scopes.pop();
+            }
+            let t = &self.toks[i];
+            if t.is_punct('{') {
+                self.scopes
+                    .push(skip_group(self.toks, i).min(self.body_end));
+                i += 1;
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                match t.text.as_str() {
+                    "let" => self.handle_let(i),
+                    "assert" | "debug_assert" => self.handle_assert(i, false),
+                    "assert_eq" | "debug_assert_eq" => self.handle_assert(i, true),
+                    "while" => self.handle_while(i),
+                    "loop" => {
+                        if let Some(bo) = self.find_body(i + 1) {
+                            self.loops.push((bo, skip_group(self.toks, bo)));
+                        }
+                    }
+                    "for" => self.handle_for(i),
+                    "if" => self.handle_if(i),
+                    _ => self.detect_kill(i),
+                }
+            }
+            i += 1;
+        }
+        self.finish()
+    }
+
+    fn encl(&self) -> usize {
+        self.scopes.last().copied().unwrap_or(self.body_end)
+    }
+
+    /// First `{` after `from` outside `()`/`[]` groups (a loop/if body).
+    fn find_body(&self, from: usize) -> Option<usize> {
+        let mut j = from;
+        while j < self.body_end {
+            let t = &self.toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                j = skip_group(self.toks, j);
+                continue;
+            }
+            if t.is_punct('{') {
+                return Some(j);
+            }
+            if t.is_punct(';') {
+                return None;
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Extracts facts from every conjunct comparison in `[lo, hi)`.
+    fn facts_from_cond(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        end: usize,
+        loop_guard_of: Option<usize>,
+    ) {
+        let Some(conjs) = conjunct_ranges(self.toks, lo, hi) else {
+            return;
+        };
+        for (a, b) in conjs {
+            let Some(cmp) = find_cmp(self.toks, a, b) else {
+                continue;
+            };
+            let li = parse_expr(self.toks, cmp.lhs.0, cmp.lhs.1);
+            let ri = parse_expr(self.toks, cmp.rhs.0, cmp.rhs.1);
+            let text = render(self.toks, a, b);
+            let line = self.toks[a].line;
+            let push = |lhs: Poly, rhs: Poly, strict: bool, facts: &mut Vec<Fact>| {
+                facts.push(Fact {
+                    lhs,
+                    rhs,
+                    strict,
+                    start: a,
+                    end,
+                    line,
+                    text: text.clone(),
+                    loop_guard_of,
+                });
+            };
+            match cmp.op {
+                CmpOp::Lt => push(li.poly, ri.poly, true, &mut self.facts),
+                CmpOp::Le => push(li.poly, ri.poly, false, &mut self.facts),
+                CmpOp::Gt => push(ri.poly, li.poly, true, &mut self.facts),
+                CmpOp::Ge => push(ri.poly, li.poly, false, &mut self.facts),
+                CmpOp::Eq => {
+                    push(li.poly.clone(), ri.poly.clone(), false, &mut self.facts);
+                    push(ri.poly, li.poly, false, &mut self.facts);
+                }
+                CmpOp::Ne => {}
+            }
+        }
+    }
+
+    fn handle_assert(&mut self, i: usize, is_eq: bool) {
+        if !(self.toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && self.toks.get(i + 2).is_some_and(|t| t.is_punct('(')))
+        {
+            return;
+        }
+        let open = i + 2;
+        let close = skip_group(self.toks, open);
+        if close <= open + 1 {
+            return;
+        }
+        let (lo, hi) = (open + 1, close - 1);
+        let end = self.encl();
+        let args = split_args(self.toks, lo, hi);
+        if is_eq {
+            if args.len() < 2 {
+                return;
+            }
+            let (a0, a1) = (args[0], args[1]);
+            let li = parse_expr(self.toks, a0.0, a0.1);
+            let ri = parse_expr(self.toks, a1.0, a1.1);
+            let text = format!(
+                "{} == {}",
+                render(self.toks, a0.0, a0.1),
+                render(self.toks, a1.0, a1.1)
+            );
+            let line = self.toks[a0.0].line;
+            for (l, r) in [(li.poly.clone(), ri.poly.clone()), (ri.poly, li.poly)] {
+                self.facts.push(Fact {
+                    lhs: l,
+                    rhs: r,
+                    strict: false,
+                    start: a0.0,
+                    end,
+                    line,
+                    text: text.clone(),
+                    loop_guard_of: None,
+                });
+            }
+        } else {
+            // The condition is the first macro argument; later arguments
+            // are the panic message.
+            let Some(&cond) = args.first() else { return };
+            self.facts_from_cond(cond.0, cond.1, end, None);
+        }
+    }
+
+    fn handle_while(&mut self, i: usize) {
+        if self.toks.get(i + 1).is_some_and(|t| t.is_ident("let")) {
+            if let Some(bo) = self.find_body(i + 2) {
+                self.loops.push((bo, skip_group(self.toks, bo)));
+            }
+            return;
+        }
+        let Some(bo) = self.find_body(i + 1) else {
+            return;
+        };
+        let close = skip_group(self.toks, bo);
+        self.facts_from_cond(i + 1, bo, close, Some(bo));
+        self.loops.push((bo, close));
+    }
+
+    fn handle_for(&mut self, i: usize) {
+        let Some(bo) = self.find_body(i + 1) else {
+            return;
+        };
+        let close = skip_group(self.toks, bo);
+        self.loops.push((bo, close));
+        // Locate the `in` keyword at top level before the body.
+        let mut in_idx = None;
+        let mut j = i + 1;
+        while j < bo {
+            let t = &self.toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                j = skip_group(self.toks, j);
+                continue;
+            }
+            if t.is_ident("in") {
+                in_idx = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_idx) = in_idx else { return };
+        // Every identifier bound by the pattern is reassigned per
+        // iteration: record kills.
+        for k in i + 1..in_idx {
+            if self.toks[k].kind == TokenKind::Ident && !self.toks[k].is_ident("mut") {
+                self.kills.push((self.toks[k].text.clone(), i));
+            }
+        }
+        // `for v in a..b` / `a..=b` with a single-ident pattern yields an
+        // interval fact on `v`.
+        if in_idx != i + 2 || self.toks[i + 1].kind != TokenKind::Ident {
+            return;
+        }
+        let var = self.toks[i + 1].text.clone();
+        let mut j = in_idx + 1;
+        while j + 1 < bo {
+            let t = &self.toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                j = skip_group(self.toks, j);
+                continue;
+            }
+            if t.is_punct('.') && self.toks[j + 1].is_punct('.') {
+                let incl = self.toks.get(j + 2).is_some_and(|t| t.is_punct('='));
+                let rhs_lo = j + 2 + usize::from(incl);
+                if rhs_lo >= bo {
+                    return;
+                }
+                let ri = parse_expr(self.toks, rhs_lo, bo);
+                self.facts.push(Fact {
+                    lhs: Poly::atom(var),
+                    rhs: ri.poly,
+                    strict: !incl,
+                    start: i,
+                    end: close,
+                    line: self.toks[i].line,
+                    text: render(self.toks, i + 1, bo),
+                    loop_guard_of: Some(bo),
+                });
+                return;
+            }
+            j += 1;
+        }
+    }
+
+    fn handle_if(&mut self, i: usize) {
+        if self.toks.get(i + 1).is_some_and(|t| t.is_ident("let")) {
+            return;
+        }
+        let Some(bo) = self.find_body(i + 1) else {
+            return;
+        };
+        let close = skip_group(self.toks, bo);
+        self.facts_from_cond(i + 1, bo, close, None);
+        // `if cmp { … return; }` with no `else`: the negated comparison
+        // dominates the rest of the enclosing block.
+        if self.toks.get(close).is_some_and(|t| t.is_ident("else")) {
+            return;
+        }
+        let Some(conjs) = conjunct_ranges(self.toks, i + 1, bo) else {
+            return;
+        };
+        if conjs.len() != 1 {
+            return;
+        }
+        let (a, b) = conjs[0];
+        let Some(cmp) = find_cmp(self.toks, a, b) else {
+            return;
+        };
+        let body_depth = self.depth.get(bo).copied().unwrap_or(0) + 1;
+        let returns = (bo + 1..close.saturating_sub(1)).any(|j| {
+            self.toks[j].is_ident("return") && self.depth.get(j).copied() == Some(body_depth)
+        });
+        if !returns {
+            return;
+        }
+        let li = parse_expr(self.toks, cmp.lhs.0, cmp.lhs.1);
+        let ri = parse_expr(self.toks, cmp.rhs.0, cmp.rhs.1);
+        // Negations: !(a < b) is b <= a, !(a <= b) is b < a, and so on.
+        let (lhs, rhs, strict) = match cmp.op {
+            CmpOp::Lt => (ri.poly, li.poly, false),
+            CmpOp::Le => (ri.poly, li.poly, true),
+            CmpOp::Gt => (li.poly, ri.poly, false),
+            CmpOp::Ge => (li.poly, ri.poly, true),
+            CmpOp::Eq | CmpOp::Ne => return,
+        };
+        self.facts.push(Fact {
+            lhs,
+            rhs,
+            strict,
+            start: close - 1,
+            end: self.encl(),
+            line: self.toks[i].line,
+            text: format!("!({})", render(self.toks, a, b)),
+            loop_guard_of: None,
+        });
+    }
+
+    fn handle_let(&mut self, i: usize) {
+        let mut j = i + 1;
+        if self.toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = self.toks.get(j) else {
+            return;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            // Destructuring pattern: every bound ident is a rebinding.
+            let mut k = j;
+            while k < self.body_end
+                && !self.toks[k].is_punct('=')
+                && !self.toks[k].is_punct(';')
+            {
+                if self.toks[k].kind == TokenKind::Ident && !self.toks[k].is_ident("mut") {
+                    self.kills.push((self.toks[k].text.clone(), i));
+                }
+                k += 1;
+            }
+            return;
+        }
+        let var = name_tok.text.clone();
+        // Scan past an optional type annotation to `=` (or bail at `;`).
+        let mut k = j + 1;
+        let mut eq = None;
+        while k < self.body_end {
+            let t = &self.toks[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                k = skip_group(self.toks, k);
+                continue;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('=') && !self.toks.get(k + 1).is_some_and(|n| n.is_punct('=')) {
+                eq = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        self.kills.push((var.clone(), i));
+        let Some(eq) = eq else { return };
+        // The statement ends at the next top-level `;`.
+        let mut semi = eq + 1;
+        while semi < self.body_end {
+            let t = &self.toks[semi];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                semi = skip_group(self.toks, semi);
+                continue;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            semi += 1;
+        }
+        if semi >= self.body_end {
+            return;
+        }
+        let info = parse_expr(self.toks, eq + 1, semi);
+        let end = self.encl();
+        self.defs.push(Def {
+            var: var.clone(),
+            poly: info.poly,
+            has_arith: !info.arith.is_empty() || !info.subs.is_empty(),
+            rhs: (eq + 1, semi),
+            start: semi,
+            end,
+            line: self.toks[i].line,
+        });
+        // `.clamp(lo, hi)` in the binding seeds interval facts on the var.
+        let mut c = eq + 1;
+        while c + 2 < semi {
+            if self.toks[c].is_punct('.')
+                && self.toks[c + 1].is_ident("clamp")
+                && self.toks[c + 2].is_punct('(')
+            {
+                let close = skip_group(self.toks, c + 2);
+                let args = split_args(self.toks, c + 3, close.saturating_sub(1));
+                if args.len() == 2 {
+                    let lo_p = parse_expr(self.toks, args[0].0, args[0].1).poly;
+                    let hi_p = parse_expr(self.toks, args[1].0, args[1].1).poly;
+                    let text = render(self.toks, eq + 1, semi);
+                    let line = self.toks[i].line;
+                    for (l, r) in [
+                        (lo_p, Poly::atom(var.clone())),
+                        (Poly::atom(var.clone()), hi_p),
+                    ] {
+                        self.facts.push(Fact {
+                            lhs: l,
+                            rhs: r,
+                            strict: false,
+                            start: semi,
+                            end,
+                            line,
+                            text: text.clone(),
+                            loop_guard_of: None,
+                        });
+                    }
+                }
+                break;
+            }
+            c += 1;
+        }
+    }
+
+    /// Detects plain (`v = …`), compound (`v += …`), and shift-compound
+    /// (`v <<= …`) assignments.
+    fn detect_kill(&mut self, i: usize) {
+        let next = |k: usize| self.toks.get(i + k).filter(|_| i + k < self.body_end);
+        let Some(n1) = next(1) else { return };
+        let prev_blocks = i > 0
+            && self.toks[i - 1].kind == TokenKind::Punct
+            && matches!(
+                self.toks[i - 1].text.as_str(),
+                "=" | "<" | ">" | "!" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+            );
+        let plain = n1.is_punct('=')
+            && !next(2).is_some_and(|t| t.is_punct('=') || t.is_punct('>'))
+            && !prev_blocks;
+        let compound = n1.kind == TokenKind::Punct
+            && matches!(n1.text.as_str(), "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^")
+            && next(2).is_some_and(|t| t.is_punct('='))
+            // `a && b = …` never parses; exclude `&&`/`||` pairs anyway.
+            && !(n1.is_punct('&') && next(2).is_some_and(|t| t.is_punct('&')))
+            && !(n1.is_punct('|') && next(2).is_some_and(|t| t.is_punct('|')));
+        let shift = n1.kind == TokenKind::Punct
+            && matches!(n1.text.as_str(), "<" | ">")
+            && next(2).is_some_and(|t| t.text == n1.text && t.kind == TokenKind::Punct)
+            && next(3).is_some_and(|t| t.is_punct('='));
+        if plain || compound || shift {
+            self.kills.push((self.toks[i].text.clone(), i));
+        }
+    }
+
+    fn finish(mut self) -> FnFlow {
+        // Assignments truncate earlier facts/defs that mention the var.
+        for (v, ki) in &self.kills {
+            for fa in &mut self.facts {
+                if fa.start < *ki && *ki < fa.end && (fa.lhs.mentions(v) || fa.rhs.mentions(v))
+                {
+                    fa.end = *ki;
+                }
+            }
+            for d in &mut self.defs {
+                if d.start < *ki && *ki < d.end && (d.var == *v || d.poly.mentions(v)) {
+                    d.end = *ki;
+                }
+            }
+        }
+        // A fact established before a loop that reassigns a mentioned var
+        // does not survive into the loop body (any iteration after the
+        // first sees a changed value) — except the loop's own guard,
+        // which re-establishes itself every iteration.
+        for &(bo, bc) in &self.loops {
+            let assigned: Vec<&String> = self
+                .kills
+                .iter()
+                .filter(|(_, ki)| bo < *ki && *ki < bc)
+                .map(|(v, _)| v)
+                .collect();
+            if assigned.is_empty() {
+                continue;
+            }
+            for fa in &mut self.facts {
+                if fa.loop_guard_of == Some(bo) {
+                    continue;
+                }
+                if fa.start < bo
+                    && bo < fa.end
+                    && assigned
+                        .iter()
+                        .any(|v| fa.lhs.mentions(v) || fa.rhs.mentions(v))
+                {
+                    fa.end = bo;
+                }
+            }
+            for d in &mut self.defs {
+                if d.start < bo
+                    && bo < d.end
+                    && assigned.iter().any(|v| d.var == **v || d.poly.mentions(v))
+                {
+                    d.end = bo;
+                }
+            }
+        }
+        FnFlow {
+            facts: self.facts,
+            defs: self.defs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::parse(PathBuf::from("flow.rs"), src)
+    }
+
+    fn flow_of(m: &FileModel, name: &str) -> FnFlow {
+        let f = m.fns.iter().find(|f| f.name == name).expect("fn");
+        FnFlow::analyze(m, f)
+    }
+
+    /// Locates the argument range and use position of the first
+    /// `.add(…)` after token `from`.
+    fn add_site(m: &FileModel, from: usize) -> (usize, usize, usize) {
+        let i = (from..m.tokens.len())
+            .find(|&i| m.tokens[i].is_ident("add") && m.tokens[i + 1].is_punct('('))
+            .expect("add site");
+        let close = m.skip_group(i + 1);
+        (i + 2, close - 1, i)
+    }
+
+    #[test]
+    fn assert_fact_discharges_offset() {
+        let m = model(
+            "fn f(xs: &[f64], at: usize) {\n\
+             debug_assert!(xs.len() >= 2 && at <= xs.len() - 2);\n\
+             let _p = unsafe { *xs.as_ptr().add(at) };\n\
+             }\n",
+        );
+        let fl = flow_of(&m, "f");
+        let (lo, hi, pos) = add_site(&m, 0);
+        let proof = fl
+            .discharge_index(&m, lo, hi, pos, "xs")
+            .expect("discharged");
+        assert!(
+            proof.witness.contains("at <= xs.len() - 2"),
+            "{}",
+            proof.witness
+        );
+    }
+
+    #[test]
+    fn wrong_variable_does_not_discharge() {
+        let m = model(
+            "fn f(xs: &[f64], at: usize, other: usize) {\n\
+             debug_assert!(xs.len() >= 2 && other <= xs.len() - 2);\n\
+             let _p = unsafe { *xs.as_ptr().add(at) };\n\
+             }\n",
+        );
+        let fl = flow_of(&m, "f");
+        let (lo, hi, pos) = add_site(&m, 0);
+        let err = fl.discharge_index(&m, lo, hi, pos, "xs").unwrap_err();
+        assert!(err.contains("at"), "{err}");
+    }
+
+    #[test]
+    fn while_guard_with_def_substitution_discharges() {
+        let m = model(
+            "fn f(a: &[f64]) {\n\
+             let d = a.len();\n\
+             let mut dim = 0;\n\
+             while dim + 4 <= d {\n\
+             let _p = unsafe { *a.as_ptr().add(dim) };\n\
+             dim += 4;\n\
+             }\n\
+             }\n",
+        );
+        let fl = flow_of(&m, "f");
+        let (lo, hi, pos) = add_site(&m, 0);
+        let proof = fl
+            .discharge_index(&m, lo, hi, pos, "a")
+            .expect("discharged");
+        assert!(proof.witness.contains("dim + 4 <= d"), "{}", proof.witness);
+    }
+
+    #[test]
+    fn guard_fact_dies_at_reassignment() {
+        let m = model(
+            "fn f(a: &[f64]) {\n\
+             let mut dim = 0;\n\
+             while dim + 4 <= a.len() {\n\
+             dim += 4;\n\
+             let _p = unsafe { *a.as_ptr().add(dim) };\n\
+             }\n\
+             }\n",
+        );
+        let fl = flow_of(&m, "f");
+        let (lo, hi, pos) = add_site(&m, 0);
+        assert!(fl.discharge_index(&m, lo, hi, pos, "a").is_err());
+    }
+
+    #[test]
+    fn inverted_guard_with_return_dominates_the_tail() {
+        let m = model(
+            "fn f(xs: &[f64], t: usize) {\n\
+             if t >= xs.len() {\n\
+             return;\n\
+             }\n\
+             let _p = unsafe { *xs.as_ptr().add(t) };\n\
+             }\n",
+        );
+        let fl = flow_of(&m, "f");
+        let (lo, hi, pos) = add_site(&m, 0);
+        let proof = fl
+            .discharge_index(&m, lo, hi, pos, "xs")
+            .expect("discharged");
+        assert!(proof.witness.starts_with("!("), "{}", proof.witness);
+    }
+
+    #[test]
+    fn for_range_interval_bounds_arithmetic() {
+        let m = model(
+            "fn f(a: &[f64], d: usize) {\n\
+             let mut dim = 0;\n\
+             while dim + 16 <= d {\n\
+             for c in 0..4 {\n\
+             let at = dim + 4 * c;\n\
+             use_site(at);\n\
+             }\n\
+             dim += 16;\n\
+             }\n\
+             }\n",
+        );
+        let fl = flow_of(&m, "f");
+        // Prove the def's rhs `dim + 4 * c` at the use site.
+        let eq = m.tokens.iter().position(|t| t.is_ident("at")).expect("at");
+        let semi = (eq..m.tokens.len())
+            .find(|&i| m.tokens[i].is_punct(';'))
+            .expect("semi");
+        let use_pos = m
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("use_site"))
+            .expect("use");
+        fl.prove_arith(&m, eq + 2, semi, use_pos, None)
+            .expect("bounded by guard + for interval");
+    }
+
+    #[test]
+    fn legacy_add_k_guard_fails_prove_arith_but_rewrite_passes() {
+        let m = model(
+            "fn legacy(xs: &[f64], at: usize) {\n\
+             debug_assert!(at + 2 <= xs.len());\n\
+             }\n\
+             fn rewritten(xs: &[f64], at: usize) {\n\
+             debug_assert!(xs.len() >= 2 && at <= xs.len() - 2);\n\
+             }\n",
+        );
+        // Legacy: the `at + 2` inside the assert has no other cover.
+        let fl = flow_of(&m, "legacy");
+        let f = m.fns.iter().find(|f| f.name == "legacy").unwrap();
+        let open = (f.body_start..f.body_end)
+            .find(|&i| m.tokens[i].is_punct('('))
+            .unwrap();
+        let close = m.skip_group(open);
+        let conjs = conjunct_ranges(&m.tokens, open + 1, close - 1).unwrap();
+        let (a, b) = conjs[0];
+        let cmp = find_cmp(&m.tokens, a, b).unwrap();
+        assert!(fl
+            .prove_arith(&m, cmp.lhs.0, cmp.lhs.1, b, Some(a))
+            .is_err());
+
+        // Rewritten: conjunct 1 proves conjunct 2's subtraction.
+        let fl = flow_of(&m, "rewritten");
+        let f = m.fns.iter().find(|f| f.name == "rewritten").unwrap();
+        let open = (f.body_start..f.body_end)
+            .find(|&i| m.tokens[i].is_punct('('))
+            .unwrap();
+        let close = m.skip_group(open);
+        let conjs = conjunct_ranges(&m.tokens, open + 1, close - 1).unwrap();
+        assert_eq!(conjs.len(), 2);
+        for &(a, b) in &conjs {
+            let cmp = find_cmp(&m.tokens, a, b).unwrap();
+            for (lo, hi) in [cmp.lhs, cmp.rhs] {
+                fl.prove_arith(&m, lo, hi, b, Some(a))
+                    .expect("overflow-safe form");
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_seeds_an_upper_bound() {
+        let m = model(
+            "fn f(lanes: usize, pad: usize) {\n\
+             let w = (lanes / pad * pad).clamp(16, 4096);\n\
+             let x = 4 * w;\n\
+             use_site(x);\n\
+             }\n",
+        );
+        let fl = flow_of(&m, "f");
+        let use_pos = m
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("use_site"))
+            .expect("use");
+        // `4 * w` is bounded because clamp pins w <= 4096.
+        let eq = m.tokens.iter().position(|t| t.is_ident("x")).unwrap();
+        let semi = (eq..m.tokens.len())
+            .find(|&i| m.tokens[i].is_punct(';'))
+            .unwrap();
+        fl.prove_arith(&m, eq + 2, semi, use_pos, None)
+            .expect("clamped var is bounded");
+    }
+
+    #[test]
+    fn loop_entry_truncates_prior_facts_about_reassigned_vars() {
+        let m = model(
+            "fn f(a: &[f64]) {\n\
+             let mut t = 0;\n\
+             debug_assert!(t < a.len());\n\
+             while keep_going() {\n\
+             let _p = unsafe { *a.as_ptr().add(t) };\n\
+             t += 1;\n\
+             }\n\
+             }\n",
+        );
+        let fl = flow_of(&m, "f");
+        let (lo, hi, pos) = add_site(&m, 0);
+        // The assert held on entry but t changes inside the loop.
+        assert!(fl.discharge_index(&m, lo, hi, pos, "a").is_err());
+    }
+
+    #[test]
+    fn poly_display_and_arith() {
+        let p = Poly::atom("dim").add(&Poly::constant(4));
+        assert_eq!(p.to_string(), "4 + dim");
+        let q = Poly::atom("w").mul(&Poly::constant(3)).unwrap();
+        assert_eq!(q.sub(&Poly::atom("w")).to_string(), "2*w");
+        assert_eq!(Poly::constant(0).to_string(), "0");
+        assert!(Poly::atom("a.len()").mentions("a"));
+        assert!(!Poly::atom("ab").mentions("a"));
+    }
+}

@@ -4,9 +4,11 @@ use std::fmt;
 use std::path::PathBuf;
 
 /// Severity of a diagnostic. `Deny` diagnostics fail the check (non-zero
-/// exit); `Warn` diagnostics are reported but do not.
+/// exit); `Warn` diagnostics are reported but do not; `Note` records a
+/// positive result (e.g. an R13 discharged bounds proof) and never fails.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Level {
+    Note,
     Warn,
     Deny,
 }
@@ -14,6 +16,7 @@ pub enum Level {
 impl fmt::Display for Level {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Level::Note => write!(f, "note"),
             Level::Warn => write!(f, "warn"),
             Level::Deny => write!(f, "deny"),
         }

@@ -7,9 +7,11 @@
 //! variants, and that obs metric names match the registry. This crate is a
 //! std-only diagnostics engine — hand-rolled lexer, light structural
 //! parser, a workspace symbol table and conservative call graph
-//! ([`symbols`], [`callgraph`]), twelve rules — that enforces exactly
-//! those, with `file:line` output, deny/warn levels, and comment-based
-//! suppression (`// allow(hdsj::<rule>): why`).
+//! ([`symbols`], [`callgraph`]), an intraprocedural dataflow engine for
+//! bound proofs ([`dataflow`]), fifteen rules — that enforces exactly
+//! those, with `file:line` output, deny/warn/note levels, and
+//! comment-based suppression (`// allow(hdsj::<rule>): why`; bound
+//! justifications use `// BOUND: why`).
 //!
 //! Entry points: `cargo run -p hdsj-analyze -- check` (CI gate), the
 //! `hdsj analyze` CLI subcommand, and [`Workspace::check`] for tests.
@@ -19,6 +21,7 @@
 #![forbid(unsafe_code)]
 
 pub mod callgraph;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
 pub mod parse;
@@ -45,7 +48,18 @@ impl CheckReport {
     }
 
     pub fn warns(&self) -> usize {
-        self.diagnostics.len() - self.denies()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Warn)
+            .count()
+    }
+
+    /// Positive findings (discharged proofs); never affect the exit code.
+    pub fn notes(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Note)
+            .count()
     }
 
     /// True when the check should fail (any deny-level finding).
@@ -61,9 +75,10 @@ impl CheckReport {
             s.push('\n');
         }
         s.push_str(&format!(
-            "hdsj-analyze: {} deny, {} warn\n",
+            "hdsj-analyze: {} deny, {} warn, {} note\n",
             self.denies(),
-            self.warns()
+            self.warns(),
+            self.notes()
         ));
         s
     }
@@ -103,6 +118,7 @@ impl CheckReport {
             let level = match d.level {
                 Level::Deny => "error",
                 Level::Warn => "warning",
+                Level::Note => "note",
             };
             s.push_str(&format!(
                 "{{\"ruleId\":{:?},\"level\":{:?},\"message\":{{\"text\":{:?}}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{:?}}},\"region\":{{\"startLine\":{}}}}}}}]}}",

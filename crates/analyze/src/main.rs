@@ -1,7 +1,7 @@
 //! `hdsj-analyze` — the static invariant checker's standalone CLI.
 //!
 //! ```text
-//! cargo run -p hdsj-analyze -- check [--root DIR] [--format human|json|sarif] [--rules r7,r8]
+//! cargo run -p hdsj-analyze -- check [--root DIR] [--format human|jsonl|sarif] [--rules r7,r8]
 //! cargo run -p hdsj-analyze -- list-rules
 //! cargo run -p hdsj-analyze -- explain <rule>
 //! ```
@@ -64,9 +64,11 @@ fn run(args: &[String]) -> Result<bool, String> {
             }
             "--format" => match it.next().map(String::as_str) {
                 Some("human") => format = Format::Human,
-                Some("json") => format = Format::Json,
+                // `jsonl` names what the output actually is; `json` stays
+                // as the original spelling.
+                Some("json") | Some("jsonl") => format = Format::Json,
                 Some("sarif") => format = Format::Sarif,
-                other => return Err(format!("--format {other:?}: expected human|json|sarif")),
+                other => return Err(format!("--format {other:?}: expected human|jsonl|sarif")),
             },
             "--rules" => {
                 rules = Some(
@@ -91,6 +93,6 @@ fn run(args: &[String]) -> Result<bool, String> {
 }
 
 fn usage() -> String {
-    "usage: hdsj-analyze check [--root DIR] [--format human|json|sarif] [--rules r7,r8] | list-rules | explain <rule>"
+    "usage: hdsj-analyze check [--root DIR] [--format human|jsonl|sarif] [--rules r7,r8] | list-rules | explain <rule>"
         .to_string()
 }

@@ -105,7 +105,7 @@ fn matching_close(open: char) -> char {
     }
 }
 
-fn skip_group(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn skip_group(tokens: &[Token], open: usize) -> usize {
     let Some(tok) = tokens.get(open) else {
         return tokens.len();
     };
@@ -201,10 +201,16 @@ fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
             let name = tokens[i + 1].text.clone();
             let line = tokens[i].line;
             // The body is the first `{` after the signature; a `;` first
-            // means a bodiless declaration (trait method, extern).
+            // means a bodiless declaration (trait method, extern). `(…)`
+            // and `[…]` groups are skipped whole so a `;` inside an array
+            // type (`-> [f64; 4]`) does not truncate the signature.
             let mut j = i + 2;
             let mut body = None;
             while j < tokens.len() {
+                if tokens[j].is_punct('(') || tokens[j].is_punct('[') {
+                    j = skip_group(tokens, j);
+                    continue;
+                }
                 if tokens[j].is_punct(';') {
                     break;
                 }
@@ -275,6 +281,15 @@ mod tests {
         let m = model("fn a() { let x = 1; }\nimpl T { fn b(&self) -> u32 { 2 } }\n");
         let names: Vec<_> = m.fns.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn array_types_in_signatures_do_not_truncate_the_fn() {
+        let m = model("fn spill(v: u64) -> [f64; 4] { mark(); [0.0; 4] }\n");
+        let names: Vec<_> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["spill"], "`;` inside `[f64; 4]` is not an end");
+        let mark = m.tokens.iter().position(|t| t.is_ident("mark")).unwrap();
+        assert_eq!(m.enclosing_fn(mark).map(|f| f.name.as_str()), Some("spill"));
     }
 
     #[test]

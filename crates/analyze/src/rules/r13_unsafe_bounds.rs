@@ -1,0 +1,219 @@
+//! R13 `unsafe_bounds` — every raw-pointer offset inside `core::simd`
+//! (`xs.as_ptr().add(e)`, `slice.get_unchecked(e)`) must have its offset
+//! expression *discharged* against a dominating checked precondition: an
+//! `assert!`/`debug_assert!` conjunct, a loop guard, or an inverted
+//! early-return guard that proves `e < receiver.len()` under the
+//! dataflow engine's interval and symbolic-bound propagation.
+//!
+//! A discharged site is reported as a `note` (the proof witness is part
+//! of the check's output — the self-check asserts every unsafe kernel
+//! file carries at least one). An undischarged site is a `deny` naming
+//! the witness expression and the missing bound, so the fix is always
+//! "state the precondition the SAFETY comment already claims".
+
+use crate::dataflow::{render, FnFlow};
+use crate::diag::{Diagnostic, Level};
+use crate::lexer::TokenKind;
+use crate::parse::FileModel;
+use std::collections::BTreeMap;
+
+pub const RULE: &str = "unsafe_bounds";
+
+/// Path fragment selecting the unsafe SIMD layer.
+const SCOPE: &str = "core/src/simd";
+
+/// One raw-offset site: the offset argument's token range, the token the
+/// diagnostic anchors to, and the receiver walked back from the dot.
+struct Site {
+    arg: (usize, usize),
+    pos: usize,
+    recv: Option<(usize, String)>,
+}
+
+/// Walks the receiver chain (`xs`, `self.data`) ending just before `dot`.
+fn receiver(file: &FileModel, dot: usize) -> Option<(usize, String)> {
+    let toks = &file.tokens;
+    let mut lo = dot;
+    while lo > 0 && toks[lo - 1].kind == TokenKind::Ident {
+        lo -= 1;
+        if lo >= 2 && toks[lo - 1].is_punct('.') && toks[lo - 2].kind == TokenKind::Ident {
+            lo -= 1;
+            continue;
+        }
+        break;
+    }
+    (lo < dot).then(|| (lo, render(toks, lo, dot)))
+}
+
+/// A raw-pointer offset site: the offset expression's token range
+/// `[lo, hi)`, the method-name token position, and the receiver chain
+/// (start token + rendered text) when one was recognized.
+pub(crate) type RawSite = (usize, usize, usize, Option<(usize, String)>);
+
+/// Scans `file` for `.as_ptr().add(e)` / `.as_mut_ptr().add(e)` /
+/// `.get_unchecked[_mut](e)` sites.
+pub(crate) fn raw_offset_sites(file: &FileModel) -> Vec<RawSite> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('.') {
+            continue;
+        }
+        let site = if toks
+            .get(i + 1)
+            .is_some_and(|t| t.is_ident("as_ptr") || t.is_ident("as_mut_ptr"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 5).is_some_and(|t| t.is_ident("add"))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct('('))
+        {
+            let close = file.skip_group(i + 6);
+            Some(Site {
+                arg: (i + 7, close - 1),
+                pos: i + 5,
+                recv: receiver(file, i),
+            })
+        } else if toks
+            .get(i + 1)
+            .is_some_and(|t| t.is_ident("get_unchecked") || t.is_ident("get_unchecked_mut"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            let close = file.skip_group(i + 2);
+            Some(Site {
+                arg: (i + 3, close - 1),
+                pos: i + 1,
+                recv: receiver(file, i),
+            })
+        } else {
+            None
+        };
+        if let Some(s) = site {
+            if s.arg.0 < s.arg.1 {
+                out.push((s.arg.0, s.arg.1, s.pos, s.recv));
+            }
+        }
+    }
+    out
+}
+
+pub fn check(file: &FileModel, out: &mut Vec<Diagnostic>) {
+    if !file.path.to_string_lossy().contains(SCOPE) {
+        return;
+    }
+    let mut flows: BTreeMap<usize, FnFlow> = BTreeMap::new();
+    for (lo, hi, pos, recv) in raw_offset_sites(file) {
+        let line = file.tokens[pos].line;
+        if file.is_test_line(line) || file.suppressed(RULE, line) {
+            continue;
+        }
+        let Some(f) = file.enclosing_fn(pos) else {
+            continue;
+        };
+        let flow = flows
+            .entry(f.body_start)
+            .or_insert_with(|| FnFlow::analyze(file, f));
+        let Some((recv_lo, recv_name)) = recv else {
+            out.push(Diagnostic {
+                rule: RULE,
+                level: Level::Deny,
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "raw-pointer offset `{}` has an unrecognized receiver; bind the slice to a name so the bound can be discharged",
+                    render(&file.tokens, lo, hi)
+                ),
+            });
+            continue;
+        };
+        let site_text = render(&file.tokens, recv_lo, file.skip_group(pos + 1));
+        match flow.discharge_index(file, lo, hi, pos, &recv_name) {
+            Ok(proof) => out.push(Diagnostic {
+                rule: RULE,
+                level: Level::Note,
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "discharged: `{site_text}` — bound witnessed by `{}` (line {})",
+                    proof.witness, proof.line
+                ),
+            }),
+            Err(e) => out.push(Diagnostic {
+                rule: RULE,
+                level: Level::Deny,
+                path: file.path.clone(),
+                line,
+                message: format!(
+                    "undischarged raw-pointer offset `{site_text}`: {e}; add a dominating assert!/guard establishing the bound"
+                ),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let m = FileModel::parse(PathBuf::from("crates/core/src/simd/x.rs"), src);
+        let mut out = Vec::new();
+        check(&m, &mut out);
+        out
+    }
+
+    #[test]
+    fn asserted_offset_is_a_note_and_bare_offset_a_deny() {
+        let d = run("fn good(xs: &[f64], at: usize) -> f64 {\n\
+             debug_assert!(xs.len() >= 2 && at <= xs.len() - 2);\n\
+             unsafe { *xs.as_ptr().add(at) }\n\
+             }\n\
+             fn bad(xs: &[f64], at: usize) -> f64 {\n\
+             unsafe { *xs.as_ptr().add(at) }\n\
+             }\n");
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].level, Level::Note);
+        assert!(d[0].message.contains("witnessed by"), "{d:?}");
+        assert_eq!(d[1].level, Level::Deny);
+        assert!(d[1].message.contains("xs.as_ptr().add(at)"), "{d:?}");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let m = FileModel::parse(
+            PathBuf::from("crates/core/src/kernels.rs"),
+            "fn f(xs: &[f64]) -> f64 { unsafe { *xs.as_ptr().add(1) } }",
+        );
+        let mut out = Vec::new();
+        check(&m, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn get_unchecked_behind_guard_is_discharged() {
+        let d = run("fn f(ids: &[u32], t: usize) -> u32 {\n\
+             if t < ids.len() {\n\
+             return unsafe { *ids.get_unchecked(t) };\n\
+             }\n\
+             0\n\
+             }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].level, Level::Note, "{d:?}");
+    }
+
+    #[test]
+    fn suppression_and_test_code_are_exempt() {
+        let d = run("fn f(xs: &[f64]) -> f64 {\n\
+             // allow(hdsj::unsafe_bounds): fixture exercises the raw path.\n\
+             unsafe { *xs.as_ptr().add(1) }\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             fn t(xs: &[f64]) -> f64 {\n\
+             unsafe { *xs.as_ptr().add(1) }\n\
+             }\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -31,10 +31,14 @@ pub const RULE: &str = "determinism";
 /// dispatch and kernel tiers joined with the vectorization PR: every
 /// tier's output is part of the byte-determinism promise (results must
 /// not depend on which tier ran), and the SoA tiling must not braid any
-/// nondeterministic source into lane order.
+/// nondeterministic source into lane order. The batch refinement paths
+/// (`core::refine`) joined with the dataflow PR: refinement reorders
+/// candidate batches for SIMD, and its accept/reject stream feeds the
+/// same byte-determinism promise.
 const SCOPE: &[&str] = &[
     "crates/core/src/kernels",
     "crates/core/src/lifecycle",
+    "crates/core/src/refine",
     "crates/core/src/simd",
     "crates/core/src/soa",
     "crates/bruteforce/src",
@@ -205,6 +209,15 @@ mod tests {
         let d = run(
             "crates/storage/src/manifest.rs",
             "use std::collections::HashMap;",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn refine_batch_paths_are_in_scope() {
+        let d = run(
+            "crates/core/src/refine.rs",
+            "fn f() { let t = std::time::Instant::now(); }",
         );
         assert_eq!(d.len(), 1, "{d:?}");
     }

@@ -1,0 +1,14 @@
+//! R13 fixture: raw-pointer offsets whose bound is claimed but never
+//! checked — no dominating assert, or an assert on the wrong variable.
+use std::arch::x86_64::{__m128d, _mm_loadu_pd};
+
+pub fn raw_no_bound(xs: &[f64], at: usize) -> __m128d {
+    // SAFETY: claimed in prose only — exactly what R13 rejects.
+    unsafe { _mm_loadu_pd(xs.as_ptr().add(at)) }
+}
+
+pub fn wrong_variable(xs: &[f64], at: usize, other: usize) -> f64 {
+    debug_assert!(xs.len() >= 2 && other <= xs.len() - 2);
+    // SAFETY: the assert above bounds `other`, not `at`.
+    unsafe { *xs.as_ptr().add(at) }
+}

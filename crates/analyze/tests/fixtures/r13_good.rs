@@ -1,0 +1,27 @@
+//! R13 fixture: every raw offset is discharged by a dominating check —
+//! an assert conjunct, a loop guard, or an inverted early-return guard.
+pub fn load2(xs: &[f64], at: usize) -> f64 {
+    debug_assert!(xs.len() >= 2 && at <= xs.len() - 2);
+    // SAFETY: the debug_assert above bounds `at + 1 < xs.len()`.
+    unsafe { *xs.as_ptr().add(at) }
+}
+
+pub fn sum(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    let mut acc = 0.0;
+    let mut i = 0;
+    while i + 2 <= n {
+        // SAFETY: the loop guard bounds `i + 1 < xs.len()`.
+        acc += unsafe { *xs.as_ptr().add(i) };
+        i += 2;
+    }
+    acc
+}
+
+pub fn pick(ids: &[u32], t: usize) -> u32 {
+    if t < ids.len() {
+        // SAFETY: guarded by the branch condition above.
+        return unsafe { *ids.get_unchecked(t) };
+    }
+    0
+}

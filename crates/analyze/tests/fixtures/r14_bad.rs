@@ -1,0 +1,19 @@
+//! R14 fixture: an AVX2 intrinsic outside any gated fn, and a gated
+//! kernel entered from plain code instead of the dispatch shims.
+use std::arch::x86_64::{__m256d, _mm256_add_pd, _mm256_setzero_pd};
+
+pub fn ungated() -> __m256d {
+    // SAFETY: lane-wise zeroing touches no memory.
+    unsafe { _mm256_setzero_pd() }
+}
+
+#[target_feature(enable = "avx2")]
+fn lanes_kernel(v: __m256d) -> __m256d {
+    // SAFETY: lane-wise arithmetic touches no memory.
+    unsafe { _mm256_add_pd(v, v) }
+}
+
+pub fn sneaky(v: __m256d) -> __m256d {
+    // SAFETY: in-register only — but the AVX2 probe is never consulted.
+    unsafe { lanes_kernel(v) }
+}

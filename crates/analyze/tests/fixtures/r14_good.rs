@@ -1,0 +1,37 @@
+//! R14 fixture: the sanctioned entry pattern — a `level()`-probing
+//! dispatch shim routes to a probe wrapper that asserts availability
+//! before entering the gated kernel. Mounted at `simd/mod.rs`.
+use std::arch::x86_64::{__m256d, _mm256_add_pd};
+
+pub enum SimdLevel {
+    Scalar,
+    Avx2,
+}
+
+fn level() -> SimdLevel {
+    SimdLevel::Scalar
+}
+
+fn avx2_available() -> bool {
+    false
+}
+
+#[target_feature(enable = "avx2")]
+fn gated_kernel(v: __m256d) -> __m256d {
+    // SAFETY: lane-wise arithmetic touches no memory; callers hold the
+    // AVX2 probe.
+    unsafe { _mm256_add_pd(v, v) }
+}
+
+fn avx2_wrapper(v: __m256d) -> __m256d {
+    debug_assert!(avx2_available());
+    // SAFETY: dispatch only routes here when the AVX2 probe succeeded.
+    unsafe { gated_kernel(v) }
+}
+
+pub fn dispatch(v: __m256d) -> __m256d {
+    match level() {
+        SimdLevel::Avx2 => avx2_wrapper(v),
+        SimdLevel::Scalar => v,
+    }
+}

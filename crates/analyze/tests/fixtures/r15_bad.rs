@@ -1,0 +1,15 @@
+//! R15 fixture: arithmetic that can wrap before any check sees it — a
+//! `let` that multiplies unbounded values, and the legacy assert form
+//! whose own left side wraps in release mode.
+pub fn gather(xs: &[f64], i: usize, stride: usize) -> f64 {
+    let o = i * stride;
+    debug_assert!(xs.len() >= 1 && o <= xs.len() - 1);
+    // SAFETY: the assert above bounds `o < xs.len()`.
+    unsafe { *xs.as_ptr().add(o) }
+}
+
+pub fn legacy(xs: &[f64], at: usize) -> f64 {
+    debug_assert!(at + 2 <= xs.len());
+    // SAFETY: the assert above claims `at + 2 <= xs.len()`.
+    unsafe { *xs.as_ptr().add(at) }
+}

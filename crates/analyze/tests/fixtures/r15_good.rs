@@ -1,0 +1,23 @@
+//! R15 fixture: offset arithmetic proved by dominating guards, the
+//! overflow-safe assert form, or a justified `// BOUND:` comment.
+pub fn fetch2(xs: &[f64], at: usize) -> f64 {
+    debug_assert!(xs.len() >= 2 && at <= xs.len() - 2);
+    // SAFETY: the debug_assert above bounds `at + 1 < xs.len()`.
+    unsafe { *xs.as_ptr().add(at) }
+}
+
+pub fn sum_pairs(a: &[f64]) -> f64 {
+    let d = a.len();
+    let mut dim = 0;
+    let mut acc = 0.0;
+    while dim + 4 <= d {
+        acc += fetch2(a, dim) + fetch2(a, dim + 2);
+        dim += 4;
+    }
+    acc
+}
+
+pub fn column(data: &[f64], dim: usize, width: usize, t: usize) -> f64 {
+    // BOUND: data is a dims*width matrix, so the product fits usize.
+    fetch2(data, dim * width + t)
+}

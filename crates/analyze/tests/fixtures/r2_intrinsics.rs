@@ -8,8 +8,10 @@ use std::arch::x86_64::{__m128d, _mm_loadu_pd, _mm_sub_pd};
 #[target_feature(enable = "sse2")]
 #[inline]
 fn diff2(a: &[f64], b: &[f64], at: usize) -> __m128d {
-    // SAFETY: the caller's loop bound guarantees `at + 2 <= len` for
-    // both slices, so the two unaligned 16-byte loads stay in bounds.
+    debug_assert!(a.len() >= 2 && at <= a.len() - 2);
+    debug_assert!(b.len() >= 2 && at <= b.len() - 2);
+    // SAFETY: the debug_asserts above bound `at + 2 <= len` for both
+    // slices, so the two unaligned 16-byte loads stay in bounds.
     unsafe { _mm_sub_pd(_mm_loadu_pd(a.as_ptr().add(at)), _mm_loadu_pd(b.as_ptr().add(at))) }
 }
 

@@ -39,10 +39,17 @@ fn bad_fixtures_produce_exactly_the_expected_diagnostics() {
         // its loops exercise exactly one rule.
         fixture("r7_bad.rs", "crates/exec/src/r7_bad.rs"),
         fixture("r8_bad.rs", "crates/core/src/kernels/r8_bad.rs"),
+        // R8's scope grew to `core::refine` with the dataflow PR; the same
+        // fixture remounts there to pin the extension.
+        fixture("r8_bad.rs", "crates/core/src/refine/r8_bad.rs"),
         fixture("r9_bad.rs", "crates/storage/src/r9_bad.rs"),
         fixture("r10_bad.rs", "crates/msj/src/r10_bad.rs"),
         fixture("r11_bad.rs", "crates/storage/src/r11_bad.rs"),
         fixture("r12_bad.rs", "crates/storage/src/manifest/r12_bad.rs"),
+        // The dataflow rules key off the unsafe SIMD layer's path.
+        fixture("r13_bad.rs", "crates/core/src/simd/r13_bad.rs"),
+        fixture("r14_bad.rs", "crates/core/src/simd/r14_bad.rs"),
+        fixture("r15_bad.rs", "crates/core/src/simd/r15_bad.rs"),
     ]);
     let got: Vec<(String, &str, u32, Level)> = ws
         .check()
@@ -80,6 +87,78 @@ fn bad_fixtures_produce_exactly_the_expected_diagnostics() {
             "determinism",
             6,
             Level::Deny,
+        ),
+        (
+            "crates/core/src/refine/r8_bad.rs".into(),
+            "determinism",
+            2,
+            Level::Deny,
+        ),
+        (
+            "crates/core/src/refine/r8_bad.rs".into(),
+            "determinism",
+            5,
+            Level::Deny,
+        ),
+        (
+            "crates/core/src/refine/r8_bad.rs".into(),
+            "determinism",
+            6,
+            Level::Deny,
+        ),
+        (
+            "crates/core/src/refine/r8_bad.rs".into(),
+            "determinism",
+            6,
+            Level::Deny,
+        ),
+        (
+            "crates/core/src/simd/r13_bad.rs".into(),
+            "unsafe_bounds",
+            7,
+            Level::Deny,
+        ),
+        (
+            "crates/core/src/simd/r13_bad.rs".into(),
+            "unsafe_bounds",
+            13,
+            Level::Deny,
+        ),
+        (
+            "crates/core/src/simd/r14_bad.rs".into(),
+            "target_feature_gate",
+            7,
+            Level::Deny,
+        ),
+        (
+            "crates/core/src/simd/r14_bad.rs".into(),
+            "target_feature_gate",
+            18,
+            Level::Deny,
+        ),
+        (
+            "crates/core/src/simd/r15_bad.rs".into(),
+            "unchecked_arith",
+            5,
+            Level::Deny,
+        ),
+        (
+            "crates/core/src/simd/r15_bad.rs".into(),
+            "unsafe_bounds",
+            8,
+            Level::Note,
+        ),
+        (
+            "crates/core/src/simd/r15_bad.rs".into(),
+            "unchecked_arith",
+            12,
+            Level::Deny,
+        ),
+        (
+            "crates/core/src/simd/r15_bad.rs".into(),
+            "unsafe_bounds",
+            14,
+            Level::Note,
         ),
         (
             "crates/exec/src/r7_bad.rs".into(),
@@ -190,9 +269,49 @@ fn good_fixtures_are_clean() {
         fixture("r10_good.rs", "crates/msj/src/r10_good.rs"),
         fixture("r11_good.rs", "crates/storage/src/r11_good.rs"),
         fixture("r12_good.rs", "crates/storage/src/manifest/r12_good.rs"),
+        fixture("r8_good.rs", "crates/core/src/refine/r8_good.rs"),
+        fixture("r13_good.rs", "crates/core/src/simd/r13_good.rs"),
+        // The R14 good fixture is the dispatch-shim pattern itself, so it
+        // mounts at the one path the rule treats as a shim.
+        fixture("r14_good.rs", "crates/core/src/simd/mod.rs"),
+        fixture("r15_good.rs", "crates/core/src/simd/r15_good.rs"),
     ]);
     let diags = ws.check();
-    assert!(diags.is_empty(), "good fixtures must be clean:\n{diags:#?}");
+    // Discharged R13 proofs surface as notes; nothing may deny or warn.
+    assert!(
+        diags.iter().all(|d| d.level == Level::Note),
+        "good fixtures must be deny/warn-free:\n{diags:#?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "unsafe_bounds" && d.message.contains("discharged")),
+        "discharged bounds should leave a proof trail:\n{diags:#?}"
+    );
+}
+
+/// Deleting a single precondition assert from an otherwise-proved kernel
+/// must flip R13 to deny: the proof obligations are live, not vestigial.
+#[test]
+fn deleting_a_precondition_assert_makes_r13_deny() {
+    let (_, text) = fixture("r13_good.rs", "");
+    let stripped: String = text
+        .lines()
+        .filter(|l| !l.contains("debug_assert!"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_ne!(stripped, text, "fixture must contain the assert");
+    let ws = Workspace::from_sources(&[(
+        PathBuf::from("crates/core/src/simd/stripped.rs"),
+        stripped,
+    )]);
+    let diags = ws.check();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "unsafe_bounds" && d.level == Level::Deny),
+        "stripping the assert must undischarge the site:\n{diags:#?}"
+    );
 }
 
 #[test]
@@ -219,7 +338,7 @@ fn rule_filter_restricts_the_run() {
 }
 
 #[test]
-fn rule_list_names_all_twelve_rules() {
+fn rule_list_names_all_fifteen_rules() {
     let listing = hdsj_analyze::render_rule_list();
     for (id, name) in [
         ("r1", "no_panic"),
@@ -229,6 +348,9 @@ fn rule_list_names_all_twelve_rules() {
         ("r10", "lifecycle_poll"),
         ("r11", "budget_charge"),
         ("r12", "durability_order"),
+        ("r13", "unsafe_bounds"),
+        ("r14", "target_feature_gate"),
+        ("r15", "unchecked_arith"),
     ] {
         let line = listing
             .lines()
@@ -237,12 +359,19 @@ fn rule_list_names_all_twelve_rules() {
         assert!(line.contains(name), "{line}");
         assert!(line.contains("deny"), "{line}");
     }
-    assert_eq!(listing.lines().count(), 12);
+    assert_eq!(listing.lines().count(), 15);
 }
 
 #[test]
 fn explain_renders_doc_example_and_suppression() {
-    for key in ["r4", "lifecycle_poll", "hdsj::budget_charge"] {
+    for key in [
+        "r4",
+        "lifecycle_poll",
+        "hdsj::budget_charge",
+        "r13",
+        "target_feature_gate",
+        "hdsj::unchecked_arith",
+    ] {
         let text =
             hdsj_analyze::render_explain(key).unwrap_or_else(|e| panic!("explain {key}: {e}"));
         assert!(text.contains("allow(hdsj::"), "{text}");

@@ -24,13 +24,34 @@ fn live_workspace_report_counts_are_consistent() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let report = hdsj_analyze::check_workspace(&root).expect("workspace must be readable");
     assert_eq!(
-        report.denies() + report.warns(),
+        report.denies() + report.warns() + report.notes(),
         report.diagnostics.len(),
-        "every diagnostic is either deny or warn"
+        "every diagnostic is deny, warn, or note"
     );
     // JSONL rendering emits exactly one line per diagnostic.
     assert_eq!(
         report.render_json().lines().count(),
         report.diagnostics.len()
     );
+}
+
+/// R13 must leave a proof trail on the live tree: every unsafe kernel
+/// file's raw offsets are *discharged* (note-level witnesses in the JSONL
+/// stream), not merely unflagged.
+#[test]
+fn live_simd_kernels_carry_discharged_bound_proofs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = hdsj_analyze::check_workspace(&root).expect("workspace must be readable");
+    let jsonl = report.render_json();
+    for file in [
+        "crates/core/src/simd/x86.rs",
+        "crates/core/src/simd/neon.rs",
+    ] {
+        assert!(
+            jsonl.lines().any(|l| l.contains("unsafe_bounds")
+                && l.contains("\"note\"")
+                && l.contains(file)),
+            "no discharged unsafe_bounds proof recorded for {file}:\n{jsonl}"
+        );
+    }
 }

@@ -33,7 +33,7 @@ fn sterm<const SQ: bool>(x: f64, y: f64) -> f64 {
 /// Loads 2 consecutive f64s starting at `xs[at]`.
 #[inline(always)]
 fn load2(xs: &[f64], at: usize) -> float64x2_t {
-    debug_assert!(at + 2 <= xs.len());
+    debug_assert!(xs.len() >= 2 && at <= xs.len() - 2);
     // SAFETY: callers maintain `at + 2 <= xs.len()` (pair kernels stop at
     // `dim + 4 <= d`; block kernels pass `dim * width + t` with
     // `t + 2 <= width`, `dim < dims`, into the `dims × width` buffer).
@@ -252,6 +252,7 @@ fn step<const SQ: bool>(
 ) {
     for (k, a) in acc.iter_mut().enumerate() {
         let vp = splat(probe[base + k]);
+        // BOUND: base + 4 <= dims, k < 4, t + 2 <= width ⇒ offset < dims * width.
         let vc = load2(data, (base + k) * width + t);
         *a = vadd(*a, term::<SQ>(vp, vc));
     }
@@ -328,6 +329,7 @@ fn sum_within_block<const SQ: bool>(
             let mut tailv = splat(0.0);
             while dim < d {
                 let vp = splat(probe[dim]);
+                // BOUND: dim < d = dims, t + 2 <= width ⇒ offset < dims * width.
                 let vc = load2(data, dim * width + t);
                 tailv = vadd(tailv, term::<SQ>(vp, vc));
                 dim += 1;
@@ -394,6 +396,7 @@ pub fn linf_within_block(
             let stop = (dim + 16).min(d);
             while dim < stop {
                 let vp = splat(probe[dim]);
+                // BOUND: dim < d = dims, t + 2 <= width ⇒ offset < dims * width.
                 let vc = load2(data, dim * width + t);
                 m = vmax(m, term::<false>(vp, vc));
                 dim += 1;

@@ -256,7 +256,7 @@ mod avx2 {
     #[target_feature(enable = "avx2")]
     #[inline]
     fn load4(xs: &[f64], at: usize) -> __m256d {
-        debug_assert!(at + 4 <= xs.len());
+        debug_assert!(xs.len() >= 4 && at <= xs.len() - 4);
         // SAFETY: callers maintain `at + 4 <= xs.len()` (pair kernels stop
         // at `dim + 4 <= d`; block kernels pass `dim * width + t` with
         // `t + 4 <= width`, `dim < dims`, into the `dims × width` buffer).
@@ -464,6 +464,8 @@ mod avx2 {
             macro_rules! step4 {
                 ($base:expr) => {{
                     let base = $base;
+                    // BOUND: base + 4 <= dims and t + 4 <= width, so every
+                    // offset below is < dims * width = data.len(); fits usize.
                     let o = base * width + t;
                     a0 = _mm256_add_pd(
                         a0,
@@ -471,15 +473,15 @@ mod avx2 {
                     );
                     a1 = _mm256_add_pd(
                         a1,
-                        term::<SQ>(_mm256_set1_pd(probe[base + 1]), load4(data, o + width)),
+                        term::<SQ>(_mm256_set1_pd(probe[base + 1]), load4(data, o + width)), // BOUND: see `o`
                     );
                     a2 = _mm256_add_pd(
                         a2,
-                        term::<SQ>(_mm256_set1_pd(probe[base + 2]), load4(data, o + 2 * width)),
+                        term::<SQ>(_mm256_set1_pd(probe[base + 2]), load4(data, o + 2 * width)), // BOUND: see `o`
                     );
                     a3 = _mm256_add_pd(
                         a3,
-                        term::<SQ>(_mm256_set1_pd(probe[base + 3]), load4(data, o + 3 * width)),
+                        term::<SQ>(_mm256_set1_pd(probe[base + 3]), load4(data, o + 3 * width)), // BOUND: see `o`
                     );
                 }};
             }
@@ -524,6 +526,7 @@ mod avx2 {
                 let mut tailv = _mm256_setzero_pd();
                 while dim < d {
                     let vp = _mm256_set1_pd(probe[dim]);
+                    // BOUND: dim < d = dims, t + 4 <= width ⇒ offset < dims * width.
                     let vc = load4(data, dim * width + t);
                     tailv = _mm256_add_pd(tailv, term::<SQ>(vp, vc));
                     dim += 1;
@@ -570,6 +573,7 @@ mod avx2 {
                 let stop = (dim + 16).min(d);
                 while dim < stop {
                     let vp = _mm256_set1_pd(probe[dim]);
+                    // BOUND: dim < d = dims, t + 4 <= width ⇒ offset < dims * width.
                     let vc = load4(data, dim * width + t);
                     m = _mm256_max_pd(m, term::<false>(vp, vc));
                     dim += 1;
@@ -595,7 +599,7 @@ mod sse2 {
     /// x86-64 baseline, so no feature gate is needed.
     #[inline(always)]
     fn load2(xs: &[f64], at: usize) -> __m128d {
-        debug_assert!(at + 2 <= xs.len());
+        debug_assert!(xs.len() >= 2 && at <= xs.len() - 2);
         // SAFETY: callers maintain `at + 2 <= xs.len()` (pair kernels stop
         // at `dim + 4 <= d`; block kernels pass `dim * width + t` with
         // `t + 2 <= width`, `dim < dims`, into the `dims × width` buffer).
@@ -770,19 +774,21 @@ mod sse2 {
             macro_rules! step4 {
                 ($base:expr) => {{
                     let base = $base;
+                    // BOUND: base + 4 <= dims and t + 2 <= width, so every
+                    // offset below is < dims * width = data.len(); fits usize.
                     let o = base * width + t;
                     a0 = _mm_add_pd(a0, term::<SQ>(_mm_set1_pd(probe[base]), load2(data, o)));
                     a1 = _mm_add_pd(
                         a1,
-                        term::<SQ>(_mm_set1_pd(probe[base + 1]), load2(data, o + width)),
+                        term::<SQ>(_mm_set1_pd(probe[base + 1]), load2(data, o + width)), // BOUND: see `o`
                     );
                     a2 = _mm_add_pd(
                         a2,
-                        term::<SQ>(_mm_set1_pd(probe[base + 2]), load2(data, o + 2 * width)),
+                        term::<SQ>(_mm_set1_pd(probe[base + 2]), load2(data, o + 2 * width)), // BOUND: see `o`
                     );
                     a3 = _mm_add_pd(
                         a3,
-                        term::<SQ>(_mm_set1_pd(probe[base + 3]), load2(data, o + 3 * width)),
+                        term::<SQ>(_mm_set1_pd(probe[base + 3]), load2(data, o + 3 * width)), // BOUND: see `o`
                     );
                 }};
             }
@@ -819,6 +825,7 @@ mod sse2 {
                 let mut tailv = _mm_setzero_pd();
                 while dim < d {
                     let vp = _mm_set1_pd(probe[dim]);
+                    // BOUND: dim < d = dims, t + 2 <= width ⇒ offset < dims * width.
                     let vc = load2(data, dim * width + t);
                     tailv = _mm_add_pd(tailv, term::<SQ>(vp, vc));
                     dim += 1;
@@ -865,6 +872,7 @@ mod sse2 {
                 let stop = (dim + 16).min(d);
                 while dim < stop {
                     let vp = _mm_set1_pd(probe[dim]);
+                    // BOUND: dim < d = dims, t + 2 <= width ⇒ offset < dims * width.
                     let vc = load2(data, dim * width + t);
                     m = _mm_max_pd(m, term::<false>(vp, vc));
                     dim += 1;

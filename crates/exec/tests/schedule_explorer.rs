@@ -12,9 +12,10 @@ use hdsj_exec::schedule;
 
 /// The default sweep: 350 seeds × 5 scenarios over the pool primitives.
 /// The window rotates when the pool's concurrency surface changes (the
-/// lifecycle poll at chunk boundaries landed in this one) so CI keeps
-/// exploring fresh interleavings; 0..250 was covered by earlier windows.
-const DEFAULT_SEEDS: std::ops::Range<u64> = 250..600;
+/// SIMD-tier refinement batching rode the dataflow-analyzer PR into the
+/// workers) so CI keeps exploring fresh interleavings; 0..600 was
+/// covered by earlier windows.
+const DEFAULT_SEEDS: std::ops::Range<u64> = 600..950;
 
 fn seed_range() -> std::ops::Range<u64> {
     let Ok(spec) = std::env::var("HDSJ_SCHED_SEEDS") else {

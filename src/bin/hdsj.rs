@@ -91,7 +91,7 @@ USAGE:
                 [--deadline-ms N] [--mem-budget-pages N] [--resume MANIFEST]
                 [--sort-mem-records N]
   hdsj info     --input FILE
-  hdsj analyze  [--root DIR] [--format human|json|sarif] [--rules r7,r8]
+  hdsj analyze  [--root DIR] [--format human|jsonl|sarif] [--rules r7,r8]
                 [--list-rules] [--explain RULE]
   hdsj trace-report FILE [--phases] [--critical-path]
   hdsj stats FILE [--format human|prom]
@@ -105,7 +105,9 @@ workspace at --root (default `.`): panic-freedom, SAFETY comments,
 pin/unpin pairing, interprocedural lock order, error-taxonomy coverage,
 metric-name registry conformance, atomic-ordering declarations,
 byte-determinism, pool-only threading, lifecycle-poll coverage, budget
-charging, and manifest durability order. It exits 1 when any deny-level
+charging, manifest durability order, and the SIMD layer's dataflow
+proofs (unsafe bounds, target-feature gating, unchecked offset
+arithmetic). It exits 1 when any deny-level
 finding survives suppression — the same contract as
 `cargo run -p hdsj-analyze -- check`. `--rules r7,r8` (ids or names)
 restricts the run to those rules; `--list-rules` prints each rule's id,
@@ -193,7 +195,7 @@ fn analyze(flags: &HashMap<String, String>) -> Result<()> {
     };
     match format {
         "human" => print!("{}", report.render_human()),
-        "json" => print!("{}", report.render_json()),
+        "json" | "jsonl" => print!("{}", report.render_json()),
         "sarif" => print!("{}", report.render_sarif()),
         other => {
             return Err(Error::InvalidInput(format!(
